@@ -1,0 +1,149 @@
+package mpichv_test
+
+// One benchmark per table/figure of the paper's evaluation (§5). Each
+// regenerates the experiment (quick sweeps) and reports its headline
+// numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. cmd/vbench runs the full sweeps.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"mpichv/internal/bench"
+	"mpichv/internal/cluster"
+	"mpichv/internal/nas"
+	"mpichv/internal/sched"
+)
+
+func BenchmarkFigure5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p4 := bench.PingPong(cluster.P4, 1<<20, 4)
+		v1 := bench.PingPong(cluster.V1, 1<<20, 4)
+		v2 := bench.PingPong(cluster.V2, 1<<20, 4)
+		b.ReportMetric(p4.MBperS, "P4-MB/s")
+		b.ReportMetric(v1.MBperS, "V1-MB/s")
+		b.ReportMetric(v2.MBperS, "V2-MB/s")
+	}
+}
+
+func BenchmarkFigure6Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p4 := bench.PingPong(cluster.P4, 0, 10)
+		v1 := bench.PingPong(cluster.V1, 0, 10)
+		v2 := bench.PingPong(cluster.V2, 0, 10)
+		b.ReportMetric(float64(p4.OneWay.Microseconds()), "P4-µs")
+		b.ReportMetric(float64(v1.OneWay.Microseconds()), "V1-µs")
+		b.ReportMetric(float64(v2.OneWay.Microseconds()), "V2-µs")
+	}
+}
+
+func benchKernel(b *testing.B, k nas.Benchmark, procs int) {
+	for i := 0; i < b.N; i++ {
+		p4 := bench.RunNAS(k, cluster.P4, procs, cluster.Config{})
+		v2 := bench.RunNAS(k, cluster.V2, procs, cluster.Config{})
+		if !p4.Verified || !v2.Verified {
+			b.Fatalf("%s failed verification", k.ID())
+		}
+		b.ReportMetric(p4.Elapsed.Seconds(), "P4-s")
+		b.ReportMetric(v2.Elapsed.Seconds(), "V2-s")
+		b.ReportMetric(float64(v2.Elapsed)/float64(p4.Elapsed), "V2/P4")
+	}
+}
+
+// Figure 7, one benchmark per kernel at a representative process count.
+func BenchmarkFigure7CG(b *testing.B) { benchKernel(b, nas.CG("A"), 8) }
+func BenchmarkFigure7MG(b *testing.B) { benchKernel(b, nas.MG("A"), 8) }
+func BenchmarkFigure7FT(b *testing.B) { benchKernel(b, nas.FT("A"), 8) }
+func BenchmarkFigure7LU(b *testing.B) { benchKernel(b, nas.LU("A"), 8) }
+func BenchmarkFigure7BT(b *testing.B) { benchKernel(b, nas.BT("A"), 9) }
+func BenchmarkFigure7SP(b *testing.B) { benchKernel(b, nas.SP("A"), 9) }
+
+func BenchmarkFigure8Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure8Data(true)
+		for _, r := range rows {
+			if r.Bench == "CG.A" && r.Impl == cluster.V2 {
+				b.ReportMetric(r.Comm.Seconds(), "CG-V2-comm-s")
+				b.ReportMetric(r.Compute.Seconds(), "CG-V2-compute-s")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Decomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1Data(true)
+		b.ReportMetric(rows[0].Send.Seconds(), "BT-P4-Isend-s")
+		b.ReportMetric(rows[1].Wait.Seconds(), "BT-V2-Wait-s")
+	}
+}
+
+func BenchmarkFigure9Synthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p4 := bench.Synthetic(cluster.P4, 64<<10, 4)
+		v2 := bench.Synthetic(cluster.V2, 64<<10, 4)
+		b.ReportMetric(p4.MBperS, "P4-MB/s")
+		b.ReportMetric(v2.MBperS, "V2-MB/s")
+		b.ReportMetric(v2.MBperS/p4.MBperS, "V2/P4")
+	}
+}
+
+func BenchmarkFigure10Reexecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		one := bench.Reexec(1<<10, 1)
+		all := bench.Reexec(1<<10, 8)
+		b.ReportMetric(float64(one.Reexec)/float64(one.Reference), "x1-ratio")
+		b.ReportMetric(float64(all.Reexec)/float64(all.Reference), "x8-ratio")
+	}
+}
+
+func BenchmarkFigure11FaultyExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := bench.Figure11Data(true)
+		last := pts[len(pts)-1]
+		if !last.Verified {
+			b.Fatal("faulty run failed verification")
+		}
+		b.ReportMetric(last.Ratio, "slowdown-at-max-faults")
+		b.ReportMetric(float64(last.Restarts), "restarts")
+	}
+}
+
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sched.ComparePolicies(16, 4000, 25)
+		for _, r := range results {
+			if r.Scheme == "broadcast" {
+				switch r.Policy {
+				case "round-robin":
+					b.ReportMetric(r.MeanCkptBytes, "bcast-rr-ckptB")
+				case "adaptive":
+					b.ReportMetric(r.MeanCkptBytes, "bcast-adaptive-ckptB")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblationSendGating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablations(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the substrate itself: virtual
+// seconds simulated per wall second for a busy 8-node system.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		pt := bench.Reexec(4<<10, 0)
+		wall := time.Since(start)
+		b.ReportMetric(pt.Reference.Seconds()/wall.Seconds(), "virt-s/wall-s")
+	}
+}

@@ -1,0 +1,39 @@
+// Command ckptserver runs a standalone MPICH-V2 Checkpoint Server
+// (paper §4.6.1) over TCP: the reliable repository of process images.
+//
+// Usage:
+//
+//	ckptserver -pg program.txt
+//
+// The program file names this server's address on its "cs" line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpichv/internal/ckpt"
+	"mpichv/internal/deploy"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+)
+
+func main() {
+	pgPath := flag.String("pg", "", "program file (required)")
+	flag.Parse()
+	if *pgPath == "" {
+		fmt.Fprintln(os.Stderr, "ckptserver: -pg program file is required")
+		os.Exit(2)
+	}
+	pg, err := deploy.ParseFile(*pgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptserver:", err)
+		os.Exit(1)
+	}
+	rt := vtime.NewReal()
+	fab := transport.NewTCPFabric(rt, pg.AddrMap())
+	ckpt.NewServer(rt, fab.Attach(deploy.CSID, "ckpt-server")).Start()
+	fmt.Println("checkpoint server serving")
+	select {}
+}

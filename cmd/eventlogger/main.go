@@ -1,0 +1,40 @@
+// Command eventlogger runs a standalone MPICH-V2 Event Logger (paper
+// §4.5) over TCP, for deployments that place the reliable services on
+// dedicated machines rather than under a single vrun.
+//
+// Usage:
+//
+//	eventlogger -pg program.txt
+//
+// The program file names this logger's address on its "el" line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpichv/internal/deploy"
+	"mpichv/internal/eventlog"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+)
+
+func main() {
+	pgPath := flag.String("pg", "", "program file (required)")
+	flag.Parse()
+	if *pgPath == "" {
+		fmt.Fprintln(os.Stderr, "eventlogger: -pg program file is required")
+		os.Exit(2)
+	}
+	pg, err := deploy.ParseFile(*pgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eventlogger:", err)
+		os.Exit(1)
+	}
+	rt := vtime.NewReal()
+	fab := transport.NewTCPFabric(rt, pg.AddrMap())
+	eventlog.NewServer(rt, fab.Attach(deploy.ELID, "event-logger"), 0).Start()
+	fmt.Println("event logger serving")
+	select {}
+}

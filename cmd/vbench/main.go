@@ -1,0 +1,62 @@
+// Command vbench regenerates the tables and figures of the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	vbench -list             # show experiment ids
+//	vbench -exp fig5         # regenerate one experiment
+//	vbench -exp all          # regenerate everything (slow)
+//	vbench -exp fig7 -quick  # trimmed sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpichv/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id, or \"all\"")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast run")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nvbench: pick one with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

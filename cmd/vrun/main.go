@@ -1,0 +1,88 @@
+// Command vrun is the mpirun of this MPICH-V2 reproduction (paper
+// §4.7): it reads a program file describing the machines of the run —
+// computing nodes, event logger, checkpoint server, checkpoint
+// scheduler — launches every role as an OS process over real TCP,
+// monitors the computing nodes, and re-launches crashed ones with the
+// recovery protocol.
+//
+// Usage:
+//
+//	vrun -pg program.txt -app tokenring
+//
+// where program.txt looks like:
+//
+//	el 127.0.0.1:9000
+//	cs 127.0.0.1:9001
+//	sc 127.0.0.1:9002
+//	cn 127.0.0.1:9100
+//	cn 127.0.0.1:9101
+//	cn 127.0.0.1:9102
+//
+// Kill a worker process mid-run (kill -9 <pid>) to watch the dispatcher
+// restart it and the protocol replay its messages. Available apps:
+// vrun -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpichv/internal/apps"
+	"mpichv/internal/deploy"
+)
+
+func main() {
+	var (
+		pgPath    = flag.String("pg", "", "program file (required)")
+		appName   = flag.String("app", "tokenring", "registered MPI program to run")
+		serve     = flag.Int("serve", -1, "internal: serve one node id of the program file")
+		restarted = flag.Bool("restarted", false, "internal: recover this node from its logs")
+		list      = flag.Bool("list", false, "list registered apps")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range apps.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *pgPath == "" {
+		fmt.Fprintln(os.Stderr, "vrun: -pg program file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *serve >= 0 {
+		pg, err := deploy.ParseFile(*pgPath)
+		if err != nil {
+			fatal(err)
+		}
+		app, ok := apps.Get(*appName)
+		if !ok {
+			fatal(fmt.Errorf("unknown app %q (try -list)", *appName))
+		}
+		if err := deploy.Serve(pg, *serve, deploy.App(app), *restarted, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if _, ok := apps.Get(*appName); !ok {
+		fatal(fmt.Errorf("unknown app %q (try -list)", *appName))
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	l := &deploy.Launcher{Program: *pgPath, AppName: *appName, Exe: exe}
+	if err := l.Run(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vrun:", err)
+	os.Exit(1)
+}

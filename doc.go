@@ -1,0 +1,21 @@
+// Package mpichv is a Go reproduction of "MPICH-V2: a Fault Tolerant
+// MPI for Volatile Nodes based on Pessimistic Sender Based Message
+// Logging" (Bouteiller, Cappello, Hérault, Krawezik, Lemarinier,
+// Magniette — SC 2003).
+//
+// The repository implements the complete system the paper describes —
+// the pessimistic sender-based logging protocol (internal/core), the
+// communication daemons for MPICH-V2 and the MPICH-P4/MPICH-V1
+// baselines (internal/daemon), the event logger, checkpoint server,
+// checkpoint scheduler and dispatcher services, an MPI layer with
+// eager/rendezvous protocols and collectives (internal/mpi), the six
+// NAS kernels the paper evaluates (internal/nas), and a benchmark
+// harness regenerating every table and figure of the evaluation
+// (internal/bench) — on top of a deterministic virtual-time simulator
+// (internal/vtime, internal/netsim) calibrated to the paper's testbed,
+// plus a real-TCP multi-process deployment (cmd/vrun).
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// substitutions made for 2003-era hardware, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package mpichv

@@ -1,0 +1,47 @@
+// CG: a conjugate-gradient solve (the NAS CG kernel) on 8 simulated
+// nodes, first fault-free on MPICH-P4 and MPICH-V2, then on V2 with two
+// nodes crashing mid-solve. The solver's verification value must match
+// the serial reference in every case.
+//
+//	go run ./examples/cg
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mpichv/internal/bench"
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+	"mpichv/internal/nas"
+)
+
+func main() {
+	b := nas.CG("A")
+	fmt.Println("NAS CG class A (reduced problem, full-class time model), 8 nodes")
+
+	for _, impl := range []cluster.Impl{cluster.P4, cluster.V2} {
+		run := bench.RunNAS(b, impl, 8, cluster.Config{})
+		fmt.Printf("  %-9v  time %v  verified=%v\n", impl, run.Elapsed.Round(time.Millisecond), run.Verified)
+	}
+
+	fmt.Println("\nsame solve on V2 with ranks 2 and 5 crashing mid-run:")
+	results := make([]nas.Result, 8)
+	res := cluster.Run(cluster.Config{
+		Impl: cluster.V2, N: 8,
+		Faults: []dispatcher.Fault{
+			{Time: 30 * time.Millisecond, Rank: 2},
+			{Time: 60 * time.Millisecond, Rank: 5},
+		},
+	}, func(p *mpi.Proc) {
+		results[p.Rank()] = b.Run(p, b)
+	})
+	ok := true
+	for _, r := range results {
+		ok = ok && r.Verified
+	}
+	fmt.Printf("  kills=%d restarts=%d, every rank verified=%v\n", res.Kills, res.Restarts, ok)
+	fmt.Println("  the crashed ranks re-executed from the beginning, replaying their")
+	fmt.Println("  receptions in logged order; the numerics are bit-for-bit unchanged")
+}

@@ -1,0 +1,142 @@
+// Package apps registers the MPI programs runnable under cmd/vrun (the
+// real-TCP deployment). Each is a small but real workload exercising
+// the fault-tolerant runtime.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"mpichv/internal/mpi"
+)
+
+// App is a runnable MPI program.
+type App func(p *mpi.Proc)
+
+var registry = map[string]App{}
+
+// Register adds an app under a name; it panics on duplicates.
+func Register(name string, app App) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("apps: duplicate app %q", name))
+	}
+	registry[name] = app
+}
+
+// Get returns the registered app.
+func Get(name string) (App, bool) {
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names returns the registered app names, sorted.
+func Names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("pingpong", PingPong)
+	Register("tokenring", TokenRing)
+	Register("allreduce", AllreduceLoop)
+}
+
+// PingPong bounces messages between ranks 0 and 1 and prints the mean
+// round trip.
+func PingPong(p *mpi.Proc) {
+	const rounds = 100
+	if p.Size() < 2 {
+		p.Abortf("pingpong needs at least 2 ranks")
+	}
+	if p.Rank() > 1 {
+		return
+	}
+	msg := make([]byte, 1024)
+	t0 := p.Clock().Now()
+	for r := 0; r < rounds; r++ {
+		if p.Rank() == 0 {
+			p.Send(1, 7, msg)
+			p.Recv(1, 8)
+		} else {
+			b, _ := p.Recv(0, 7)
+			p.Send(0, 8, b)
+		}
+	}
+	if p.Rank() == 0 {
+		fmt.Printf("pingpong: mean RTT %v over %d rounds\n", (p.Clock().Now()-t0)/rounds, rounds)
+	}
+}
+
+// TokenRing circulates an accumulating token; slow enough (50 ms per
+// hold) that a rank can be killed mid-run to watch recovery.
+func TokenRing(p *mpi.Proc) {
+	const rounds = 10
+	n := p.Size()
+	right := (p.Rank() + 1) % n
+	left := (p.Rank() - 1 + n) % n
+	buf := make([]byte, 8)
+	var token uint64
+	for r := 0; r < rounds; r++ {
+		if p.Rank() == 0 {
+			binary.BigEndian.PutUint64(buf, token+1)
+			p.Send(right, 1, buf)
+			b, _ := p.Recv(left, 1)
+			token = binary.BigEndian.Uint64(b)
+			fmt.Printf("round %d: token=%d\n", r, token)
+		} else {
+			b, _ := p.Recv(left, 1)
+			token = binary.BigEndian.Uint64(b) + 1
+			p.Clock().Sleep(50 * time.Millisecond)
+			binary.BigEndian.PutUint64(buf, token)
+			p.Send(right, 1, buf)
+		}
+	}
+	if p.Rank() == 0 && token != uint64(n*rounds) {
+		p.Abortf("token = %d, want %d", token, n*rounds)
+	}
+}
+
+// AllreduceLoop iterates checkpointable allreduces: with a checkpoint
+// server and scheduler in the program file, a killed rank resumes from
+// its checkpoint instead of the beginning.
+func AllreduceLoop(p *mpi.Proc) {
+	const iters = 40
+	state := struct {
+		Iter int
+		Acc  float64
+	}{}
+	p.SetStateProvider(func() []byte {
+		buf := make([]byte, 16)
+		binary.BigEndian.PutUint64(buf, uint64(state.Iter))
+		binary.BigEndian.PutUint64(buf[8:], uint64(int64(state.Acc)))
+		return buf
+	})
+	if blob, restarted := p.Restarted(); restarted && blob != nil {
+		state.Iter = int(binary.BigEndian.Uint64(blob))
+		state.Acc = float64(int64(binary.BigEndian.Uint64(blob[8:])))
+		fmt.Printf("rank %d: resuming from iteration %d\n", p.Rank(), state.Iter)
+	}
+	for ; state.Iter < iters; state.Iter++ {
+		p.CheckpointPoint()
+		p.Clock().Sleep(25 * time.Millisecond) // "compute"
+		state.Acc += p.AllreduceScalar(float64(p.Rank()+state.Iter), mpi.OpSum)
+	}
+	var want float64
+	for i := 0; i < iters; i++ {
+		for r := 0; r < p.Size(); r++ {
+			want += float64(r + i)
+		}
+	}
+	if state.Acc != want {
+		p.Abortf("acc = %v, want %v", state.Acc, want)
+	}
+	if p.Rank() == 0 {
+		fmt.Printf("allreduce: verified acc=%v after %d iterations\n", state.Acc, iters)
+	}
+}

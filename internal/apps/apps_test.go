@@ -1,0 +1,64 @@
+package apps_test
+
+import (
+	"testing"
+	"time"
+
+	"mpichv/internal/apps"
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+)
+
+func TestRegistry(t *testing.T) {
+	names := apps.Names()
+	if len(names) < 3 {
+		t.Fatalf("registry has %d apps", len(names))
+	}
+	for _, n := range names {
+		if _, ok := apps.Get(n); !ok {
+			t.Errorf("Get(%q) failed", n)
+		}
+	}
+	if _, ok := apps.Get("no-such-app"); ok {
+		t.Error("Get of unknown app succeeded")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	apps.Register("pingpong", func(*mpi.Proc) {})
+}
+
+// The registered apps self-verify (they Abortf on wrong results), so
+// running them to completion on a simulated cluster is the test.
+func runApp(t *testing.T, name string, n int, faults []dispatcher.Fault, ckpt bool) {
+	t.Helper()
+	app, ok := apps.Get(name)
+	if !ok {
+		t.Fatalf("app %q not registered", name)
+	}
+	cfg := cluster.Config{Impl: cluster.V2, N: n, Faults: faults, Checkpointing: ckpt}
+	if ckpt {
+		cfg.SchedPeriod = 50 * time.Millisecond
+	}
+	cluster.Run(cfg, func(p *mpi.Proc) { app(p) })
+}
+
+func TestPingPongApp(t *testing.T) { runApp(t, "pingpong", 2, nil, false) }
+
+func TestTokenRingApp(t *testing.T) { runApp(t, "tokenring", 3, nil, false) }
+
+func TestTokenRingAppSurvivesFault(t *testing.T) {
+	runApp(t, "tokenring", 3, []dispatcher.Fault{{Time: 200 * time.Millisecond, Rank: 1}}, false)
+}
+
+func TestAllreduceApp(t *testing.T) { runApp(t, "allreduce", 4, nil, false) }
+
+func TestAllreduceAppResumesFromCheckpoint(t *testing.T) {
+	runApp(t, "allreduce", 4, []dispatcher.Fault{{Time: 500 * time.Millisecond, Rank: 2}}, true)
+}

@@ -1,0 +1,94 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated testbed. Each experiment prints the
+// same rows/series the paper reports and returns structured data so the
+// test suite can assert the paper's qualitative findings (who wins, by
+// roughly what factor, where the crossovers fall).
+//
+// Absolute magnitudes are calibrated to the paper's own P4 measurements
+// (netsim.Params2003), but the claims under test are the shapes — see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run regenerates the experiment, writing the rows to w. Quick
+	// mode trims sweeps for fast regression runs.
+	Run func(w io.Writer, quick bool) error
+}
+
+// Experiments returns the full index, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig5", Title: "Figure 5: ping-pong bandwidth, P4 vs V1 vs V2", Run: Figure5},
+		{ID: "fig6", Title: "Figure 6: ping-pong latency, P4 vs V1 vs V2", Run: Figure6},
+		{ID: "fig7", Title: "Figure 7: NAS Parallel Benchmarks, P4 vs V2", Run: Figure7},
+		{ID: "fig8", Title: "Figure 8: execution time breakdown, CG-A and BT-B", Run: Figure8},
+		{ID: "tab1", Title: "Table 1: MPI call time decomposition, BT-A-9 and CG-A-8", Run: Table1},
+		{ID: "fig9", Title: "Figure 9: synthetic Isend/Irecv/Waitall bandwidth, P4 vs V2", Run: Figure9},
+		{ID: "fig10", Title: "Figure 10: re-execution performance (token ring)", Run: Figure10},
+		{ID: "fig11", Title: "Figure 11: BT-A with faults during execution", Run: Figure11},
+		{ID: "sched", Title: "§4.6.2: checkpoint scheduling policies (round-robin vs adaptive)", Run: SchedPolicies},
+		{ID: "ablate", Title: "Ablations: WAITLOGGED gating, payload routing, garbage collection", Run: Ablations},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids.
+func IDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// table is a tiny tabwriter helper.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// sizeLabel formats a message size like the paper's axes.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

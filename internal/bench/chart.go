@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// asciiChart renders the figure experiments as actual figures: a
+// log-x/linear-y line chart in plain text, one marker letter per
+// series. It is deliberately small — enough to see the crossovers the
+// paper plots (figure 5's bandwidth asymptotes, figure 9's 2× region)
+// straight from a terminal.
+type asciiChart struct {
+	title  string
+	ylabel string
+	xs     []float64 // shared x values, ascending
+	names  []string
+	series map[string][]float64
+}
+
+func newChart(title, ylabel string, xs []float64) *asciiChart {
+	return &asciiChart{title: title, ylabel: ylabel, xs: xs, series: map[string][]float64{}}
+}
+
+func (c *asciiChart) add(name string, ys []float64) {
+	c.names = append(c.names, name)
+	c.series[name] = ys
+}
+
+const (
+	chartW = 64
+	chartH = 14
+)
+
+// render draws the chart. X is log-scaled (the paper's message-size
+// axes); Y is linear from zero.
+func (c *asciiChart) render(w io.Writer) {
+	if len(c.xs) < 2 {
+		return
+	}
+	var ymax float64
+	for _, ys := range c.series {
+		for _, y := range ys {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if ymax <= 0 {
+		return
+	}
+	x0, x1 := math.Log(c.xs[0]), math.Log(c.xs[len(c.xs)-1])
+	grid := make([][]byte, chartH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartW))
+	}
+	sort.Strings(c.names)
+	for si, name := range c.names {
+		marker := byte('A' + si%26)
+		for i, y := range c.series[name] {
+			if i >= len(c.xs) || y < 0 {
+				continue
+			}
+			gx := 0
+			if x1 > x0 {
+				gx = int(math.Round((math.Log(c.xs[i]) - x0) / (x1 - x0) * float64(chartW-1)))
+			}
+			gy := chartH - 1 - int(math.Round(y/ymax*float64(chartH-1)))
+			if gx >= 0 && gx < chartW && gy >= 0 && gy < chartH {
+				if grid[gy][gx] != ' ' && grid[gy][gx] != marker {
+					grid[gy][gx] = '*' // overlapping series
+				} else {
+					grid[gy][gx] = marker
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n  %s\n", c.title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case chartH - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		case chartH / 2:
+			label = fmt.Sprintf("%7.1f ", ymax/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", chartW))
+	fmt.Fprintf(w, "         %-10s%*s  (log x)\n", sizeLabel(int(c.xs[0])), chartW-12, sizeLabel(int(c.xs[len(c.xs)-1])))
+	var legend []string
+	for si, name := range c.names {
+		legend = append(legend, fmt.Sprintf("%c=%s", 'A'+si%26, name))
+	}
+	fmt.Fprintf(w, "  %s   [%s]\n\n", c.ylabel, strings.Join(legend, "  "))
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	ch := newChart("test chart", "MB/s", []float64{1024, 4096, 65536, 1 << 20})
+	ch.add("MPICH-P4", []float64{6, 9, 11, 11.3})
+	ch.add("MPICH-V2", []float64{3, 7, 10.5, 10.7})
+	var buf bytes.Buffer
+	ch.render(&buf)
+	out := buf.String()
+	for _, want := range []string{"test chart", "A=MPICH-P4", "B=MPICH-V2", "1KB", "1MB", "(log x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "AB*") {
+		t.Error("chart has no data markers")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	newChart("empty", "y", nil).render(&buf)
+	newChart("one point", "y", []float64{5}).render(&buf)
+	zero := newChart("zeros", "y", []float64{1, 2})
+	zero.add("s", []float64{0, 0})
+	zero.render(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("degenerate charts produced output: %q", buf.String())
+	}
+}

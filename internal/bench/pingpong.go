@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/mpi"
+)
+
+// PingPongResult is one point of the figure 5/6 sweeps.
+type PingPongResult struct {
+	Size   int
+	OneWay time.Duration // mean one-way latency
+	MBperS float64       // observed bandwidth in MB/s
+}
+
+// PingPong measures the steady-state ping-pong between two nodes of the
+// given implementation. The first round is a warm-up (it lacks the
+// sender's event-logging wait).
+func PingPong(impl cluster.Impl, size, rounds int) PingPongResult {
+	var mean time.Duration
+	cluster.Run(cluster.Config{Impl: impl, N: 2}, func(p *mpi.Proc) {
+		msg := make([]byte, size)
+		var t0 time.Duration
+		for r := 0; r < rounds+1; r++ {
+			if p.Rank() == 0 {
+				if r == 1 {
+					t0 = p.Clock().Now()
+				}
+				p.Send(1, 7, msg)
+				p.Recv(1, 8)
+			} else {
+				b, _ := p.Recv(0, 7)
+				p.Send(0, 8, b)
+			}
+		}
+		if p.Rank() == 0 {
+			mean = (p.Clock().Now() - t0) / time.Duration(rounds)
+		}
+	})
+	res := PingPongResult{Size: size, OneWay: mean / 2}
+	if mean > 0 {
+		res.MBperS = float64(2*size) / mean.Seconds() / 1e6
+	}
+	return res
+}
+
+var ppImpls = []cluster.Impl{cluster.P4, cluster.V1, cluster.V2}
+
+// Figure5Data sweeps ping-pong bandwidth over message sizes.
+func Figure5Data(quick bool) map[cluster.Impl][]PingPongResult {
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if quick {
+		sizes = []int{4 << 10, 64 << 10, 1 << 20}
+	}
+	out := make(map[cluster.Impl][]PingPongResult)
+	for _, impl := range ppImpls {
+		for _, sz := range sizes {
+			out[impl] = append(out[impl], PingPong(impl, sz, 4))
+		}
+	}
+	return out
+}
+
+// Figure5 regenerates the bandwidth comparison (paper: P4 peaks at
+// 11.3 MB/s, V2 at 10.7, V1 at about half of P4).
+func Figure5(w io.Writer, quick bool) error {
+	data := Figure5Data(quick)
+	t := newTable(w)
+	t.row("size", "P4 MB/s", "V1 MB/s", "V2 MB/s")
+	for i := range data[cluster.P4] {
+		t.row(sizeLabel(data[cluster.P4][i].Size),
+			fmt.Sprintf("%.2f", data[cluster.P4][i].MBperS),
+			fmt.Sprintf("%.2f", data[cluster.V1][i].MBperS),
+			fmt.Sprintf("%.2f", data[cluster.V2][i].MBperS))
+	}
+	t.flush()
+	ch := newChart("ping-pong bandwidth (figure 5)", "MB/s", ppSizes(data))
+	for _, impl := range ppImpls {
+		var ys []float64
+		for _, r := range data[impl] {
+			ys = append(ys, r.MBperS)
+		}
+		ch.add(impl.String(), ys)
+	}
+	ch.render(w)
+	return nil
+}
+
+func ppSizes(data map[cluster.Impl][]PingPongResult) []float64 {
+	var xs []float64
+	for _, r := range data[cluster.P4] {
+		x := float64(r.Size)
+		if x < 1 {
+			x = 1
+		}
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// Figure6Data sweeps ping-pong latency over small message sizes.
+func Figure6Data(quick bool) map[cluster.Impl][]PingPongResult {
+	sizes := []int{0, 64, 256, 1 << 10, 4 << 10}
+	if quick {
+		sizes = []int{0, 1 << 10}
+	}
+	out := make(map[cluster.Impl][]PingPongResult)
+	for _, impl := range ppImpls {
+		for _, sz := range sizes {
+			out[impl] = append(out[impl], PingPong(impl, sz, 10))
+		}
+	}
+	return out
+}
+
+// Figure6 regenerates the latency comparison (paper: 77 µs for P4,
+// 237 µs for V2 at 0 bytes).
+func Figure6(w io.Writer, quick bool) error {
+	data := Figure6Data(quick)
+	t := newTable(w)
+	t.row("size", "P4 one-way", "V1 one-way", "V2 one-way")
+	for i := range data[cluster.P4] {
+		t.row(sizeLabel(data[cluster.P4][i].Size),
+			data[cluster.P4][i].OneWay,
+			data[cluster.V1][i].OneWay,
+			data[cluster.V2][i].OneWay)
+	}
+	t.flush()
+	ch := newChart("ping-pong one-way latency (figure 6)", "µs", ppSizes(data))
+	for _, impl := range ppImpls {
+		var ys []float64
+		for _, r := range data[impl] {
+			ys = append(ys, float64(r.OneWay.Microseconds()))
+		}
+		ch.add(impl.String(), ys)
+	}
+	ch.render(w)
+	return nil
+}

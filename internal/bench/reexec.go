@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+)
+
+// Figure 10: re-execution performance. An asynchronous token ring runs
+// on 8 nodes (event logger on a reliable node, checkpointing disabled);
+// x nodes are stopped just before MPI_Finalize and restarted from the
+// beginning, and we measure their completion time. The paper finds the
+// 1-restart time to be about half the reference (only receptions are
+// replayed: re-executed emissions are suppressed by the HS vector), the
+// x=8 time just below the reference (event-logger traffic is not
+// replayed), and a knee between 64 KB and 128 KB where the protocol
+// switches from eager to rendezvous.
+
+const (
+	reexecNodes  = 8
+	reexecRounds = 24
+)
+
+// ringAsync is the paper's asynchronous token ring: every node
+// circulates its own token simultaneously — a non-blocking send to the
+// right, a blocking receive from the left, then the send completion.
+// Per round each node performs exactly one emission and one reception,
+// which is what makes the single-restart re-execution about half the
+// reference: only the receptions are replayed.
+func ringAsync(size, rounds int) cluster.Program {
+	return func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		var token uint64
+		for r := 0; r < rounds; r++ {
+			buf := make([]byte, size)
+			binary.BigEndian.PutUint64(buf, token+1)
+			sr := p.Isend(right, 1, buf)
+			b, _ := p.Recv(left, 1)
+			token = binary.BigEndian.Uint64(b)
+			p.Wait(sr)
+		}
+	}
+}
+
+// ReexecPoint is one (size, restarts) measurement.
+type ReexecPoint struct {
+	Size      int
+	Restarts  int
+	Reference time.Duration // fault-free completion time
+	Reexec    time.Duration // completion time of the restarted nodes
+}
+
+// Reexec measures the re-execution time for x simultaneous restarts at
+// ~95% of the reference execution.
+func Reexec(size, restarts int) ReexecPoint {
+	prog := ringAsync(size, reexecRounds)
+	ref := cluster.Run(cluster.Config{Impl: cluster.V2, N: reexecNodes}, prog)
+	pt := ReexecPoint{Size: size, Restarts: restarts, Reference: ref.Elapsed}
+	if restarts == 0 {
+		pt.Reexec = 0
+		return pt
+	}
+	killT := ref.Elapsed * 95 / 100
+	detect := time.Millisecond
+	var faults []dispatcher.Fault
+	for x := 0; x < restarts; x++ {
+		faults = append(faults, dispatcher.Fault{Time: killT, Rank: x})
+	}
+	res := cluster.Run(cluster.Config{
+		Impl: cluster.V2, N: reexecNodes,
+		Faults:         faults,
+		DetectionDelay: detect,
+	}, prog)
+	pt.Reexec = res.Elapsed - killT - detect
+	return pt
+}
+
+// Figure10Data sweeps message sizes and restart counts.
+func Figure10Data(quick bool) []ReexecPoint {
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20}
+	restarts := []int{0, 1, 2, 4, 8}
+	if quick {
+		sizes = []int{4 << 10, 128 << 10}
+		restarts = []int{0, 1, 8}
+	}
+	var out []ReexecPoint
+	for _, sz := range sizes {
+		for _, x := range restarts {
+			out = append(out, Reexec(sz, x))
+		}
+	}
+	return out
+}
+
+// Figure10 regenerates the re-execution comparison.
+func Figure10(w io.Writer, quick bool) error {
+	t := newTable(w)
+	t.row("size", "restarts", "reference", "re-execution", "ratio")
+	for _, pt := range Figure10Data(quick) {
+		ratio := "-"
+		if pt.Restarts > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(pt.Reexec)/float64(pt.Reference))
+		}
+		t.row(sizeLabel(pt.Size), pt.Restarts, pt.Reference.Round(time.Millisecond),
+			pt.Reexec.Round(time.Millisecond), ratio)
+	}
+	t.flush()
+	return nil
+}

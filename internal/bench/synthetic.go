@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/mpi"
+)
+
+// Figure 9: "a ping-pong of 10 non-blocking sends (MPI_ISend), 10 non
+// blocking receives (MPI_IRecv) and then waits for all these
+// communications to finish (MPI_Waitall)" — the BT/SP exchange pattern.
+// Both sides transmit simultaneously, so the full-duplex V2 daemon
+// reaches up to twice the P4 bandwidth for 64 KB messages, while P4
+// wins below the latency crossover.
+
+// SyntheticResult is one point of the figure 9 sweep.
+type SyntheticResult struct {
+	Size   int
+	MBperS float64
+}
+
+// Synthetic measures the aggregated bandwidth of the 10×Isend/Irecv/
+// Waitall pattern for one message size.
+func Synthetic(impl cluster.Impl, size, rounds int) SyntheticResult {
+	const batch = 10
+	var elapsed time.Duration
+	cluster.Run(cluster.Config{Impl: impl, N: 2}, func(p *mpi.Proc) {
+		peer := 1 - p.Rank()
+		msg := make([]byte, size)
+		var t0 time.Duration
+		for r := 0; r < rounds+1; r++ {
+			if r == 1 {
+				t0 = p.Clock().Now()
+			}
+			reqs := make([]*mpi.Request, 0, 2*batch)
+			for i := 0; i < batch; i++ {
+				reqs = append(reqs, p.Irecv(peer, 30+i))
+			}
+			for i := 0; i < batch; i++ {
+				reqs = append(reqs, p.Isend(peer, 30+i, msg))
+			}
+			p.Waitall(reqs)
+		}
+		if p.Rank() == 0 {
+			elapsed = (p.Clock().Now() - t0) / time.Duration(rounds)
+		}
+	})
+	res := SyntheticResult{Size: size}
+	if elapsed > 0 {
+		// Both directions move batch messages per round.
+		res.MBperS = float64(2*batch*size) / elapsed.Seconds() / 1e6
+	}
+	return res
+}
+
+// Figure9Data sweeps the synthetic benchmark.
+func Figure9Data(quick bool) map[cluster.Impl][]SyntheticResult {
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+	if quick {
+		sizes = []int{1 << 10, 64 << 10}
+	}
+	out := make(map[cluster.Impl][]SyntheticResult)
+	for _, impl := range []cluster.Impl{cluster.P4, cluster.V2} {
+		for _, sz := range sizes {
+			out[impl] = append(out[impl], Synthetic(impl, sz, 4))
+		}
+	}
+	return out
+}
+
+// Figure9 regenerates the synthetic BT/SP-pattern comparison.
+func Figure9(w io.Writer, quick bool) error {
+	data := Figure9Data(quick)
+	t := newTable(w)
+	t.row("size", "P4 MB/s", "V2 MB/s", "V2/P4")
+	var xs []float64
+	for i := range data[cluster.P4] {
+		p4 := data[cluster.P4][i]
+		v2 := data[cluster.V2][i]
+		xs = append(xs, float64(p4.Size))
+		t.row(sizeLabel(p4.Size),
+			fmt.Sprintf("%.2f", p4.MBperS),
+			fmt.Sprintf("%.2f", v2.MBperS),
+			fmt.Sprintf("%.2f", v2.MBperS/p4.MBperS))
+	}
+	t.flush()
+	ch := newChart("10×Isend/Irecv/Waitall bandwidth (figure 9)", "MB/s", xs)
+	for _, impl := range []cluster.Impl{cluster.P4, cluster.V2} {
+		var ys []float64
+		for _, r := range data[impl] {
+			ys = append(ys, r.MBperS)
+		}
+		ch.add(impl.String(), ys)
+	}
+	ch.render(w)
+	return nil
+}

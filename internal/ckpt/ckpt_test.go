@@ -1,0 +1,153 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"mpichv/internal/core"
+	"mpichv/internal/netsim"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+func makeImage(t *testing.T, rank int, seq uint64) []byte {
+	t.Helper()
+	st := core.NewState(rank)
+	st.PrepareSend(1, 0, []byte("logged payload"))
+	proto, err := st.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := &Image{Rank: rank, Seq: seq, AppState: []byte("app state"), Proto: proto}
+	b, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	b := makeImage(t, 3, 7)
+	im, err := DecodeImage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Rank != 3 || im.Seq != 7 || string(im.AppState) != "app state" {
+		t.Errorf("image = %+v", im)
+	}
+	sn, err := im.ProtoSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.Restore(sn)
+	if st.SavedCount() != 1 || st.Clock() != 1 {
+		t.Errorf("restored protocol state: saved=%d clock=%d", st.SavedCount(), st.Clock())
+	}
+}
+
+func TestDecodeImageRejectsGarbage(t *testing.T) {
+	if _, err := DecodeImage(bytes.Repeat([]byte{9}, 50)); err == nil {
+		t.Error("garbage image decoded")
+	}
+}
+
+func serverHarness(t *testing.T, fn func(s *vtime.Sim, srv *Server, client transport.Endpoint)) {
+	t.Helper()
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		srv := NewServer(sim, fab.Attach(200, "cs"))
+		srv.Start()
+		client := fab.Attach(4, "client")
+		fn(sim, srv, client)
+	})
+}
+
+func recvKind(t *testing.T, ep transport.Endpoint, kind uint8) transport.Frame {
+	t.Helper()
+	for {
+		f, ok := ep.Inbox().Recv()
+		if !ok {
+			t.Fatal("client inbox closed")
+		}
+		if f.Kind == kind {
+			return f
+		}
+	}
+}
+
+func TestSaveAndFetch(t *testing.T) {
+	img := makeImage(t, 4, 1)
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img))
+		f := recvKind(t, client, wire.KCkptSaveAck)
+		if seq, err := wire.DecodeU64(f.Data); err != nil || seq != 1 {
+			t.Fatalf("ack seq = %d %v", seq, err)
+		}
+		if !srv.HasImage(4) {
+			t.Fatal("server has no image for rank 4")
+		}
+
+		client.Send(200, wire.KCkptFetch, nil)
+		f = recvKind(t, client, wire.KCkptImage)
+		present, got, err := wire.DecodeCkptImage(f.Data)
+		if err != nil || !present || !bytes.Equal(got, img) {
+			t.Fatalf("fetch: present=%v err=%v equal=%v", present, err, bytes.Equal(got, img))
+		}
+	})
+}
+
+func TestFetchWithoutImage(t *testing.T) {
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(200, wire.KCkptFetch, nil)
+		f := recvKind(t, client, wire.KCkptImage)
+		present, _, err := wire.DecodeCkptImage(f.Data)
+		if err != nil || present {
+			t.Fatalf("fetch on empty server: present=%v err=%v", present, err)
+		}
+	})
+}
+
+func TestNewerImageReplacesOlder(t *testing.T) {
+	img1 := makeImage(t, 4, 1)
+	img2 := makeImage(t, 4, 2)
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img1))
+		recvKind(t, client, wire.KCkptSaveAck)
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(2, img2))
+		recvKind(t, client, wire.KCkptSaveAck)
+
+		client.Send(200, wire.KCkptFetch, nil)
+		f := recvKind(t, client, wire.KCkptImage)
+		_, got, _ := wire.DecodeCkptImage(f.Data)
+		im, err := DecodeImage(got)
+		if err != nil || im.Seq != 2 {
+			t.Fatalf("latest image seq = %v err=%v", im, err)
+		}
+		if srv.Saves != 2 {
+			t.Errorf("Saves = %d", srv.Saves)
+		}
+	})
+}
+
+func TestImagesKeyedPerRank(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		srv := NewServer(sim, fab.Attach(200, "cs"))
+		srv.Start()
+		c4 := fab.Attach(4, "c4")
+		c5 := fab.Attach(5, "c5")
+		c4.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, makeImage(t, 4, 1)))
+		recvKind(t, c4, wire.KCkptSaveAck)
+		if srv.HasImage(5) {
+			t.Error("rank 5 should have no image")
+		}
+		c5.Send(200, wire.KCkptFetch, nil)
+		f := recvKind(t, c5, wire.KCkptImage)
+		if present, _, _ := wire.DecodeCkptImage(f.Data); present {
+			t.Error("rank 5 fetched rank 4's image")
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package cluster assembles complete MPICH-V2 / P4 / V1 systems inside
+// the virtual-time simulator: computing nodes with their daemons and MPI
+// processes, the event logger, the checkpoint server, the checkpoint
+// scheduler, and the dispatcher with its fault-injection plan. It is the
+// harness every experiment and integration test drives.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"mpichv/internal/ckpt"
+	"mpichv/internal/daemon"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/eventlog"
+	"mpichv/internal/mpi"
+	"mpichv/internal/netsim"
+	"mpichv/internal/sched"
+	"mpichv/internal/trace"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+)
+
+// Impl selects the MPI implementation.
+type Impl int
+
+// The three implementations the paper compares.
+const (
+	V2 Impl = iota
+	P4
+	V1
+)
+
+// String names the implementation.
+func (i Impl) String() string {
+	switch i {
+	case V2:
+		return "MPICH-V2"
+	case P4:
+		return "MPICH-P4"
+	case V1:
+		return "MPICH-V1"
+	}
+	return "?"
+}
+
+// Node id layout. Computing nodes use their rank; services sit in the
+// auxiliary range (slower machines in the paper's testbed).
+const (
+	ELNode    = 1000
+	CSNode    = 1001
+	SchedNode = 1002
+	DispNode  = 1003
+	ELBase    = 1100 // additional event loggers when Config.EventLoggers > 1
+	CSBase    = 1200 // additional checkpoint servers when Config.CkptServers > 1
+	CMBase    = 2000
+)
+
+// elNodeFor maps a rank to its event logger's node id (§4.5: "every
+// communication daemon must be connected to exactly one event logger").
+func elNodeFor(rank, nEL int) int {
+	if nEL <= 1 {
+		return ELNode
+	}
+	return ELBase + rank%nEL
+}
+
+// csNodeFor maps a rank to its checkpoint server's node id ("a set of
+// reliable remote checkpoint servers", §2).
+func csNodeFor(rank, nCS int) int {
+	if nCS <= 1 {
+		return CSNode
+	}
+	return CSBase + rank%nCS
+}
+
+// Program is an MPI application: it runs once per rank.
+type Program func(p *mpi.Proc)
+
+// Config describes one system run.
+type Config struct {
+	Impl Impl
+	N    int // number of MPI processes
+
+	// Params is the network/time model; zero value means Params2003.
+	Params netsim.Params
+
+	// EventLoggers is the number of event loggers (default 1); ranks
+	// are assigned round-robin. Loggers never talk to each other
+	// (§4.5).
+	EventLoggers int
+
+	// Checkpointing runs the checkpoint server and scheduler.
+	Checkpointing bool
+	// CkptServers is the number of checkpoint servers (default 1);
+	// ranks are assigned round-robin.
+	CkptServers int
+	// EventBatching makes daemons accumulate reception events while an
+	// event-logger exchange is in flight and submit them as one batch,
+	// reducing logger load (the asynchronous-submission optimization
+	// of §4.5).
+	EventBatching bool
+	// Policy is the checkpoint scheduling policy (default round
+	// robin).
+	Policy sched.Policy
+	// SchedPeriod is the scheduler round period.
+	SchedPeriod time.Duration
+
+	// CMFanIn is how many computing nodes share one Channel Memory in
+	// a V1 run (default 1, the configuration of the paper's
+	// bandwidth/latency comparison).
+	CMFanIn int
+
+	// Faults is the injection plan.
+	Faults []dispatcher.Fault
+	// DetectionDelay before the dispatcher notices a death (default
+	// 100 ms, a conservative socket-error latency).
+	DetectionDelay time.Duration
+
+	// EagerLimit overrides Params.EagerLimit when nonzero.
+	EagerLimit int
+
+	// NoSendGating disables the WAITLOGGED barrier on V2 daemons
+	// (ablation benchmarks only; breaks the fault-tolerance
+	// guarantee).
+	NoSendGating bool
+}
+
+// Result carries everything the experiments measure.
+type Result struct {
+	Elapsed  time.Duration  // virtual time until every rank finalized
+	PerRank  []*trace.Stats // per-rank MPI call decomposition (last incarnation)
+	Daemons  []daemon.Stats // per-rank daemon counters (last incarnation)
+	Restarts int
+	Kills    int
+
+	ELLogged    int64 // reception events stored by the event logger
+	CkptSaves   int64
+	CkptBytes   int64
+	NetMessages int64
+	NetBytes    int64
+}
+
+// Run executes the program on a fresh simulated system and returns the
+// measurements. It is deterministic: the same config and program produce
+// the same result.
+func Run(cfg Config, prog Program) Result {
+	var res Result
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		res = runInSim(sim, cfg, prog)
+	})
+	return res
+}
+
+func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
+	if cfg.Params.Bandwidth == 0 {
+		cfg.Params = netsim.Params2003()
+	}
+	if cfg.Impl == P4 {
+		cfg.Params.HalfDuplexPairs = true
+	}
+	if cfg.EagerLimit > 0 {
+		cfg.Params.EagerLimit = cfg.EagerLimit
+	}
+	if cfg.DetectionDelay <= 0 {
+		cfg.DetectionDelay = 100 * time.Millisecond
+	}
+	if cfg.CMFanIn <= 0 {
+		cfg.CMFanIn = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = &sched.RoundRobin{}
+	}
+
+	classify := func(id int) netsim.Class {
+		if id >= ELNode && id < CMBase {
+			return netsim.ClassService
+		}
+		return netsim.ClassCompute
+	}
+	net := netsim.New(sim, cfg.Params)
+	fab := transport.NewSimFabric(sim, net, classify)
+
+	h := &harness{sim: sim, cfg: cfg, fab: fab, prog: prog}
+	h.perRank = make([]*trace.Stats, cfg.N)
+	h.daemons = make([]daemon.Stats, cfg.N)
+	h.v2ds = make([]*daemon.V2, cfg.N)
+
+	// Services.
+	switch cfg.Impl {
+	case V2:
+		nEL := cfg.EventLoggers
+		if nEL <= 1 {
+			nEL = 1
+			h.el = eventlog.NewServer(sim, fab.Attach(ELNode, "event-logger"), cfg.Params.ELService)
+			h.el.Start()
+			h.els = []*eventlog.Server{h.el}
+		} else {
+			for i := 0; i < nEL; i++ {
+				el := eventlog.NewServer(sim, fab.Attach(ELBase+i, fmt.Sprintf("event-logger-%d", i)), cfg.Params.ELService)
+				el.Start()
+				h.els = append(h.els, el)
+			}
+			h.el = h.els[0]
+		}
+		if cfg.Checkpointing {
+			nCS := cfg.CkptServers
+			if nCS <= 1 {
+				nCS = 1
+				h.cs = ckpt.NewServer(sim, fab.Attach(CSNode, "ckpt-server"))
+				h.cs.Start()
+				h.css = []*ckpt.Server{h.cs}
+			} else {
+				for i := 0; i < nCS; i++ {
+					cs := ckpt.NewServer(sim, fab.Attach(CSBase+i, fmt.Sprintf("ckpt-server-%d", i)))
+					cs.Start()
+					h.css = append(h.css, cs)
+				}
+				h.cs = h.css[0]
+			}
+			sched.Start(sim, fab, sched.Config{
+				Node:   SchedNode,
+				Ranks:  ranks(cfg.N),
+				Policy: cfg.Policy,
+				Period: cfg.SchedPeriod,
+			})
+		}
+	case V1:
+		ncm := (cfg.N + cfg.CMFanIn - 1) / cfg.CMFanIn
+		for i := 0; i < ncm; i++ {
+			daemon.StartChannelMemory(sim, fab, CMBase+i)
+		}
+	}
+
+	// Dispatcher with the fault plan.
+	h.disp = dispatcher.Start(sim, fab, dispatcher.Config{
+		Node:           DispNode,
+		Ranks:          cfg.N,
+		Faults:         cfg.Faults,
+		DetectionDelay: cfg.DetectionDelay,
+		Kill:           func(rank int) { fab.Kill(rank) },
+		Respawn:        func(rank int) { h.spawn(rank, true) },
+	})
+
+	start := sim.Now()
+	for r := 0; r < cfg.N; r++ {
+		h.spawn(r, false)
+	}
+
+	// Wait for completion.
+	if _, ok := h.disp.Done().Recv(); !ok {
+		panic("cluster: dispatcher terminated before completion")
+	}
+
+	res := Result{
+		Elapsed:     sim.Now() - start,
+		PerRank:     h.perRank,
+		Daemons:     h.daemons,
+		Restarts:    h.disp.Restarts,
+		Kills:       h.disp.Kills,
+		NetMessages: net.Messages,
+		NetBytes:    net.Bytes,
+	}
+	for r := 0; r < cfg.N; r++ {
+		if h.v2ds[r] != nil {
+			res.Daemons[r] = h.v2ds[r].Stats()
+		}
+	}
+	for _, el := range h.els {
+		res.ELLogged += el.Logged
+	}
+	for _, cs := range h.css {
+		res.CkptSaves += cs.Saves
+		res.CkptBytes += cs.SavedBytes
+	}
+	return res
+}
+
+func ranks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+type harness struct {
+	sim  *vtime.Sim
+	cfg  Config
+	fab  transport.Fabric
+	prog Program
+
+	el   *eventlog.Server
+	els  []*eventlog.Server
+	cs   *ckpt.Server
+	css  []*ckpt.Server
+	disp *dispatcher.Dispatcher
+
+	perRank []*trace.Stats
+	daemons []daemon.Stats
+	v2ds    []*daemon.V2
+}
+
+// spawn starts (or restarts) the daemon and MPI process of one rank.
+func (h *harness) spawn(rank int, restarted bool) {
+	cfg := h.cfg
+	dcfg := daemon.Config{
+		Rank:        rank,
+		Size:        cfg.N,
+		EventLogger: -1,
+		CkptServer:  -1,
+		Scheduler:   -1,
+		Dispatcher:  DispNode,
+		UnixDelay:   cfg.Params.UnixOverhead,
+		Restarted:   restarted,
+	}
+	var dev daemon.Device
+	switch cfg.Impl {
+	case V2:
+		nEL := cfg.EventLoggers
+		if nEL < 1 {
+			nEL = 1
+		}
+		dcfg.EventLogger = elNodeFor(rank, nEL)
+		dcfg.Scheduler = SchedNode
+		if cfg.Checkpointing {
+			nCS := cfg.CkptServers
+			if nCS < 1 {
+				nCS = 1
+			}
+			dcfg.CkptServer = csNodeFor(rank, nCS)
+		}
+		dcfg.EventBatching = cfg.EventBatching
+		dcfg.NoSendGating = cfg.NoSendGating
+		dcfg.UnixCopyPerByte = cfg.Params.UnixCopyPerByte
+		dcfg.PipelineLimit = cfg.Params.EagerLimit
+		dcfg.LogCopyPerByte = cfg.Params.LogCopyPerByte
+		dcfg.DiskCopyPerByte = cfg.Params.DiskCopyPerByte
+		dcfg.LogMemLimit = cfg.Params.LogMemLimit
+		dcfg.LogHardLimit = cfg.Params.LogHardLimit
+		var d2 *daemon.V2
+		dev, d2 = daemon.StartV2(h.sim, h.fab, dcfg)
+		h.v2ds[rank] = d2
+	case P4:
+		dcfg.UnixDelay = 0 // the P4 driver lives inside the MPI process
+		dev, _ = daemon.StartP4(h.sim, h.fab, dcfg, cfg.Params.Bandwidth)
+	case V1:
+		dcfg.UnixCopyPerByte = cfg.Params.UnixCopyPerByte
+		dcfg.PipelineLimit = cfg.Params.EagerLimit
+		dcfg.ChannelMemory = func(r int) int { return CMBase + r/cfg.CMFanIn }
+		dev, _ = daemon.StartV1(h.sim, h.fab, dcfg)
+	}
+
+	opts := mpi.Options{
+		EagerLimit:   cfg.Params.EagerLimit,
+		EagerInIsend: cfg.Impl == P4,
+		FlopRate:     cfg.Params.FlopRate,
+	}
+	h.sim.Go(fmt.Sprintf("rank%d", rank), func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(daemon.Killed); ok {
+					return // the node crashed; the dispatcher respawns it
+				}
+				panic(r)
+			}
+		}()
+		p := mpi.Start(dev, h.sim, opts)
+		h.prog(p)
+		p.Finalize()
+		h.perRank[rank] = p.Stats()
+	})
+}

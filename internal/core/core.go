@@ -1,0 +1,416 @@
+// Package core implements the MPICH-V2 pessimistic sender-based
+// message-logging protocol (paper §4.1 and Appendix A) as a pure state
+// machine, free of I/O. The communication daemon drives it: each
+// computing node owns one State and consults it on every send, arrival,
+// delivery, probe, checkpoint and restart.
+//
+// The protocol in one paragraph: every process keeps a logical clock H
+// incremented on each emission and each delivery. A sent message is
+// identified by (sender rank, sender clock) and a copy of its payload is
+// kept in the sender's SAVED log (volatile). On delivery, the receiver
+// records the dependency event (sender, sender clock, receiver clock,
+// probes since last delivery) and ships it asynchronously to the
+// reliable event logger; no send may leave the node until all previously
+// recorded events are acknowledged (WAITLOGGED). After a crash, the
+// process restarts from its last checkpoint, downloads its event list
+// from the event logger, asks every peer to re-send saved messages
+// (RESTART1/RESTART2), and replays deliveries in exactly the logged
+// order, discarding duplicates.
+//
+// Arrival versus delivery: a frame that reaches the node is Offered —
+// deduplicated and either queued (normal execution) or stashed (replay,
+// waiting for its logged turn). It is Committed — clock ticked, event
+// recorded — only when the MPI process actually receives it. This
+// mirrors the daemon/process split of §4.4 and keeps the checkpointed
+// state coherent: arrived-but-undelivered messages are deliberately not
+// part of any checkpoint, because their senders still hold them.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MsgID uniquely identifies a message: the sender's rank and the
+// sender's logical clock at emission.
+type MsgID struct {
+	Sender int
+	Clock  uint64
+}
+
+// Event is the dependency information logged for one reception (§4.5):
+// "(sender's identity; sender's logical clock at emission; receiver's
+// logical clock at delivery; number of probes since last delivery)".
+type Event struct {
+	Sender      int
+	SenderClock uint64
+	RecvClock   uint64
+	Probes      uint32
+}
+
+// SavedMsg is one payload copy in the sender-based log.
+type SavedMsg struct {
+	To    int
+	Clock uint64 // sender clock at emission
+	Kind  uint8  // device-level frame kind, replayed verbatim
+	Data  []byte
+}
+
+// StashedMsg is a message received during replay ahead of its logged
+// turn, or beyond the logged history.
+type StashedMsg struct {
+	From  int
+	Clock uint64
+	Kind  uint8
+	Data  []byte
+}
+
+// OfferAction tells the daemon what to do with an incoming payload.
+type OfferAction int
+
+const (
+	// OfferQueue: normal execution; append to the arrived queue and
+	// Commit when the MPI process receives it.
+	OfferQueue OfferAction = iota
+	// OfferStash: replay in progress; the state retained the payload
+	// until its logged turn (or until replay completes).
+	OfferStash
+	// OfferDrop: duplicate of something already seen; discard.
+	OfferDrop
+)
+
+// State is the per-process protocol state. It is not safe for concurrent
+// use; in this repository it is always owned by a single daemon actor.
+type State struct {
+	rank int
+
+	h  uint64         // logical clock H_p
+	hs map[int]uint64 // HS_p[q]: clock of last emission transmitted to q
+	hr map[int]uint64 // HR_p[q]: sender clock of last delivery from q
+
+	// offered[q] is the highest sender clock from q accepted this
+	// incarnation (queued or stashed). It exists only in memory — a
+	// crash forgets it along with the arrived queue — and suppresses
+	// duplicate restart re-sends of messages that have arrived but
+	// are not yet delivered.
+	offered map[int]uint64
+
+	saved    []SavedMsg // SAVED_p, ascending by Clock
+	logBytes int64
+
+	probes  uint32 // unsuccessful probes since last delivery
+	unacked int    // reception events submitted to the EL, not yet acked
+
+	// Replay state (crash recovery).
+	replay    []Event
+	replayPos int
+	stash     map[MsgID]StashedMsg // early re-sent messages awaiting their turn
+}
+
+// NewState returns the protocol state of a fresh process.
+func NewState(rank int) *State {
+	return &State{
+		rank:    rank,
+		hs:      make(map[int]uint64),
+		hr:      make(map[int]uint64),
+		offered: make(map[int]uint64),
+		stash:   make(map[MsgID]StashedMsg),
+	}
+}
+
+// Rank returns the owning process rank.
+func (s *State) Rank() int { return s.rank }
+
+// Clock returns the current logical clock H_p.
+func (s *State) Clock() uint64 { return s.h }
+
+// LogBytes returns the payload bytes currently held in the SAVED log.
+func (s *State) LogBytes() int64 { return s.logBytes }
+
+// SavedCount returns the number of messages in the SAVED log.
+func (s *State) SavedCount() int { return len(s.saved) }
+
+// --- Sending -----------------------------------------------------------
+
+// PrepareSend implements the send(m,q) action: it ticks the clock,
+// stores a copy of the payload in the SAVED log (always — Lemma 1 needs
+// re-executed sends to repopulate the log), and reports whether the
+// message must actually be transmitted. Transmission is suppressed when
+// the receiver is known to have delivered it already (H_p < HS_p[q]
+// after a RESTART1/RESTART2 exchange told us what q had seen).
+func (s *State) PrepareSend(to int, kind uint8, data []byte) (id MsgID, transmit bool) {
+	s.h++
+	id = MsgID{Sender: s.rank, Clock: s.h}
+	s.saved = append(s.saved, SavedMsg{To: to, Clock: s.h, Kind: kind, Data: data})
+	s.logBytes += int64(len(data))
+	// Appendix A guards with H_p >= HS_p[q]; we use the strict form so
+	// the boundary message (exactly the last one the receiver reported
+	// delivered) is not re-transmitted — the receiver would discard it
+	// as a duplicate anyway.
+	if s.h > s.hs[to] {
+		s.hs[to] = s.h
+		return id, true
+	}
+	return id, false
+}
+
+// SendBlocked reports whether WAITLOGGED() would block: some reception
+// events have been submitted to the event logger but not yet
+// acknowledged. The daemon must not transmit any payload while this is
+// true (§4.5: "this information must be sent and acknowledged by the
+// event logger before the node can modify the state of another MPI
+// process").
+func (s *State) SendBlocked() bool { return s.unacked > 0 }
+
+// EventsAcked informs the state that the event logger acknowledged n
+// reception events.
+func (s *State) EventsAcked(n int) {
+	s.unacked -= n
+	if s.unacked < 0 {
+		panic(fmt.Sprintf("core: rank %d: more event acks than submissions", s.rank))
+	}
+}
+
+// UnackedEvents returns the number of submitted-but-unacked events.
+func (s *State) UnackedEvents() int { return s.unacked }
+
+// --- Receiving ---------------------------------------------------------
+
+// ProbeMiss records an unsuccessful probe; the count is attached to the
+// next reception event so that re-execution can replay the exact same
+// sequence of probe outcomes (§4.5).
+func (s *State) ProbeMiss() { s.probes++ }
+
+// ProbeCount returns the unsuccessful probes since the last delivery.
+func (s *State) ProbeCount() uint32 { return s.probes }
+
+// Offer classifies an arriving payload frame from peer "from" with
+// sender clock h. OfferQueue: the daemon appends it to its arrived
+// queue. OfferStash: the state kept it for replay. OfferDrop: duplicate.
+func (s *State) Offer(from int, h uint64, kind uint8, data []byte) OfferAction {
+	if h <= s.hr[from] {
+		return OfferDrop
+	}
+	if s.Replaying() {
+		// During replay everything waits in the stash, keyed by the
+		// exact message identity (re-sends may interleave across
+		// peers): logged messages wait for their logged turn, fresh
+		// messages for the end of replay.
+		id := MsgID{Sender: from, Clock: h}
+		if _, dup := s.stash[id]; dup {
+			return OfferDrop
+		}
+		s.stash[id] = StashedMsg{From: from, Clock: h, Kind: kind, Data: data}
+		return OfferStash
+	}
+	// Normal execution: per-sender arrivals are FIFO (one TCP stream
+	// per pair), so a high-water mark suppresses duplicates of
+	// arrived-but-undelivered messages after a peer's restart.
+	if h <= s.offered[from] {
+		return OfferDrop
+	}
+	s.offered[from] = h
+	return OfferQueue
+}
+
+// Commit records the delivery of a queued message to the MPI process
+// during normal execution: the clock ticks and the reception event to be
+// logged is returned; the state counts it as unacked until EventsAcked.
+func (s *State) Commit(from int, h uint64) Event {
+	if s.Replaying() {
+		panic(fmt.Sprintf("core: rank %d: Commit during replay", s.rank))
+	}
+	if h <= s.hr[from] {
+		panic(fmt.Sprintf("core: rank %d: Commit of already-delivered message (%d,%d)", s.rank, from, h))
+	}
+	s.h++
+	ev := Event{Sender: from, SenderClock: h, RecvClock: s.h, Probes: s.probes}
+	s.probes = 0
+	s.hr[from] = h
+	s.unacked++
+	return ev
+}
+
+// --- Replay ------------------------------------------------------------
+
+// Replaying reports whether logged events remain to be replayed.
+func (s *State) Replaying() bool { return s.replayPos < len(s.replay) }
+
+// NextReplay returns the next event to replay.
+func (s *State) NextReplay() (Event, bool) {
+	if !s.Replaying() {
+		return Event{}, false
+	}
+	return s.replay[s.replayPos], true
+}
+
+// ReplayRemaining returns how many logged events are still to replay.
+func (s *State) ReplayRemaining() int { return len(s.replay) - s.replayPos }
+
+// TakeStashed pops the message for the next replay event if it has
+// already arrived, advancing the replay cursor. The replayed event is
+// already in the event logger and must not be re-submitted.
+func (s *State) TakeStashed() (StashedMsg, Event, bool) {
+	ev, ok := s.NextReplay()
+	if !ok {
+		return StashedMsg{}, Event{}, false
+	}
+	id := MsgID{Sender: ev.Sender, Clock: ev.SenderClock}
+	m, ok := s.stash[id]
+	if !ok {
+		return StashedMsg{}, Event{}, false
+	}
+	delete(s.stash, id)
+	s.advanceReplay(ev)
+	return m, ev, true
+}
+
+func (s *State) advanceReplay(ev Event) {
+	// The clock must land exactly where the original execution put it;
+	// a mismatch means the execution was not piecewise deterministic.
+	s.h++
+	if s.h != ev.RecvClock {
+		panic(fmt.Sprintf("core: rank %d: replay clock drift: have %d, logged event says %d",
+			s.rank, s.h, ev.RecvClock))
+	}
+	s.hr[ev.Sender] = ev.SenderClock
+	s.probes = 0
+	s.replayPos++
+}
+
+// DrainStash returns (and removes) every stashed message once replay is
+// complete: messages that arrived during replay but belong to the fresh
+// part of the execution. They are ordered by (clock, sender) — any
+// order respecting per-sender FIFO is a legal fresh execution. Calling
+// it while still replaying is a bug.
+func (s *State) DrainStash() []StashedMsg {
+	if s.Replaying() {
+		panic(fmt.Sprintf("core: rank %d: DrainStash during replay", s.rank))
+	}
+	out := make([]StashedMsg, 0, len(s.stash))
+	for _, m := range s.stash {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Clock != out[j].Clock {
+			return out[i].Clock < out[j].Clock
+		}
+		return out[i].From < out[j].From
+	})
+	for _, m := range out {
+		if m.Clock > s.offered[m.From] {
+			s.offered[m.From] = m.Clock
+		}
+	}
+	s.stash = make(map[MsgID]StashedMsg)
+	return out
+}
+
+// ReplayReady reports whether the message for the next replay event has
+// already arrived (TakeStashed would succeed).
+func (s *State) ReplayReady() bool {
+	ev, ok := s.NextReplay()
+	if !ok {
+		return false
+	}
+	_, has := s.stash[MsgID{Sender: ev.Sender, Clock: ev.SenderClock}]
+	return has
+}
+
+// ReplayProbeMiss tells the daemon how to answer a probe during replay:
+// true means the probe must report "no message pending" (one of the
+// logged unsuccessful probes); false means the probe must report the
+// next replayed message, blocking until it has physically arrived.
+func (s *State) ReplayProbeMiss() bool {
+	ev, ok := s.NextReplay()
+	if !ok {
+		return false
+	}
+	if s.probes < ev.Probes {
+		s.probes++
+		return true
+	}
+	return false
+}
+
+// --- Restart handshake --------------------------------------------------
+
+// StartRecovery installs the event list downloaded from the event logger
+// (phase A of figure 2). Events at or below the checkpointed clock are
+// skipped: they were delivered before the checkpoint was taken.
+func (s *State) StartRecovery(events []Event) {
+	var replay []Event
+	for _, ev := range events {
+		if ev.RecvClock > s.h {
+			replay = append(replay, ev)
+		}
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].RecvClock < replay[j].RecvClock })
+	s.replay = replay
+	s.replayPos = 0
+	s.probes = 0
+	s.unacked = 0 // everything we will replay is already safely logged
+}
+
+// RestartAnnouncement returns HR_p[q] for the RESTART1 message sent to
+// peer q: the sender clock of the last message from q that this process
+// (as restored from its checkpoint) is known to have delivered.
+func (s *State) RestartAnnouncement(q int) uint64 { return s.hr[q] }
+
+// OnRestart1 handles RESTART1(hp) from a restarted peer: record what the
+// peer has delivered of our messages, and return the saved payloads it
+// still needs, in emission order. myHR is the value to put in the
+// RESTART2 reply.
+func (s *State) OnRestart1(peer int, hp uint64) (resend []SavedMsg, myHR uint64) {
+	return s.resendAfter(peer, hp), s.hr[peer]
+}
+
+// OnRestart2 handles RESTART2(hp): same resend rule, no reply.
+func (s *State) OnRestart2(peer int, hp uint64) (resend []SavedMsg) {
+	return s.resendAfter(peer, hp)
+}
+
+func (s *State) resendAfter(peer int, hp uint64) []SavedMsg {
+	// Appendix A assigns HS_p[q] = HP unconditionally: if the peer
+	// rolled back, our future re-executed emissions below its horizon
+	// are suppressed; re-sends above it happen right here.
+	s.hs[peer] = hp
+	var out []SavedMsg
+	for _, m := range s.saved {
+		if m.To == peer && m.Clock > hp {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// --- Garbage collection -------------------------------------------------
+
+// CollectGarbage implements §4.6.1: peer has checkpointed having
+// delivered our messages up to clock deliveredUpTo; payload copies at or
+// below it will never be requested again. Returns the bytes freed.
+func (s *State) CollectGarbage(peer int, deliveredUpTo uint64) int64 {
+	var freed int64
+	kept := s.saved[:0]
+	for _, m := range s.saved {
+		if m.To == peer && m.Clock <= deliveredUpTo {
+			freed += int64(len(m.Data))
+			continue
+		}
+		kept = append(kept, m)
+	}
+	s.saved = kept
+	s.logBytes -= freed
+	return freed
+}
+
+// DeliveredVector returns a copy of HR_p: for each peer, the sender
+// clock of the last delivered message. A checkpointing node broadcasts
+// it so that senders can garbage-collect.
+func (s *State) DeliveredVector() map[int]uint64 {
+	out := make(map[int]uint64, len(s.hr))
+	for k, v := range s.hr {
+		out[k] = v
+	}
+	return out
+}

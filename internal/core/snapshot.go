@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Snapshot is the serializable protocol state included in a checkpoint
+// image. Per §4.1, the SAVED payload log is part of the checkpoint: a
+// restarted process must be able to re-send old messages without rolling
+// back further (domino-effect avoidance). The MPI process state itself
+// (the application snapshot) is carried separately by the ckpt package.
+type Snapshot struct {
+	Rank  int
+	H     uint64
+	HS    map[int]uint64
+	HR    map[int]uint64
+	Saved []SavedMsg
+}
+
+// Snapshot captures a deep copy of the protocol state. It must be taken
+// at a quiescent point (no partially received message), which the daemon
+// guarantees by checkpointing between protocol messages — the same
+// guarantee the paper gets by triggering Condor checkpoints from the
+// daemon ("this insures that there are no active communication at fork
+// time").
+func (s *State) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		Rank:  s.rank,
+		H:     s.h,
+		HS:    make(map[int]uint64, len(s.hs)),
+		HR:    make(map[int]uint64, len(s.hr)),
+		Saved: make([]SavedMsg, len(s.saved)),
+	}
+	for k, v := range s.hs {
+		sn.HS[k] = v
+	}
+	for k, v := range s.hr {
+		sn.HR[k] = v
+	}
+	for i, m := range s.saved {
+		cp := m
+		cp.Data = append([]byte(nil), m.Data...)
+		sn.Saved[i] = cp
+	}
+	return sn
+}
+
+// Restore rebuilds a State from a snapshot, as the ROLLBACK() routine
+// does from a checkpoint image.
+func Restore(sn *Snapshot) *State {
+	s := NewState(sn.Rank)
+	s.h = sn.H
+	for k, v := range sn.HS {
+		s.hs[k] = v
+	}
+	for k, v := range sn.HR {
+		s.hr[k] = v
+	}
+	s.saved = make([]SavedMsg, len(sn.Saved))
+	for i, m := range sn.Saved {
+		cp := m
+		cp.Data = append([]byte(nil), m.Data...)
+		s.saved[i] = cp
+		s.logBytes += int64(len(m.Data))
+	}
+	return s
+}
+
+// Encode serializes the snapshot for transfer to the checkpoint server.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sn); err != nil {
+		return nil, fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a snapshot produced by Encode.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	var sn Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return &sn, nil
+}

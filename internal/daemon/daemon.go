@@ -1,0 +1,230 @@
+// Package daemon implements the communication daemons of the three MPI
+// implementations compared in the paper:
+//
+//   - V2: the MPICH-V2 daemon (§4.4-§4.6) — sender-based payload
+//     logging, event logging with send gating, uncoordinated
+//     checkpointing, message replay after restart.
+//   - P4: the MPICH-P4 baseline — direct transmission, no fault
+//     tolerance, payload pushed during the send call (the driver is busy
+//     while transmitting and does not service receptions).
+//   - V1: the MPICH-V1 baseline — every payload store-and-forwarded
+//     through a reliable Channel Memory.
+//
+// Each daemon owns a transport endpoint and serves exactly one MPI
+// process through the Device interface — the six-primitive MPICH channel
+// interface of §4.4. The MPI process talks to its daemon over a
+// mailbox pair that models the Unix socket (synchronous, whole-message
+// granularity).
+package daemon
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+)
+
+// Device is the MPICH channel interface seen by the MPI protocol layer
+// (PIbsend, PIbrecv, PInprobe, PIiInit, PIiFinish; PIfrom is folded into
+// BRecv's return value).
+type Device interface {
+	// Init completes once the daemon is ready (recovery included) and
+	// returns the process coordinates plus the restored application
+	// snapshot when restarting from a checkpoint.
+	Init() (rank, size int, appState []byte, restarted bool)
+	// BSend transmits one protocol-layer block to the daemon of rank
+	// "to".
+	BSend(to int, data []byte)
+	// BRecv blocks for the next protocol-layer block.
+	BRecv() (from int, data []byte)
+	// NProbe reports whether a block is pending.
+	NProbe() bool
+	// CkptRequested reports whether the checkpoint scheduler asked
+	// this node to checkpoint; the MPI layer answers by calling
+	// Checkpoint at the next application safe point.
+	CkptRequested() bool
+	// Checkpoint hands the application-level snapshot to the daemon,
+	// which pairs it with the protocol state and ships it to the
+	// checkpoint server (transfer overlapped with execution).
+	Checkpoint(appState []byte)
+	// Finish signals MPI finalization.
+	Finish()
+}
+
+// Killed is panicked out of an MPI process whose daemon died (node
+// crash). The runner that spawned the process recovers it.
+type Killed struct{ Rank int }
+
+// Config describes one computing node of a system.
+type Config struct {
+	Rank int // rank and node id of this computing node
+	Size int // number of MPI processes
+
+	// Service node ids; -1 when the service is absent.
+	EventLogger int
+	CkptServer  int
+	Scheduler   int
+	Dispatcher  int
+
+	// ChannelMemory maps a destination rank to its Channel Memory
+	// node id (V1 only).
+	ChannelMemory func(rank int) int
+
+	// UnixDelay is the cost of one MPI-process↔daemon socket
+	// crossing.
+	UnixDelay time.Duration
+	// UnixCopyPerByte is the store-and-forward copy cost for payloads
+	// up to PipelineLimit crossing the Unix socket (larger transfers
+	// pipeline and pay nothing extra).
+	UnixCopyPerByte time.Duration
+	PipelineLimit   int
+
+	// Sender-based logging costs (V2 only); see netsim.Params.
+	LogCopyPerByte  time.Duration
+	DiskCopyPerByte time.Duration
+	LogMemLimit     int64
+	LogHardLimit    int64
+
+	// Restarted indicates this daemon replaces a crashed incarnation
+	// and must run the recovery protocol before serving.
+	Restarted bool
+
+	// EventBatching accumulates reception events while an event-logger
+	// exchange is in flight and submits them as one frame on the ack,
+	// trading a longer WAITLOGGED tail for far fewer logger messages.
+	EventBatching bool
+
+	// NoSendGating disables the WAITLOGGED barrier (ablation only):
+	// sends leave before reception events are acknowledged, turning
+	// the protocol into an optimistic-style logger that can no longer
+	// guarantee replay after a crash. Used by the ablation benchmarks
+	// to price the pessimistic gating on the critical path.
+	NoSendGating bool
+}
+
+// rank → daemon request plumbing ("the Unix socket").
+
+type rankOp uint8
+
+const (
+	opInit rankOp = iota
+	opSend
+	opRecv
+	opProbe
+	opCkpt
+	opFinish
+)
+
+type rankReq struct {
+	op   rankOp
+	to   int
+	data []byte
+}
+
+type rankResp struct {
+	from      int
+	data      []byte
+	flag      bool
+	rank      int
+	size      int
+	appState  []byte
+	restarted bool
+}
+
+// dEvent multiplexes everything a daemon actor can observe into its
+// single inbox: transport frames, rank requests, and death.
+type dEvent struct {
+	isFrame bool
+	frame   transport.Frame
+	isReq   bool
+	req     rankReq
+	closed  bool
+}
+
+// proxy implements Device over the daemon's unified inbox.
+type proxy struct {
+	rank  int
+	delay time.Duration
+	in    *vtime.Mailbox[dEvent]
+	resp  *vtime.Mailbox[rankResp]
+	ckpt  *atomic.Bool
+}
+
+func (p *proxy) call(r rankReq) rankResp {
+	p.in.SendAfter(p.delay, dEvent{isReq: true, req: r})
+	resp, ok := p.resp.Recv()
+	if !ok {
+		panic(Killed{Rank: p.rank})
+	}
+	return resp
+}
+
+func (p *proxy) Init() (int, int, []byte, bool) {
+	r := p.call(rankReq{op: opInit})
+	return r.rank, r.size, r.appState, r.restarted
+}
+
+func (p *proxy) BSend(to int, data []byte) {
+	p.call(rankReq{op: opSend, to: to, data: data})
+}
+
+func (p *proxy) BRecv() (int, []byte) {
+	r := p.call(rankReq{op: opRecv})
+	return r.from, r.data
+}
+
+func (p *proxy) NProbe() bool {
+	return p.call(rankReq{op: opProbe}).flag
+}
+
+func (p *proxy) CkptRequested() bool { return p.ckpt.Load() }
+
+func (p *proxy) Checkpoint(appState []byte) {
+	p.call(rankReq{op: opCkpt, data: appState})
+}
+
+func (p *proxy) Finish() {
+	p.call(rankReq{op: opFinish})
+}
+
+// killedPanic is used internally by daemon actors to unwind when their
+// endpoint closes underneath them.
+type killedPanic struct{}
+
+// noCkpt is the always-false checkpoint flag shared by daemons without
+// fault tolerance (P4, V1).
+var noCkpt atomic.Bool
+
+// pump forwards endpoint frames into the unified inbox and reports
+// endpoint death.
+func pump(rt vtime.Runtime, name string, ep transport.Endpoint, in *vtime.Mailbox[dEvent]) {
+	rt.Go(name, func() {
+		for {
+			f, ok := ep.Inbox().Recv()
+			if !ok {
+				in.Send(dEvent{closed: true})
+				return
+			}
+			if !in.Send(dEvent{isFrame: true, frame: f}) {
+				return
+			}
+		}
+	})
+}
+
+// Stats are per-daemon counters surfaced to the experiments.
+type Stats struct {
+	SentMsgs      int64
+	SentBytes     int64
+	RecvMsgs      int64
+	RecvBytes     int64
+	EventsLogged  int64
+	ELWaits       int64 // sends that actually blocked on WAITLOGGED
+	Checkpoints   int64
+	CkptBytes     int64
+	Replayed      int64
+	Resent        int64
+	GCFreedBytes  int64
+	LogOverflowed bool
+}

@@ -1,0 +1,408 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mpichv/internal/core"
+	"mpichv/internal/netsim"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// fakeEL acks event batches after an optional delay, so tests can hold
+// the WAITLOGGED barrier open deliberately.
+type fakeEL struct {
+	ep    transport.Endpoint
+	delay time.Duration
+	acked int
+}
+
+func startFakeEL(sim *vtime.Sim, fab transport.Fabric, id int, delay time.Duration) *fakeEL {
+	f := &fakeEL{ep: fab.Attach(id, "fake-el"), delay: delay}
+	sim.Go("fake-el", func() {
+		for {
+			fr, ok := f.ep.Inbox().Recv()
+			if !ok {
+				return
+			}
+			switch fr.Kind {
+			case wire.KEventLog:
+				evs, err := wire.DecodeEvents(fr.Data)
+				if err != nil {
+					continue
+				}
+				if f.delay > 0 {
+					sim.Sleep(f.delay)
+				}
+				f.acked += len(evs)
+				f.ep.Send(fr.From, wire.KEventAck, wire.EncodeU32(uint32(len(evs))))
+			case wire.KEventFetch:
+				f.ep.Send(fr.From, wire.KEventFetched, wire.EncodeEvents(nil))
+			}
+		}
+	})
+	return f
+}
+
+func v2Config(rank, size, el int) Config {
+	return Config{Rank: rank, Size: size, EventLogger: el, CkptServer: -1, Scheduler: -1, Dispatcher: -1}
+}
+
+const elNode = 900
+
+func TestV2SendRecvBetweenTwoNodes(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, 0)
+		dev0, _ := StartV2(sim, fab, v2Config(0, 2, elNode))
+		dev1, _ := StartV2(sim, fab, v2Config(1, 2, elNode))
+		if r, s, _, restarted := dev0.Init(); r != 0 || s != 2 || restarted {
+			t.Fatalf("Init = %d %d %v", r, s, restarted)
+		}
+		dev1.Init()
+		done := vtime.NewMailbox[string](sim, "done")
+		sim.Go("rank1", func() {
+			from, data := dev1.BRecv()
+			done.Send(fmt.Sprintf("%d:%s", from, data))
+		})
+		dev0.BSend(1, []byte("hello"))
+		got, _ := done.Recv()
+		if got != "0:hello" {
+			t.Errorf("received %q", got)
+		}
+	})
+}
+
+func TestV2WaitLoggedBlocksSend(t *testing.T) {
+	// With a slow event logger, a node that received a message must
+	// not emit until the ack arrives: the second hop of a relay chain
+	// is delayed by at least the EL delay.
+	const elDelay = 10 * time.Millisecond
+	var relayArrival time.Duration
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, elDelay)
+		dev0, _ := StartV2(sim, fab, v2Config(0, 3, elNode))
+		dev1, _ := StartV2(sim, fab, v2Config(1, 3, elNode))
+		dev2, _ := StartV2(sim, fab, v2Config(2, 3, elNode))
+		dev0.Init()
+		dev1.Init()
+		dev2.Init()
+		done := vtime.NewMailbox[struct{}](sim, "done")
+		sim.Go("relay", func() {
+			_, data := dev1.BRecv()
+			dev1.BSend(2, data) // must wait for the event ack
+			done.Send(struct{}{})
+		})
+		sim.Go("sink", func() {
+			dev2.BRecv()
+			relayArrival = sim.Now()
+			done.Send(struct{}{})
+		})
+		dev0.BSend(1, []byte("x"))
+		done.Recv()
+		done.Recv()
+	})
+	if relayArrival < elDelay {
+		t.Errorf("relayed message arrived at %v, before the event-log ack (%v)", relayArrival, elDelay)
+	}
+}
+
+func TestV2NoGatingAblation(t *testing.T) {
+	// Same relay with NoSendGating: the relay leaves immediately.
+	const elDelay = 10 * time.Millisecond
+	var relayArrival time.Duration
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, elDelay)
+		cfg0, cfg1, cfg2 := v2Config(0, 3, elNode), v2Config(1, 3, elNode), v2Config(2, 3, elNode)
+		cfg1.NoSendGating = true
+		dev0, _ := StartV2(sim, fab, cfg0)
+		dev1, _ := StartV2(sim, fab, cfg1)
+		dev2, _ := StartV2(sim, fab, cfg2)
+		dev0.Init()
+		dev1.Init()
+		dev2.Init()
+		done := vtime.NewMailbox[struct{}](sim, "done")
+		sim.Go("relay", func() {
+			_, data := dev1.BRecv()
+			dev1.BSend(2, data)
+			done.Send(struct{}{})
+		})
+		sim.Go("sink", func() {
+			dev2.BRecv()
+			relayArrival = sim.Now()
+			done.Send(struct{}{})
+		})
+		dev0.BSend(1, []byte("x"))
+		done.Recv()
+		done.Recv()
+	})
+	if relayArrival >= elDelay {
+		t.Errorf("ungated relay still waited for the event logger (%v)", relayArrival)
+	}
+}
+
+func TestV2ProbeSemantics(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, 0)
+		dev0, _ := StartV2(sim, fab, v2Config(0, 2, elNode))
+		dev1, d1 := StartV2(sim, fab, v2Config(1, 2, elNode))
+		dev0.Init()
+		dev1.Init()
+		if dev1.NProbe() {
+			t.Error("probe true on empty queue")
+		}
+		dev0.BSend(1, []byte("m"))
+		sim.Sleep(time.Millisecond)
+		if !dev1.NProbe() {
+			t.Error("probe false after arrival")
+		}
+		dev1.BRecv()
+		if dev1.NProbe() {
+			t.Error("probe true after consuming the only message")
+		}
+		// Two misses and one hit were recorded for replay fidelity.
+		if pc := d1.State().ProbeCount(); pc != 1 {
+			t.Errorf("probe misses since delivery = %d, want 1", pc)
+		}
+	})
+}
+
+func TestV2GarbageCollectionNote(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, 0)
+		dev0, d0 := StartV2(sim, fab, v2Config(0, 2, elNode))
+		dev1, _ := StartV2(sim, fab, v2Config(1, 2, elNode))
+		dev0.Init()
+		dev1.Init()
+		done := vtime.NewMailbox[struct{}](sim, "done")
+		sim.Go("sink", func() {
+			for i := 0; i < 3; i++ {
+				dev1.BRecv()
+			}
+			done.Send(struct{}{})
+		})
+		for i := 0; i < 3; i++ {
+			dev0.BSend(1, make([]byte, 100))
+		}
+		done.Recv()
+		if d0.State().LogBytes() != 300 {
+			t.Fatalf("log = %d bytes", d0.State().LogBytes())
+		}
+		// Rank 1 "checkpointed" after delivering all three: clock 3.
+		peer := fab.Attach(1, "note-sender") // reuse rank 1's id to fake the note
+		peer.Send(0, wire.KCkptNote, wire.EncodeU64(3))
+		sim.Sleep(time.Millisecond)
+		if d0.State().LogBytes() != 0 {
+			t.Errorf("log after GC note = %d bytes", d0.State().LogBytes())
+		}
+		if d0.Stats().GCFreedBytes != 300 {
+			t.Errorf("GCFreedBytes = %d", d0.Stats().GCFreedBytes)
+		}
+	})
+}
+
+func TestV2RestartResendsSaved(t *testing.T) {
+	// A live node receives RESTART1 from a restarted peer and must
+	// re-send the saved payloads above the announced horizon.
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		startFakeEL(sim, fab, elNode, 0)
+		dev0, d0 := StartV2(sim, fab, v2Config(0, 2, elNode))
+		dev1, _ := StartV2(sim, fab, v2Config(1, 2, elNode))
+		dev0.Init()
+		dev1.Init()
+		done := vtime.NewMailbox[struct{}](sim, "done")
+		sim.Go("sink", func() {
+			for i := 0; i < 3; i++ {
+				dev1.BRecv()
+			}
+			done.Send(struct{}{})
+		})
+		for i := 0; i < 3; i++ {
+			dev0.BSend(1, []byte{byte(i)})
+		}
+		done.Recv()
+
+		// "Restart" rank 1: new endpoint, RESTART1 announcing it has
+		// delivered only clock 1.
+		fab.Kill(1)
+		newEp := fab.Attach(1, "restarted")
+		newEp.Send(0, wire.KRestart1, wire.EncodeU64(1))
+		var resent []transport.Frame
+		for len(resent) < 3 {
+			f, ok := newEp.Inbox().Recv()
+			if !ok {
+				t.Fatal("endpoint closed")
+			}
+			if f.Kind == wire.KRestart2 || f.Kind == wire.KPayload {
+				resent = append(resent, f)
+			}
+		}
+		if resent[0].Kind != wire.KRestart2 {
+			t.Errorf("first reply kind = %d, want RESTART2", resent[0].Kind)
+		}
+		var clocks []uint64
+		for _, f := range resent[1:] {
+			hdr, body, err := wire.DecodePayload(f.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clocks = append(clocks, hdr.SenderClock)
+			if len(body) != 1 {
+				t.Errorf("resent body %v", body)
+			}
+		}
+		if len(clocks) != 2 || clocks[0] != 2 || clocks[1] != 3 {
+			t.Errorf("resent clocks = %v, want [2 3]", clocks)
+		}
+		if d0.Stats().Resent != 2 {
+			t.Errorf("Resent stat = %d", d0.Stats().Resent)
+		}
+	})
+}
+
+func TestP4DirectDelivery(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		cfg0 := Config{Rank: 0, Size: 2, EventLogger: -1, CkptServer: -1, Scheduler: -1, Dispatcher: -1}
+		cfg1 := cfg0
+		cfg1.Rank = 1
+		dev0, _ := StartP4(sim, fab, cfg0, 11.3e6)
+		dev1, d1 := StartP4(sim, fab, cfg1, 11.3e6)
+		dev0.Init()
+		dev1.Init()
+		done := vtime.NewMailbox[time.Duration](sim, "done")
+		sim.Go("sink", func() {
+			dev1.BRecv()
+			done.Send(sim.Now())
+		})
+		dev0.BSend(1, make([]byte, 0))
+		at, _ := done.Recv()
+		// One-way 0-byte latency is the calibrated 77µs.
+		if at < 70*time.Microsecond || at > 90*time.Microsecond {
+			t.Errorf("P4 one-way = %v", at)
+		}
+		if d1.Stats().RecvMsgs != 1 {
+			t.Errorf("recv msgs = %d", d1.Stats().RecvMsgs)
+		}
+	})
+}
+
+func TestP4DriverBusyDuringSend(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		cfg := Config{Rank: 0, Size: 2, EventLogger: -1, CkptServer: -1, Scheduler: -1, Dispatcher: -1}
+		dev0, _ := StartP4(sim, fab, cfg, 1e6) // 1 MB/s driver
+		dev0.Init()
+		t0 := sim.Now()
+		dev0.BSend(1, make([]byte, 100_000)) // 100ms of driver occupancy
+		if busy := sim.Now() - t0; busy < 100*time.Millisecond {
+			t.Errorf("BSend returned after %v; the driver should be busy for the transmission", busy)
+		}
+	})
+}
+
+func TestChannelMemoryOrderingAndProbe(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		cm := StartChannelMemory(sim, fab, 500)
+		sender := fab.Attach(10, "sender")
+		recvr := fab.Attach(11, "recvr")
+
+		// Probe while empty.
+		recvr.Send(500, wire.KCMGet, []byte{wire.CMGetProbe})
+		f, _ := recvr.Inbox().Recv()
+		if present, _, _, _ := wire.DecodeCMMsg(f.Data); present {
+			t.Error("probe on empty CM reported a message")
+		}
+
+		// Store two messages for node 11; they must come back in order.
+		sender.Send(500, wire.KCMPut, wire.EncodeCMPut(11, []byte("first")))
+		sender.Send(500, wire.KCMPut, wire.EncodeCMPut(11, []byte("second")))
+		sim.Sleep(time.Millisecond)
+		for _, want := range []string{"first", "second"} {
+			recvr.Send(500, wire.KCMGet, []byte{wire.CMGetBlock})
+			f, _ := recvr.Inbox().Recv()
+			present, from, data, err := wire.DecodeCMMsg(f.Data)
+			if err != nil || !present || from != 10 || string(data) != want {
+				t.Errorf("got (%v,%d,%q,%v), want %q from 10", present, from, data, err, want)
+			}
+		}
+		if cm.Stored != 2 {
+			t.Errorf("Stored = %d", cm.Stored)
+		}
+	})
+}
+
+func TestChannelMemoryBlockingGet(t *testing.T) {
+	// A blocking get posted before any message is parked and answered
+	// on arrival.
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		StartChannelMemory(sim, fab, 500)
+		sender := fab.Attach(10, "sender")
+		recvr := fab.Attach(11, "recvr")
+		recvr.Send(500, wire.KCMGet, []byte{wire.CMGetBlock})
+		sim.Sleep(5 * time.Millisecond)
+		sender.Send(500, wire.KCMPut, wire.EncodeCMPut(11, []byte("late")))
+		f, _ := recvr.Inbox().Recv()
+		present, _, data, _ := wire.DecodeCMMsg(f.Data)
+		if !present || string(data) != "late" {
+			t.Errorf("parked get answered with (%v,%q)", present, data)
+		}
+	})
+}
+
+func TestV2DiskSpillSlowsLogging(t *testing.T) {
+	// Past the memory budget, logging pays the disk penalty (the LU
+	// effect, §5.2).
+	elapsed := func(memLimit int64) time.Duration {
+		var d time.Duration
+		sim := vtime.NewSim()
+		sim.Run(func() {
+			fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+			startFakeEL(sim, fab, elNode, 0)
+			cfg := v2Config(0, 2, elNode)
+			cfg.LogCopyPerByte = 5 * time.Nanosecond
+			cfg.DiskCopyPerByte = 67 * time.Nanosecond
+			cfg.LogMemLimit = memLimit
+			dev, _ := StartV2(sim, fab, cfg)
+			dev.Init()
+			t0 := sim.Now()
+			for i := 0; i < 10; i++ {
+				dev.BSend(1, make([]byte, 100_000))
+			}
+			d = sim.Now() - t0
+		})
+		return d
+	}
+	fast := elapsed(1 << 30) // never spills
+	slow := elapsed(100_000) // spills after the first message
+	if slow <= fast {
+		t.Errorf("disk spill did not slow logging: mem=%v disk=%v", fast, slow)
+	}
+}
+
+func TestV2StateAccessors(t *testing.T) {
+	st := core.NewState(3)
+	if st.Rank() != 3 {
+		t.Errorf("rank = %d", st.Rank())
+	}
+}

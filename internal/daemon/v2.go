@@ -1,0 +1,487 @@
+package daemon
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mpichv/internal/ckpt"
+	"mpichv/internal/core"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// V2 is the MPICH-V2 communication daemon: a single actor owning the
+// node's endpoint, its protocol state (core.State) and the Unix-socket
+// mailboxes of its MPI process.
+type V2 struct {
+	rt  vtime.Runtime
+	cfg Config
+	ep  transport.Endpoint
+	in  *vtime.Mailbox[dEvent]
+	rsp *vtime.Mailbox[rankResp]
+
+	st       *core.State
+	arrived  []core.StashedMsg
+	appState []byte
+	restored bool
+
+	ckptFlag    atomic.Bool
+	ckptSeq     uint64
+	ckptDone    uint64                    // highest acked checkpoint seq
+	ckptVectors map[uint64]map[int]uint64 // seq → HR vector captured at snapshot
+
+	finished bool
+	stats    Stats
+
+	// Scheduler status counters, reset at each checkpoint so the
+	// adaptive policy sees traffic since the last checkpoint.
+	schedSent, schedRecv uint64
+
+	// Event batching (Config.EventBatching): events accumulated while
+	// an event-logger exchange is in flight.
+	elInFlight int
+	elQueue    []core.Event
+
+	// recovery buffering: frames that arrive while we fetch our image
+	// and event list are replayed into the normal handler afterwards.
+	recovering     bool
+	recoverPending []transport.Frame
+	recoverReqs    []rankReq
+}
+
+// StartV2 attaches a V2 daemon for cfg.Rank to the fabric, spawns its
+// actors, and returns the Device for the MPI process.
+func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
+	d := &V2{
+		rt:          rt,
+		cfg:         cfg,
+		st:          core.NewState(cfg.Rank),
+		ckptVectors: make(map[uint64]map[int]uint64),
+	}
+	d.ep = fab.Attach(cfg.Rank, fmt.Sprintf("cn%d", cfg.Rank))
+	d.in = vtime.NewMailbox[dEvent](rt, fmt.Sprintf("v2d%d", cfg.Rank))
+	d.rsp = vtime.NewMailbox[rankResp](rt, fmt.Sprintf("v2r%d", cfg.Rank))
+	pump(rt, fmt.Sprintf("pump-cn%d", cfg.Rank), d.ep, d.in)
+	rt.Go(fmt.Sprintf("daemon-cn%d", cfg.Rank), d.run)
+	return &proxy{rank: cfg.Rank, delay: cfg.UnixDelay, in: d.in, resp: d.rsp, ckpt: &d.ckptFlag}, d
+}
+
+// Stats returns the daemon's counters. Read it after the simulation (or
+// from the owning actor) — it is not synchronized.
+func (d *V2) Stats() Stats { return d.stats }
+
+// State exposes the protocol state for tests and the checkpoint
+// scheduler status plumbing.
+func (d *V2) State() *core.State { return d.st }
+
+func (d *V2) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); ok {
+				d.rsp.Close()
+				return
+			}
+			panic(r)
+		}
+	}()
+	if d.cfg.Restarted {
+		d.recover()
+	}
+	for {
+		e := d.next()
+		if e.isFrame {
+			d.handleFrame(e.frame)
+			continue
+		}
+		d.handleReq(e.req)
+	}
+}
+
+// next pulls one event, unwinding the actor if the node has been killed.
+func (d *V2) next() dEvent {
+	e, ok := d.in.Recv()
+	if !ok || e.closed {
+		panic(killedPanic{})
+	}
+	return e
+}
+
+// --- Recovery (figure 2) -------------------------------------------------
+
+func (d *V2) recover() {
+	d.recovering = true
+	d.restored = false
+
+	// Phase A1: fetch the latest checkpoint image, if any.
+	if d.cfg.CkptServer >= 0 {
+		d.ep.Send(d.cfg.CkptServer, wire.KCkptFetch, nil)
+		data := d.awaitFrame(wire.KCkptImage)
+		present, img, err := wire.DecodeCkptImage(data)
+		if err != nil {
+			panic(fmt.Sprintf("daemon: rank %d: bad checkpoint image: %v", d.cfg.Rank, err))
+		}
+		if present {
+			im, err := ckpt.DecodeImage(img)
+			if err != nil {
+				panic(fmt.Sprintf("daemon: rank %d: corrupt checkpoint: %v", d.cfg.Rank, err))
+			}
+			sn, err := im.ProtoSnapshot()
+			if err != nil {
+				panic(fmt.Sprintf("daemon: rank %d: corrupt protocol snapshot: %v", d.cfg.Rank, err))
+			}
+			d.st = core.Restore(sn)
+			d.appState = im.AppState
+			d.restored = true
+			d.ckptSeq = im.Seq
+			d.ckptDone = im.Seq
+		}
+	}
+
+	// Phase A2: download the reception events to replay.
+	d.ep.Send(d.cfg.EventLogger, wire.KEventFetch, wire.EncodeU64(d.st.Clock()))
+	evData := d.awaitFrame(wire.KEventFetched)
+	evs, err := wire.DecodeEvents(evData)
+	if err != nil {
+		panic(fmt.Sprintf("daemon: rank %d: bad event list: %v", d.cfg.Rank, err))
+	}
+	d.st.StartRecovery(evs)
+
+	// Phase B: ask every peer to re-send from what we have delivered.
+	for q := 0; q < d.cfg.Size; q++ {
+		if q == d.cfg.Rank {
+			continue
+		}
+		d.ep.Send(q, wire.KRestart1, wire.EncodeU64(d.st.RestartAnnouncement(q)))
+	}
+
+	// Frames and rank requests that raced with recovery now go through
+	// the normal path (the new MPI process's Init is typically among
+	// them).
+	d.recovering = false
+	pend := d.recoverPending
+	reqs := d.recoverReqs
+	d.recoverPending, d.recoverReqs = nil, nil
+	for _, f := range pend {
+		d.handleFrame(f)
+	}
+	for _, r := range reqs {
+		d.handleReq(r)
+	}
+}
+
+// awaitFrame blocks until a frame of the wanted kind arrives, buffering
+// everything else for post-recovery processing.
+func (d *V2) awaitFrame(kind uint8) []byte {
+	for {
+		e := d.next()
+		if !e.isFrame {
+			d.recoverReqs = append(d.recoverReqs, e.req)
+			continue
+		}
+		if e.frame.Kind == kind {
+			return e.frame.Data
+		}
+		d.recoverPending = append(d.recoverPending, e.frame)
+	}
+}
+
+// --- Frame handling ------------------------------------------------------
+
+func (d *V2) handleFrame(f transport.Frame) {
+	if d.recovering {
+		d.recoverPending = append(d.recoverPending, f)
+		return
+	}
+	switch f.Kind {
+	case wire.KPayload:
+		hdr, body, err := wire.DecodePayload(f.Data)
+		if err != nil {
+			return
+		}
+		if d.st.Offer(f.From, hdr.SenderClock, hdr.DevKind, body) == core.OfferQueue {
+			d.arrived = append(d.arrived, core.StashedMsg{From: f.From, Clock: hdr.SenderClock, Kind: hdr.DevKind, Data: body})
+		}
+		d.stats.RecvMsgs++
+		d.stats.RecvBytes += int64(len(body))
+		d.schedRecv += uint64(len(body))
+
+	case wire.KEventAck:
+		n, err := wire.DecodeU32(f.Data)
+		if err == nil {
+			d.st.EventsAcked(int(n))
+			d.elInFlight -= int(n)
+			if len(d.elQueue) > 0 && d.elInFlight == 0 {
+				q := d.elQueue
+				d.elQueue = nil
+				d.elInFlight += len(q)
+				d.ep.Send(d.cfg.EventLogger, wire.KEventLog, wire.EncodeEvents(q))
+				d.stats.EventsLogged += int64(len(q))
+			}
+		}
+
+	case wire.KRestart1:
+		hp, err := wire.DecodeU64(f.Data)
+		if err != nil {
+			return
+		}
+		resend, myHR := d.st.OnRestart1(f.From, hp)
+		d.ep.Send(f.From, wire.KRestart2, wire.EncodeU64(myHR))
+		d.transmitSaved(f.From, resend)
+
+	case wire.KRestart2:
+		hp, err := wire.DecodeU64(f.Data)
+		if err != nil {
+			return
+		}
+		d.transmitSaved(f.From, d.st.OnRestart2(f.From, hp))
+
+	case wire.KCkptNote:
+		upTo, err := wire.DecodeU64(f.Data)
+		if err == nil {
+			d.stats.GCFreedBytes += d.st.CollectGarbage(f.From, upTo)
+		}
+
+	case wire.KSchedPoll:
+		d.ep.Send(f.From, wire.KSchedStat, wire.EncodeStatus(wire.NodeStatus{
+			Rank:      d.cfg.Rank,
+			LogBytes:  uint64(d.st.LogBytes()),
+			SentBytes: d.schedSent,
+			RecvBytes: d.schedRecv,
+		}))
+
+	case wire.KCkptOrder:
+		if d.cfg.CkptServer >= 0 {
+			d.ckptFlag.Store(true)
+		}
+
+	case wire.KCkptSaveAck:
+		seq, err := wire.DecodeU64(f.Data)
+		if err != nil || seq <= d.ckptDone {
+			return
+		}
+		d.ckptDone = seq
+		vec := d.ckptVectors[seq]
+		for s := range d.ckptVectors {
+			if s <= seq {
+				delete(d.ckptVectors, s)
+			}
+		}
+		// §4.6.1: notify every peer of the checkpointed horizon so
+		// they can garbage-collect their SAVED copies.
+		for q := 0; q < d.cfg.Size; q++ {
+			if q == d.cfg.Rank {
+				continue
+			}
+			d.ep.Send(q, wire.KCkptNote, wire.EncodeU64(vec[q]))
+		}
+	}
+}
+
+// transmitSaved re-sends saved payload copies after a peer restart.
+func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
+	for _, m := range msgs {
+		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: m.Clock, DevKind: m.Kind}, m.Data))
+		d.stats.Resent++
+	}
+}
+
+// --- Rank requests -------------------------------------------------------
+
+func (d *V2) handleReq(r rankReq) {
+	switch r.op {
+	case opInit:
+		d.reply(rankResp{rank: d.cfg.Rank, size: d.cfg.Size, appState: d.appState, restarted: d.restored || d.st.Replaying()})
+	case opSend:
+		d.doSend(r.to, r.data)
+	case opRecv:
+		d.doRecv()
+	case opProbe:
+		d.doProbe()
+	case opCkpt:
+		d.doCheckpoint(r.data)
+	case opFinish:
+		if d.cfg.Dispatcher >= 0 {
+			d.ep.Send(d.cfg.Dispatcher, wire.KFinalize, nil)
+		}
+		d.finished = true
+		d.reply(rankResp{})
+	}
+}
+
+func (d *V2) reply(r rankResp) {
+	d.rsp.SendAfter(d.cfg.UnixDelay, r)
+}
+
+func (d *V2) doSend(to int, data []byte) {
+	if to == d.cfg.Rank {
+		panic("daemon: device-level self send (the MPI layer must short-circuit self messages)")
+	}
+	id, transmit := d.st.PrepareSend(to, 0, data)
+
+	// Sender-based logging cost: copying the payload into the SAVED
+	// log, plus the Unix-socket copy for store-and-forwarded eager
+	// payloads, spilling to disk past the memory budget (§5.2: LU's
+	// poor performance; the daemon "becomes a competitor of the MPI
+	// process for CPU resources").
+	if n := len(data); n > 0 {
+		cost := time.Duration(n) * d.cfg.LogCopyPerByte
+		if d.cfg.PipelineLimit <= 0 || n <= d.cfg.PipelineLimit {
+			cost += time.Duration(n) * d.cfg.UnixCopyPerByte
+		}
+		if d.cfg.LogMemLimit > 0 && d.st.LogBytes() > d.cfg.LogMemLimit {
+			cost += time.Duration(n) * d.cfg.DiskCopyPerByte
+		}
+		if d.cfg.LogHardLimit > 0 && d.st.LogBytes() > d.cfg.LogHardLimit {
+			d.stats.LogOverflowed = true
+		}
+		if cost > 0 {
+			d.rt.Sleep(cost)
+		}
+	}
+
+	// WAITLOGGED(): no payload leaves before the event logger has
+	// acknowledged every reception event submitted so far.
+	if d.st.SendBlocked() && !d.cfg.NoSendGating {
+		d.stats.ELWaits++
+		for d.st.SendBlocked() {
+			e := d.next()
+			if e.isFrame {
+				d.handleFrame(e.frame)
+			} else {
+				panic(fmt.Sprintf("daemon: rank %d: concurrent rank request during send", d.cfg.Rank))
+			}
+		}
+	}
+
+	if transmit {
+		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: id.Clock}, data))
+		d.stats.SentMsgs++
+		d.stats.SentBytes += int64(len(data))
+		d.schedSent += uint64(len(data))
+	}
+	d.reply(rankResp{})
+}
+
+func (d *V2) doRecv() {
+	if d.st.Replaying() {
+		for {
+			if m, _, ok := d.st.TakeStashed(); ok {
+				d.stats.Replayed++
+				if !d.st.Replaying() {
+					d.arrived = append(d.arrived, d.st.DrainStash()...)
+				}
+				d.replyPayload(m.From, m.Data)
+				return
+			}
+			e := d.next()
+			if e.isFrame {
+				d.handleFrame(e.frame)
+			}
+		}
+	}
+	for len(d.arrived) == 0 {
+		e := d.next()
+		if e.isFrame {
+			d.handleFrame(e.frame)
+		}
+	}
+	m := d.arrived[0]
+	d.arrived = d.arrived[1:]
+	ev := d.st.Commit(m.From, m.Clock)
+	d.submitEvent(ev)
+	d.replyPayload(m.From, m.Data)
+}
+
+// replyPayload delivers a payload to the MPI process, charging the
+// Unix-socket copy for store-and-forwarded eager messages.
+func (d *V2) replyPayload(from int, data []byte) {
+	if n := len(data); n > 0 && d.cfg.UnixCopyPerByte > 0 &&
+		(d.cfg.PipelineLimit <= 0 || n <= d.cfg.PipelineLimit) {
+		d.rt.Sleep(time.Duration(n) * d.cfg.UnixCopyPerByte)
+	}
+	d.reply(rankResp{from: from, data: data})
+}
+
+func (d *V2) submitEvent(ev core.Event) {
+	if d.cfg.EventBatching && d.elInFlight > 0 {
+		d.elQueue = append(d.elQueue, ev)
+		return
+	}
+	d.elInFlight++
+	d.ep.Send(d.cfg.EventLogger, wire.KEventLog, wire.EncodeEvents([]core.Event{ev}))
+	d.stats.EventsLogged++
+}
+
+func (d *V2) doProbe() {
+	// Opportunistically drain arrived frames first.
+	for {
+		e, ok := d.in.TryRecv()
+		if !ok {
+			break
+		}
+		if e.closed {
+			panic(killedPanic{})
+		}
+		if e.isFrame {
+			d.handleFrame(e.frame)
+		} else {
+			panic("daemon: concurrent rank request during probe")
+		}
+	}
+	if d.st.Replaying() {
+		// The log dictates the exact probe outcomes (§4.5: "in order
+		// to replay exactly the same execution").
+		if d.st.ReplayProbeMiss() {
+			d.reply(rankResp{flag: false})
+			return
+		}
+		for !d.st.ReplayReady() {
+			e := d.next()
+			if e.isFrame {
+				d.handleFrame(e.frame)
+			}
+		}
+		d.reply(rankResp{flag: true})
+		return
+	}
+	if len(d.arrived) > 0 {
+		d.reply(rankResp{flag: true})
+		return
+	}
+	d.st.ProbeMiss()
+	d.reply(rankResp{flag: false})
+}
+
+func (d *V2) doCheckpoint(appState []byte) {
+	d.ckptFlag.Store(false)
+	if d.cfg.CkptServer < 0 {
+		d.reply(rankResp{})
+		return
+	}
+	d.ckptSeq++
+	seq := d.ckptSeq
+	sn := d.st.Snapshot()
+	proto, err := sn.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("daemon: rank %d: snapshot encode: %v", d.cfg.Rank, err))
+	}
+	im := &ckpt.Image{Rank: d.cfg.Rank, Seq: seq, AppState: appState, Proto: proto}
+	img, err := im.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("daemon: rank %d: image encode: %v", d.cfg.Rank, err))
+	}
+	vec := make(map[int]uint64, len(sn.HR))
+	for k, v := range sn.HR {
+		vec[k] = v
+	}
+	d.ckptVectors[seq] = vec
+	d.schedSent, d.schedRecv = 0, 0
+	// The transfer is asynchronous: execution continues while the
+	// image streams to the checkpoint server (the paper's fork trick).
+	d.ep.Send(d.cfg.CkptServer, wire.KCkptSave, wire.EncodeCkptSave(seq, img))
+	d.stats.Checkpoints++
+	d.stats.CkptBytes += int64(len(img))
+	d.reply(rankResp{})
+}

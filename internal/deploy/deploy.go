@@ -1,0 +1,365 @@
+// Package deploy runs an MPICH-V2 system as real OS processes over TCP:
+// the paper's deployment mode (§4.7). A program file — the equivalent
+// of MPICH's P4PGFILE — lists every machine with its role (computing
+// node, event logger, checkpoint server, checkpoint scheduler) and
+// address. cmd/vrun plays the dispatcher: it launches the workers,
+// watches them ("a socket disconnection is considered as a trusty fault
+// detector" — here, a worker process exiting before it finished), and
+// re-launches crashed computing nodes with the recovery flag.
+package deploy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"mpichv/internal/ckpt"
+	"mpichv/internal/daemon"
+	"mpichv/internal/eventlog"
+	"mpichv/internal/mpi"
+	"mpichv/internal/sched"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+)
+
+// Role is a node's function in the system.
+type Role string
+
+// The four roles of a program file.
+const (
+	RoleCN    Role = "cn"
+	RoleEL    Role = "el"
+	RoleCS    Role = "cs"
+	RoleSched Role = "sc"
+)
+
+// Node ids per role (computing nodes use their rank).
+const (
+	ELID    = 1000
+	CSID    = 1001
+	SchedID = 1002
+)
+
+// Node is one line of the program file.
+type Node struct {
+	ID   int
+	Role Role
+	Addr string
+}
+
+// Program is a parsed program file.
+type Program struct {
+	Nodes []Node
+}
+
+// Parse reads a program file: one "role address" pair per line, '#'
+// comments allowed. Computing nodes get ranks in order of appearance;
+// service nodes get their fixed ids.
+func Parse(r io.Reader) (*Program, error) {
+	p := &Program{}
+	sc := bufio.NewScanner(r)
+	rank := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("deploy: line %d: want \"role address\", got %q", line, text)
+		}
+		n := Node{Role: Role(fields[0]), Addr: fields[1]}
+		switch n.Role {
+		case RoleCN:
+			n.ID = rank
+			rank++
+		case RoleEL:
+			n.ID = ELID
+		case RoleCS:
+			n.ID = CSID
+		case RoleSched:
+			n.ID = SchedID
+		default:
+			return nil, fmt.Errorf("deploy: line %d: unknown role %q", line, fields[0])
+		}
+		p.Nodes = append(p.Nodes, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.CNs()) == 0 {
+		return nil, fmt.Errorf("deploy: program file has no computing nodes")
+	}
+	if _, ok := p.Find(RoleEL); !ok {
+		return nil, fmt.Errorf("deploy: program file has no event logger")
+	}
+	return p, nil
+}
+
+// ParseFile parses the program file at path.
+func ParseFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// CNs returns the computing nodes in rank order.
+func (p *Program) CNs() []Node {
+	var out []Node
+	for _, n := range p.Nodes {
+		if n.Role == RoleCN {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Find returns the first node with the given role.
+func (p *Program) Find(role Role) (Node, bool) {
+	for _, n := range p.Nodes {
+		if n.Role == role {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// AddrMap returns the id → address map for the TCP fabric.
+func (p *Program) AddrMap() map[int]string {
+	m := make(map[int]string, len(p.Nodes))
+	for _, n := range p.Nodes {
+		m[n.ID] = n.Addr
+	}
+	return m
+}
+
+// DoneMarker is printed by a computing-node worker when its MPI program
+// finalized; the launcher uses it to distinguish completion from a
+// crash.
+const DoneMarker = "VRUN-RANK-DONE"
+
+// App is a runnable MPI program.
+type App func(p *mpi.Proc)
+
+// Serve runs one node of the program in this process. Computing nodes
+// run the app, print DoneMarker, and then keep serving (their message
+// logs may be needed by recovering peers) until the launcher kills
+// them. Service nodes serve forever.
+func Serve(pg *Program, id int, app App, restarted bool, out io.Writer) error {
+	rt := vtime.NewReal()
+	fab := transport.NewTCPFabric(rt, pg.AddrMap())
+
+	var node *Node
+	for i := range pg.Nodes {
+		if pg.Nodes[i].ID == id {
+			node = &pg.Nodes[i]
+		}
+	}
+	if node == nil {
+		return fmt.Errorf("deploy: node id %d not in program file", id)
+	}
+
+	switch node.Role {
+	case RoleEL:
+		eventlog.NewServer(rt, fab.Attach(ELID, "event-logger"), 0).Start()
+		select {}
+	case RoleCS:
+		ckpt.NewServer(rt, fab.Attach(CSID, "ckpt-server")).Start()
+		select {}
+	case RoleSched:
+		var ranks []int
+		for _, n := range pg.CNs() {
+			ranks = append(ranks, n.ID)
+		}
+		sched.Start(rt, fab, sched.Config{
+			Node:   SchedID,
+			Ranks:  ranks,
+			Policy: &sched.RoundRobin{},
+			Period: 2 * time.Second,
+		})
+		select {}
+	case RoleCN:
+		cfg := daemon.Config{
+			Rank:        id,
+			Size:        len(pg.CNs()),
+			EventLogger: ELID,
+			CkptServer:  -1,
+			Scheduler:   -1,
+			Dispatcher:  -1,
+			Restarted:   restarted,
+		}
+		if _, ok := pg.Find(RoleCS); ok {
+			cfg.CkptServer = CSID
+		}
+		if _, ok := pg.Find(RoleSched); ok {
+			cfg.Scheduler = SchedID
+		}
+		dev, _ := daemon.StartV2(rt, fab, cfg)
+		p := mpi.Start(dev, rt, mpi.Options{})
+		app(p)
+		p.Finalize()
+		fmt.Fprintln(out, DoneMarker)
+		select {}
+	}
+	return fmt.Errorf("deploy: unhandled role %q", node.Role)
+}
+
+// Launcher spawns and supervises the worker processes of one run.
+type Launcher struct {
+	Program  string // program file path
+	AppName  string
+	Exe      string    // worker executable (usually os.Executable())
+	Stdout   io.Writer // launcher log
+	MaxSpawn int       // restart budget per rank (default 10)
+}
+
+type workerExit struct {
+	rank int
+	done bool
+	err  error
+}
+
+// Run launches the system and blocks until every rank completed. Killed
+// computing nodes (e.g. kill -9 from another terminal) are re-launched
+// with the recovery flag, exactly like the paper's execution monitor.
+func (l *Launcher) Run() error {
+	pg, err := ParseFile(l.Program)
+	if err != nil {
+		return err
+	}
+	if l.Stdout == nil {
+		l.Stdout = os.Stdout
+	}
+	if l.MaxSpawn <= 0 {
+		l.MaxSpawn = 10
+	}
+
+	var mu sync.Mutex
+	var services []*exec.Cmd
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range services {
+			if c.Process != nil {
+				c.Process.Kill()
+			}
+		}
+	}()
+
+	spawnService := func(n Node) error {
+		cmd := exec.Command(l.Exe, "-pg", l.Program, "-serve", fmt.Sprint(n.ID), "-app", l.AppName)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		mu.Lock()
+		services = append(services, cmd)
+		mu.Unlock()
+		return nil
+	}
+	for _, n := range pg.Nodes {
+		if n.Role != RoleCN {
+			fmt.Fprintf(l.Stdout, "vrun: starting %s on %s\n", n.Role, n.Addr)
+			if err := spawnService(n); err != nil {
+				return err
+			}
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let the services bind
+
+	exits := make(chan workerExit, len(pg.CNs())*l.MaxSpawn)
+	spawnCN := func(rank int, restarted bool) (*exec.Cmd, error) {
+		args := []string{"-pg", l.Program, "-serve", fmt.Sprint(rank), "-app", l.AppName}
+		if restarted {
+			args = append(args, "-restarted")
+		}
+		cmd := exec.Command(l.Exe, args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		go func() {
+			done := false
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				if line == DoneMarker {
+					done = true
+					exits <- workerExit{rank: rank, done: true}
+				} else {
+					fmt.Fprintf(l.Stdout, "[rank %d] %s\n", rank, line)
+				}
+			}
+			err := cmd.Wait()
+			if !done {
+				exits <- workerExit{rank: rank, err: err}
+			}
+		}()
+		mu.Lock()
+		services = append(services, cmd)
+		mu.Unlock()
+		return cmd, nil
+	}
+
+	spawns := make(map[int]int)
+	for _, n := range pg.CNs() {
+		fmt.Fprintf(l.Stdout, "vrun: starting rank %d on %s\n", n.ID, n.Addr)
+		spawns[n.ID]++
+		if _, err := spawnCN(n.ID, false); err != nil {
+			return err
+		}
+	}
+
+	finished := make(map[int]bool)
+	for len(finished) < len(pg.CNs()) {
+		ex := <-exits
+		switch {
+		case ex.done:
+			if !finished[ex.rank] {
+				finished[ex.rank] = true
+				fmt.Fprintf(l.Stdout, "vrun: rank %d finalized (%d/%d)\n", ex.rank, len(finished), len(pg.CNs()))
+			}
+		case finished[ex.rank]:
+			// A finalized worker died. Its MPI program is done, but
+			// its daemon still holds the SAVED payload log that
+			// recovering peers may need — re-launch it with the
+			// recovery flag (it replays to completion and resumes
+			// serving).
+			fmt.Fprintf(l.Stdout, "vrun: finalized rank %d died; re-launching its daemon\n", ex.rank)
+			spawns[ex.rank]++
+			if spawns[ex.rank] > l.MaxSpawn {
+				return fmt.Errorf("deploy: rank %d exceeded %d restarts", ex.rank, l.MaxSpawn)
+			}
+			time.Sleep(200 * time.Millisecond)
+			if _, err := spawnCN(ex.rank, true); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintf(l.Stdout, "vrun: rank %d died (%v); re-launching with recovery\n", ex.rank, ex.err)
+			spawns[ex.rank]++
+			if spawns[ex.rank] > l.MaxSpawn {
+				return fmt.Errorf("deploy: rank %d exceeded %d restarts", ex.rank, l.MaxSpawn)
+			}
+			time.Sleep(200 * time.Millisecond) // detection + port release
+			if _, err := spawnCN(ex.rank, true); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintln(l.Stdout, "vrun: all ranks finalized; cleaning the execution pool")
+	return nil
+}

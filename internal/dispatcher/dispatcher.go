@@ -1,0 +1,128 @@
+// Package dispatcher implements the execution monitor of the paper's
+// mpirun (§4.7): it launches the computing nodes, watches them (a socket
+// disconnection is a trusty fault detector in the synchronous-network
+// model), and re-launches crashed programs. Fault injection is folded in
+// here because the dispatcher is the component that observes faults: a
+// scheduled fault kills the node's endpoint, and the dispatcher notices
+// after the configured detection delay.
+package dispatcher
+
+import (
+	"time"
+
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// Fault is one scheduled node kill.
+type Fault struct {
+	Time time.Duration // virtual time at which the node dies
+	Rank int
+}
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	Node  int // dispatcher's node id
+	Ranks int // number of computing nodes
+
+	// Faults is the injection plan (sorted or not).
+	Faults []Fault
+	// DetectionDelay is the time between a death and the dispatcher
+	// noticing the broken socket.
+	DetectionDelay time.Duration
+
+	// Kill abruptly detaches a node (typically fabric.Kill).
+	Kill func(rank int)
+	// Respawn restarts a crashed node (new daemon + new MPI process
+	// with Restarted=true).
+	Respawn func(rank int)
+}
+
+// Dispatcher monitors one run.
+type Dispatcher struct {
+	rt  vtime.Runtime
+	cfg Config
+	ep  transport.Endpoint
+	in  *vtime.Mailbox[event]
+
+	finalized map[int]bool
+	done      *vtime.Mailbox[struct{}]
+
+	Restarts int
+	Kills    int
+}
+
+type event struct {
+	frame   transport.Frame
+	isFrame bool
+	fault   int // rank to kill now
+	respawn int // rank to respawn now
+}
+
+// Start attaches and runs the dispatcher. Done() signals when every rank
+// has finalized.
+func Start(rt vtime.Runtime, fab transport.Fabric, cfg Config) *Dispatcher {
+	d := &Dispatcher{
+		rt:        rt,
+		cfg:       cfg,
+		ep:        fab.Attach(cfg.Node, "dispatcher"),
+		in:        vtime.NewMailbox[event](rt, "dispatcher"),
+		finalized: make(map[int]bool),
+		done:      vtime.NewMailbox[struct{}](rt, "dispatcher-done"),
+	}
+	rt.Go("dispatcher-pump", func() {
+		for {
+			f, ok := d.ep.Inbox().Recv()
+			if !ok {
+				return
+			}
+			if !d.in.Send(event{isFrame: true, frame: f}) {
+				return
+			}
+		}
+	})
+	for _, f := range cfg.Faults {
+		f := f
+		d.in.SendAfter(f.Time, event{fault: f.Rank, respawn: -1})
+	}
+	rt.Go("dispatcher", d.run)
+	return d
+}
+
+// Done returns a mailbox receiving one item when all ranks finalized.
+func (d *Dispatcher) Done() *vtime.Mailbox[struct{}] { return d.done }
+
+func (d *Dispatcher) run() {
+	for {
+		e, ok := d.in.Recv()
+		if !ok {
+			return
+		}
+		switch {
+		case e.isFrame:
+			if e.frame.Kind == wire.KFinalize {
+				if !d.finalized[e.frame.From] {
+					d.finalized[e.frame.From] = true
+					if len(d.finalized) == d.cfg.Ranks {
+						d.done.Send(struct{}{})
+					}
+				}
+			}
+		case e.respawn >= 0:
+			d.Restarts++
+			d.cfg.Respawn(e.respawn)
+		default:
+			// A fault fires only against nodes still computing; a
+			// finalized MPI process has no state left to lose (its
+			// daemon keeps serving saved messages, as the paper's
+			// daemons keep running until mpirun cleans the pool).
+			if d.finalized[e.fault] {
+				continue
+			}
+			d.Kills++
+			d.cfg.Kill(e.fault)
+			d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
+		}
+	}
+}

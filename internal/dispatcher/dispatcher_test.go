@@ -1,0 +1,118 @@
+package dispatcher
+
+import (
+	"testing"
+	"time"
+
+	"mpichv/internal/netsim"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+func TestDoneAfterAllFinalize(t *testing.T) {
+	sim := vtime.NewSim()
+	completed := false
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		d := Start(sim, fab, Config{
+			Node:    1003,
+			Ranks:   3,
+			Kill:    func(int) {},
+			Respawn: func(int) {},
+		})
+		for r := 0; r < 3; r++ {
+			ep := fab.Attach(r, "cn")
+			ep.Send(1003, wire.KFinalize, nil)
+		}
+		_, ok := d.Done().Recv()
+		completed = ok
+	})
+	if !completed {
+		t.Fatal("dispatcher never signalled completion")
+	}
+}
+
+func TestDuplicateFinalizeCountedOnce(t *testing.T) {
+	sim := vtime.NewSim()
+	done := false
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		d := Start(sim, fab, Config{Node: 1003, Ranks: 2, Kill: func(int) {}, Respawn: func(int) {}})
+		ep0 := fab.Attach(0, "cn0")
+		ep1 := fab.Attach(1, "cn1")
+		ep0.Send(1003, wire.KFinalize, nil)
+		ep0.Send(1003, wire.KFinalize, nil) // restarted rank finalizing again
+		sim.Sleep(5 * time.Millisecond)
+		if _, ok := d.Done().TryRecv(); ok {
+			t.Error("completed with only one distinct rank finalized")
+		}
+		ep1.Send(1003, wire.KFinalize, nil)
+		_, done = d.Done().Recv()
+	})
+	if !done {
+		t.Fatal("never completed")
+	}
+}
+
+func TestFaultKillsAndRespawnsAfterDelay(t *testing.T) {
+	sim := vtime.NewSim()
+	var killedAt, respawnedAt time.Duration
+	var killedRank, respawnedRank int
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		d := Start(sim, fab, Config{
+			Node:           1003,
+			Ranks:          2,
+			Faults:         []Fault{{Time: 10 * time.Millisecond, Rank: 1}},
+			DetectionDelay: 5 * time.Millisecond,
+			Kill: func(r int) {
+				killedRank, killedAt = r, sim.Now()
+			},
+			Respawn: func(r int) {
+				respawnedRank, respawnedAt = r, sim.Now()
+				// The respawned rank finalizes immediately.
+				fab.Attach(r, "cn").Send(1003, wire.KFinalize, nil)
+			},
+		})
+		fab.Attach(0, "cn0").Send(1003, wire.KFinalize, nil)
+		d.Done().Recv()
+		if d.Kills != 1 || d.Restarts != 1 {
+			t.Errorf("kills=%d restarts=%d", d.Kills, d.Restarts)
+		}
+	})
+	if killedRank != 1 || respawnedRank != 1 {
+		t.Errorf("killed %d, respawned %d", killedRank, respawnedRank)
+	}
+	if killedAt != 10*time.Millisecond {
+		t.Errorf("killed at %v", killedAt)
+	}
+	if respawnedAt != 15*time.Millisecond {
+		t.Errorf("respawned at %v, want kill+detection", respawnedAt)
+	}
+}
+
+func TestFaultOnFinalizedRankIgnored(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		killed := false
+		d := Start(sim, fab, Config{
+			Node:           1003,
+			Ranks:          1,
+			Faults:         []Fault{{Time: 20 * time.Millisecond, Rank: 0}},
+			DetectionDelay: time.Millisecond,
+			Kill:           func(int) { killed = true },
+			Respawn:        func(int) {},
+		})
+		fab.Attach(0, "cn0").Send(1003, wire.KFinalize, nil)
+		d.Done().Recv()
+		sim.Sleep(50 * time.Millisecond)
+		if killed {
+			t.Error("a finalized rank was killed by the fault plan")
+		}
+		if d.Kills != 0 {
+			t.Errorf("Kills = %d", d.Kills)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Package eventlog implements the Event Logger (paper §4.5): a
+// repository running on a reliable node that stores the dependency
+// information of every message reception and serves it back to
+// re-executing nodes. Several event loggers can serve one system; each
+// computing node talks to exactly one, and loggers never need to talk to
+// each other.
+package eventlog
+
+import (
+	"time"
+
+	"mpichv/internal/core"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// Server is one event logger instance.
+type Server struct {
+	rt      vtime.Runtime
+	ep      transport.Endpoint
+	service time.Duration // per-event processing time
+
+	// events holds, per computing node id, the reception events of
+	// that node in arrival order (which is RecvClock order per node,
+	// since a node submits its events in delivery order).
+	events map[int][]core.Event
+
+	// Stats for the experiments.
+	Logged  int64
+	Acks    int64
+	Fetches int64
+}
+
+// NewServer creates an event logger attached to the given endpoint.
+// service is the per-event processing time of the logger's host (zero
+// for an infinitely fast logger).
+func NewServer(rt vtime.Runtime, ep transport.Endpoint, service time.Duration) *Server {
+	return &Server{rt: rt, ep: ep, service: service, events: make(map[int][]core.Event)}
+}
+
+// Start runs the server loop as an actor.
+func (s *Server) Start() {
+	s.rt.Go("event-logger", s.run)
+}
+
+// EventCount reports the number of events stored for a node.
+func (s *Server) EventCount(rank int) int { return len(s.events[rank]) }
+
+func (s *Server) run() {
+	for {
+		f, ok := s.ep.Inbox().Recv()
+		if !ok {
+			return
+		}
+		switch f.Kind {
+		case wire.KEventLog:
+			evs, err := wire.DecodeEvents(f.Data)
+			if err != nil {
+				continue
+			}
+			if s.service > 0 {
+				s.rt.Sleep(time.Duration(len(evs)) * s.service)
+			}
+			s.events[f.From] = append(s.events[f.From], evs...)
+			s.Logged += int64(len(evs))
+			s.Acks++
+			s.ep.Send(f.From, wire.KEventAck, wire.EncodeU32(uint32(len(evs))))
+		case wire.KEventFetch:
+			h, err := wire.DecodeU64(f.Data)
+			if err != nil {
+				continue
+			}
+			s.Fetches++
+			var out []core.Event
+			for _, ev := range s.events[f.From] {
+				if ev.RecvClock > h {
+					out = append(out, ev)
+				}
+			}
+			s.ep.Send(f.From, wire.KEventFetched, wire.EncodeEvents(out))
+		}
+	}
+}

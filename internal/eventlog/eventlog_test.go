@@ -1,0 +1,146 @@
+package eventlog
+
+import (
+	"testing"
+	"time"
+
+	"mpichv/internal/core"
+	"mpichv/internal/netsim"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// harness wires one event logger and one client endpoint on a simulated
+// fabric.
+func harness(t *testing.T, service time.Duration, fn func(s *vtime.Sim, srv *Server, client transport.Endpoint)) {
+	t.Helper()
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		srv := NewServer(sim, fab.Attach(100, "el"), service)
+		srv.Start()
+		client := fab.Attach(1, "client")
+		fn(sim, srv, client)
+	})
+}
+
+func recvKind(t *testing.T, ep transport.Endpoint, kind uint8) transport.Frame {
+	t.Helper()
+	for {
+		f, ok := ep.Inbox().Recv()
+		if !ok {
+			t.Fatal("client inbox closed")
+		}
+		if f.Kind == kind {
+			return f
+		}
+	}
+}
+
+func TestLogAndAck(t *testing.T) {
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		evs := []core.Event{
+			{Sender: 2, SenderClock: 1, RecvClock: 1},
+			{Sender: 2, SenderClock: 2, RecvClock: 2, Probes: 3},
+		}
+		client.Send(100, wire.KEventLog, wire.EncodeEvents(evs))
+		f := recvKind(t, client, wire.KEventAck)
+		n, err := wire.DecodeU32(f.Data)
+		if err != nil || n != 2 {
+			t.Fatalf("ack = %d %v", n, err)
+		}
+		if srv.EventCount(1) != 2 || srv.Logged != 2 {
+			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), srv.Logged)
+		}
+	})
+}
+
+func TestFetchFiltersByClock(t *testing.T) {
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		var evs []core.Event
+		for i := uint64(1); i <= 10; i++ {
+			evs = append(evs, core.Event{Sender: 3, SenderClock: i, RecvClock: i})
+		}
+		client.Send(100, wire.KEventLog, wire.EncodeEvents(evs))
+		recvKind(t, client, wire.KEventAck)
+
+		client.Send(100, wire.KEventFetch, wire.EncodeU64(7))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("fetched %d events, want 3 (clocks 8..10)", len(got))
+		}
+		for i, ev := range got {
+			if ev.RecvClock != uint64(8+i) {
+				t.Errorf("event %d clock %d", i, ev.RecvClock)
+			}
+		}
+	})
+}
+
+func TestFetchEmptyForUnknownNode(t *testing.T) {
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(100, wire.KEventFetch, wire.EncodeU64(0))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("fetch for fresh node: %v %v", got, err)
+		}
+	})
+}
+
+func TestEventsKeyedPerNode(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		srv := NewServer(sim, fab.Attach(100, "el"), 0)
+		srv.Start()
+		c1 := fab.Attach(1, "c1")
+		c2 := fab.Attach(2, "c2")
+		c1.Send(100, wire.KEventLog, wire.EncodeEvents([]core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}}))
+		c2.Send(100, wire.KEventLog, wire.EncodeEvents([]core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}, {Sender: 9, SenderClock: 2, RecvClock: 2}}))
+		recvKind(t, c1, wire.KEventAck)
+		recvKind(t, c2, wire.KEventAck)
+		if srv.EventCount(1) != 1 || srv.EventCount(2) != 2 {
+			t.Errorf("per-node counts: %d %d", srv.EventCount(1), srv.EventCount(2))
+		}
+	})
+}
+
+func TestServiceTimeSerializesBursts(t *testing.T) {
+	// With a per-event service time, two batches submitted together
+	// are acked at staggered times — the queueing effect that penalizes
+	// collective bursts (DESIGN.md, Params2003.ELService).
+	var gap time.Duration
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		NewServer(sim, fab.Attach(100, "el"), 100*time.Microsecond).Start()
+		c1 := fab.Attach(1, "c1")
+		c2 := fab.Attach(2, "c2")
+		ev := wire.EncodeEvents([]core.Event{{Sender: 0, SenderClock: 1, RecvClock: 1}})
+		c1.Send(100, wire.KEventLog, ev)
+		c2.Send(100, wire.KEventLog, ev)
+		recvKind(t, c1, wire.KEventAck)
+		t1 := sim.Now()
+		recvKind(t, c2, wire.KEventAck)
+		gap = sim.Now() - t1
+	})
+	if gap < 90*time.Microsecond {
+		t.Errorf("second ack arrived %v after the first; want ≥ the service time", gap)
+	}
+}
+
+func TestMalformedFramesIgnored(t *testing.T) {
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(100, wire.KEventLog, []byte{1, 2})
+		client.Send(100, wire.KEventFetch, []byte{1})
+		// The server must survive and still answer good requests.
+		client.Send(100, wire.KEventFetch, wire.EncodeU64(0))
+		recvKind(t, client, wire.KEventFetched)
+	})
+}

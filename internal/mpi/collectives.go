@@ -1,0 +1,188 @@
+package mpi
+
+// Collective operations built on point-to-point, with deterministic
+// communication patterns (fixed trees and rings, no wildcard receives)
+// so that re-execution replays them exactly.
+
+// collTagBase separates collective traffic from user tags. User tags
+// must stay below it.
+const collTagBase = 1 << 24
+
+func (p *Proc) collTag() int {
+	p.collSeq++
+	return collTagBase + int(p.collSeq&0xFFFFF)
+}
+
+// Barrier blocks until every process has entered it (dissemination
+// algorithm: ⌈log2 n⌉ rounds).
+func (p *Proc) Barrier() {
+	tag := p.collTag()
+	for k := 1; k < p.size; k <<= 1 {
+		to := (p.rank + k) % p.size
+		from := (p.rank - k + p.size) % p.size
+		p.Sendrecv(to, tag, nil, from, tag)
+	}
+}
+
+// Bcast broadcasts root's data to every process (binomial tree) and
+// returns the received copy.
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	tag := p.collTag()
+	vrank := (p.rank - root + p.size) % p.size
+	if vrank != 0 {
+		// Receive from the parent: clear the lowest set bit.
+		parent := ((vrank & (vrank - 1)) + root) % p.size
+		data, _ = p.Recv(parent, tag)
+	}
+	// Forward to children: set bits above the lowest set bit.
+	for k := 1; k < p.size; k <<= 1 {
+		if vrank&(k-1) == 0 && vrank&k == 0 && vrank+k < p.size {
+			child := (vrank + k + root) % p.size
+			p.Send(child, tag, data)
+		}
+	}
+	return data
+}
+
+// ReduceOp combines two equally-shaped float64 vectors in place (dst op=
+// src).
+type ReduceOp func(dst, src []float64)
+
+// OpSum accumulates element-wise sums.
+func OpSum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// OpMax keeps element-wise maxima.
+func OpMax(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpMin keeps element-wise minima.
+func OpMin(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Reduce combines each process's vector onto root (binomial tree) and
+// returns the result on root (nil elsewhere). The input is not mutated.
+func (p *Proc) Reduce(root int, data []float64, op ReduceOp) []float64 {
+	tag := p.collTag()
+	acc := append([]float64(nil), data...)
+	vrank := (p.rank - root + p.size) % p.size
+	for k := 1; k < p.size; k <<= 1 {
+		if vrank&k != 0 {
+			parent := ((vrank - k) + root) % p.size
+			p.Send(parent, tag, Float64sToBytes(acc))
+			return nil
+		}
+		if vrank+k < p.size {
+			child := (vrank + k + root) % p.size
+			b, _ := p.Recv(child, tag)
+			op(acc, BytesToFloat64s(b))
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every process's vector and distributes the result.
+func (p *Proc) Allreduce(data []float64, op ReduceOp) []float64 {
+	res := p.Reduce(0, data, op)
+	if p.rank != 0 {
+		res = nil
+	}
+	var b []byte
+	if p.rank == 0 {
+		b = Float64sToBytes(res)
+	}
+	return BytesToFloat64s(p.Bcast(0, b))
+}
+
+// AllreduceScalar is Allreduce over a single value.
+func (p *Proc) AllreduceScalar(v float64, op ReduceOp) float64 {
+	return p.Allreduce([]float64{v}, op)[0]
+}
+
+// Gather collects every process's block on root, concatenated in rank
+// order (nil on non-roots).
+func (p *Proc) Gather(root int, data []byte) [][]byte {
+	tag := p.collTag()
+	if p.rank != root {
+		p.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, p.size)
+	out[root] = data
+	reqs := make([]*Request, 0, p.size-1)
+	idx := make([]int, 0, p.size-1)
+	for r := 0; r < p.size; r++ {
+		if r == root {
+			continue
+		}
+		reqs = append(reqs, p.Irecv(r, tag))
+		idx = append(idx, r)
+	}
+	p.Waitall(reqs)
+	for i, r := range reqs {
+		out[idx[i]] = r.Data()
+	}
+	return out
+}
+
+// Scatter distributes root's blocks (one per rank) and returns this
+// process's block.
+func (p *Proc) Scatter(root int, blocks [][]byte) []byte {
+	tag := p.collTag()
+	if p.rank == root {
+		for r := 0; r < p.size; r++ {
+			if r != root {
+				p.Send(r, tag, blocks[r])
+			}
+		}
+		return blocks[root]
+	}
+	b, _ := p.Recv(root, tag)
+	return b
+}
+
+// Allgather collects every process's block everywhere (ring algorithm:
+// n-1 steps, each passing the newest block to the right).
+func (p *Proc) Allgather(data []byte) [][]byte {
+	tag := p.collTag()
+	out := make([][]byte, p.size)
+	out[p.rank] = data
+	right := (p.rank + 1) % p.size
+	left := (p.rank - 1 + p.size) % p.size
+	cur := data
+	for step := 0; step < p.size-1; step++ {
+		got, _ := p.Sendrecv(right, tag, cur, left, tag)
+		src := (p.rank - 1 - step + 2*p.size) % p.size
+		out[src] = got
+		cur = got
+	}
+	return out
+}
+
+// Alltoall sends blocks[r] to each rank r and returns the blocks
+// received from every rank (pairwise exchange, n-1 steps).
+func (p *Proc) Alltoall(blocks [][]byte) [][]byte {
+	tag := p.collTag()
+	out := make([][]byte, p.size)
+	out[p.rank] = blocks[p.rank]
+	for step := 1; step < p.size; step++ {
+		to := (p.rank + step) % p.size
+		from := (p.rank - step + p.size) % p.size
+		got, _ := p.Sendrecv(to, tag, blocks[to], from, tag)
+		out[from] = got
+	}
+	return out
+}

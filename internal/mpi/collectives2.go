@@ -1,0 +1,80 @@
+package mpi
+
+// Additional collective operations, beyond the set the NAS kernels use:
+// inclusive scan, reduce-scatter, variable-size gather and all-to-all.
+// All follow the same discipline as collectives.go — deterministic
+// communication patterns so crash replay reproduces them exactly.
+
+// Scan computes the inclusive prefix reduction: rank r receives the
+// combination of the vectors of ranks 0..r (linear pipeline).
+func (p *Proc) Scan(data []float64, op ReduceOp) []float64 {
+	tag := p.collTag()
+	acc := append([]float64(nil), data...)
+	if p.rank > 0 {
+		prev, _ := p.Recv(p.rank-1, tag)
+		prefix := BytesToFloat64s(prev)
+		op(prefix, acc)
+		acc = prefix
+	}
+	if p.rank < p.size-1 {
+		p.Send(p.rank+1, tag, Float64sToBytes(acc))
+	}
+	return acc
+}
+
+// ScanScalar is Scan over a single value.
+func (p *Proc) ScanScalar(v float64, op ReduceOp) float64 {
+	return p.Scan([]float64{v}, op)[0]
+}
+
+// ReduceScatter combines every process's vector element-wise and
+// scatters the result: rank r receives the block of indices
+// [offsets[r], offsets[r+1]) where blocks are split as evenly as
+// possible. Implemented as a reduce to rank 0 plus a scatter, like the
+// Allreduce of collectives.go.
+func (p *Proc) ReduceScatter(data []float64, op ReduceOp) []float64 {
+	total := p.Reduce(0, data, op)
+	var blocks [][]byte
+	if p.rank == 0 {
+		blocks = make([][]byte, p.size)
+		n := len(data)
+		for r := 0; r < p.size; r++ {
+			lo, hi := blockSplit(n, p.size, r)
+			blocks[r] = Float64sToBytes(total[lo:hi])
+		}
+	}
+	return BytesToFloat64s(p.Scatter(0, blocks))
+}
+
+func blockSplit(n, size, rank int) (lo, hi int) {
+	base, rem := n/size, n%size
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Gatherv collects variable-size blocks on root, in rank order (nil on
+// non-roots).
+func (p *Proc) Gatherv(root int, data []byte) [][]byte {
+	// Gather already supports variable sizes: blocks travel whole.
+	return p.Gather(root, data)
+}
+
+// Alltoallv exchanges variable-size blocks: blocks[r] goes to rank r,
+// and the result holds what every rank sent to this one.
+func (p *Proc) Alltoallv(blocks [][]byte) [][]byte {
+	// Alltoall already supports variable sizes.
+	return p.Alltoall(blocks)
+}
+
+// BcastFloat64s broadcasts a float64 vector from root.
+func (p *Proc) BcastFloat64s(root int, v []float64) []float64 {
+	var b []byte
+	if p.rank == root {
+		b = Float64sToBytes(v)
+	}
+	return BytesToFloat64s(p.Bcast(root, b))
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScan(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		runProcs(t, n, Options{}, func(p *Proc) {
+			got := p.ScanScalar(float64(p.Rank()+1), OpSum)
+			want := float64((p.Rank() + 1) * (p.Rank() + 2) / 2)
+			if got != want {
+				p.Abortf("scan = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestScanVector(t *testing.T) {
+	runProcs(t, 4, Options{}, func(p *Proc) {
+		got := p.Scan([]float64{1, float64(p.Rank())}, OpSum)
+		if got[0] != float64(p.Rank()+1) {
+			p.Abortf("scan count = %v", got)
+		}
+		want := float64(p.Rank() * (p.Rank() + 1) / 2)
+		if got[1] != want {
+			p.Abortf("scan sum = %v, want %v", got[1], want)
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		runProcs(t, n, Options{}, func(p *Proc) {
+			// Every rank contributes [1, 2, ..., 2n]; the sum is
+			// size×i, block r holds its slice.
+			data := make([]float64, 2*p.Size())
+			for i := range data {
+				data[i] = float64(i + 1)
+			}
+			got := p.ReduceScatter(data, OpSum)
+			lo, hi := blockSplit(len(data), p.Size(), p.Rank())
+			if len(got) != hi-lo {
+				p.Abortf("block len %d, want %d", len(got), hi-lo)
+			}
+			for i, v := range got {
+				want := float64(p.Size()) * float64(lo+i+1)
+				if v != want {
+					p.Abortf("block[%d] = %v, want %v", i, v, want)
+				}
+			}
+		})
+	}
+}
+
+func TestGathervVariableSizes(t *testing.T) {
+	runProcs(t, 5, Options{}, func(p *Proc) {
+		mine := make([]byte, p.Rank()+1)
+		for i := range mine {
+			mine[i] = byte(p.Rank())
+		}
+		blocks := p.Gatherv(2, mine)
+		if p.Rank() != 2 {
+			return
+		}
+		for r, b := range blocks {
+			if len(b) != r+1 {
+				p.Abortf("block %d has %d bytes", r, len(b))
+			}
+			for _, x := range b {
+				if int(x) != r {
+					p.Abortf("block %d contains %d", r, x)
+				}
+			}
+		}
+	})
+}
+
+func TestAlltoallvVariableSizes(t *testing.T) {
+	runProcs(t, 4, Options{}, func(p *Proc) {
+		out := make([][]byte, p.Size())
+		for r := range out {
+			out[r] = make([]byte, p.Rank()+r+1) // size identifies the pair
+		}
+		in := p.Alltoallv(out)
+		for r, b := range in {
+			if len(b) != r+p.Rank()+1 {
+				p.Abortf("from %d got %d bytes, want %d", r, len(b), r+p.Rank()+1)
+			}
+		}
+	})
+}
+
+func TestBcastFloat64s(t *testing.T) {
+	runProcs(t, 3, Options{}, func(p *Proc) {
+		var v []float64
+		if p.Rank() == 1 {
+			v = []float64{3.14, 2.71}
+		}
+		got := p.BcastFloat64s(1, v)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			p.Abortf("bcast floats = %v", got)
+		}
+	})
+}
+
+// Property: Allreduce(sum) equals the serial sum of all contributions
+// for random vectors (up to reduction-order rounding, which is exact
+// here because inputs are small integers).
+func TestPropertyAllreduceMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		width := 1 + rng.Intn(8)
+		inputs := make([][]float64, n)
+		want := make([]float64, width)
+		for r := range inputs {
+			inputs[r] = make([]float64, width)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(100))
+				want[i] += inputs[r][i]
+			}
+		}
+		runProcs(t, n, Options{}, func(p *Proc) {
+			got := p.Allreduce(inputs[p.Rank()], OpSum)
+			for i := range want {
+				if got[i] != want[i] {
+					p.Abortf("allreduce[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Typed payload helpers. MPI datatypes are reduced to the two the
+// kernels need: float64 vectors and int64 vectors, in little-endian
+// layout.
+
+// Float64sToBytes serializes a float64 vector.
+func Float64sToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesToFloat64s parses a vector produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Int64sToBytes serializes an int64 vector.
+func Int64sToBytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesToInt64s parses a vector produced by Int64sToBytes.
+func BytesToInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// SendFloat64s is Send with a float64 payload.
+func (p *Proc) SendFloat64s(to, tag int, v []float64) {
+	p.Send(to, tag, Float64sToBytes(v))
+}
+
+// RecvFloat64s is Recv with a float64 payload.
+func (p *Proc) RecvFloat64s(src, tag int) ([]float64, Status) {
+	b, st := p.Recv(src, tag)
+	return BytesToFloat64s(b), st
+}
+
+// IsendFloat64s is Isend with a float64 payload.
+func (p *Proc) IsendFloat64s(to, tag int, v []float64) *Request {
+	return p.Isend(to, tag, Float64sToBytes(v))
+}

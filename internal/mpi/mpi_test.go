@@ -1,0 +1,454 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mpichv/internal/vtime"
+)
+
+// hubDev is a minimal in-memory Device connecting n MPI processes
+// directly — the unit-test double for the daemon stack.
+type hubDev struct {
+	rank int
+	hub  *hub
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []hubMsg
+}
+
+type hubMsg struct {
+	from int
+	data []byte
+}
+
+type hub struct {
+	devs []*hubDev
+}
+
+func newHub(n int) []*hubDev {
+	h := &hub{}
+	for r := 0; r < n; r++ {
+		d := &hubDev{rank: r, hub: h}
+		d.cond = sync.NewCond(&d.mu)
+		h.devs = append(h.devs, d)
+	}
+	return h.devs
+}
+
+func (d *hubDev) Init() (int, int, []byte, bool) { return d.rank, len(d.hub.devs), nil, false }
+
+func (d *hubDev) BSend(to int, data []byte) {
+	peer := d.hub.devs[to]
+	peer.mu.Lock()
+	peer.q = append(peer.q, hubMsg{from: d.rank, data: append([]byte(nil), data...)})
+	peer.cond.Broadcast()
+	peer.mu.Unlock()
+}
+
+func (d *hubDev) BRecv() (int, []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.q) == 0 {
+		d.cond.Wait()
+	}
+	m := d.q[0]
+	d.q = d.q[1:]
+	return m.from, m.data
+}
+
+func (d *hubDev) NProbe() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.q) > 0
+}
+
+func (d *hubDev) CkptRequested() bool { return false }
+func (d *hubDev) Checkpoint(_ []byte) {}
+func (d *hubDev) Finish()             {}
+
+// runProcs executes fn on n connected processes and waits.
+func runProcs(t *testing.T, n int, opt Options, fn func(p *Proc)) {
+	t.Helper()
+	devs := newHub(n)
+	rt := vtime.NewReal()
+	var wg sync.WaitGroup
+	errs := make(chan any, n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs <- rec
+				}
+			}()
+			fn(Start(devs[r], rt, opt))
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("process panicked: %v", e)
+	}
+}
+
+func TestSendRecvTagged(t *testing.T) {
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 5, []byte("five"))
+			p.Send(1, 6, []byte("six"))
+		} else {
+			// Receive in reverse tag order: tag matching, not FIFO.
+			b6, st6 := p.Recv(0, 6)
+			b5, st5 := p.Recv(0, 5)
+			if string(b6) != "six" || st6.Tag != 6 || st6.Source != 0 {
+				p.Abortf("tag 6 got %q %+v", b6, st6)
+			}
+			if string(b5) != "five" || st5.Size != 4 {
+				p.Abortf("tag 5 got %q %+v", b5, st5)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	runProcs(t, 3, Options{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				b, st := p.Recv(AnySource, AnyTag)
+				if int(b[0]) != st.Source || st.Tag != 40+st.Source {
+					p.Abortf("mismatched envelope %q %+v", b, st)
+				}
+				seen[st.Source] = true
+			}
+			if !seen[1] || !seen[2] {
+				p.Abortf("sources seen: %v", seen)
+			}
+		} else {
+			p.Send(0, 40+p.Rank(), []byte{byte(p.Rank())})
+		}
+	})
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	for _, eagerInIsend := range []bool{false, true} {
+		opt := Options{EagerInIsend: eagerInIsend}
+		runProcs(t, 2, opt, func(p *Proc) {
+			peer := 1 - p.Rank()
+			var reqs []*Request
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, p.Irecv(peer, 100+i))
+			}
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, p.Isend(peer, 100+i, []byte{byte(i)}))
+			}
+			p.Waitall(reqs)
+			for i := 0; i < 10; i++ {
+				if got := reqs[i].Data(); len(got) != 1 || got[0] != byte(i) {
+					p.Abortf("eagerInIsend=%v req %d got %v", eagerInIsend, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRendezvousBothDirections(t *testing.T) {
+	const size = 200 << 10 // over the default 64 KiB eager limit
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		data := bytes.Repeat([]byte{byte(p.Rank() + 1)}, size)
+		rr := p.Irecv(peer, 9)
+		sr := p.Isend(peer, 9, data)
+		p.Waitall([]*Request{sr, rr})
+		got := rr.Data()
+		if len(got) != size || got[0] != byte(peer+1) || got[size-1] != byte(peer+1) {
+			p.Abortf("rendezvous got %d bytes first=%d", len(got), got[0])
+		}
+	})
+}
+
+func TestRendezvousUnexpected(t *testing.T) {
+	// RTS arrives before the receive is posted.
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		const size = 100 << 10
+		if p.Rank() == 0 {
+			p.Send(1, 3, make([]byte, size))
+		} else {
+			// Give the RTS time to land in the unexpected queue.
+			st := p.Probe(0, 3)
+			if st.Size != size {
+				p.Abortf("probed size %d", st.Size)
+			}
+			b, _ := p.Recv(0, 3)
+			if len(b) != size {
+				p.Abortf("got %d bytes", len(b))
+			}
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	runProcs(t, 1, Options{}, func(p *Proc) {
+		p.Isend(0, 7, []byte("me"))
+		b, st := p.Recv(0, 7)
+		if string(b) != "me" || st.Source != 0 {
+			p.Abortf("self message %q %+v", b, st)
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			if _, ok := p.Iprobe(1, AnyTag); ok {
+				p.Abortf("iprobe true before any send")
+			}
+			p.Send(1, 1, nil) // release peer
+			st := p.Probe(1, 2)
+			if st.Tag != 2 || st.Source != 1 {
+				p.Abortf("probe %+v", st)
+			}
+			// Probe must not consume.
+			if _, ok := p.Iprobe(1, 2); !ok {
+				p.Abortf("iprobe false after probe")
+			}
+			p.Recv(1, 2)
+			if _, ok := p.Iprobe(1, 2); ok {
+				p.Abortf("iprobe true after recv")
+			}
+		} else {
+			p.Recv(0, 1)
+			p.Send(0, 2, []byte("x"))
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	runProcs(t, 4, Options{}, func(p *Proc) {
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		got, st := p.Sendrecv(right, 8, []byte{byte(p.Rank())}, left, 8)
+		if st.Source != left || int(got[0]) != left {
+			p.Abortf("sendrecv got %v from %d", got, st.Source)
+		}
+	})
+}
+
+func TestTestNonblocking(t *testing.T) {
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		if p.Rank() == 0 {
+			r := p.Irecv(1, 4)
+			for !p.Test(r) {
+			}
+			if string(r.Data()) != "done" {
+				p.Abortf("test-completed data %q", r.Data())
+			}
+		} else {
+			p.Send(0, 4, []byte("done"))
+		}
+	})
+}
+
+func collectiveSizes() []int { return []int{1, 2, 3, 4, 5, 8} }
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		runProcs(t, n, Options{}, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Barrier()
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		for root := 0; root < n; root++ {
+			n, root := n, root
+			runProcs(t, n, Options{}, func(p *Proc) {
+				var data []byte
+				if p.Rank() == root {
+					data = []byte(fmt.Sprintf("payload-from-%d", root))
+				}
+				got := p.Bcast(root, data)
+				want := fmt.Sprintf("payload-from-%d", root)
+				if string(got) != want {
+					p.Abortf("bcast(root=%d) got %q", root, got)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		runProcs(t, n, Options{}, func(p *Proc) {
+			me := []float64{float64(p.Rank() + 1), -float64(p.Rank())}
+			sum := p.Reduce(0, me, OpSum)
+			wantA := float64(p.Size()*(p.Size()+1)) / 2
+			if p.Rank() == 0 {
+				if sum[0] != wantA {
+					p.Abortf("reduce sum = %v", sum)
+				}
+			} else if sum != nil {
+				p.Abortf("non-root got reduce result")
+			}
+			all := p.Allreduce(me, OpSum)
+			if all[0] != wantA {
+				p.Abortf("allreduce = %v", all)
+			}
+			mx := p.AllreduceScalar(float64(p.Rank()), OpMax)
+			if mx != float64(p.Size()-1) {
+				p.Abortf("max = %v", mx)
+			}
+			mn := p.AllreduceScalar(float64(p.Rank()), OpMin)
+			if mn != 0 {
+				p.Abortf("min = %v", mn)
+			}
+		})
+	}
+}
+
+func TestGatherScatterAllgatherAlltoall(t *testing.T) {
+	for _, n := range collectiveSizes() {
+		runProcs(t, n, Options{}, func(p *Proc) {
+			// Gather on root 0.
+			blocks := p.Gather(0, []byte{byte(p.Rank() * 2)})
+			if p.Rank() == 0 {
+				for r, b := range blocks {
+					if len(b) != 1 || int(b[0]) != r*2 {
+						p.Abortf("gather block %d = %v", r, b)
+					}
+				}
+			}
+			// Scatter from the last rank.
+			root := p.Size() - 1
+			var outs [][]byte
+			if p.Rank() == root {
+				for r := 0; r < p.Size(); r++ {
+					outs = append(outs, []byte{byte(r + 10)})
+				}
+			}
+			mine := p.Scatter(root, outs)
+			if len(mine) != 1 || int(mine[0]) != p.Rank()+10 {
+				p.Abortf("scatter got %v", mine)
+			}
+			// Allgather.
+			ag := p.Allgather([]byte{byte(p.Rank() + 1)})
+			for r, b := range ag {
+				if len(b) != 1 || int(b[0]) != r+1 {
+					p.Abortf("allgather block %d = %v", r, b)
+				}
+			}
+			// Alltoall.
+			outs = nil
+			for r := 0; r < p.Size(); r++ {
+				outs = append(outs, []byte{byte(p.Rank()), byte(r)})
+			}
+			in := p.Alltoall(outs)
+			for r, b := range in {
+				if int(b[0]) != r || int(b[1]) != p.Rank() {
+					p.Abortf("alltoall from %d = %v", r, b)
+				}
+			}
+		})
+	}
+}
+
+func TestFloat64Codec(t *testing.T) {
+	f := func(v []float64) bool {
+		got := BytesToFloat64s(Float64sToBytes(v))
+		if len(v) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(v, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	f := func(v []int64) bool {
+		got := BytesToInt64s(Int64sToBytes(v))
+		if len(v) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(v, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcStateRoundTrip(t *testing.T) {
+	devs := newHub(1)
+	rt := vtime.NewReal()
+	p := Start(devs[0], rt, Options{})
+	p.collSeq = 42
+	p.nextSendID = 7
+	p.unexpected = []inMsg{
+		{from: 2, tag: 3, data: []byte("pending")},
+		{from: 1, tag: 9, rts: true, id: 5, size: 1 << 20},
+	}
+	blob := p.encodeState([]byte("user"))
+
+	q := Start(newHub(1)[0], rt, Options{})
+	user := q.restoreState(blob)
+	if string(user) != "user" || q.collSeq != 42 || q.nextSendID != 7 {
+		t.Errorf("restored: user=%q collSeq=%d sendID=%d", user, q.collSeq, q.nextSendID)
+	}
+	if len(q.unexpected) != 2 || string(q.unexpected[0].data) != "pending" ||
+		!q.unexpected[1].rts || q.unexpected[1].size != 1<<20 {
+		t.Errorf("restored unexpected queue: %+v", q.unexpected)
+	}
+}
+
+func TestQuiescentGuard(t *testing.T) {
+	devs := newHub(2)
+	rt := vtime.NewReal()
+	p := Start(devs[0], rt, Options{})
+	if !p.quiescent() {
+		t.Error("fresh proc not quiescent")
+	}
+	p.Irecv(1, 1)
+	if p.quiescent() {
+		t.Error("quiescent with a posted receive")
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	runProcs(t, 2, Options{}, func(p *Proc) {
+		peer := 1 - p.Rank()
+		r := p.Irecv(peer, 1)
+		p.Isend(peer, 1, []byte("x"))
+		p.Wait(r)
+		p.Compute(1e6)
+		st := p.Stats()
+		if st.Get("MPI_Isend").Calls != 1 || st.Get("MPI_Irecv").Calls != 1 || st.Get("MPI_Wait").Calls != 1 {
+			p.Abortf("stats: %+v", st.Names())
+		}
+	})
+}
+
+func TestComputeChargesTime(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		devs := newHub(1)
+		p := Start(devs[0], sim, Options{FlopRate: 1e6})
+		p.Compute(2e6) // 2 virtual seconds
+		if got := sim.Now().Seconds(); got < 1.99 || got > 2.01 {
+			panic(fmt.Sprintf("Compute advanced %v", sim.Now()))
+		}
+		if p.Stats().ComputeTime().Seconds() < 1.99 {
+			panic("compute bucket not charged")
+		}
+	})
+}

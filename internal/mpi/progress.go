@@ -1,0 +1,90 @@
+package mpi
+
+// progressBlocking receives one protocol block from the device and
+// dispatches it.
+func (p *Proc) progressBlocking() {
+	from, raw := p.dev.BRecv()
+	p.dispatch(from, raw)
+}
+
+// progressNonblocking drains whatever the device has pending.
+func (p *Proc) progressNonblocking() {
+	for p.dev.NProbe() {
+		from, raw := p.dev.BRecv()
+		p.dispatch(from, raw)
+	}
+}
+
+// dispatch routes one protocol block.
+func (p *Proc) dispatch(from int, raw []byte) {
+	mtype, tag, id, payload := decodeMsg(raw)
+	switch mtype {
+	case mEager:
+		p.dispatchEager(inMsg{from: from, tag: tag, data: payload})
+
+	case mRTS:
+		size := 0
+		if len(payload) == 8 {
+			size = int(uint64FromBytes(payload))
+		}
+		m := inMsg{from: from, tag: tag, rts: true, id: id, size: size}
+		if r := p.takePosted(from, tag); r != nil {
+			p.rvInflight[rvKey(from, id)] = r
+			r.from, r.rtag = from, tag
+			p.dev.BSend(from, encodeMsg(mCTS, tag, id, nil))
+		} else {
+			p.unexpected = append(p.unexpected, m)
+		}
+
+	case mCTS:
+		r := p.sendsByID[id]
+		if r == nil {
+			p.Abortf("CTS for unknown send id %d from %d", id, from)
+		}
+		delete(p.sendsByID, id)
+		p.dev.BSend(r.to, encodeMsg(mData, r.stag, id, r.payload))
+		r.done = true
+
+	case mData:
+		key := rvKey(from, id)
+		r := p.rvInflight[key]
+		if r == nil {
+			p.Abortf("rendezvous data for unknown transfer id %d from %d", id, from)
+		}
+		delete(p.rvInflight, key)
+		r.data = payload
+		r.done = true
+
+	default:
+		p.Abortf("unknown protocol block type %d from %d", mtype, from)
+	}
+}
+
+// dispatchEager matches an eager payload against posted receives.
+func (p *Proc) dispatchEager(m inMsg) {
+	if r := p.takePosted(m.from, m.tag); r != nil {
+		r.from, r.rtag, r.data = m.from, m.tag, m.data
+		r.done = true
+		return
+	}
+	p.unexpected = append(p.unexpected, m)
+}
+
+// takePosted pops the first posted receive matching the envelope.
+func (p *Proc) takePosted(from, tag int) *Request {
+	for i, r := range p.posted {
+		if match(r.srcSel, r.tagSel, from, tag) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+func uint64FromBytes(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

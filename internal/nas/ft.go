@@ -1,0 +1,300 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mpichv/internal/mpi"
+)
+
+// FT: 3D FFT time evolution. The spectrum of a random field is evolved
+// by exponential factors and inverse-transformed every iteration; each
+// 3D (inverse) FFT needs one global transpose, an all-to-all of large
+// blocks — the bandwidth-bound pattern on which V2 matches P4 in the
+// paper (figure 7: "FT uses an All-to-All communication pattern
+// involving many large messages").
+//
+// Reduced grid: 32³ complex points, slab-decomposed along z before the
+// transpose and along x after it. The process count must divide the
+// edge (the paper's sweep uses powers of two).
+
+const (
+	ftN     = 32
+	ftAlpha = 1e-6
+)
+
+// FT returns the FT benchmark (class A; the paper could not run class B
+// either — its message log exceeds the 2 GB per-node capacity).
+func FT(class string) Benchmark {
+	full := 256.0 * 256.0 * 128.0
+	b := Benchmark{
+		Name: "FT", Class: "A",
+		Iters: 6, FullIters: 6,
+		FullFlops: 7.16e9,
+		MsgScale:  full / float64(ftN*ftN*ftN),
+		Run:       runFT,
+	}
+	return b
+}
+
+type ftComm interface {
+	alltoall(blocks [][]complex128) [][]complex128
+	sum(v complex128) complex128
+	charge()
+}
+
+type ftParallel struct {
+	p *mpi.Proc
+	b Benchmark
+}
+
+func (c *ftParallel) alltoall(blocks [][]complex128) [][]complex128 {
+	raw := make([][]byte, len(blocks))
+	for i, blk := range blocks {
+		raw[i] = complexToBytes(blk)
+	}
+	got := c.p.Alltoall(raw)
+	out := make([][]complex128, len(got))
+	for i, b := range got {
+		out[i] = bytesToComplex(b)
+	}
+	return out
+}
+
+func (c *ftParallel) sum(v complex128) complex128 {
+	r := c.p.Allreduce([]float64{real(v), imag(v)}, mpi.OpSum)
+	return complex(r[0], r[1])
+}
+
+func (c *ftParallel) charge() { chargePerIter(c.p, c.b) }
+
+type ftSerial struct{}
+
+func (ftSerial) alltoall(blocks [][]complex128) [][]complex128 { return blocks }
+func (ftSerial) sum(v complex128) complex128                   { return v }
+func (ftSerial) charge()                                       {}
+
+func complexToBytes(v []complex128) []byte {
+	f := make([]float64, 2*len(v))
+	for i, c := range v {
+		f[2*i], f[2*i+1] = real(c), imag(c)
+	}
+	return mpi.Float64sToBytes(f)
+}
+
+func bytesToComplex(b []byte) []complex128 {
+	f := mpi.BytesToFloat64s(b)
+	v := make([]complex128, len(f)/2)
+	for i := range v {
+		v[i] = complex(f[2*i], f[2*i+1])
+	}
+	return v
+}
+
+// fft performs an in-place radix-2 FFT of a power-of-two-length line;
+// inverse when inv is true (unnormalized — callers divide).
+func fft(a []complex128, inv bool) {
+	n := len(a)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if inv {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u, v := a[i+j], a[i+j+length/2]*w
+				a[i+j], a[i+j+length/2] = u+v, u-v
+				w *= wl
+			}
+		}
+	}
+}
+
+// ftState is the distributed field: z-slab layout u[zl][y][x] and
+// x-slab layout v[xl][y][z].
+type ftState struct {
+	n        int
+	size     int
+	rank     int
+	lz, lx   int
+	spectrum []complex128 // x-slab layout, frozen after the initial FFT
+}
+
+// fft2DLocal transforms each local z-plane in x then y.
+func fft2DLocal(u []complex128, n, lz int, inv bool) {
+	line := make([]complex128, n)
+	for zl := 0; zl < lz; zl++ {
+		plane := u[zl*n*n : (zl+1)*n*n]
+		for y := 0; y < n; y++ {
+			fft(plane[y*n:(y+1)*n], inv)
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = plane[y*n+x]
+			}
+			fft(line, inv)
+			for y := 0; y < n; y++ {
+				plane[y*n+x] = line[y]
+			}
+		}
+	}
+}
+
+// transposeZX moves from z-slabs to x-slabs via all-to-all.
+func transposeZX(c ftComm, u []complex128, n, size int) []complex128 {
+	lz, lx := n/size, n/size
+	blocks := make([][]complex128, size)
+	for r := 0; r < size; r++ {
+		blk := make([]complex128, lx*n*lz)
+		for xl := 0; xl < lx; xl++ {
+			for y := 0; y < n; y++ {
+				for zl := 0; zl < lz; zl++ {
+					blk[(xl*n+y)*lz+zl] = u[(zl*n+y)*n+r*lx+xl]
+				}
+			}
+		}
+		blocks[r] = blk
+	}
+	got := c.alltoall(blocks)
+	v := make([]complex128, lx*n*n)
+	for s := 0; s < size; s++ {
+		blk := got[s]
+		for xl := 0; xl < lx; xl++ {
+			for y := 0; y < n; y++ {
+				copy(v[(xl*n+y)*n+s*lz:(xl*n+y)*n+s*lz+lz], blk[(xl*n+y)*lz:(xl*n+y)*lz+lz])
+			}
+		}
+	}
+	return v
+}
+
+// transposeXZ is the inverse redistribution.
+func transposeXZ(c ftComm, v []complex128, n, size int) []complex128 {
+	lz, lx := n/size, n/size
+	blocks := make([][]complex128, size)
+	for r := 0; r < size; r++ {
+		blk := make([]complex128, lx*n*lz)
+		for xl := 0; xl < lx; xl++ {
+			for y := 0; y < n; y++ {
+				copy(blk[(xl*n+y)*lz:(xl*n+y)*lz+lz], v[(xl*n+y)*n+r*lz:(xl*n+y)*n+r*lz+lz])
+			}
+		}
+		blocks[r] = blk
+	}
+	got := c.alltoall(blocks)
+	u := make([]complex128, lz*n*n)
+	for s := 0; s < size; s++ {
+		blk := got[s]
+		for xl := 0; xl < lx; xl++ {
+			for y := 0; y < n; y++ {
+				for zl := 0; zl < lz; zl++ {
+					u[(zl*n+y)*n+s*lx+xl] = blk[(xl*n+y)*lz+zl]
+				}
+			}
+		}
+	}
+	return u
+}
+
+// fftZLines transforms the z-lines of the x-slab layout.
+func fftZLines(v []complex128, n, lx int, inv bool) {
+	for xl := 0; xl < lx; xl++ {
+		for y := 0; y < n; y++ {
+			fft(v[(xl*n+y)*n:(xl*n+y)*n+n], inv)
+		}
+	}
+}
+
+func ftFold(i, n int) float64 {
+	if i >= n/2 {
+		i -= n
+	}
+	return float64(i)
+}
+
+func ftDriver(c ftComm, rank, size, iters int) float64 {
+	n := ftN
+	lz := n / size
+	lx := n / size
+
+	// Deterministic pseudo-random initial field, seeded per global
+	// plane so every decomposition builds the same field.
+	u := make([]complex128, lz*n*n)
+	for zl := 0; zl < lz; zl++ {
+		rng := newLCG(uint64(1000 + rank*lz + zl))
+		plane := u[zl*n*n : (zl+1)*n*n]
+		for i := range plane {
+			plane[i] = complex(rng.float()-0.5, rng.float()-0.5)
+		}
+	}
+
+	// Forward 3D FFT once.
+	fft2DLocal(u, n, lz, false)
+	spec := transposeZX(c, u, n, size)
+	fftZLines(spec, n, lx, false)
+
+	norm := 1.0 / float64(n*n*n)
+	var check float64
+	w := make([]complex128, len(spec))
+	for it := 1; it <= iters; it++ {
+		c.charge()
+		// Evolve the spectrum.
+		t := float64(it)
+		for xl := 0; xl < lx; xl++ {
+			kx := ftFold(rank*lx+xl, n)
+			for y := 0; y < n; y++ {
+				ky := ftFold(y, n)
+				for z := 0; z < n; z++ {
+					kz := ftFold(z, n)
+					k2 := kx*kx + ky*ky + kz*kz
+					w[(xl*n+y)*n+z] = spec[(xl*n+y)*n+z] * complex(math.Exp(-4*math.Pi*math.Pi*ftAlpha*t*k2), 0)
+				}
+			}
+		}
+		// Inverse 3D FFT (one all-to-all).
+		wv := append([]complex128(nil), w...)
+		fftZLines(wv, n, lx, true)
+		ut := transposeXZ(c, wv, n, size)
+		fft2DLocal(ut, n, lz, true)
+
+		// NPB-style checksum over 1024 strided points.
+		var local complex128
+		for j := 1; j <= 1024; j++ {
+			x := j % n
+			y := (3 * j) % n
+			z := (5 * j) % n
+			if z >= rank*lz && z < (rank+1)*lz {
+				local += ut[((z-rank*lz)*n+y)*n+x] * complex(norm, 0)
+			}
+		}
+		s := c.sum(local)
+		check += cmplx.Abs(s)
+	}
+	return check
+}
+
+func runFT(p *mpi.Proc, b Benchmark) Result {
+	if ftN%p.Size() != 0 {
+		p.Abortf("FT requires a process count dividing %d", ftN)
+	}
+	v := ftDriver(&ftParallel{p: p, b: b}, p.Rank(), p.Size(), b.Iters)
+	ref := refValue(refKey("ft", b.Iters), func() float64 { return ftSerialValue(b.Iters) })
+	return Result{Value: v, Verified: close(v, ref), Iters: b.Iters}
+}
+
+// ftSerialValue runs the same computation on one process.
+func ftSerialValue(iters int) float64 {
+	return ftDriver(ftSerial{}, 0, 1, iters)
+}

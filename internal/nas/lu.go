@@ -1,0 +1,410 @@
+package nas
+
+import (
+	"math"
+
+	"mpichv/internal/mpi"
+)
+
+// LU: SSOR-style iterations with pipelined wavefront sweeps, following
+// the dependency structure of NPB LU: each iteration computes a
+// residual from the old field (one halo exchange per direction), then a
+// lower-triangular solve sweeping ascending (k, j, i) — every z-level
+// needs the west and north block edges before computing and feeds east
+// and south — and an upper-triangular solve sweeping descending. That
+// is 2·nz tiny messages per process per iteration plus four halo faces:
+// the enormous small-message count that, combined with sender-based
+// payload logging, drives MPICH-V2's log beyond memory in the paper
+// ("the poor performance of LU is explained by the use of the disk
+// storage").
+//
+// Cross-block dependencies are transmitted exactly, so the parallel
+// wavefront computes the same values as the serial sweep.
+
+const (
+	luNX = 32 // reduced horizontal grid (full class A: 64, B: 102)
+	luNY = 32
+)
+
+// LU returns the LU benchmark for a class.
+func LU(class string) Benchmark {
+	b := Benchmark{Name: "LU", Class: class, Run: runLU}
+	switch class {
+	case "B":
+		b.Iters, b.FullIters = 8, 250
+		b.FullFlops = 319.6e9
+		b.MsgScale = (102.0 / luNX) * 5 // full edge length × 5 flow variables
+		b.nz = 102
+	default:
+		b.Class = "A"
+		b.Iters, b.FullIters = 10, 250
+		b.FullFlops = 64.6e9
+		b.MsgScale = (64.0 / luNX) * 5
+		b.nz = 64
+	}
+	return b
+}
+
+// procGrid factors size into the most square q×r grid.
+func procGrid(size int) (q, r int) {
+	q = int(math.Sqrt(float64(size)))
+	for size%q != 0 {
+		q--
+	}
+	return q, size / q
+}
+
+type luBlock struct {
+	nz, nyl, nxl int
+	x0, y0       int
+	u, f         []float64 // [nz][nyl][nxl]
+}
+
+func (l *luBlock) idx(k, j, i int) int { return (k*l.nyl+j)*l.nxl + i }
+
+func luInit(nz, size, rank int) *luBlock {
+	q, r := procGrid(size)
+	pi, pj := rank%q, rank/q
+	xlo, xhi := blockRange(luNX, q, pi)
+	ylo, yhi := blockRange(luNY, r, pj)
+	b := &luBlock{nz: nz, nyl: yhi - ylo, nxl: xhi - xlo, x0: xlo, y0: ylo}
+	b.u = make([]float64, nz*b.nyl*b.nxl)
+	b.f = make([]float64, nz*b.nyl*b.nxl)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < b.nyl; j++ {
+			for i := 0; i < b.nxl; i++ {
+				gx, gy := xlo+i, ylo+j
+				b.f[b.idx(k, j, i)] = math.Sin(float64(1+gx)*0.17) * math.Cos(float64(1+gy)*0.23) * math.Sin(float64(1+k)*0.11)
+			}
+		}
+	}
+	return b
+}
+
+// luFaces holds the halo faces of the old field: values just outside the
+// block (zero at the global boundary).
+type luFaces struct {
+	west, east   []float64 // [nz][nyl]
+	north, south []float64 // [nz][nxl]
+}
+
+func (f *luFaces) w(k, j, nyl int) float64 {
+	if f.west == nil {
+		return 0
+	}
+	return f.west[k*nyl+j]
+}
+func (f *luFaces) e(k, j, nyl int) float64 {
+	if f.east == nil {
+		return 0
+	}
+	return f.east[k*nyl+j]
+}
+func (f *luFaces) n(k, i, nxl int) float64 {
+	if f.north == nil {
+		return 0
+	}
+	return f.north[k*nxl+i]
+}
+func (f *luFaces) s(k, i, nxl int) float64 {
+	if f.south == nil {
+		return 0
+	}
+	return f.south[k*nxl+i]
+}
+
+// luComm is the communication dependency of the sweeps; the serial
+// variant has no neighbours (zero faces/edges).
+type luComm interface {
+	exchangeHalos(b *luBlock) *luFaces
+	recvWest(nyl int) []float64
+	recvNorth(nxl int) []float64
+	sendEast(edge []float64)
+	sendSouth(edge []float64)
+	recvEast(nyl int) []float64
+	recvSouth(nxl int) []float64
+	sendWest(edge []float64)
+	sendNorth(edge []float64)
+	charge()
+	sum(x float64) float64
+}
+
+const (
+	luTagE = 801 // eastward wavefront edges (lower sweep)
+	luTagS = 802
+	luTagW = 803 // westward wavefront edges (upper sweep)
+	luTagN = 804
+	luTagH = 805 // halo faces
+)
+
+type luParallel struct {
+	p      *mpi.Proc
+	b      Benchmark
+	q, r   int
+	pi, pj int
+}
+
+func (c *luParallel) rankAt(pi, pj int) int { return pj*c.q + pi }
+
+func (c *luParallel) exchangeHalos(b *luBlock) *luFaces {
+	p := c.p
+	faces := &luFaces{}
+	var reqs []*mpi.Request
+	var rw, re, rn, rs *mpi.Request
+	pack := func(i int) []float64 {
+		out := make([]float64, b.nz*b.nyl)
+		for k := 0; k < b.nz; k++ {
+			for j := 0; j < b.nyl; j++ {
+				out[k*b.nyl+j] = b.u[b.idx(k, j, i)]
+			}
+		}
+		return out
+	}
+	packY := func(j int) []float64 {
+		out := make([]float64, b.nz*b.nxl)
+		for k := 0; k < b.nz; k++ {
+			copy(out[k*b.nxl:(k+1)*b.nxl], b.u[b.idx(k, j, 0):b.idx(k, j, b.nxl)])
+		}
+		return out
+	}
+	if c.pi > 0 {
+		rw = p.Irecv(c.rankAt(c.pi-1, c.pj), luTagH)
+		reqs = append(reqs, rw, p.IsendFloat64s(c.rankAt(c.pi-1, c.pj), luTagH, pack(0)))
+	}
+	if c.pi < c.q-1 {
+		re = p.Irecv(c.rankAt(c.pi+1, c.pj), luTagH)
+		reqs = append(reqs, re, p.IsendFloat64s(c.rankAt(c.pi+1, c.pj), luTagH, pack(b.nxl-1)))
+	}
+	if c.pj > 0 {
+		rn = p.Irecv(c.rankAt(c.pi, c.pj-1), luTagH)
+		reqs = append(reqs, rn, p.IsendFloat64s(c.rankAt(c.pi, c.pj-1), luTagH, packY(0)))
+	}
+	if c.pj < c.r-1 {
+		rs = p.Irecv(c.rankAt(c.pi, c.pj+1), luTagH)
+		reqs = append(reqs, rs, p.IsendFloat64s(c.rankAt(c.pi, c.pj+1), luTagH, packY(b.nyl-1)))
+	}
+	p.Waitall(reqs)
+	if rw != nil {
+		faces.west = mpi.BytesToFloat64s(rw.Data())
+	}
+	if re != nil {
+		faces.east = mpi.BytesToFloat64s(re.Data())
+	}
+	if rn != nil {
+		faces.north = mpi.BytesToFloat64s(rn.Data())
+	}
+	if rs != nil {
+		faces.south = mpi.BytesToFloat64s(rs.Data())
+	}
+	return faces
+}
+
+func (c *luParallel) recvWest(nyl int) []float64 {
+	if c.pi == 0 {
+		return nil
+	}
+	v, _ := c.p.RecvFloat64s(c.rankAt(c.pi-1, c.pj), luTagE)
+	return v
+}
+
+func (c *luParallel) recvNorth(nxl int) []float64 {
+	if c.pj == 0 {
+		return nil
+	}
+	v, _ := c.p.RecvFloat64s(c.rankAt(c.pi, c.pj-1), luTagS)
+	return v
+}
+
+func (c *luParallel) sendEast(edge []float64) {
+	if c.pi < c.q-1 {
+		c.p.SendFloat64s(c.rankAt(c.pi+1, c.pj), luTagE, edge)
+	}
+}
+
+func (c *luParallel) sendSouth(edge []float64) {
+	if c.pj < c.r-1 {
+		c.p.SendFloat64s(c.rankAt(c.pi, c.pj+1), luTagS, edge)
+	}
+}
+
+func (c *luParallel) recvEast(nyl int) []float64 {
+	if c.pi == c.q-1 {
+		return nil
+	}
+	v, _ := c.p.RecvFloat64s(c.rankAt(c.pi+1, c.pj), luTagW)
+	return v
+}
+
+func (c *luParallel) recvSouth(nxl int) []float64 {
+	if c.pj == c.r-1 {
+		return nil
+	}
+	v, _ := c.p.RecvFloat64s(c.rankAt(c.pi, c.pj+1), luTagN)
+	return v
+}
+
+func (c *luParallel) sendWest(edge []float64) {
+	if c.pi > 0 {
+		c.p.SendFloat64s(c.rankAt(c.pi-1, c.pj), luTagW, edge)
+	}
+}
+
+func (c *luParallel) sendNorth(edge []float64) {
+	if c.pj > 0 {
+		c.p.SendFloat64s(c.rankAt(c.pi, c.pj-1), luTagN, edge)
+	}
+}
+
+func (c *luParallel) charge()               { chargePerIter(c.p, c.b) }
+func (c *luParallel) sum(x float64) float64 { return c.p.AllreduceScalar(x, mpi.OpSum) }
+
+type luSerial struct{}
+
+func (luSerial) exchangeHalos(*luBlock) *luFaces { return &luFaces{} }
+func (luSerial) recvWest(int) []float64          { return nil }
+func (luSerial) recvNorth(int) []float64         { return nil }
+func (luSerial) sendEast([]float64)              {}
+func (luSerial) sendSouth([]float64)             {}
+func (luSerial) recvEast(int) []float64          { return nil }
+func (luSerial) recvSouth(int) []float64         { return nil }
+func (luSerial) sendWest([]float64)              {}
+func (luSerial) sendNorth([]float64)             {}
+func (luSerial) charge()                         {}
+func (luSerial) sum(x float64) float64           { return x }
+
+// luIter runs one SSOR-style iteration: residual from the old field,
+// lower-triangular wavefront solve, upper-triangular wavefront solve,
+// and the relaxed update.
+func luIter(c luComm, b *luBlock) {
+	const omega = 0.9
+
+	// Residual r = f - A·u_old, A = 7-point (7u - Σ neighbours), zero
+	// Dirichlet boundary.
+	faces := c.exchangeHalos(b)
+	r := make([]float64, len(b.u))
+	at := func(k, j, i int) float64 {
+		switch {
+		case k < 0 || k >= b.nz:
+			return 0
+		case i < 0:
+			return faces.w(k, j, b.nyl)
+		case i >= b.nxl:
+			return faces.e(k, j, b.nyl)
+		case j < 0:
+			return faces.n(k, i, b.nxl)
+		case j >= b.nyl:
+			return faces.s(k, i, b.nxl)
+		}
+		return b.u[b.idx(k, j, i)]
+	}
+	for k := 0; k < b.nz; k++ {
+		for j := 0; j < b.nyl; j++ {
+			for i := 0; i < b.nxl; i++ {
+				nb := at(k-1, j, i) + at(k+1, j, i) + at(k, j-1, i) + at(k, j+1, i) + at(k, j, i-1) + at(k, j, i+1)
+				r[b.idx(k, j, i)] = b.f[b.idx(k, j, i)] - (7.0*b.u[b.idx(k, j, i)] - nb)
+			}
+		}
+	}
+
+	// Lower-triangular wavefront (NPB blts): dependencies on k-1, j-1,
+	// i-1 only; per z-level, the west and north edges arrive from the
+	// wavefront.
+	t := make([]float64, len(b.u))
+	for k := 0; k < b.nz; k++ {
+		west := c.recvWest(b.nyl)
+		north := c.recvNorth(b.nxl)
+		for j := 0; j < b.nyl; j++ {
+			for i := 0; i < b.nxl; i++ {
+				var tw, tn, tk float64
+				if i > 0 {
+					tw = t[b.idx(k, j, i-1)]
+				} else if west != nil {
+					tw = west[j]
+				}
+				if j > 0 {
+					tn = t[b.idx(k, j-1, i)]
+				} else if north != nil {
+					tn = north[i]
+				}
+				if k > 0 {
+					tk = t[b.idx(k-1, j, i)]
+				}
+				t[b.idx(k, j, i)] = (r[b.idx(k, j, i)] + tw + tn + tk) / 7.0
+			}
+		}
+		east := make([]float64, b.nyl)
+		for j := 0; j < b.nyl; j++ {
+			east[j] = t[b.idx(k, j, b.nxl-1)]
+		}
+		c.sendEast(east)
+		south := make([]float64, b.nxl)
+		for i := 0; i < b.nxl; i++ {
+			south[i] = t[b.idx(k, b.nyl-1, i)]
+		}
+		c.sendSouth(south)
+	}
+
+	// Upper-triangular wavefront (NPB buts): dependencies on k+1, j+1,
+	// i+1, sweeping backwards.
+	d := make([]float64, len(b.u))
+	for k := b.nz - 1; k >= 0; k-- {
+		east := c.recvEast(b.nyl)
+		south := c.recvSouth(b.nxl)
+		for j := b.nyl - 1; j >= 0; j-- {
+			for i := b.nxl - 1; i >= 0; i-- {
+				var de, ds, dk float64
+				if i < b.nxl-1 {
+					de = d[b.idx(k, j, i+1)]
+				} else if east != nil {
+					de = east[j]
+				}
+				if j < b.nyl-1 {
+					ds = d[b.idx(k, j+1, i)]
+				} else if south != nil {
+					ds = south[i]
+				}
+				if k < b.nz-1 {
+					dk = d[b.idx(k+1, j, i)]
+				}
+				d[b.idx(k, j, i)] = (t[b.idx(k, j, i)] + de + ds + dk) / 7.0
+			}
+		}
+		west := make([]float64, b.nyl)
+		for j := 0; j < b.nyl; j++ {
+			west[j] = d[b.idx(k, j, 0)]
+		}
+		c.sendWest(west)
+		north := make([]float64, b.nxl)
+		for i := 0; i < b.nxl; i++ {
+			north[i] = d[b.idx(k, 0, i)]
+		}
+		c.sendNorth(north)
+	}
+
+	for i := range b.u {
+		b.u[i] += omega * d[i]
+	}
+}
+
+func luDriver(c luComm, b *luBlock, iters int) float64 {
+	var norm float64
+	for it := 0; it < iters; it++ {
+		c.charge()
+		luIter(c, b)
+		var local float64
+		for _, v := range b.u {
+			local += v * v
+		}
+		norm = math.Sqrt(c.sum(local))
+	}
+	return norm
+}
+
+func runLU(p *mpi.Proc, b Benchmark) Result {
+	q, r := procGrid(p.Size())
+	blk := luInit(b.nz, p.Size(), p.Rank())
+	c := &luParallel{p: p, b: b, q: q, r: r, pi: p.Rank() % q, pj: p.Rank() / q}
+	v := luDriver(c, blk, b.Iters)
+	ref := refValue(refKey("lu", b.nz, b.Iters), func() float64 { return luDriver(luSerial{}, luInit(b.nz, 1, 0), b.Iters) })
+	return Result{Value: v, Verified: close(v, ref), Iters: b.Iters}
+}

@@ -1,0 +1,268 @@
+package nas
+
+import (
+	"math"
+
+	"mpichv/internal/mpi"
+)
+
+// MG: 3D multigrid V-cycles for the Poisson problem on a periodic cube,
+// slab-decomposed along z. Every smoothing and residual step exchanges
+// one halo plane with each z-neighbour; the planes shrink quadratically
+// toward coarse levels, producing the stream of small messages that
+// makes MG latency-bound (paper figure 7: V2 suffers on MG like on CG).
+//
+// The smoother is weighted Jacobi, which is order-independent, so the
+// parallel run and the serial reference compute identical values.
+
+const (
+	mgN   = 64  // reduced cube edge (full class A/B: 256)
+	mgNu  = 2   // smoothing sweeps per level
+	mgTag = 901 // halo tag base
+)
+
+// MG returns the MG benchmark for a class.
+func MG(class string) Benchmark {
+	// MsgScale 4: the reduced 64³ slab halo (64²×8 = 32 KiB) models the
+	// full 256³ run's per-axis transfer volume on the paper's process
+	// counts (a 3D-decomposed face is (256²/q)×8 bytes ≈ 4×32 KiB at
+	// 8–16 processes).
+	b := Benchmark{Name: "MG", Class: class, Run: runMG, MsgScale: 4}
+	switch class {
+	case "B":
+		b.Iters, b.FullIters = 8, 20
+		b.FullFlops = 58.1e9
+	default:
+		b.Class = "A"
+		b.Iters, b.FullIters = 4, 4
+		b.FullFlops = 3.89e9
+	}
+	return b
+}
+
+// mgComm abstracts the halo exchange so the serial reference reuses the
+// exact same numerical code.
+type mgComm interface {
+	// exchange fills the ghost planes of g (periodic in z).
+	exchange(g *mgGrid)
+	sum(x float64) float64
+	charge()
+}
+
+// mgGrid is one level's slab: nz local planes plus two ghost planes,
+// each plane nx×nx, periodic in x and y.
+type mgGrid struct {
+	nx  int // plane edge
+	nz  int // local planes (without ghosts)
+	gz  int // global planes
+	z0  int // global index of first local plane
+	val []float64
+}
+
+func newMGGrid(nx, gz, rank, size int) *mgGrid {
+	lo, hi := blockRange(gz, size, rank)
+	return &mgGrid{nx: nx, nz: hi - lo, gz: gz, z0: lo, val: make([]float64, (hi-lo+2)*nx*nx)}
+}
+
+// at addresses plane z (−1..nz) — z is local with ghosts at −1 and nz.
+func (g *mgGrid) plane(z int) []float64 {
+	n2 := g.nx * g.nx
+	return g.val[(z+1)*n2 : (z+2)*n2]
+}
+
+func (g *mgGrid) idx(z, y, x int) int {
+	return (z+1)*g.nx*g.nx + y*g.nx + x
+}
+
+type mgParallel struct {
+	p *mpi.Proc
+	b Benchmark
+}
+
+func (c *mgParallel) exchange(g *mgGrid) {
+	p := c.p
+	if p.Size() == 1 {
+		copy(g.plane(-1), g.plane(g.nz-1))
+		copy(g.plane(g.nz), g.plane(0))
+		return
+	}
+	up := (p.Rank() + 1) % p.Size()
+	down := (p.Rank() - 1 + p.Size()) % p.Size()
+	// One direction at a time, like NPB MG's comm3 (per-axis,
+	// per-direction): first every rank ships its top plane upward,
+	// then its bottom plane downward. Transfers never run both ways at
+	// once, so the P4 driver's half-duplex limitation does not bite
+	// here — which is why the paper's MG, like CG, is purely a
+	// latency/overhead loss for V2.
+	got, _ := p.Sendrecv(up, mgTag, mpi.Float64sToBytes(g.plane(g.nz-1)), down, mgTag)
+	copy(g.plane(-1), mpi.BytesToFloat64s(got)) // ghost below ← down-neighbour's top plane
+	got, _ = p.Sendrecv(down, mgTag+1, mpi.Float64sToBytes(g.plane(0)), up, mgTag+1)
+	copy(g.plane(g.nz), mpi.BytesToFloat64s(got)) // ghost above ← up-neighbour's bottom plane
+}
+
+func (c *mgParallel) sum(x float64) float64 { return c.p.AllreduceScalar(x, mpi.OpSum) }
+func (c *mgParallel) charge()               { chargePerIter(c.p, c.b) }
+
+type mgSerial struct{}
+
+func (mgSerial) exchange(g *mgGrid) {
+	copy(g.plane(-1), g.plane(g.nz-1))
+	copy(g.plane(g.nz), g.plane(0))
+}
+func (mgSerial) sum(x float64) float64 { return x }
+func (mgSerial) charge()               {}
+
+// mgLevels returns how many levels the V-cycle can descend: the process
+// count must divide every coarser plane count so slabs stay aligned
+// (the benchmark sweep uses powers of two, as the paper does).
+func mgLevels(gz, size int) int {
+	levels := 1
+	for n := gz / 2; n%size == 0 && n >= 4 && levels < 4; n /= 2 {
+		levels++
+	}
+	return levels
+}
+
+// smooth runs weighted-Jacobi sweeps of the 7-point Laplacian equation
+// A·u = r.
+func mgSmooth(c mgComm, u, r *mgGrid, sweeps int) {
+	const omega = 0.8
+	nx := u.nx
+	tmp := make([]float64, len(u.val))
+	for s := 0; s < sweeps; s++ {
+		c.exchange(u)
+		for z := 0; z < u.nz; z++ {
+			for y := 0; y < nx; y++ {
+				ym, yp := (y-1+nx)%nx, (y+1)%nx
+				for x := 0; x < nx; x++ {
+					xm, xp := (x-1+nx)%nx, (x+1)%nx
+					nb := u.val[u.idx(z-1, y, x)] + u.val[u.idx(z+1, y, x)] +
+						u.val[u.idx(z, ym, x)] + u.val[u.idx(z, yp, x)] +
+						u.val[u.idx(z, y, xm)] + u.val[u.idx(z, y, xp)]
+					// Jacobi update for -∇²u = r: u = (r + Σnb)/6.
+					newV := (r.val[r.idx(z, y, x)] + nb) / 6.0
+					old := u.val[u.idx(z, y, x)]
+					tmp[u.idx(z, y, x)] = old + omega*(newV-old)
+				}
+			}
+		}
+		for z := 0; z < u.nz; z++ {
+			copy(u.plane(z), tmp[(z+1)*nx*nx:(z+2)*nx*nx])
+		}
+	}
+}
+
+// mgResidual computes res = r - A·u (A = -∇² with unit spacing scaled by
+// 1/6 convention matching the smoother).
+func mgResidual(c mgComm, u, r, res *mgGrid) {
+	nx := u.nx
+	c.exchange(u)
+	for z := 0; z < u.nz; z++ {
+		for y := 0; y < nx; y++ {
+			ym, yp := (y-1+nx)%nx, (y+1)%nx
+			for x := 0; x < nx; x++ {
+				xm, xp := (x-1+nx)%nx, (x+1)%nx
+				nb := u.val[u.idx(z-1, y, x)] + u.val[u.idx(z+1, y, x)] +
+					u.val[u.idx(z, ym, x)] + u.val[u.idx(z, yp, x)] +
+					u.val[u.idx(z, y, xm)] + u.val[u.idx(z, y, xp)]
+				au := 6.0*u.val[u.idx(z, y, x)] - nb
+				res.val[res.idx(z, y, x)] = r.val[r.idx(z, y, x)] - au
+			}
+		}
+	}
+}
+
+// mgRestrict halves the grid (full-weighting on even points).
+func mgRestrict(c mgComm, fine, coarse *mgGrid) {
+	c.exchange(fine)
+	nx := coarse.nx
+	for z := 0; z < coarse.nz; z++ {
+		fz := (coarse.z0+z)*2 - fine.z0 // global→local fine plane
+		for y := 0; y < nx; y++ {
+			for x := 0; x < nx; x++ {
+				coarse.val[coarse.idx(z, y, x)] = fine.val[fine.idx(fz, 2*y, 2*x)]
+			}
+		}
+	}
+}
+
+// mgProlong adds the coarse correction (injection + nearest neighbour).
+func mgProlong(c mgComm, coarse, fine *mgGrid) {
+	c.exchange(coarse)
+	nx := fine.nx
+	cnx := coarse.nx
+	for z := 0; z < fine.nz; z++ {
+		gz := fine.z0 + z
+		cz := gz/2 - coarse.z0
+		for y := 0; y < nx; y++ {
+			cy := (y / 2) % cnx
+			for x := 0; x < nx; x++ {
+				cx := (x / 2) % cnx
+				fine.val[fine.idx(z, y, x)] += coarse.val[coarse.idx(cz, cy, cx)]
+			}
+		}
+	}
+}
+
+// mgVcycle solves A·u = r approximately.
+func mgVcycle(c mgComm, rank, size, level, maxLevel int, u, r *mgGrid) {
+	mgSmooth(c, u, r, mgNu)
+	if level == maxLevel-1 {
+		mgSmooth(c, u, r, mgNu)
+		return
+	}
+	res := newMGGrid(u.nx, u.gz, rank, size)
+	mgResidual(c, u, r, res)
+	rc := newMGGrid(u.nx/2, u.gz/2, rank, size)
+	mgRestrict(c, res, rc)
+	uc := newMGGrid(rc.nx, rc.gz, rank, size)
+	mgVcycle(c, rank, size, level+1, maxLevel, uc, rc)
+	mgProlong(c, uc, u)
+	mgSmooth(c, u, r, mgNu)
+}
+
+// mgRHS builds the deterministic sparse ±1 source (NPB-style).
+func mgRHS(g *mgGrid) {
+	rng := newLCG(7)
+	for k := 0; k < 20; k++ {
+		x, y, z := rng.intn(g.nx), rng.intn(g.nx), rng.intn(g.gz)
+		v := 1.0
+		if k%2 == 1 {
+			v = -1.0
+		}
+		if z >= g.z0 && z < g.z0+g.nz {
+			g.val[g.idx(z-g.z0, y, x)] = v
+		}
+	}
+}
+
+func mgDriver(c mgComm, rank, size, iters, levels int) float64 {
+	r := newMGGrid(mgN, mgN, rank, size)
+	mgRHS(r)
+	u := newMGGrid(mgN, mgN, rank, size)
+	res := newMGGrid(mgN, mgN, rank, size)
+	var norm float64
+	for it := 0; it < iters; it++ {
+		c.charge()
+		mgVcycle(c, rank, size, 0, levels, u, r)
+		mgResidual(c, u, r, res)
+		var local float64
+		for z := 0; z < res.nz; z++ {
+			for _, v := range res.plane(z) {
+				local += v * v
+			}
+		}
+		norm = math.Sqrt(c.sum(local))
+	}
+	return norm
+}
+
+func runMG(p *mpi.Proc, b Benchmark) Result {
+	c := &mgParallel{p: p, b: b}
+	levels := mgLevels(mgN, p.Size())
+	v := mgDriver(c, p.Rank(), p.Size(), b.Iters, levels)
+	ref := refValue(refKey("mg", b.Iters, levels), func() float64 {
+		return mgDriver(mgSerial{}, 0, 1, b.Iters, levels)
+	})
+	return Result{Value: v, Verified: close(v, ref), Iters: b.Iters}
+}

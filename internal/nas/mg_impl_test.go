@@ -1,0 +1,25 @@
+package nas_test
+
+import (
+	"mpichv/internal/cluster"
+	"mpichv/internal/mpi"
+	"mpichv/internal/nas"
+	"testing"
+)
+
+func TestMGP16(t *testing.T) {
+	for _, impl := range []cluster.Impl{cluster.P4, cluster.V2} {
+		for _, n := range []int{8, 16, 32} {
+			b := nas.MG("A")
+			results := make([]nas.Result, n)
+			cluster.Run(cluster.Config{Impl: impl, N: n}, func(p *mpi.Proc) {
+				results[p.Rank()] = b.Run(p, b)
+			})
+			for r, res := range results {
+				if !res.Verified {
+					t.Errorf("%v P=%d rank %d: value %v", impl, n, r, res.Value)
+				}
+			}
+		}
+	}
+}

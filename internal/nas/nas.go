@@ -1,0 +1,190 @@
+// Package nas implements reduced-size but mathematically real versions
+// of the NAS Parallel Benchmarks 2.3 kernels the paper evaluates
+// (§5.2): CG, MG, FT, LU, BT and SP, written against this repository's
+// MPI layer with the same domain decompositions and communication
+// patterns as the Fortran originals:
+//
+//	CG — conjugate gradient on a sparse SPD matrix: dot-product
+//	     allreduces and vector-segment exchanges every iteration
+//	     (many small messages; latency-bound).
+//	MG — 3D multigrid V-cycles: halo exchanges that shrink with each
+//	     level (small messages at coarse levels).
+//	FT — 3D FFT: local FFTs plus a global transpose (all-to-all of
+//	     large blocks; bandwidth-bound).
+//	LU — SSOR with pipelined wavefront sweeps (very many tiny
+//	     messages).
+//	BT/SP — ADI sweeps with Isend/Irecv/Waitall face exchanges
+//	     (moderately large messages, bidirectional; the figure 9
+//	     pattern).
+//
+// Scaling: each kernel runs a problem small enough to execute quickly
+// and verify against a serial reference, while (a) charging the full
+// NPB class flop count as virtual compute time and (b) reporting a
+// MsgScale — the geometric factor between its reduced message sizes and
+// the full-class message sizes. The experiment harness divides the
+// modeled network bandwidth (and the eager limit and log budgets) by
+// MsgScale, so transfer times, message counts and compute/communication
+// ratios match the full-class run without allocating full-class memory.
+// See DESIGN.md §2.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mpichv/internal/mpi"
+)
+
+// Result is the outcome of one kernel run on one rank.
+type Result struct {
+	// Value is the kernel's verification value (identical on every
+	// rank).
+	Value float64
+	// Verified is true when Value matches the serial reference within
+	// tolerance.
+	Verified bool
+	// Iters actually executed.
+	Iters int
+}
+
+// Benchmark describes one kernel+class instance.
+type Benchmark struct {
+	Name  string
+	Class string
+	// Iters is the number of iterations actually executed.
+	Iters int
+	// FullIters is the iteration count of the full-class benchmark;
+	// when larger than Iters, measured times extrapolate linearly
+	// (kernels are steady-state per iteration).
+	FullIters int
+	// FullFlops is the total floating-point work of the full-class
+	// problem (all FullIters, all ranks), charged as virtual time
+	// pro-rata per executed iteration.
+	FullFlops float64
+	// MsgScale is fullMessageBytes / reducedMessageBytes.
+	MsgScale float64
+	// MaxProcs bounds the process count (BT/SP need squares).
+	MaxProcs int
+	// Run executes the kernel on one rank.
+	Run func(p *mpi.Proc, b Benchmark) Result
+
+	// kernel-private dimensioning.
+	nz   int // LU: vertical levels (full-class count, run as-is)
+	vars int // ADI: components per grid point
+	n    int // ADI: reduced cube edge
+}
+
+// ID returns e.g. "CG.A".
+func (b Benchmark) ID() string { return b.Name + "." + b.Class }
+
+const verifyTol = 1e-8
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return true
+	}
+	return math.Abs(a-b)/den < verifyTol
+}
+
+// chargePerIter charges this rank's share of one iteration of the
+// full-class compute.
+func chargePerIter(p *mpi.Proc, b Benchmark) {
+	fi := b.FullIters
+	if fi <= 0 {
+		fi = b.Iters
+	}
+	p.Compute(b.FullFlops / float64(fi) / float64(p.Size()))
+}
+
+// ExtrapFactor is what measured elapsed times are multiplied by to
+// estimate the full-class run.
+func (b Benchmark) ExtrapFactor() float64 {
+	if b.FullIters <= 0 || b.FullIters <= b.Iters {
+		return 1
+	}
+	return float64(b.FullIters) / float64(b.Iters)
+}
+
+// refValue memoizes serial reference values: every rank verifies
+// against the same reference, so it is computed once per process
+// lifetime.
+var (
+	refMu    sync.Mutex
+	refCache = map[string]float64{}
+)
+
+func refValue(key string, f func() float64) float64 {
+	refMu.Lock()
+	v, ok := refCache[key]
+	refMu.Unlock()
+	if ok {
+		return v
+	}
+	v = f()
+	refMu.Lock()
+	refCache[key] = v
+	refMu.Unlock()
+	return v
+}
+
+func refKey(parts ...any) string { return fmt.Sprintln(parts...) }
+
+// lcg is the deterministic pseudo-random generator used to build inputs
+// (NPB uses a specific linear congruential generator; the exact stream
+// does not matter here, determinism does).
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*6364136223846793005 + 1442695040888963407} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+// float returns a uniform value in (0,1).
+func (l *lcg) float() float64 {
+	return float64(l.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform value in [0,n).
+func (l *lcg) intn(n int) int {
+	return int(l.next() % uint64(n))
+}
+
+// Square reports the largest q with q*q <= n.
+func Square(n int) int {
+	q := int(math.Sqrt(float64(n)))
+	for q*q > n {
+		q--
+	}
+	return q
+}
+
+// All returns the benchmark suite of the paper's figure 7: CG, MG, FT,
+// LU, BT, SP in classes A and B (FT.B is excluded — the paper could not
+// run it either, its message log exceeding the 2 GB capacity).
+func All() []Benchmark {
+	return []Benchmark{
+		CG("A"), CG("B"),
+		MG("A"), MG("B"),
+		FT("A"),
+		LU("A"), LU("B"),
+		BT("A"), BT("B"),
+		SP("A"), SP("B"),
+	}
+}
+
+// ByID returns the benchmark with the given ID ("CG.A").
+func ByID(id string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.ID() == id {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,130 @@
+package nas_test
+
+import (
+	"testing"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+	"mpichv/internal/nas"
+)
+
+// runKernel executes a benchmark on a simulated V2 cluster and returns
+// the per-rank results.
+func runKernel(t *testing.T, impl cluster.Impl, b nas.Benchmark, n int, faults []dispatcher.Fault, ckpt bool) []nas.Result {
+	t.Helper()
+	results := make([]nas.Result, n)
+	cfg := cluster.Config{Impl: impl, N: n, Faults: faults, Checkpointing: ckpt}
+	if ckpt {
+		cfg.SchedPeriod = 5 * time.Millisecond
+	}
+	cluster.Run(cfg, func(p *mpi.Proc) {
+		results[p.Rank()] = b.Run(p, b)
+	})
+	return results
+}
+
+func checkVerified(t *testing.T, id string, rs []nas.Result) {
+	t.Helper()
+	for r, res := range rs {
+		if !res.Verified {
+			t.Errorf("%s rank %d failed verification (value %v)", id, r, res.Value)
+		}
+	}
+}
+
+func TestCGVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		checkVerified(t, "CG.A", runKernel(t, cluster.V2, nas.CG("A"), n, nil, false))
+	}
+}
+
+func TestCGVerifiesOnP4(t *testing.T) {
+	checkVerified(t, "CG.A", runKernel(t, cluster.P4, nas.CG("A"), 4, nil, false))
+}
+
+func TestMGVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		checkVerified(t, "MG.A", runKernel(t, cluster.V2, nas.MG("A"), n, nil, false))
+	}
+}
+
+func TestFTVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		checkVerified(t, "FT.A", runKernel(t, cluster.V2, nas.FT("A"), n, nil, false))
+	}
+}
+
+func TestLUVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		checkVerified(t, "LU.A", runKernel(t, cluster.V2, nas.LU("A"), n, nil, false))
+	}
+}
+
+func TestBTVerifies(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		checkVerified(t, "BT.A", runKernel(t, cluster.V2, nas.BT("A"), n, nil, false))
+	}
+}
+
+func TestSPVerifies(t *testing.T) {
+	checkVerified(t, "SP.A", runKernel(t, cluster.V2, nas.SP("A"), 4, nil, false))
+}
+
+func TestBTNineProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9-process BT is slow in short mode")
+	}
+	checkVerified(t, "BT.A", runKernel(t, cluster.V2, nas.BT("A"), 9, nil, false))
+}
+
+func TestCGSurvivesFault(t *testing.T) {
+	faults := []dispatcher.Fault{{Time: 20 * time.Millisecond, Rank: 1}}
+	checkVerified(t, "CG.A", runKernel(t, cluster.V2, nas.CG("A"), 4, faults, false))
+}
+
+func TestBTSurvivesFaultWithCheckpoint(t *testing.T) {
+	// The figure 11 scenario in miniature: BT with continuous
+	// checkpointing and a mid-run fault; the restarted rank resumes
+	// from its checkpoint and the result still verifies.
+	faults := []dispatcher.Fault{{Time: 100 * time.Millisecond, Rank: 2}}
+	checkVerified(t, "BT.A", runKernel(t, cluster.V2, nas.BT("A"), 4, faults, true))
+}
+
+func TestLUSurvivesFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LU fault test is slow in short mode")
+	}
+	faults := []dispatcher.Fault{{Time: 50 * time.Millisecond, Rank: 0}}
+	checkVerified(t, "LU.A", runKernel(t, cluster.V2, nas.LU("A"), 4, faults, false))
+}
+
+func TestSuiteMetadata(t *testing.T) {
+	ids := map[string]bool{}
+	for _, b := range nas.All() {
+		if b.Iters <= 0 || b.FullFlops <= 0 || b.MsgScale < 1 {
+			t.Errorf("%s: bad metadata %+v", b.ID(), b)
+		}
+		if ids[b.ID()] {
+			t.Errorf("duplicate benchmark id %s", b.ID())
+		}
+		ids[b.ID()] = true
+		if b.ExtrapFactor() < 1 {
+			t.Errorf("%s: extrapolation factor %v < 1", b.ID(), b.ExtrapFactor())
+		}
+	}
+	if _, ok := nas.ByID("CG.A"); !ok {
+		t.Error("ByID failed for CG.A")
+	}
+	if _, ok := nas.ByID("XX.Z"); ok {
+		t.Error("ByID returned a bogus benchmark")
+	}
+}
+
+func TestCGSurvivesFaultWithCheckpoint(t *testing.T) {
+	// CG's outer loop is checkpointable too: a killed rank resumes
+	// from its snapshot instead of re-executing from the start.
+	faults := []dispatcher.Fault{{Time: 40 * time.Millisecond, Rank: 2}}
+	checkVerified(t, "CG.A", runKernel(t, cluster.V2, nas.CG("A"), 4, faults, true))
+}

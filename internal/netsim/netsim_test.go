@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpichv/internal/vtime"
+)
+
+func TestZeroByteDelayIsOverhead(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		n := New(s, Params2003())
+		if d := n.Delay(0, 1, 0, ClassCompute); d != 77*time.Microsecond {
+			t.Errorf("compute 0-byte delay = %v, want 77µs", d)
+		}
+		if d := n.Delay(0, 9, 0, ClassService); d != 55*time.Microsecond {
+			t.Errorf("service 0-byte delay = %v, want 55µs", d)
+		}
+	})
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		n := New(s, p)
+		const sz = 1 << 20
+		d1 := n.Delay(0, 1, sz, ClassCompute)
+		d2 := n.Delay(0, 1, sz, ClassCompute)
+		tx := time.Duration(float64(sz) / p.Bandwidth * float64(time.Second))
+		if want := tx + p.ComputeOverhead; d1 != want {
+			t.Errorf("first delay = %v, want %v", d1, want)
+		}
+		// Second message queues behind the first on the same direction.
+		if want := 2*tx + p.ComputeOverhead; d2 != want {
+			t.Errorf("second delay = %v, want %v", d2, want)
+		}
+	})
+}
+
+func TestFullDuplexDirectionsIndependent(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		n := New(s, p)
+		const sz = 1 << 20
+		d1 := n.Delay(0, 1, sz, ClassCompute)
+		d2 := n.Delay(1, 0, sz, ClassCompute)
+		if d1 != d2 {
+			t.Errorf("opposite directions interfere: %v vs %v", d1, d2)
+		}
+	})
+}
+
+func TestHalfDuplexPairShared(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		p.HalfDuplexPairs = true
+		n := New(s, p)
+		const sz = 1 << 20
+		d1 := n.Delay(0, 1, sz, ClassCompute)
+		d2 := n.Delay(1, 0, sz, ClassCompute)
+		if d2 <= d1 {
+			t.Errorf("half-duplex reverse direction did not queue: %v vs %v", d1, d2)
+		}
+	})
+}
+
+func TestLinkDrainsOverTime(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		n := New(s, p)
+		const sz = 1 << 20
+		n.Delay(0, 1, sz, ClassCompute)
+		s.Sleep(10 * time.Second) // link long since idle
+		d := n.Delay(0, 1, sz, ClassCompute)
+		tx := time.Duration(float64(sz) / p.Bandwidth * float64(time.Second))
+		if want := tx + p.ComputeOverhead; d != want {
+			t.Errorf("delay after idle = %v, want %v", d, want)
+		}
+	})
+}
+
+func TestLoopbackCheap(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		n := New(s, Params2003())
+		if d := n.Delay(3, 3, 1<<20, ClassCompute); d >= 77*time.Microsecond {
+			t.Errorf("loopback delay %v should be below one message overhead", d)
+		}
+	})
+}
+
+// Property: delay is always positive and monotone in message size for a
+// fresh link.
+func TestPropertyDelayMonotoneInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s := vtime.NewSim()
+		ok := true
+		s.Run(func() {
+			small, big := int(a), int(a)+int(b)+1
+			n1 := New(s, Params2003())
+			d1 := n1.Delay(0, 1, small, ClassCompute)
+			n2 := New(s, Params2003())
+			d2 := n2.Delay(0, 1, big, ClassCompute)
+			ok = d1 > 0 && d2 >= d1
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		n := New(s, Params2003())
+		n.Delay(0, 1, 100, ClassCompute)
+		n.Delay(1, 2, 200, ClassService)
+		if n.Messages != 2 || n.Bytes != 300 {
+			t.Errorf("stats = (%d msgs, %d bytes), want (2, 300)", n.Messages, n.Bytes)
+		}
+	})
+}
+
+func TestHalfDuplexSmallMessagesExempt(t *testing.T) {
+	// Small messages ride the socket buffers: no pair serialization
+	// below HalfDuplexMinBytes.
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		p.HalfDuplexPairs = true
+		n := New(s, p)
+		small := p.HalfDuplexMinBytes - 1
+		d1 := n.Delay(0, 1, small, ClassCompute)
+		d2 := n.Delay(1, 0, small, ClassCompute)
+		if d1 != d2 {
+			t.Errorf("small messages serialized: %v vs %v", d1, d2)
+		}
+		big := p.HalfDuplexMinBytes
+		b1 := n.Delay(0, 1, big, ClassCompute)
+		b2 := n.Delay(1, 0, big, ClassCompute)
+		if b2 <= b1 {
+			t.Errorf("large messages not serialized: %v vs %v", b1, b2)
+		}
+	})
+}
+
+func TestParamsAccessor(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		p := Params2003()
+		n := New(s, p)
+		if n.Params().Bandwidth != p.Bandwidth {
+			t.Error("Params() does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package sched implements the checkpoint scheduler of §4.6.2. It
+// periodically polls the communication daemons for their status (amount
+// of logged messages, traffic ratio) and orders checkpoints according to
+// a policy. The paper provides two policies — round-robin and an
+// adaptive one driven by the received/sent ratio — plus a random policy
+// used in the faulty-execution experiment (§5.4), and compares the first
+// two with a simulator (see simulate.go).
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// Policy chooses the next node to checkpoint from the collected
+// statuses.
+type Policy interface {
+	Name() string
+	Next(status []wire.NodeStatus) int
+}
+
+// RoundRobin cycles through the ranks regardless of status — no
+// communication needed in principle, but unfair under asymmetric
+// communication schemes.
+type RoundRobin struct{ pos int }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Next implements Policy.
+func (r *RoundRobin) Next(status []wire.NodeStatus) int {
+	if len(status) == 0 {
+		return -1
+	}
+	sort.Slice(status, func(i, j int) bool { return status[i].Rank < status[j].Rank })
+	n := status[r.pos%len(status)].Rank
+	r.pos++
+	return n
+}
+
+// Adaptive orders checkpoints by decreasing received/sent ratio
+// (§4.6.2): a node that received much relative to what it sent releases
+// the most logged bytes on other nodes when it checkpoints ("computes a
+// scheduling following a decreasing order of this ratio across the
+// nodes"). Equal ratios — symmetric schemes — are broken by the least
+// recently checkpointed node, which reduces to a fair rotation.
+type Adaptive struct {
+	seq  int
+	last map[int]int
+}
+
+// Name implements Policy.
+func (*Adaptive) Name() string { return "adaptive" }
+
+// Next implements Policy.
+func (a *Adaptive) Next(status []wire.NodeStatus) int {
+	if len(status) == 0 {
+		return -1
+	}
+	if a.last == nil {
+		a.last = make(map[int]int)
+	}
+	sort.Slice(status, func(i, j int) bool { return status[i].Rank < status[j].Rank })
+	best := -1
+	var bestRatio float64
+	var bestLast int
+	for _, st := range status {
+		r := ratio(st)
+		l := a.last[st.Rank]
+		if best < 0 || r > bestRatio || (r == bestRatio && l < bestLast) {
+			best, bestRatio, bestLast = st.Rank, r, l
+		}
+	}
+	a.seq++
+	a.last[best] = a.seq
+	return best
+}
+
+func ratio(st wire.NodeStatus) float64 {
+	if st.SentBytes == 0 {
+		return float64(st.RecvBytes)
+	}
+	return float64(st.RecvBytes) / float64(st.SentBytes)
+}
+
+// Random picks a uniformly random node, with a deterministic generator —
+// the policy used by the paper's fault-injection run ("a scheduling
+// policy randomly selecting the node to checkpoint").
+type Random struct {
+	state uint64
+}
+
+// NewRandom returns a Random policy with the given seed.
+func NewRandom(seed uint64) *Random { return &Random{state: seed*2862933555777941757 + 3037000493} }
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Next implements Policy.
+func (r *Random) Next(status []wire.NodeStatus) int {
+	if len(status) == 0 {
+		return -1
+	}
+	sort.Slice(status, func(i, j int) bool { return status[i].Rank < status[j].Rank })
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return status[(r.state>>33)%uint64(len(status))].Rank
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	Node   int   // this scheduler's node id
+	Ranks  []int // computing nodes to manage
+	Policy Policy
+	// Period between scheduling rounds; the faulty-execution
+	// experiment uses a tiny period so "the system is always
+	// checkpointing a node".
+	Period time.Duration
+	// ReplyWindow is how long to wait for status replies each round.
+	ReplyWindow time.Duration
+}
+
+// Scheduler polls daemons and orders checkpoints.
+type Scheduler struct {
+	rt  vtime.Runtime
+	cfg Config
+	ep  transport.Endpoint
+
+	Orders int64
+}
+
+// Start attaches and runs a scheduler.
+func Start(rt vtime.Runtime, fab transport.Fabric, cfg Config) *Scheduler {
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	if cfg.ReplyWindow <= 0 {
+		cfg.ReplyWindow = 5 * time.Millisecond
+	}
+	s := &Scheduler{rt: rt, cfg: cfg, ep: fab.Attach(cfg.Node, "ckpt-sched")}
+	rt.Go("ckpt-scheduler", s.run)
+	return s
+}
+
+func (s *Scheduler) run() {
+	for {
+		s.rt.Sleep(s.cfg.Period)
+		if s.ep.Inbox().Closed() {
+			return
+		}
+		for _, r := range s.cfg.Ranks {
+			s.ep.Send(r, wire.KSchedPoll, nil)
+		}
+		s.rt.Sleep(s.cfg.ReplyWindow)
+		var statuses []wire.NodeStatus
+		for {
+			f, ok := s.ep.Inbox().TryRecv()
+			if !ok {
+				break
+			}
+			if f.Kind != wire.KSchedStat {
+				continue
+			}
+			st, err := wire.DecodeStatus(f.Data)
+			if err == nil {
+				statuses = append(statuses, st)
+			}
+		}
+		if target := s.pick(statuses); target >= 0 {
+			s.ep.Send(target, wire.KCkptOrder, nil)
+			s.Orders++
+		}
+	}
+}
+
+func (s *Scheduler) pick(statuses []wire.NodeStatus) int {
+	if len(statuses) == 0 {
+		return -1
+	}
+	t := s.cfg.Policy.Next(statuses)
+	if t < 0 {
+		return -1
+	}
+	return t
+}

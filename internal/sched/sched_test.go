@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpichv/internal/netsim"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+func statuses(ranks ...int) []wire.NodeStatus {
+	out := make([]wire.NodeStatus, len(ranks))
+	for i, r := range ranks {
+		out[i] = wire.NodeStatus{Rank: r, SentBytes: 10, RecvBytes: 10}
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	var picks []int
+	for i := 0; i < 6; i++ {
+		picks = append(picks, rr.Next(statuses(0, 1, 2)))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	if n := (&RoundRobin{}).Next(nil); n != -1 {
+		t.Errorf("Next(nil) = %d", n)
+	}
+	if n := (&Adaptive{}).Next(nil); n != -1 {
+		t.Errorf("adaptive Next(nil) = %d", n)
+	}
+}
+
+func TestAdaptivePrefersHighRatio(t *testing.T) {
+	a := &Adaptive{}
+	st := []wire.NodeStatus{
+		{Rank: 0, SentBytes: 100, RecvBytes: 10}, // ratio 0.1
+		{Rank: 1, SentBytes: 10, RecvBytes: 100}, // ratio 10
+		{Rank: 2, SentBytes: 50, RecvBytes: 50},  // ratio 1
+	}
+	if got := a.Next(st); got != 1 {
+		t.Errorf("adaptive picked %d, want 1", got)
+	}
+}
+
+func TestAdaptiveRotatesOnTies(t *testing.T) {
+	a := &Adaptive{}
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		seen[a.Next(statuses(0, 1, 2))]++
+	}
+	for r := 0; r < 3; r++ {
+		if seen[r] != 3 {
+			t.Fatalf("unfair tie rotation: %v", seen)
+		}
+	}
+}
+
+func TestAdaptiveZeroSentUsesRecv(t *testing.T) {
+	a := &Adaptive{}
+	st := []wire.NodeStatus{
+		{Rank: 0, SentBytes: 1000, RecvBytes: 0}, // the broadcaster
+		{Rank: 1, SentBytes: 0, RecvBytes: 500},  // a receiver
+	}
+	if got := a.Next(st); got != 1 {
+		t.Errorf("adaptive picked the broadcaster (%d)", got)
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	for i := 0; i < 50; i++ {
+		x, y := a.Next(statuses(0, 1, 2, 3)), b.Next(statuses(0, 1, 2, 3))
+		if x != y {
+			t.Fatal("same seed diverged")
+		}
+		if x < 0 || x > 3 {
+			t.Fatalf("pick %d out of range", x)
+		}
+	}
+}
+
+func TestPropertyPoliciesPickValidRanks(t *testing.T) {
+	f := func(sent, recv []uint32) bool {
+		n := len(sent)
+		if len(recv) < n {
+			n = len(recv)
+		}
+		if n == 0 || n > 32 {
+			return true
+		}
+		st := make([]wire.NodeStatus, n)
+		for i := 0; i < n; i++ {
+			st[i] = wire.NodeStatus{Rank: i, SentBytes: uint64(sent[i]), RecvBytes: uint64(recv[i])}
+		}
+		for _, p := range []Policy{&RoundRobin{}, &Adaptive{}, NewRandom(1)} {
+			got := p.Next(append([]wire.NodeStatus(nil), st...))
+			if got < 0 || got >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatorAdaptiveNeverWorse(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		for _, sc := range Schemes() {
+			rr := Simulate(sc, &RoundRobin{}, n, 2000, 20)
+			ad := Simulate(sc, &Adaptive{}, n, 2000, 20)
+			if ad.MeanCkptBytes > rr.MeanCkptBytes*1.01 {
+				t.Errorf("n=%d %s: adaptive ckpt %.0f > round-robin %.0f",
+					n, sc.Name, ad.MeanCkptBytes, rr.MeanCkptBytes)
+			}
+		}
+	}
+}
+
+func TestSimulatorBroadcastAdvantageGrowsWithN(t *testing.T) {
+	// Paper: "up to n times better ... for asynchronous broadcast".
+	gain := func(n int) float64 {
+		var bcast Scheme
+		for _, sc := range Schemes() {
+			if sc.Name == "broadcast" {
+				bcast = sc
+			}
+		}
+		rr := Simulate(bcast, &RoundRobin{}, n, 2000, 20)
+		ad := Simulate(bcast, &Adaptive{}, n, 2000, 20)
+		if ad.MeanCkptBytes == 0 {
+			return rr.MeanCkptBytes // adaptive ships ~nothing: report rr as the gain scale
+		}
+		return rr.MeanCkptBytes / ad.MeanCkptBytes
+	}
+	if g8, g16 := gain(8), gain(16); g16 <= g8 {
+		t.Errorf("broadcast advantage should grow with n: n=8 → %.1f, n=16 → %.1f", g8, g16)
+	}
+}
+
+// TestSchedulerOrdersCheckpoints runs the real scheduler actor against
+// fake daemons on a simulated fabric.
+func TestSchedulerOrdersCheckpoints(t *testing.T) {
+	sim := vtime.NewSim()
+	orders := make(map[int]int)
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		// Fake daemons: answer polls, count orders.
+		for r := 0; r < 3; r++ {
+			r := r
+			ep := fab.Attach(r, "fake")
+			sim.Go("fake-daemon", func() {
+				for {
+					f, ok := ep.Inbox().Recv()
+					if !ok {
+						return
+					}
+					switch f.Kind {
+					case wire.KSchedPoll:
+						ep.Send(f.From, wire.KSchedStat, wire.EncodeStatus(wire.NodeStatus{
+							Rank: r, SentBytes: 10, RecvBytes: 10,
+						}))
+					case wire.KCkptOrder:
+						orders[r]++
+					}
+				}
+			})
+		}
+		s := Start(sim, fab, Config{
+			Node:   1002,
+			Ranks:  []int{0, 1, 2},
+			Policy: &RoundRobin{},
+			Period: 10 * time.Millisecond,
+		})
+		sim.Sleep(100 * time.Millisecond)
+		if s.Orders < 6 {
+			t.Errorf("scheduler issued only %d orders in 100ms at 10ms period", s.Orders)
+		}
+	})
+	total := 0
+	for r, n := range orders {
+		if n == 0 {
+			t.Errorf("rank %d never ordered to checkpoint", r)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no checkpoint orders delivered")
+	}
+}

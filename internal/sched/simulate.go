@@ -1,0 +1,162 @@
+package sched
+
+import "mpichv/internal/wire"
+
+// Policy simulator (§4.6.2): the paper compares round-robin and
+// adaptive checkpoint scheduling "with classical communication schemes
+// (point to point, synchronous all to all, broadcasts and reduces)" and
+// reports that adaptive is never worse and up to n times better for the
+// asynchronous broadcast.
+//
+// The model: at every tick each node sends bytes according to the
+// scheme; a sender's log grows by what it sends. Every period, the
+// policy checkpoints one node; checkpointing node j lets every sender
+// garbage-collect the bytes j has received so far (§4.6.1). The figure
+// of merit is the time-averaged total log occupancy — the storage (and
+// checkpoint-traffic) pressure the scheduling is supposed to relieve.
+
+// Scheme describes per-tick traffic: bytes sent from node i to node j.
+type Scheme struct {
+	Name string
+	Rate func(i, j, n int) float64
+}
+
+// Schemes returns the paper's four classical communication schemes.
+func Schemes() []Scheme {
+	return []Scheme{
+		{Name: "point-to-point", Rate: func(i, j, n int) float64 {
+			// Neighbour pairs: i ↔ i^1.
+			if j == i^1 && j < n {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "all-to-all", Rate: func(i, j, n int) float64 {
+			if i != j {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "broadcast", Rate: func(i, j, n int) float64 {
+			// Asynchronous broadcast: node 0 streams to everyone.
+			if i == 0 && j != 0 {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "reduce", Rate: func(i, j, n int) float64 {
+			// Everyone streams to node 0.
+			if j == 0 && i != 0 {
+				return 1
+			}
+			return 0
+		}},
+	}
+}
+
+// SimResult is the outcome of one policy/scheme simulation.
+type SimResult struct {
+	Scheme string
+	Policy string
+	// MeanLogBytes is the time-averaged total logged bytes across all
+	// nodes.
+	MeanLogBytes float64
+	// PeakLogBytes is the maximum total occupancy seen.
+	PeakLogBytes float64
+	// MeanCkptBytes is the mean checkpoint image size shipped to the
+	// checkpoint server (the node state plus its logged payloads) —
+	// the "bandwidth utilization" the paper's comparison targets:
+	// checkpoint traffic competes with application traffic.
+	MeanCkptBytes float64
+}
+
+// Simulate runs the occupancy model for n nodes over the given number of
+// ticks, checkpointing one node every period ticks according to the
+// policy.
+func Simulate(scheme Scheme, policy Policy, n, ticks, period int) SimResult {
+	// sentTo[i][j]: bytes i has sent to j since j's last checkpoint
+	// (still occupying i's log).
+	sentTo := make([][]float64, n)
+	for i := range sentTo {
+		sentTo[i] = make([]float64, n)
+	}
+	totalSent := make([]float64, n)
+	totalRecv := make([]float64, n)
+
+	var sumOcc, peak, ckptBytes float64
+	var ckpts int
+	for t := 1; t <= ticks; t++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				r := scheme.Rate(i, j, n)
+				if r > 0 {
+					sentTo[i][j] += r
+					totalSent[i] += r
+					totalRecv[j] += r
+				}
+			}
+		}
+		if t%period == 0 {
+			statuses := make([]wire.NodeStatus, n)
+			for i := 0; i < n; i++ {
+				var logBytes float64
+				for j := 0; j < n; j++ {
+					logBytes += sentTo[i][j]
+				}
+				statuses[i] = wire.NodeStatus{
+					Rank:      i,
+					LogBytes:  uint64(logBytes),
+					SentBytes: uint64(totalSent[i]),
+					RecvBytes: uint64(totalRecv[i]),
+				}
+			}
+			if target := policy.Next(statuses); target >= 0 {
+				// The image carries the target's own log (§4.1: the
+				// SAVED copies are part of the checkpoint).
+				var img float64
+				for j := 0; j < n; j++ {
+					img += sentTo[target][j]
+				}
+				ckptBytes += img
+				ckpts++
+				// Everything delivered to the target so far can be
+				// collected on its senders.
+				for i := 0; i < n; i++ {
+					sentTo[i][target] = 0
+				}
+				// Status counters are "since last checkpoint".
+				totalSent[target], totalRecv[target] = 0, 0
+			}
+		}
+		var occ float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				occ += sentTo[i][j]
+			}
+		}
+		sumOcc += occ
+		if occ > peak {
+			peak = occ
+		}
+	}
+	res := SimResult{
+		Scheme:       scheme.Name,
+		Policy:       policy.Name(),
+		MeanLogBytes: sumOcc / float64(ticks),
+		PeakLogBytes: peak,
+	}
+	if ckpts > 0 {
+		res.MeanCkptBytes = ckptBytes / float64(ckpts)
+	}
+	return res
+}
+
+// ComparePolicies runs round-robin and adaptive on every scheme.
+func ComparePolicies(n, ticks, period int) []SimResult {
+	var out []SimResult
+	for _, sc := range Schemes() {
+		out = append(out, Simulate(sc, &RoundRobin{}, n, ticks, period))
+		out = append(out, Simulate(sc, &Adaptive{}, n, ticks, period))
+	}
+	return out
+}

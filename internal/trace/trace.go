@@ -1,0 +1,85 @@
+// Package trace accumulates the per-MPI-call time decomposition used by
+// Table 1 and the compute/communication breakdown of figure 8.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats collects named time buckets for one MPI process.
+type Stats struct {
+	buckets map[string]*Bucket
+}
+
+// Bucket is the accumulated time and call count of one MPI function.
+type Bucket struct {
+	Calls int64
+	Time  time.Duration
+}
+
+// New returns an empty Stats.
+func New() *Stats {
+	return &Stats{buckets: make(map[string]*Bucket)}
+}
+
+// Add accrues one call of duration d to the named bucket.
+func (s *Stats) Add(name string, d time.Duration) {
+	b := s.buckets[name]
+	if b == nil {
+		b = &Bucket{}
+		s.buckets[name] = b
+	}
+	b.Calls++
+	b.Time += d
+}
+
+// Get returns the bucket for name (zero bucket if absent).
+func (s *Stats) Get(name string) Bucket {
+	if b := s.buckets[name]; b != nil {
+		return *b
+	}
+	return Bucket{}
+}
+
+// Names returns the bucket names in sorted order.
+func (s *Stats) Names() []string {
+	out := make([]string, 0, len(s.buckets))
+	for k := range s.buckets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CommTime sums every bucket except the compute bucket: the total time
+// spent inside MPI calls.
+func (s *Stats) CommTime() time.Duration {
+	var total time.Duration
+	for name, b := range s.buckets {
+		if name == Compute {
+			continue
+		}
+		total += b.Time
+	}
+	return total
+}
+
+// ComputeTime returns the accumulated application compute time.
+func (s *Stats) ComputeTime() time.Duration { return s.Get(Compute).Time }
+
+// Merge adds other's buckets into s.
+func (s *Stats) Merge(other *Stats) {
+	for name, b := range other.buckets {
+		mine := s.buckets[name]
+		if mine == nil {
+			mine = &Bucket{}
+			s.buckets[name] = mine
+		}
+		mine.Calls += b.Calls
+		mine.Time += b.Time
+	}
+}
+
+// Compute is the bucket name for application computation.
+const Compute = "Compute"

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	s := New()
+	s.Add("MPI_Send", 2*time.Millisecond)
+	s.Add("MPI_Send", 3*time.Millisecond)
+	s.Add("MPI_Wait", time.Millisecond)
+	b := s.Get("MPI_Send")
+	if b.Calls != 2 || b.Time != 5*time.Millisecond {
+		t.Errorf("send bucket = %+v", b)
+	}
+	if z := s.Get("MPI_Nothing"); z.Calls != 0 || z.Time != 0 {
+		t.Errorf("missing bucket = %+v", z)
+	}
+}
+
+func TestCommExcludesCompute(t *testing.T) {
+	s := New()
+	s.Add("MPI_Send", 2*time.Millisecond)
+	s.Add(Compute, 10*time.Millisecond)
+	s.Add("MPI_Recv", 3*time.Millisecond)
+	if got := s.CommTime(); got != 5*time.Millisecond {
+		t.Errorf("CommTime = %v", got)
+	}
+	if got := s.ComputeTime(); got != 10*time.Millisecond {
+		t.Errorf("ComputeTime = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add("MPI_Send", time.Millisecond)
+	b.Add("MPI_Send", 2*time.Millisecond)
+	b.Add("MPI_Wait", 4*time.Millisecond)
+	a.Merge(b)
+	if got := a.Get("MPI_Send"); got.Calls != 2 || got.Time != 3*time.Millisecond {
+		t.Errorf("merged send = %+v", got)
+	}
+	if got := a.Get("MPI_Wait"); got.Calls != 1 || got.Time != 4*time.Millisecond {
+		t.Errorf("merged wait = %+v", got)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := New()
+	s.Add("z", 1)
+	s.Add("a", 1)
+	s.Add("m", 1)
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("Names = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format for a frame: a 4-byte big-endian length of the remainder,
+// then 4 bytes of sender id, 1 byte of kind, and the payload.
+
+// MaxFrameSize bounds a decoded frame; larger frames indicate stream
+// corruption.
+const MaxFrameSize = 1 << 30
+
+const frameHeaderLen = 4 + 1
+
+// WriteFrame encodes f onto w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Data) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(f.Data))
+	}
+	var hdr [4 + frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameHeaderLen+len(f.Data)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(f.From)))
+	hdr[8] = f.Kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Data) > 0 {
+		if _, err := w.Write(f.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("transport: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{
+		From: int(int32(binary.BigEndian.Uint32(buf[0:4]))),
+		Kind: buf[4],
+	}
+	if n > frameHeaderLen {
+		f.Data = buf[frameHeaderLen:]
+	}
+	return f, nil
+}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpichv/internal/vtime"
+)
+
+// TCPFabric connects nodes over real TCP sockets. Each attached node
+// listens on its address from the address map; a single connection is
+// kept per peer and used in both directions. Connections open with a
+// hello frame identifying the dialer, so an accepted connection can be
+// registered for sending — and, crucially, an inbound connection from a
+// *restarted* peer replaces the stale cached connection to its dead
+// predecessor, whose writes would otherwise vanish into a closed
+// socket. A failed write is retried once over a fresh dial.
+//
+// As in the paper's mpirun (§4.7), a socket disconnection is a trusty
+// fault detector: readers that observe EOF stop delivering, and the
+// launcher observes the worker's death directly.
+type TCPFabric struct {
+	rt    vtime.Runtime
+	mu    sync.Mutex
+	addrs map[int]string
+	eps   map[int]*tcpEndpoint
+}
+
+// helloKind is the transport-internal connection handshake frame; it is
+// never delivered to the application.
+const helloKind uint8 = 0xFF
+
+// NewTCPFabric creates a fabric over the given node id → "host:port"
+// address map.
+func NewTCPFabric(rt vtime.Runtime, addrs map[int]string) *TCPFabric {
+	m := make(map[int]string, len(addrs))
+	for k, v := range addrs {
+		m[k] = v
+	}
+	return &TCPFabric{rt: rt, addrs: m, eps: make(map[int]*tcpEndpoint)}
+}
+
+// SetAddr registers or updates the address of a node id.
+func (f *TCPFabric) SetAddr(id int, addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.addrs[id] = addr
+}
+
+func (f *TCPFabric) addr(id int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.addrs[id]
+}
+
+type tcpEndpoint struct {
+	fab    *TCPFabric
+	id     int
+	inbox  *vtime.Mailbox[Frame]
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	wmu    sync.Mutex // serializes frame writes
+	closed bool
+}
+
+// Attach implements Fabric. It returns an endpoint whose listener is
+// already accepting; Attach panics if the node's address cannot be
+// bound, since a node without its listener cannot participate at all.
+func (f *TCPFabric) Attach(id int, name string) Endpoint {
+	addr := f.addr(id)
+	ep := &tcpEndpoint{
+		fab:   f,
+		id:    id,
+		inbox: vtime.NewMailbox[Frame](f.rt, fmt.Sprintf("inbox(%s#%d)", name, id)),
+		conns: make(map[int]net.Conn),
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		panic(fmt.Sprintf("transport: node %d cannot listen on %q: %v", id, addr, err))
+	}
+	ep.ln = ln
+	if _, port, err := net.SplitHostPort(addr); addr == "" || (err == nil && port == "0") {
+		// Ephemeral port: record the actual address for peers in
+		// the same process (tests).
+		f.SetAddr(id, ln.Addr().String())
+	}
+	f.mu.Lock()
+	f.eps[id] = ep
+	f.mu.Unlock()
+	f.rt.Go(fmt.Sprintf("tcp-accept-%d", id), ep.acceptLoop)
+	return ep
+}
+
+// Kill implements Fabric for in-process tests: it closes the endpoint.
+func (f *TCPFabric) Kill(id int) {
+	f.mu.Lock()
+	ep := f.eps[id]
+	delete(f.eps, id)
+	f.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.fab.rt.Go(fmt.Sprintf("tcp-read-%d", e.id), func() { e.readLoop(c) })
+	}
+}
+
+// register makes c the connection for peer, closing any previous one (a
+// stale connection to a dead incarnation, or the loser of a
+// simultaneous-dial race).
+func (e *tcpEndpoint) register(peer int, c net.Conn) {
+	e.mu.Lock()
+	old := e.conns[peer]
+	e.conns[peer] = c
+	e.mu.Unlock()
+	if old != nil && old != c {
+		old.Close()
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	peer := -1
+	for {
+		f, err := ReadFrame(c)
+		if err != nil {
+			if peer >= 0 {
+				e.mu.Lock()
+				if e.conns[peer] == c {
+					delete(e.conns, peer)
+				}
+				e.mu.Unlock()
+			}
+			return
+		}
+		if peer < 0 {
+			// The first frame identifies the dialer; adopt the
+			// connection for the reverse direction too.
+			peer = f.From
+			e.register(peer, c)
+		}
+		if f.Kind == helloKind {
+			continue
+		}
+		if !e.inbox.Send(f) {
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) ID() int                      { return e.id }
+func (e *tcpEndpoint) Inbox() *vtime.Mailbox[Frame] { return e.inbox }
+
+func (e *tcpEndpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = nil
+	e.mu.Unlock()
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	e.inbox.Close()
+}
+
+// conn returns the connection for a peer, dialing (with a hello) if
+// none is registered.
+func (e *tcpEndpoint) conn(to int) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("transport: endpoint %d closed", e.id)
+	}
+	if c := e.conns[to]; c != nil {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	addr := e.fab.addr(to)
+	if addr == "" {
+		return nil, fmt.Errorf("transport: no address for node %d", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c, Frame{From: e.id, Kind: helloKind}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("transport: endpoint %d closed", e.id)
+	}
+	if cur := e.conns[to]; cur != nil {
+		// Lost a simultaneous-dial race; use the established one.
+		e.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	// Read replies arriving on the dialed connection too.
+	e.fab.rt.Go(fmt.Sprintf("tcp-read-%d", e.id), func() { e.readLoop(c) })
+	return c, nil
+}
+
+func (e *tcpEndpoint) dropConn(to int, c net.Conn) {
+	e.mu.Lock()
+	if e.conns != nil && e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+// sendDialRetries × sendDialBackoff bounds how long a send waits for an
+// unreachable peer before dropping the frame. It covers both the
+// startup race (a peer's listener not yet bound) and the typical
+// restart window (the launcher re-launches a killed worker in a few
+// hundred milliseconds); a peer dead for longer loses the frame, like a
+// crash — which the recovery protocol already tolerates.
+const (
+	sendDialRetries = 25
+	sendDialBackoff = 100 * time.Millisecond
+)
+
+func (e *tcpEndpoint) Send(to int, kind uint8, data []byte) bool {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	for attempt := 0; attempt < sendDialRetries; attempt++ {
+		c, err := e.conn(to)
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return false
+			}
+			time.Sleep(sendDialBackoff)
+			continue
+		}
+		if err := WriteFrame(c, Frame{From: e.id, Kind: kind, Data: data}); err == nil {
+			return true
+		}
+		// Stale connection (the peer may have restarted): drop and
+		// retry over a fresh dial.
+		e.dropConn(to, c)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	return !closed // peer unreachable: frame dropped, like a crash
+}

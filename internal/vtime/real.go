@@ -1,0 +1,40 @@
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is the wall-clock runtime: actors are ordinary goroutines and the
+// clock is the machine clock. It is used by the TCP deployment (cmd/vrun
+// and friends) and by tests that exercise true concurrency.
+type Real struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewReal returns a wall-clock runtime with Now()==0 at the time of the
+// call.
+func NewReal() *Real {
+	return &Real{start: time.Now()}
+}
+
+// Now reports wall-clock time elapsed since the runtime was created.
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+// Sleep pauses the calling goroutine for d of wall-clock time.
+func (r *Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Go runs fn in a new goroutine tracked by Wait.
+func (r *Real) Go(name string, fn func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has returned.
+func (r *Real) Wait() { r.wg.Wait() }
+
+var _ Runtime = (*Real)(nil)

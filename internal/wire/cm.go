@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Channel Memory encodings for the MPICH-V1 baseline (§3.2): every
+// message is stored and ordered on the receiver's Channel Memory; the
+// receiver requests messages from it.
+
+// CMGetBlock and CMGetProbe select the behaviour of a KCMGet request.
+const (
+	CMGetBlock uint8 = 0 // hold the request until a message is available
+	CMGetProbe uint8 = 1 // answer immediately with presence information
+)
+
+// EncodeCMPut frames a message for storage: final destination plus the
+// payload (the original sender travels in the transport frame).
+func EncodeCMPut(dest int, data []byte) []byte {
+	out := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(out, uint32(int32(dest)))
+	copy(out[4:], data)
+	return out
+}
+
+// DecodeCMPut splits a KCMPut payload; data aliases the input.
+func DecodeCMPut(b []byte) (dest int, data []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("wire: cm-put frame too short")
+	}
+	return int(int32(binary.BigEndian.Uint32(b))), b[4:], nil
+}
+
+// EncodeCMMsg frames a Channel Memory delivery (or a negative probe
+// answer when present is false).
+func EncodeCMMsg(present bool, origFrom int, data []byte) []byte {
+	out := make([]byte, 5+len(data))
+	if present {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint32(out[1:], uint32(int32(origFrom)))
+	copy(out[5:], data)
+	return out
+}
+
+// DecodeCMMsg splits a KCMMsg payload; data aliases the input.
+func DecodeCMMsg(b []byte) (present bool, origFrom int, data []byte, err error) {
+	if len(b) < 5 {
+		return false, 0, nil, fmt.Errorf("wire: cm-msg frame too short")
+	}
+	return b[0] == 1, int(int32(binary.BigEndian.Uint32(b[1:]))), b[5:], nil
+}

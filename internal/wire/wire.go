@@ -1,0 +1,248 @@
+// Package wire defines the frame kinds and binary encodings exchanged
+// between the components of an MPICH-V2 system: computing-node daemons,
+// event loggers, checkpoint servers, the checkpoint scheduler and the
+// dispatcher. Encodings are hand-rolled over encoding/binary: the event
+// record is 24 bytes, matching the paper's "small message (in the order
+// of 20 bytes) to the Event Logger".
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpichv/internal/core"
+)
+
+// Frame kinds. The transport carries the kind byte; the payload encoding
+// is defined per kind below.
+const (
+	// Computing node ↔ computing node.
+	KPayload  uint8 = iota + 1 // data: PayloadHeader + payload bytes
+	KRestart1                  // data: u64 HR (phase B of recovery)
+	KRestart2                  // data: u64 HR
+	KCkptNote                  // data: u64 delivered-up-to clock (garbage collection)
+
+	// Computing node ↔ event logger.
+	KEventLog     // data: event batch
+	KEventAck     // data: u32 count of acked events
+	KEventFetch   // data: u64 clock; reply holds events with RecvClock > clock
+	KEventFetched // data: event batch
+
+	// Computing node ↔ checkpoint server.
+	KCkptSave    // data: u64 seq + image bytes
+	KCkptSaveAck // data: u64 seq
+	KCkptFetch   // data: empty
+	KCkptImage   // data: u8 present + image bytes
+
+	// Checkpoint scheduler ↔ computing node.
+	KSchedPoll // data: empty
+	KSchedStat // data: NodeStatus
+	KCkptOrder // data: empty — take a checkpoint now
+
+	// Dispatcher ↔ everyone.
+	KHello    // node announces itself; data: u64 incarnation
+	KFinalize // node reached MPI finalize; data: empty
+
+	// MPICH-V1 baseline: computing node ↔ channel memory.
+	KCMPut // sender stores a message on the receiver's channel memory
+	KCMGet // receiver asks its channel memory for the next message
+	KCMMsg // channel memory delivers one message (u8 present + header+payload)
+)
+
+// KindName returns a short human-readable name for diagnostics.
+func KindName(k uint8) string {
+	names := map[uint8]string{
+		KPayload: "payload", KRestart1: "restart1", KRestart2: "restart2",
+		KCkptNote: "ckpt-note", KEventLog: "event-log", KEventAck: "event-ack",
+		KEventFetch: "event-fetch", KEventFetched: "event-fetched",
+		KCkptSave: "ckpt-save", KCkptSaveAck: "ckpt-save-ack",
+		KCkptFetch: "ckpt-fetch", KCkptImage: "ckpt-image",
+		KSchedPoll: "sched-poll", KSchedStat: "sched-stat", KCkptOrder: "ckpt-order",
+		KHello: "hello", KFinalize: "finalize",
+		KCMPut: "cm-put", KCMGet: "cm-get", KCMMsg: "cm-msg",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// PayloadHeader prefixes every inter-node payload frame: the sender's
+// logical clock at emission (the message identifier of §4.1 together
+// with the frame's From field) and the device-level kind byte that the
+// MPI channel layer uses.
+type PayloadHeader struct {
+	SenderClock uint64
+	DevKind     uint8
+}
+
+// PayloadHeaderLen is the encoded size of a PayloadHeader.
+const PayloadHeaderLen = 9
+
+// EncodePayload prepends the header to body.
+func EncodePayload(h PayloadHeader, body []byte) []byte {
+	out := make([]byte, PayloadHeaderLen+len(body))
+	binary.BigEndian.PutUint64(out[0:8], h.SenderClock)
+	out[8] = h.DevKind
+	copy(out[PayloadHeaderLen:], body)
+	return out
+}
+
+// DecodePayload splits a payload frame into header and body. The body
+// aliases data.
+func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
+	if len(data) < PayloadHeaderLen {
+		return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short", len(data))
+	}
+	return PayloadHeader{
+		SenderClock: binary.BigEndian.Uint64(data[0:8]),
+		DevKind:     data[8],
+	}, data[PayloadHeaderLen:], nil
+}
+
+// --- Event batches -------------------------------------------------------
+
+const eventLen = 4 + 8 + 8 + 4
+
+// EncodeEvents serializes a batch of reception events.
+func EncodeEvents(evs []core.Event) []byte {
+	out := make([]byte, 4+eventLen*len(evs))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(evs)))
+	off := 4
+	for _, ev := range evs {
+		binary.BigEndian.PutUint32(out[off:], uint32(int32(ev.Sender)))
+		binary.BigEndian.PutUint64(out[off+4:], ev.SenderClock)
+		binary.BigEndian.PutUint64(out[off+12:], ev.RecvClock)
+		binary.BigEndian.PutUint32(out[off+20:], ev.Probes)
+		off += eventLen
+	}
+	return out
+}
+
+// DecodeEvents parses a batch of reception events.
+func DecodeEvents(data []byte) ([]core.Event, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: event batch too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	if len(data) != 4+n*eventLen {
+		return nil, fmt.Errorf("wire: event batch of %d bytes does not hold %d events", len(data), n)
+	}
+	evs := make([]core.Event, n)
+	off := 4
+	for i := range evs {
+		evs[i] = core.Event{
+			Sender:      int(int32(binary.BigEndian.Uint32(data[off:]))),
+			SenderClock: binary.BigEndian.Uint64(data[off+4:]),
+			RecvClock:   binary.BigEndian.Uint64(data[off+12:]),
+			Probes:      binary.BigEndian.Uint32(data[off+20:]),
+		}
+		off += eventLen
+	}
+	return evs, nil
+}
+
+// --- Small scalar payloads ----------------------------------------------
+
+// EncodeU64 encodes a single 64-bit value (clocks, counts, sequence
+// numbers).
+func EncodeU64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecodeU64 decodes a value produced by EncodeU64.
+func DecodeU64(data []byte) (uint64, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("wire: expected 8-byte value, got %d", len(data))
+	}
+	return binary.BigEndian.Uint64(data), nil
+}
+
+// EncodeU32 encodes a 32-bit count.
+func EncodeU32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// DecodeU32 decodes a value produced by EncodeU32.
+func DecodeU32(data []byte) (uint32, error) {
+	if len(data) != 4 {
+		return 0, fmt.Errorf("wire: expected 4-byte value, got %d", len(data))
+	}
+	return binary.BigEndian.Uint32(data), nil
+}
+
+// --- Scheduler status ------------------------------------------------------
+
+// NodeStatus is what a computing node reports to the checkpoint
+// scheduler (§4.6.2): the occupancy of its message log and its traffic
+// ratio inputs.
+type NodeStatus struct {
+	Rank      int
+	LogBytes  uint64
+	SentBytes uint64
+	RecvBytes uint64
+}
+
+// EncodeStatus serializes a NodeStatus.
+func EncodeStatus(st NodeStatus) []byte {
+	out := make([]byte, 4+8*3)
+	binary.BigEndian.PutUint32(out[0:], uint32(int32(st.Rank)))
+	binary.BigEndian.PutUint64(out[4:], st.LogBytes)
+	binary.BigEndian.PutUint64(out[12:], st.SentBytes)
+	binary.BigEndian.PutUint64(out[20:], st.RecvBytes)
+	return out
+}
+
+// DecodeStatus parses a NodeStatus.
+func DecodeStatus(data []byte) (NodeStatus, error) {
+	if len(data) != 28 {
+		return NodeStatus{}, fmt.Errorf("wire: bad status length %d", len(data))
+	}
+	return NodeStatus{
+		Rank:      int(int32(binary.BigEndian.Uint32(data[0:]))),
+		LogBytes:  binary.BigEndian.Uint64(data[4:]),
+		SentBytes: binary.BigEndian.Uint64(data[12:]),
+		RecvBytes: binary.BigEndian.Uint64(data[20:]),
+	}, nil
+}
+
+// --- Checkpoint image framing ---------------------------------------------
+
+// EncodeCkptSave prefixes the checkpoint sequence number to an image.
+func EncodeCkptSave(seq uint64, image []byte) []byte {
+	out := make([]byte, 8+len(image))
+	binary.BigEndian.PutUint64(out, seq)
+	copy(out[8:], image)
+	return out
+}
+
+// DecodeCkptSave splits a KCkptSave payload.
+func DecodeCkptSave(data []byte) (seq uint64, image []byte, err error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("wire: ckpt save frame too short")
+	}
+	return binary.BigEndian.Uint64(data), data[8:], nil
+}
+
+// EncodeCkptImage frames a fetch response; present=false means the
+// server has no image for the rank (restart from scratch).
+func EncodeCkptImage(present bool, image []byte) []byte {
+	out := make([]byte, 1+len(image))
+	if present {
+		out[0] = 1
+	}
+	copy(out[1:], image)
+	return out
+}
+
+// DecodeCkptImage splits a KCkptImage payload.
+func DecodeCkptImage(data []byte) (present bool, image []byte, err error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("wire: ckpt image frame too short")
+	}
+	return data[0] == 1, data[1:], nil
+}

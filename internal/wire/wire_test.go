@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpichv/internal/core"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	h := PayloadHeader{SenderClock: 123456789, DevKind: 7}
+	body := []byte("the payload")
+	enc := EncodePayload(h, body)
+	if len(enc) != PayloadHeaderLen+len(body) {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	h2, body2, err := DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || !bytes.Equal(body, body2) {
+		t.Errorf("round trip: %+v %q", h2, body2)
+	}
+}
+
+func TestPayloadTooShort(t *testing.T) {
+	if _, _, err := DecodePayload([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestPropertyPayloadRoundTrip(t *testing.T) {
+	f := func(clock uint64, kind uint8, body []byte) bool {
+		h, b, err := DecodePayload(EncodePayload(PayloadHeader{SenderClock: clock, DevKind: kind}, body))
+		return err == nil && h.SenderClock == clock && h.DevKind == kind && bytes.Equal(b, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	evs := []core.Event{
+		{Sender: 0, SenderClock: 1, RecvClock: 2, Probes: 0},
+		{Sender: 31, SenderClock: 1 << 40, RecvClock: 1<<40 + 7, Probes: 99},
+		{Sender: -1, SenderClock: 0, RecvClock: 0, Probes: 0},
+	}
+	got, err := DecodeEvents(EncodeEvents(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, got) {
+		t.Errorf("round trip: %+v", got)
+	}
+	// Paper §4.3: the event record is "in the order of 20 bytes".
+	if per := (len(EncodeEvents(evs)) - 4) / len(evs); per > 32 {
+		t.Errorf("event record is %d bytes; the paper's point is that it is small", per)
+	}
+}
+
+func TestEventsEmptyBatch(t *testing.T) {
+	got, err := DecodeEvents(EncodeEvents(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+}
+
+func TestEventsRejectCorrupt(t *testing.T) {
+	if _, err := DecodeEvents([]byte{0, 0}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	enc := EncodeEvents([]core.Event{{Sender: 1}})
+	if _, err := DecodeEvents(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+}
+
+func TestPropertyEventsRoundTrip(t *testing.T) {
+	f := func(senders []int32, clock uint64) bool {
+		if len(senders) > 64 {
+			senders = senders[:64]
+		}
+		evs := make([]core.Event, len(senders))
+		for i, s := range senders {
+			evs[i] = core.Event{Sender: int(s), SenderClock: clock + uint64(i), RecvClock: uint64(i), Probes: uint32(i)}
+		}
+		got, err := DecodeEvents(EncodeEvents(evs))
+		if err != nil {
+			return false
+		}
+		if len(evs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(evs, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	if v, err := DecodeU64(EncodeU64(1 << 63)); err != nil || v != 1<<63 {
+		t.Errorf("u64: %d %v", v, err)
+	}
+	if v, err := DecodeU32(EncodeU32(12345)); err != nil || v != 12345 {
+		t.Errorf("u32: %d %v", v, err)
+	}
+	if _, err := DecodeU64([]byte{1}); err == nil {
+		t.Error("short u64 accepted")
+	}
+	if _, err := DecodeU32([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("long u32 accepted")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	st := NodeStatus{Rank: 17, LogBytes: 1 << 33, SentBytes: 42, RecvBytes: 7}
+	got, err := DecodeStatus(EncodeStatus(st))
+	if err != nil || got != st {
+		t.Errorf("status: %+v %v", got, err)
+	}
+	if _, err := DecodeStatus([]byte{1}); err == nil {
+		t.Error("short status accepted")
+	}
+}
+
+func TestCkptFraming(t *testing.T) {
+	seq, img, err := DecodeCkptSave(EncodeCkptSave(9, []byte("image")))
+	if err != nil || seq != 9 || string(img) != "image" {
+		t.Errorf("ckpt save: %d %q %v", seq, img, err)
+	}
+	present, img, err := DecodeCkptImage(EncodeCkptImage(true, []byte("x")))
+	if err != nil || !present || string(img) != "x" {
+		t.Errorf("ckpt image: %v %q %v", present, img, err)
+	}
+	present, img, err = DecodeCkptImage(EncodeCkptImage(false, nil))
+	if err != nil || present || len(img) != 0 {
+		t.Errorf("empty ckpt image: %v %q %v", present, img, err)
+	}
+	if _, _, err := DecodeCkptSave([]byte{1}); err == nil {
+		t.Error("short ckpt save accepted")
+	}
+	if _, _, err := DecodeCkptImage(nil); err == nil {
+		t.Error("empty ckpt image frame accepted")
+	}
+}
+
+func TestCMFraming(t *testing.T) {
+	dest, data, err := DecodeCMPut(EncodeCMPut(5, []byte("m")))
+	if err != nil || dest != 5 || string(data) != "m" {
+		t.Errorf("cm put: %d %q %v", dest, data, err)
+	}
+	present, from, data, err := DecodeCMMsg(EncodeCMMsg(true, 3, []byte("d")))
+	if err != nil || !present || from != 3 || string(data) != "d" {
+		t.Errorf("cm msg: %v %d %q %v", present, from, data, err)
+	}
+	if _, _, err := DecodeCMPut([]byte{1}); err == nil {
+		t.Error("short cm put accepted")
+	}
+	if _, _, _, err := DecodeCMMsg([]byte{1}); err == nil {
+		t.Error("short cm msg accepted")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	kinds := []uint8{KPayload, KRestart1, KRestart2, KCkptNote, KEventLog, KEventAck,
+		KEventFetch, KEventFetched, KCkptSave, KCkptSaveAck, KCkptFetch, KCkptImage,
+		KSchedPoll, KSchedStat, KCkptOrder, KHello, KFinalize, KCMPut, KCMGet, KCMMsg}
+	seen := map[uint8]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind value %d", k)
+		}
+		seen[k] = true
+		if KindName(k) == "" || KindName(k)[0] == 'k' {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if KindName(200) != "kind-200" {
+		t.Errorf("unknown kind name: %s", KindName(200))
+	}
+}
