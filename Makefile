@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: ## build + vet + full test suite (tier-1 gate)
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race: ## race detector over the concurrency-bearing packages
+	$(GO) test -race -count=1 ./internal/vtime/ ./internal/transport/ \
+		./internal/daemon/ ./internal/eventlog/ ./internal/ckpt/ \
+		./internal/dispatcher/ ./internal/cluster/ ./internal/mpi/
+
+bench: ## quick pass over every experiment
+	$(GO) run ./cmd/vbench -quick

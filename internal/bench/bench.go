@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{ID: "fig11", Title: "Figure 11: BT-A with faults during execution", Run: Figure11},
 		{ID: "sched", Title: "§4.6.2: checkpoint scheduling policies (round-robin vs adaptive)", Run: SchedPolicies},
 		{ID: "ablate", Title: "Ablations: WAITLOGGED gating, payload routing, garbage collection", Run: Ablations},
+		{ID: "chaos", Title: "Chaos: BT-A under lossy links, node kills and service failover", Run: Chaos},
 	}
 }
 

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+	"mpichv/internal/nas"
+	"mpichv/internal/sched"
+	"mpichv/internal/transport"
+)
+
+// Chaos experiment: BT class A on 4 computing nodes with replicated
+// event loggers, always-on checkpointing, a Poisson process killing
+// compute and service nodes, and a chaos fabric dropping, duplicating
+// and delaying frames at increasing rates. The paper's volatile-node
+// claim is qualitative — executions survive faults — and this sweep
+// quantifies the price: how much retry/failover machinery fires and how
+// far the elapsed time stretches as the links and nodes degrade, with
+// every run still producing verified numerics.
+
+// ChaosPoint is one point of the chaos sweep.
+type ChaosPoint struct {
+	Drop        float64 // frame drop probability
+	Elapsed     time.Duration
+	Ratio       float64 // vs the clean run
+	Restarts    int
+	SvcKills    int
+	SvcRestarts int
+	Retransmits int64
+	Pulls       int64
+	Failovers   int64
+	Dropped     int64 // frames the chaos fabric discarded
+	Verified    bool
+}
+
+// ChaosData runs the degradation sweep. Every point uses the same fault
+// plan and seed lineage so the columns differ only by link quality.
+func ChaosData(quick bool) []ChaosPoint {
+	drops := []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05}
+	if quick {
+		drops = []float64{0, 0.01}
+	}
+	b := faultyBT()
+	var out []ChaosPoint
+	for i, drop := range drops {
+		pt := runChaosBT(b, drop, uint64(i+1))
+		if i == 0 {
+			pt.Ratio = 1
+		} else {
+			pt.Ratio = float64(pt.Elapsed) / float64(out[0].Elapsed)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
+	results := make([]nas.Result, 4)
+	pol := transport.ChaosPolicy{}
+	if drop > 0 {
+		pol = transport.ChaosPolicy{
+			Seed:      2003 + seed,
+			Drop:      drop,
+			Duplicate: drop / 2,
+			Delay:     0.02,
+			MaxDelay:  300 * time.Microsecond,
+		}
+	}
+	// One permanent event-logger kill plus Poisson compute kills: the
+	// acceptance scenario, swept over link quality.
+	faults := []dispatcher.Fault{{Time: 60 * time.Millisecond, Rank: cluster.ELBase, Permanent: true}}
+	faults = append(faults, dispatcher.RandomFaults(seed, 4, 400*time.Millisecond, []int{0, 1, 2, 3})...)
+	res := cluster.Run(cluster.Config{
+		Impl:           cluster.V2,
+		N:              4,
+		Params:         paramsFor(b),
+		Checkpointing:  true,
+		Policy:         sched.NewRandom(seed),
+		SchedPeriod:    5 * time.Millisecond,
+		EventLoggers:   2,
+		Faults:         faults,
+		DetectionDelay: 3 * time.Millisecond,
+		Chaos:          pol,
+	}, func(p *mpi.Proc) {
+		results[p.Rank()] = b.Run(p, b)
+	})
+	pt := ChaosPoint{
+		Drop:        drop,
+		Elapsed:     res.Elapsed,
+		Restarts:    res.Restarts,
+		SvcKills:    res.ServiceKills,
+		SvcRestarts: res.ServiceRestarts,
+		Retransmits: res.Retransmits,
+		Pulls:       res.Pulls,
+		Failovers:   res.Failovers,
+		Dropped:     res.ChaosDropped,
+		Verified:    true,
+	}
+	for _, r := range results {
+		if !r.Verified {
+			pt.Verified = false
+		}
+	}
+	return pt
+}
+
+// Chaos regenerates the link-degradation experiment.
+func Chaos(w io.Writer, quick bool) error {
+	t := newTable(w)
+	t.row("drop", "time", "vs clean", "restarts", "svc k/r", "retrans", "pulls", "failovers", "dropped", "verified")
+	for _, pt := range ChaosData(quick) {
+		t.row(fmt.Sprintf("%.1f%%", pt.Drop*100), pt.Elapsed.Round(time.Millisecond),
+			fmt.Sprintf("%.2f", pt.Ratio), pt.Restarts,
+			fmt.Sprintf("%d/%d", pt.SvcKills, pt.SvcRestarts),
+			pt.Retransmits, pt.Pulls, pt.Failovers, pt.Dropped, pt.Verified)
+	}
+	t.flush()
+	return nil
+}

@@ -11,12 +11,19 @@
 // log — included to avoid the domino effect, §4.1) is serialized by the
 // core package. See DESIGN.md §2 for why this substitution preserves the
 // protocol behaviour under test.
+//
+// Like the event logger, the server is split into a frontend (Server)
+// and stable storage (Store) so several frontends — a primary and its
+// respawned or backup instances — can serve the same images, and so a
+// retransmitted save is recognized and re-acked instead of regressing
+// the stored image.
 package ckpt
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"mpichv/internal/core"
 	"mpichv/internal/transport"
@@ -60,22 +67,81 @@ func (im *Image) ProtoSnapshot() (*core.Snapshot, error) {
 	return core.DecodeSnapshot(im.Proto)
 }
 
-// Server is the checkpoint server: it stores the latest image per rank
-// and serves it to restarting nodes.
-type Server struct {
-	rt     vtime.Runtime
-	ep     transport.Endpoint
+// Store is the stable image storage of one logical checkpoint server,
+// safe for use by several Server frontends.
+type Store struct {
+	mu     sync.Mutex
 	images map[int][]byte // rank → encoded latest image
+	seqs   map[int]uint64 // rank → seq of the stored image
+	has    map[int]bool   // rank → an image was ever stored
 
 	// Stats for the experiments.
-	Saves      int64
-	SavedBytes int64
-	Fetches    int64
+	Saves      int64 // images accepted
+	SavedBytes int64 // bytes of accepted images
+	Fetches    int64 // fetch requests served
+	Duplicates int64 // stale or duplicate saves ignored
+	Malformed  int64 // frames that failed to decode
 }
 
-// NewServer creates a checkpoint server attached to the endpoint.
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{images: make(map[int][]byte), seqs: make(map[int]uint64), has: make(map[int]bool)}
+}
+
+// Put stores an image for a rank unless an image with the same or a
+// newer sequence number is already held — a retransmitted save whose
+// ack was lost, or a stale save racing a fresher one over a reordering
+// network, must not regress the stored image. Returns whether the image
+// was accepted.
+func (st *Store) Put(rank int, seq uint64, image []byte) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.has[rank] && seq <= st.seqs[rank] {
+		st.Duplicates++
+		return false
+	}
+	st.images[rank] = append([]byte(nil), image...)
+	st.seqs[rank] = seq
+	st.has[rank] = true
+	st.Saves++
+	st.SavedBytes += int64(len(image))
+	return true
+}
+
+// Get returns the stored image for a rank, if any.
+func (st *Store) Get(rank int) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	img, ok := st.images[rank]
+	return img, ok && len(img) > 0
+}
+
+// Has reports whether a rank has a stored checkpoint.
+func (st *Store) Has(rank int) bool {
+	_, ok := st.Get(rank)
+	return ok
+}
+
+// Server is one checkpoint server frontend.
+type Server struct {
+	rt vtime.Runtime
+	ep transport.Endpoint
+
+	// Store is the stable storage behind this frontend; shared when
+	// the server was built with NewServerWithStore.
+	Store *Store
+}
+
+// NewServer creates a checkpoint server with its own private store.
 func NewServer(rt vtime.Runtime, ep transport.Endpoint) *Server {
-	return &Server{rt: rt, ep: ep, images: make(map[int][]byte)}
+	return NewServerWithStore(rt, ep, NewStore())
+}
+
+// NewServerWithStore creates a frontend over an existing store, for
+// failover setups where a respawned or backup server must serve the
+// images its predecessor stored.
+func NewServerWithStore(rt vtime.Runtime, ep transport.Endpoint, st *Store) *Server {
+	return &Server{rt: rt, ep: ep, Store: st}
 }
 
 // Start runs the server loop as an actor.
@@ -84,7 +150,7 @@ func (s *Server) Start() {
 }
 
 // HasImage reports whether a rank has a stored checkpoint.
-func (s *Server) HasImage(rank int) bool { return len(s.images[rank]) > 0 }
+func (s *Server) HasImage(rank int) bool { return s.Store.Has(rank) }
 
 func (s *Server) run() {
 	for {
@@ -96,16 +162,21 @@ func (s *Server) run() {
 		case wire.KCkptSave:
 			seq, image, err := wire.DecodeCkptSave(f.Data)
 			if err != nil {
+				s.Store.mu.Lock()
+				s.Store.Malformed++
+				s.Store.mu.Unlock()
 				continue
 			}
-			s.images[f.From] = append([]byte(nil), image...)
-			s.Saves++
-			s.SavedBytes += int64(len(image))
+			s.Store.Put(f.From, seq, image)
+			// Ack even a duplicate: the retransmission means the
+			// saver never saw the first ack.
 			s.ep.Send(f.From, wire.KCkptSaveAck, wire.EncodeU64(seq))
 		case wire.KCkptFetch:
-			s.Fetches++
-			img, ok := s.images[f.From]
-			s.ep.Send(f.From, wire.KCkptImage, wire.EncodeCkptImage(ok && len(img) > 0, img))
+			s.Store.mu.Lock()
+			s.Store.Fetches++
+			s.Store.mu.Unlock()
+			img, ok := s.Store.Get(f.From)
+			s.ep.Send(f.From, wire.KCkptImage, wire.EncodeCkptImage(ok, img))
 		}
 	}
 }

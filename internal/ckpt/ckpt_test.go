@@ -125,8 +125,58 @@ func TestNewerImageReplacesOlder(t *testing.T) {
 		if err != nil || im.Seq != 2 {
 			t.Fatalf("latest image seq = %v err=%v", im, err)
 		}
-		if srv.Saves != 2 {
-			t.Errorf("Saves = %d", srv.Saves)
+		if srv.Store.Saves != 2 {
+			t.Errorf("Saves = %d", srv.Store.Saves)
+		}
+	})
+}
+
+func TestStaleSaveIgnoredButAcked(t *testing.T) {
+	// A save with an old seq (a retransmission, or a stale frame that a
+	// chaotic network delayed past a newer save) must not regress the
+	// stored image — but it is still acked, because the saver may be
+	// retransmitting precisely because the first ack was lost.
+	img1 := makeImage(t, 4, 1)
+	img2 := makeImage(t, 4, 2)
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(2, img2))
+		recvKind(t, client, wire.KCkptSaveAck)
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img1))
+		f := recvKind(t, client, wire.KCkptSaveAck)
+		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
+			t.Fatalf("stale save not re-acked: seq = %d", seq)
+		}
+		client.Send(200, wire.KCkptFetch, nil)
+		f = recvKind(t, client, wire.KCkptImage)
+		_, got, _ := wire.DecodeCkptImage(f.Data)
+		im, err := DecodeImage(got)
+		if err != nil || im.Seq != 2 {
+			t.Fatalf("stored image regressed: %v err=%v", im, err)
+		}
+		if srv.Store.Saves != 1 || srv.Store.Duplicates != 1 {
+			t.Errorf("Saves=%d Duplicates=%d, want 1 and 1", srv.Store.Saves, srv.Store.Duplicates)
+		}
+	})
+}
+
+func TestServersShareStore(t *testing.T) {
+	// Two frontends over one store: an image saved through the first is
+	// served by the second — the failover configuration.
+	img := makeImage(t, 4, 1)
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		st := NewStore()
+		NewServerWithStore(sim, fab.Attach(200, "cs-a"), st).Start()
+		NewServerWithStore(sim, fab.Attach(201, "cs-b"), st).Start()
+		client := fab.Attach(4, "client")
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img))
+		recvKind(t, client, wire.KCkptSaveAck)
+		client.Send(201, wire.KCkptFetch, nil)
+		f := recvKind(t, client, wire.KCkptImage)
+		present, got, err := wire.DecodeCkptImage(f.Data)
+		if err != nil || !present || !bytes.Equal(got, img) {
+			t.Fatalf("backup fetch: present=%v err=%v", present, err)
 		}
 	})
 }

@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"mpichv/internal/core"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+	"mpichv/internal/nas"
+	"mpichv/internal/transport"
+)
+
+// recordingRing is ringProgram plus a per-rank record of every token
+// value received, so delivery sequences can be compared across runs. A
+// killed rank re-executes from scratch (or from replay), resetting its
+// record — the surviving record is the one the last incarnation
+// observed end to end.
+func recordingRing(rounds int, finals []uint64, seqs [][]uint64) Program {
+	return func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		seqs[p.Rank()] = nil
+		var token uint64
+		buf := make([]byte, 8)
+		for r := 0; r < rounds; r++ {
+			if p.Rank() == 0 {
+				binary.BigEndian.PutUint64(buf, token+1)
+				p.Send(right, 1, buf)
+				b, _ := p.Recv(left, 1)
+				token = binary.BigEndian.Uint64(b)
+			} else {
+				b, _ := p.Recv(left, 1)
+				token = binary.BigEndian.Uint64(b) + 1
+				binary.BigEndian.PutUint64(buf, token)
+				p.Send(right, 1, buf)
+			}
+			seqs[p.Rank()] = append(seqs[p.Rank()], token)
+		}
+		finals[p.Rank()] = token
+	}
+}
+
+// chaosRing runs the recording ring under the given config and returns
+// finals and per-rank token sequences.
+func chaosRing(cfg Config, rounds int) (Result, []uint64, [][]uint64) {
+	finals := make([]uint64, cfg.N)
+	seqs := make([][]uint64, cfg.N)
+	res := Run(cfg, recordingRing(rounds, finals, seqs))
+	return res, finals, seqs
+}
+
+// TestChaosTokenRingProperty is the seeded property test of the chaos
+// machinery: for each seed, an 8-node token ring runs under a generated
+// schedule of drops, duplications, jitter and a timed partition, plus
+// Poisson-random node kills — and must converge to exactly the
+// delivery sequence of the fault-free run.
+func TestChaosTokenRingProperty(t *testing.T) {
+	const n, rounds = 8, 20
+	_, wantFinals, wantSeqs := chaosRing(Config{Impl: V2, N: n}, rounds)
+
+	for _, seed := range []uint64{1, 42, 20030817} {
+		// Derive per-seed rates deterministically (splitmix-ish): every
+		// seed exercises a different mix of loss, duplication and
+		// reordering.
+		x := (seed + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+		u := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return float64(x>>11) / float64(1<<53)
+		}
+		// Partition a ring edge — only neighbours exchange frames, so
+		// a random pair would rarely cut anything.
+		pa := int(u() * n)
+		pol := transport.ChaosPolicy{
+			Seed:      seed,
+			Drop:      0.005 + 0.02*u(),
+			Duplicate: 0.02 * u(),
+			Delay:     0.05 * u(),
+			MaxDelay:  500 * time.Microsecond,
+			Partitions: []transport.Partition{{
+				A:     pa,
+				B:     (pa + 1) % n,
+				From:  time.Duration(5+10*u()) * time.Millisecond,
+				Until: time.Duration(25+20*u()) * time.Millisecond,
+			}},
+		}
+		faults := dispatcher.RandomFaults(seed, 8, 150*time.Millisecond, ranks(n))
+
+		res, finals, seqs := chaosRing(Config{
+			Impl: V2, N: n,
+			Chaos:          pol,
+			Faults:         faults,
+			DetectionDelay: 2 * time.Millisecond,
+		}, rounds)
+
+		if res.ChaosDropped+res.ChaosPartitioned == 0 {
+			t.Errorf("seed %d: chaos injected nothing (dropped=%d partitioned=%d)",
+				seed, res.ChaosDropped, res.ChaosPartitioned)
+		}
+		for r := 0; r < n; r++ {
+			if finals[r] != wantFinals[r] {
+				t.Errorf("seed %d: rank %d final token = %d, want %d (kills=%d)",
+					seed, r, finals[r], wantFinals[r], res.Kills)
+			}
+			if len(seqs[r]) != len(wantSeqs[r]) {
+				t.Errorf("seed %d: rank %d saw %d tokens, want %d", seed, r, len(seqs[r]), len(wantSeqs[r]))
+				continue
+			}
+			for i := range seqs[r] {
+				if seqs[r][i] != wantSeqs[r][i] {
+					t.Errorf("seed %d: rank %d delivery %d = %d, want %d", seed, r, i, seqs[r][i], wantSeqs[r][i])
+					break
+				}
+			}
+		}
+		t.Logf("seed %d: kills=%d dropped=%d dup=%d delayed=%d part=%d retrans=%d pulls=%d",
+			seed, res.Kills, res.ChaosDropped, res.ChaosDuplicated, res.ChaosDelayed,
+			res.ChaosPartitioned, res.Retransmits, res.Pulls)
+	}
+}
+
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	cfg := Config{
+		Impl: V2, N: 4,
+		Chaos:          transport.ChaosPolicy{Seed: 5, Drop: 0.02, Duplicate: 0.01, Delay: 0.05},
+		Faults:         []dispatcher.Fault{{Time: 5 * time.Millisecond, Rank: 2}},
+		DetectionDelay: 2 * time.Millisecond,
+	}
+	r1, f1, _ := chaosRing(cfg, 15)
+	r2, f2, _ := chaosRing(cfg, 15)
+	if r1.Elapsed != r2.Elapsed || f1[0] != f2[0] || r1.ChaosDropped != r2.ChaosDropped {
+		t.Errorf("same seed diverged: (%v,%d,%d) vs (%v,%d,%d)",
+			r1.Elapsed, f1[0], r1.ChaosDropped, r2.Elapsed, f2[0], r2.ChaosDropped)
+	}
+}
+
+func TestChaosCrashDuringCheckpoint(t *testing.T) {
+	// Kills land while checkpoint images are in flight on a lossy
+	// fabric: save retransmission, the checkpoint store's monotonicity
+	// guard, and restart from a partially acknowledged history must all
+	// compose.
+	const n, iters = 4, 50
+	finals := make([]float64, n)
+	var faults []dispatcher.Fault
+	for i := 0; i < 4; i++ {
+		faults = append(faults, dispatcher.Fault{
+			Time: time.Duration(9+8*i) * time.Millisecond,
+			Rank: i % n,
+		})
+	}
+	res := Run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		SchedPeriod:    time.Millisecond, // checkpoint constantly
+		DetectionDelay: 3 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 11, Drop: 0.01, Delay: 0.03, MaxDelay: 300 * time.Microsecond},
+		Faults:         faults,
+	}, ckptProgram(iters, finals))
+	if res.Restarts != len(faults) {
+		t.Fatalf("restarts = %d, want %d", res.Restarts, len(faults))
+	}
+	if res.CkptSaves == 0 {
+		t.Error("no checkpoints survived the chaos")
+	}
+	want := ckptExpect(n, iters)
+	for r, v := range finals {
+		if v != want {
+			t.Errorf("rank %d acc = %v, want %v", r, v, want)
+		}
+	}
+}
+
+func TestChaosCrashDuringReplay(t *testing.T) {
+	// The second fault lands while the rank is replaying from its first
+	// crash, and the fabric is dropping frames throughout — including,
+	// possibly, the RESTART messages themselves, which the recovery
+	// retry machinery must re-send.
+	const n, rounds = 4, 30
+	finals := make([]uint64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		DetectionDelay: 2 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 3, Drop: 0.02, Duplicate: 0.01},
+		Faults: []dispatcher.Fault{
+			{Time: 5 * time.Millisecond, Rank: 2},
+			{Time: 9 * time.Millisecond, Rank: 2}, // during recovery/replay
+		},
+	}, ringProgram(rounds, finals))
+	if res.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", res.Restarts)
+	}
+	if finals[0] != ringExpect(n, rounds) {
+		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+}
+
+func TestEventLoggerFailover(t *testing.T) {
+	// The primary event logger of half the ranks dies permanently; the
+	// daemons' ack timeouts must re-home them to the surviving logger
+	// (which shares the stable store) without losing an event.
+	const n, rounds = 4, 25
+	finals := make([]uint64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		EventLoggers:   2,
+		DetectionDelay: 2 * time.Millisecond,
+		Faults:         []dispatcher.Fault{{Time: 3 * time.Millisecond, Rank: ELBase, Permanent: true}},
+	}, ringProgram(rounds, finals))
+	if res.ServiceKills != 1 {
+		t.Fatalf("service kills = %d, want 1", res.ServiceKills)
+	}
+	if res.ServiceRestarts != 0 {
+		t.Fatalf("service restarts = %d, want 0 for a permanent fault", res.ServiceRestarts)
+	}
+	if res.Failovers == 0 {
+		t.Error("no daemon failed over to the backup event logger")
+	}
+	if finals[0] != ringExpect(n, rounds) {
+		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+	t.Logf("failovers=%d retransmits=%d logged=%d", res.Failovers, res.Retransmits, res.ELLogged)
+}
+
+func TestEventLoggerRespawn(t *testing.T) {
+	// A transient event-logger crash: the dispatcher respawns the
+	// frontend over the shared store, daemons retransmit their batches
+	// into the outage, and a later compute-node crash must still be
+	// able to fetch its full event history.
+	const n, rounds = 4, 30
+	finals := make([]uint64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		DetectionDelay: 2 * time.Millisecond,
+		// The EL outage stalls the ring on one rank's unacknowledged
+		// event; the compute kill targets a different rank so the
+		// retransmit stays visible in the (last-incarnation) stats.
+		Faults: []dispatcher.Fault{
+			{Time: 3 * time.Millisecond, Rank: ELNode},
+			{Time: 12 * time.Millisecond, Rank: 3},
+		},
+	}, ringProgram(rounds, finals))
+	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
+		t.Fatalf("service kills/restarts = %d/%d, want 1/1", res.ServiceKills, res.ServiceRestarts)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("compute restarts = %d, want 1", res.Restarts)
+	}
+	if res.Retransmits == 0 {
+		t.Error("no retransmissions were needed to bridge the outage")
+	}
+	if finals[0] != ringExpect(n, rounds) {
+		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+}
+
+func TestCheckpointServerRespawn(t *testing.T) {
+	// Same for the checkpoint server: saves retransmit into the outage
+	// and the respawned frontend keeps serving the stored images.
+	const n, iters = 4, 50
+	finals := make([]float64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		SchedPeriod:    2 * time.Millisecond,
+		DetectionDelay: 3 * time.Millisecond,
+		Faults: []dispatcher.Fault{
+			{Time: 10 * time.Millisecond, Rank: CSNode},
+			{Time: 30 * time.Millisecond, Rank: 2},
+		},
+	}, ckptProgram(iters, finals))
+	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
+		t.Fatalf("service kills/restarts = %d/%d, want 1/1", res.ServiceKills, res.ServiceRestarts)
+	}
+	if res.CkptSaves == 0 {
+		t.Error("no checkpoints stored")
+	}
+	want := ckptExpect(n, iters)
+	for r, v := range finals {
+		if v != want {
+			t.Errorf("rank %d acc = %v, want %v", r, v, want)
+		}
+	}
+}
+
+// TestChaosBTAcceptance is the integration acceptance scenario: a BT.A
+// run with continuous checkpointing on a fabric dropping over 1% of
+// frames, during which the primary event logger is killed for good and
+// a compute node is killed twice — the second time mid-replay. The run
+// must complete with verified numerics and the same per-process
+// delivery sequence as the fault-free run.
+func TestChaosBTAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BT chaos acceptance is slow in short mode")
+	}
+	const n = 4
+	bm := nas.BT("A")
+	run := func(cfg Config) ([]nas.Result, Result) {
+		results := make([]nas.Result, n)
+		res := Run(cfg, func(p *mpi.Proc) {
+			results[p.Rank()] = bm.Run(p, bm)
+		})
+		return results, res
+	}
+
+	clean, cleanRes := run(Config{Impl: V2, N: n})
+
+	faulty, res := run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		SchedPeriod:    5 * time.Millisecond,
+		EventLoggers:   2,
+		DetectionDelay: 3 * time.Millisecond,
+		Chaos: transport.ChaosPolicy{
+			Seed:      2003,
+			Drop:      0.015,
+			Duplicate: 0.005,
+			Delay:     0.02,
+			MaxDelay:  300 * time.Microsecond,
+		},
+		Faults: []dispatcher.Fault{
+			{Time: 60 * time.Millisecond, Rank: ELBase, Permanent: true},
+			{Time: 100 * time.Millisecond, Rank: 2},
+			{Time: 106 * time.Millisecond, Rank: 2}, // lands mid-replay
+		},
+	})
+
+	for r := 0; r < n; r++ {
+		if !clean[r].Verified {
+			t.Fatalf("fault-free BT.A rank %d did not verify", r)
+		}
+		if !faulty[r].Verified {
+			t.Errorf("chaotic BT.A rank %d did not verify (value %v)", r, faulty[r].Value)
+		}
+		if faulty[r].Value != clean[r].Value {
+			t.Errorf("rank %d value %v differs from fault-free %v", r, faulty[r].Value, clean[r].Value)
+		}
+	}
+	if res.ServiceKills != 1 {
+		t.Errorf("service kills = %d, want 1 (the primary event logger)", res.ServiceKills)
+	}
+	if res.Kills < 2 {
+		t.Errorf("compute kills = %d, want ≥ 2", res.Kills)
+	}
+	attempted := res.NetMessages + res.ChaosDropped
+	if res.ChaosDropped*100 < attempted {
+		t.Errorf("dropped %d of %d frames, want ≥ 1%%", res.ChaosDropped, attempted)
+	}
+
+	// Delivery sequences: BT's receives are directed, so each channel
+	// (sender → receiver) delivers the same gap-free sequence of
+	// messages in every run — chaos must not lose, duplicate or
+	// reorder any of them (the identical verified numerics confirm
+	// their payloads). The interleaving ACROSS senders is the genuine
+	// reception nondeterminism the event logger exists to capture, and
+	// legitimately differs between two independent runs, so the
+	// comparison projects per channel. (The app-level interleaving
+	// check lives in TestChaosTokenRingProperty, where the program
+	// records what it saw.)
+	compareChannels(t, n, cleanRes.Deliveries, res.Deliveries)
+}
+
+// compareChannels checks that each sender→receiver channel logged the
+// same number of deliveries in both runs. Channel sequences are
+// gap-free, so equal counts mean equal per-channel delivery sequences.
+// Events of the last few deliveries may still be in flight when a run
+// ends, hence the small tail allowance.
+func compareChannels(t *testing.T, n int, want, got [][]core.Event) {
+	t.Helper()
+	count := func(evs []core.Event) map[int]int {
+		m := make(map[int]int)
+		for _, ev := range evs {
+			m[ev.Sender]++
+		}
+		return m
+	}
+	for r := 0; r < n; r++ {
+		a, b := count(want[r]), count(got[r])
+		for s := 0; s < n; s++ {
+			if d := a[s] - b[s]; d > 4 || d < -4 {
+				t.Errorf("channel %d→%d delivered %d messages, fault-free delivered %d", s, r, b[s], a[s])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mpichv/internal/ckpt"
+	"mpichv/internal/core"
 	"mpichv/internal/daemon"
 	"mpichv/internal/dispatcher"
 	"mpichv/internal/eventlog"
@@ -124,6 +125,20 @@ type Config struct {
 	// (ablation benchmarks only; breaks the fault-tolerance
 	// guarantee).
 	NoSendGating bool
+
+	// Chaos injects deterministic per-frame link faults (drop,
+	// duplication, jitter, corruption, partitions) by wrapping the
+	// fabric in a transport.ChaosFabric. The zero value leaves the
+	// fabric reliable.
+	Chaos transport.ChaosPolicy
+
+	// RestartTimeout and PullTimeout override the V2 daemons' recovery
+	// handshake and starvation-pull timers. Zero means automatic:
+	// enabled with conservative bases when Chaos can lose frames,
+	// disabled on a reliable fabric (the paper's configuration);
+	// negative disables explicitly.
+	RestartTimeout time.Duration
+	PullTimeout    time.Duration
 }
 
 // Result carries everything the experiments measure.
@@ -134,11 +149,39 @@ type Result struct {
 	Restarts int
 	Kills    int
 
-	ELLogged    int64 // reception events stored by the event logger
+	// Service failover accounting.
+	ServiceKills    int
+	ServiceRestarts int
+
+	ELLogged    int64 // reception events stored by the event loggers
 	CkptSaves   int64
 	CkptBytes   int64
 	NetMessages int64
 	NetBytes    int64
+
+	// Robustness machinery accounting, summed over the last
+	// incarnation of every daemon plus the service stores.
+	Retransmits  int64 // timed-out requests re-sent
+	Pulls        int64 // starvation-triggered pull announcements
+	Failovers    int64 // daemon re-homings to backup services
+	Malformed    int64 // undecodable frames seen by daemons and services
+	ELDuplicates int64 // re-submitted events deduplicated by the loggers
+
+	// Frames touched by the chaos fabric (zero without Chaos).
+	ChaosDropped     int64
+	ChaosDuplicated  int64
+	ChaosDelayed     int64
+	ChaosCorrupted   int64
+	ChaosPartitioned int64
+
+	// Deliveries[r] is rank r's delivery sequence as recorded by the
+	// event loggers, ordered by reception clock — the protocol's source
+	// of truth for re-execution. Within one run, a replayed process
+	// follows it exactly. Across runs, each sender→receiver channel
+	// delivers the same gap-free message sequence, but the interleaving
+	// of different senders is the reception nondeterminism the log
+	// exists to capture and may legitimately differ.
+	Deliveries [][]core.Event
 }
 
 // Run executes the program on a fresh simulated system and returns the
@@ -180,44 +223,47 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		return netsim.ClassCompute
 	}
 	net := netsim.New(sim, cfg.Params)
-	fab := transport.NewSimFabric(sim, net, classify)
+	var fab transport.Fabric = transport.NewSimFabric(sim, net, classify)
+	var chaos *transport.ChaosFabric
+	if cfg.Chaos.Active() {
+		chaos = transport.NewChaosFabric(sim, fab, cfg.Chaos)
+		fab = chaos
+	}
 
 	h := &harness{sim: sim, cfg: cfg, fab: fab, prog: prog}
 	h.perRank = make([]*trace.Stats, cfg.N)
 	h.daemons = make([]daemon.Stats, cfg.N)
 	h.v2ds = make([]*daemon.V2, cfg.N)
+	h.spawns = make([]uint64, cfg.N)
 
-	// Services.
+	// Services. Every frontend of a kind shares one stable store, so a
+	// respawned or backup instance serves exactly what its predecessor
+	// stored — the paper's reliable-service assumption, with only the
+	// frontend process being volatile.
 	switch cfg.Impl {
 	case V2:
-		nEL := cfg.EventLoggers
-		if nEL <= 1 {
-			nEL = 1
-			h.el = eventlog.NewServer(sim, fab.Attach(ELNode, "event-logger"), cfg.Params.ELService)
-			h.el.Start()
-			h.els = []*eventlog.Server{h.el}
+		if cfg.EventLoggers <= 1 {
+			h.elNodes = []int{ELNode}
 		} else {
-			for i := 0; i < nEL; i++ {
-				el := eventlog.NewServer(sim, fab.Attach(ELBase+i, fmt.Sprintf("event-logger-%d", i)), cfg.Params.ELService)
-				el.Start()
-				h.els = append(h.els, el)
+			for i := 0; i < cfg.EventLoggers; i++ {
+				h.elNodes = append(h.elNodes, ELBase+i)
 			}
-			h.el = h.els[0]
+		}
+		h.elStore = eventlog.NewStore()
+		for _, n := range h.elNodes {
+			h.startEL(n)
 		}
 		if cfg.Checkpointing {
-			nCS := cfg.CkptServers
-			if nCS <= 1 {
-				nCS = 1
-				h.cs = ckpt.NewServer(sim, fab.Attach(CSNode, "ckpt-server"))
-				h.cs.Start()
-				h.css = []*ckpt.Server{h.cs}
+			if cfg.CkptServers <= 1 {
+				h.csNodes = []int{CSNode}
 			} else {
-				for i := 0; i < nCS; i++ {
-					cs := ckpt.NewServer(sim, fab.Attach(CSBase+i, fmt.Sprintf("ckpt-server-%d", i)))
-					cs.Start()
-					h.css = append(h.css, cs)
+				for i := 0; i < cfg.CkptServers; i++ {
+					h.csNodes = append(h.csNodes, CSBase+i)
 				}
-				h.cs = h.css[0]
+			}
+			h.csStore = ckpt.NewStore()
+			for _, n := range h.csNodes {
+				h.startCS(n)
 			}
 			sched.Start(sim, fab, sched.Config{
 				Node:   SchedNode,
@@ -233,7 +279,8 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		}
 	}
 
-	// Dispatcher with the fault plan.
+	// Dispatcher with the fault plan; it also monitors the service
+	// frontends and respawns crashed ones over their stores.
 	h.disp = dispatcher.Start(sim, fab, dispatcher.Config{
 		Node:           DispNode,
 		Ranks:          cfg.N,
@@ -241,6 +288,8 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		DetectionDelay: cfg.DetectionDelay,
 		Kill:           func(rank int) { fab.Kill(rank) },
 		Respawn:        func(rank int) { h.spawn(rank, true) },
+		Services:       append(append([]int{}, h.elNodes...), h.csNodes...),
+		RespawnService: h.respawnService,
 	})
 
 	start := sim.Now()
@@ -254,25 +303,47 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	}
 
 	res := Result{
-		Elapsed:     sim.Now() - start,
-		PerRank:     h.perRank,
-		Daemons:     h.daemons,
-		Restarts:    h.disp.Restarts,
-		Kills:       h.disp.Kills,
-		NetMessages: net.Messages,
-		NetBytes:    net.Bytes,
+		Elapsed:         sim.Now() - start,
+		PerRank:         h.perRank,
+		Daemons:         h.daemons,
+		Restarts:        h.disp.Restarts,
+		Kills:           h.disp.Kills,
+		ServiceKills:    h.disp.ServiceKills,
+		ServiceRestarts: h.disp.ServiceRestarts,
+		NetMessages:     net.Messages,
+		NetBytes:        net.Bytes,
 	}
 	for r := 0; r < cfg.N; r++ {
 		if h.v2ds[r] != nil {
 			res.Daemons[r] = h.v2ds[r].Stats()
 		}
 	}
-	for _, el := range h.els {
-		res.ELLogged += el.Logged
+	for _, st := range res.Daemons {
+		res.Retransmits += st.Retransmits
+		res.Pulls += st.Pulls
+		res.Failovers += st.Failovers
+		res.Malformed += st.Malformed
 	}
-	for _, cs := range h.css {
-		res.CkptSaves += cs.Saves
-		res.CkptBytes += cs.SavedBytes
+	if h.elStore != nil {
+		res.ELLogged = h.elStore.Logged
+		res.ELDuplicates = h.elStore.Duplicates
+		res.Malformed += h.elStore.Malformed
+		res.Deliveries = make([][]core.Event, cfg.N)
+		for r := 0; r < cfg.N; r++ {
+			res.Deliveries[r] = h.elStore.Events(r, 0)
+		}
+	}
+	if h.csStore != nil {
+		res.CkptSaves = h.csStore.Saves
+		res.CkptBytes = h.csStore.SavedBytes
+		res.Malformed += h.csStore.Malformed
+	}
+	if chaos != nil {
+		res.ChaosDropped = chaos.Dropped
+		res.ChaosDuplicated = chaos.Duplicated
+		res.ChaosDelayed = chaos.Delayed
+		res.ChaosCorrupted = chaos.Corrupted
+		res.ChaosPartitioned = chaos.Partitioned
 	}
 	return res
 }
@@ -291,15 +362,62 @@ type harness struct {
 	fab  transport.Fabric
 	prog Program
 
-	el   *eventlog.Server
-	els  []*eventlog.Server
-	cs   *ckpt.Server
-	css  []*ckpt.Server
-	disp *dispatcher.Dispatcher
+	elNodes []int
+	csNodes []int
+	elStore *eventlog.Store
+	csStore *ckpt.Store
+	disp    *dispatcher.Dispatcher
 
 	perRank []*trace.Stats
 	daemons []daemon.Stats
 	v2ds    []*daemon.V2
+	spawns  []uint64 // per-rank incarnation counters
+}
+
+// startEL / startCS attach one service frontend over the shared store.
+func (h *harness) startEL(node int) {
+	eventlog.NewServerWithStore(h.sim, h.fab.Attach(node, fmt.Sprintf("event-logger@%d", node)),
+		h.cfg.Params.ELService, h.elStore).Start()
+}
+
+func (h *harness) startCS(node int) {
+	ckpt.NewServerWithStore(h.sim, h.fab.Attach(node, fmt.Sprintf("ckpt-server@%d", node)), h.csStore).Start()
+}
+
+// respawnService restarts a crashed service frontend on its node id.
+func (h *harness) respawnService(node int) {
+	for _, n := range h.elNodes {
+		if n == node {
+			h.startEL(node)
+			return
+		}
+	}
+	for _, n := range h.csNodes {
+		if n == node {
+			h.startCS(node)
+			return
+		}
+	}
+}
+
+// backupsFor returns every service node in nodes except primary, in
+// ring order starting after it, so failover load spreads.
+func backupsFor(primary int, nodes []int) []int {
+	if len(nodes) <= 1 {
+		return nil
+	}
+	idx := 0
+	for i, n := range nodes {
+		if n == primary {
+			idx = i
+			break
+		}
+	}
+	out := make([]int, 0, len(nodes)-1)
+	for i := 1; i < len(nodes); i++ {
+		out = append(out, nodes[(idx+i)%len(nodes)])
+	}
+	return out
 }
 
 // spawn starts (or restarts) the daemon and MPI process of one rank.
@@ -314,7 +432,9 @@ func (h *harness) spawn(rank int, restarted bool) {
 		Dispatcher:  DispNode,
 		UnixDelay:   cfg.Params.UnixOverhead,
 		Restarted:   restarted,
+		Incarnation: h.spawns[rank],
 	}
+	h.spawns[rank]++
 	var dev daemon.Device
 	switch cfg.Impl {
 	case V2:
@@ -323,6 +443,7 @@ func (h *harness) spawn(rank int, restarted bool) {
 			nEL = 1
 		}
 		dcfg.EventLogger = elNodeFor(rank, nEL)
+		dcfg.ELBackups = backupsFor(dcfg.EventLogger, h.elNodes)
 		dcfg.Scheduler = SchedNode
 		if cfg.Checkpointing {
 			nCS := cfg.CkptServers
@@ -330,6 +451,21 @@ func (h *harness) spawn(rank int, restarted bool) {
 				nCS = 1
 			}
 			dcfg.CkptServer = csNodeFor(rank, nCS)
+			dcfg.CSBackups = backupsFor(dcfg.CkptServer, h.csNodes)
+		}
+		// On a fabric that can lose frames, the paper's fire-and-forget
+		// RESTART1 handshake and the push-only receive path are not
+		// live; enable the handshake confirmation and the starvation
+		// pull with conservative bases.
+		dcfg.RestartTimeout = cfg.RestartTimeout
+		dcfg.PullTimeout = cfg.PullTimeout
+		if cfg.Chaos.Lossy() {
+			if dcfg.RestartTimeout == 0 {
+				dcfg.RestartTimeout = 25 * time.Millisecond
+			}
+			if dcfg.PullTimeout == 0 {
+				dcfg.PullTimeout = 50 * time.Millisecond
+			}
 		}
 		dcfg.EventBatching = cfg.EventBatching
 		dcfg.NoSendGating = cfg.NoSendGating

@@ -52,6 +52,7 @@ type Event struct {
 type SavedMsg struct {
 	To    int
 	Clock uint64 // sender clock at emission
+	Seq   uint64 // per-destination channel sequence (1, 2, 3, …)
 	Kind  uint8  // device-level frame kind, replayed verbatim
 	Data  []byte
 }
@@ -61,6 +62,7 @@ type SavedMsg struct {
 type StashedMsg struct {
 	From  int
 	Clock uint64
+	Seq   uint64 // per-sender channel sequence; 0 if unsequenced
 	Kind  uint8
 	Data  []byte
 }
@@ -77,6 +79,10 @@ const (
 	OfferStash
 	// OfferDrop: duplicate of something already seen; discard.
 	OfferDrop
+	// OfferHold: the message arrived ahead of an undelivered
+	// predecessor on the same channel (a lossy or reordering network);
+	// the state holds it until the gap fills. TakeHeld releases it.
+	OfferHold
 )
 
 // State is the per-process protocol state. It is not safe for concurrent
@@ -92,8 +98,20 @@ type State struct {
 	// incarnation (queued or stashed). It exists only in memory — a
 	// crash forgets it along with the arrived queue — and suppresses
 	// duplicate restart re-sends of messages that have arrived but
-	// are not yet delivered.
+	// are not yet delivered. Used only for unsequenced (Seq 0) offers.
 	offered map[int]uint64
+
+	// Per-pair channel sequencing. The logical clock cannot order a
+	// pair's messages for the receiver — it ticks on emissions to
+	// *other* peers too, so clock gaps are invisible — but a lossy or
+	// reordering network needs exactly that: the receiver must detect
+	// a missing predecessor and hold later messages back, or FIFO
+	// channel order (which MPI's non-overtaking rule and the replay
+	// protocol both assume) silently breaks.
+	seqTo  map[int]uint64                // seq of last emission to q (persistent)
+	seqIn  map[int]uint64                // seq of last delivery from q (persistent)
+	seqAcc map[int]uint64                // seq of last in-order acceptance from q (volatile)
+	held   map[int]map[uint64]StashedMsg // out-of-order arrivals awaiting a gap fill (volatile)
 
 	saved    []SavedMsg // SAVED_p, ascending by Clock
 	logBytes int64
@@ -114,6 +132,10 @@ func NewState(rank int) *State {
 		hs:      make(map[int]uint64),
 		hr:      make(map[int]uint64),
 		offered: make(map[int]uint64),
+		seqTo:   make(map[int]uint64),
+		seqIn:   make(map[int]uint64),
+		seqAcc:  make(map[int]uint64),
+		held:    make(map[int]map[uint64]StashedMsg),
 		stash:   make(map[MsgID]StashedMsg),
 	}
 }
@@ -138,10 +160,12 @@ func (s *State) SavedCount() int { return len(s.saved) }
 // message must actually be transmitted. Transmission is suppressed when
 // the receiver is known to have delivered it already (H_p < HS_p[q]
 // after a RESTART1/RESTART2 exchange told us what q had seen).
-func (s *State) PrepareSend(to int, kind uint8, data []byte) (id MsgID, transmit bool) {
+func (s *State) PrepareSend(to int, kind uint8, data []byte) (id MsgID, seq uint64, transmit bool) {
 	s.h++
+	s.seqTo[to]++
+	seq = s.seqTo[to]
 	id = MsgID{Sender: s.rank, Clock: s.h}
-	s.saved = append(s.saved, SavedMsg{To: to, Clock: s.h, Kind: kind, Data: data})
+	s.saved = append(s.saved, SavedMsg{To: to, Clock: s.h, Seq: seq, Kind: kind, Data: data})
 	s.logBytes += int64(len(data))
 	// Appendix A guards with H_p >= HS_p[q]; we use the strict form so
 	// the boundary message (exactly the last one the receiver reported
@@ -149,9 +173,9 @@ func (s *State) PrepareSend(to int, kind uint8, data []byte) (id MsgID, transmit
 	// as a duplicate anyway.
 	if s.h > s.hs[to] {
 		s.hs[to] = s.h
-		return id, true
+		return id, seq, true
 	}
-	return id, false
+	return id, seq, false
 }
 
 // SendBlocked reports whether WAITLOGGED() would block: some reception
@@ -185,10 +209,13 @@ func (s *State) ProbeMiss() { s.probes++ }
 func (s *State) ProbeCount() uint32 { return s.probes }
 
 // Offer classifies an arriving payload frame from peer "from" with
-// sender clock h. OfferQueue: the daemon appends it to its arrived
-// queue. OfferStash: the state kept it for replay. OfferDrop: duplicate.
-func (s *State) Offer(from int, h uint64, kind uint8, data []byte) OfferAction {
-	if h <= s.hr[from] {
+// sender clock h and channel sequence seq (0 = unsequenced, for
+// transports guaranteed FIFO). OfferQueue: the daemon appends it to its
+// arrived queue (and should then collect TakeHeld successors).
+// OfferStash: the state kept it for replay. OfferHold: the state kept
+// it until its channel predecessors arrive. OfferDrop: duplicate.
+func (s *State) Offer(from int, h, seq uint64, kind uint8, data []byte) OfferAction {
+	if h <= s.hr[from] || (seq > 0 && seq <= s.seqIn[from]) {
 		return OfferDrop
 	}
 	if s.Replaying() {
@@ -200,23 +227,71 @@ func (s *State) Offer(from int, h uint64, kind uint8, data []byte) OfferAction {
 		if _, dup := s.stash[id]; dup {
 			return OfferDrop
 		}
-		s.stash[id] = StashedMsg{From: from, Clock: h, Kind: kind, Data: data}
+		s.stash[id] = StashedMsg{From: from, Clock: h, Seq: seq, Kind: kind, Data: data}
 		return OfferStash
 	}
-	// Normal execution: per-sender arrivals are FIFO (one TCP stream
-	// per pair), so a high-water mark suppresses duplicates of
-	// arrived-but-undelivered messages after a peer's restart.
-	if h <= s.offered[from] {
+	if seq == 0 {
+		// Unsequenced: per-sender arrivals are assumed FIFO (one TCP
+		// stream per pair), so a high-water mark suppresses duplicates
+		// of arrived-but-undelivered messages after a peer's restart.
+		if h <= s.offered[from] {
+			return OfferDrop
+		}
+		s.offered[from] = h
+		return OfferQueue
+	}
+	if seq <= s.seqAcc[from] {
 		return OfferDrop
 	}
-	s.offered[from] = h
+	if seq != s.seqAcc[from]+1 {
+		// A predecessor is missing — dropped or still in flight. Hold
+		// the message; the daemon's pull timer re-requests the gap
+		// from the sender's SAVED log if it does not fill by itself.
+		hm := s.held[from]
+		if hm == nil {
+			hm = make(map[uint64]StashedMsg)
+			s.held[from] = hm
+		}
+		hm[seq] = StashedMsg{From: from, Clock: h, Seq: seq, Kind: kind, Data: data}
+		return OfferHold
+	}
+	s.seqAcc[from] = seq
 	return OfferQueue
+}
+
+// TakeHeld pops held messages from a sender that became deliverable
+// after a gap fill, in channel order. Call it after every OfferQueue.
+func (s *State) TakeHeld(from int) []StashedMsg {
+	hm := s.held[from]
+	if len(hm) == 0 {
+		return nil
+	}
+	var out []StashedMsg
+	for {
+		m, ok := hm[s.seqAcc[from]+1]
+		if !ok {
+			return out
+		}
+		delete(hm, m.Seq)
+		s.seqAcc[from] = m.Seq
+		out = append(out, m)
+	}
+}
+
+// HeldCount reports how many out-of-order messages are parked waiting
+// for a gap fill.
+func (s *State) HeldCount() int {
+	n := 0
+	for _, hm := range s.held {
+		n += len(hm)
+	}
+	return n
 }
 
 // Commit records the delivery of a queued message to the MPI process
 // during normal execution: the clock ticks and the reception event to be
 // logged is returned; the state counts it as unacked until EventsAcked.
-func (s *State) Commit(from int, h uint64) Event {
+func (s *State) Commit(from int, h, seq uint64) Event {
 	if s.Replaying() {
 		panic(fmt.Sprintf("core: rank %d: Commit during replay", s.rank))
 	}
@@ -227,6 +302,9 @@ func (s *State) Commit(from int, h uint64) Event {
 	ev := Event{Sender: from, SenderClock: h, RecvClock: s.h, Probes: s.probes}
 	s.probes = 0
 	s.hr[from] = h
+	if seq > s.seqIn[from] {
+		s.seqIn[from] = seq
+	}
 	s.unacked++
 	return ev
 }
@@ -262,6 +340,14 @@ func (s *State) TakeStashed() (StashedMsg, Event, bool) {
 	}
 	delete(s.stash, id)
 	s.advanceReplay(ev)
+	if m.Seq > 0 {
+		if m.Seq > s.seqIn[ev.Sender] {
+			s.seqIn[ev.Sender] = m.Seq
+		}
+		if m.Seq > s.seqAcc[ev.Sender] {
+			s.seqAcc[ev.Sender] = m.Seq
+		}
+	}
 	return m, ev, true
 }
 
@@ -287,22 +373,45 @@ func (s *State) DrainStash() []StashedMsg {
 	if s.Replaying() {
 		panic(fmt.Sprintf("core: rank %d: DrainStash during replay", s.rank))
 	}
-	out := make([]StashedMsg, 0, len(s.stash))
+	all := make([]StashedMsg, 0, len(s.stash))
 	for _, m := range s.stash {
-		out = append(out, m)
+		all = append(all, m)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Clock != out[j].Clock {
-			return out[i].Clock < out[j].Clock
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Clock != all[j].Clock {
+			return all[i].Clock < all[j].Clock
 		}
-		return out[i].From < out[j].From
+		return all[i].From < all[j].From
 	})
-	for _, m := range out {
-		if m.Clock > s.offered[m.From] {
-			s.offered[m.From] = m.Clock
+	s.stash = make(map[MsgID]StashedMsg)
+	// Per-sender clock order is emission order, so sequenced messages
+	// come out in channel order here — but a message beyond a channel
+	// gap (its predecessor was dropped mid-replay) must wait in held,
+	// exactly as on the normal path.
+	out := make([]StashedMsg, 0, len(all))
+	for _, m := range all {
+		if m.Seq == 0 {
+			if m.Clock > s.offered[m.From] {
+				s.offered[m.From] = m.Clock
+			}
+			out = append(out, m)
+			continue
+		}
+		switch {
+		case m.Seq <= s.seqAcc[m.From]: // duplicate
+		case m.Seq == s.seqAcc[m.From]+1:
+			s.seqAcc[m.From] = m.Seq
+			out = append(out, m)
+			out = append(out, s.TakeHeld(m.From)...)
+		default:
+			hm := s.held[m.From]
+			if hm == nil {
+				hm = make(map[uint64]StashedMsg)
+				s.held[m.From] = hm
+			}
+			hm[m.Seq] = m
 		}
 	}
-	s.stash = make(map[MsgID]StashedMsg)
 	return out
 }
 
@@ -350,6 +459,13 @@ func (s *State) StartRecovery(events []Event) {
 	s.replayPos = 0
 	s.probes = 0
 	s.unacked = 0 // everything we will replay is already safely logged
+	// The volatile acceptance state restarts from the delivered
+	// horizon; the arrived queue and held map died with the crash.
+	s.seqAcc = make(map[int]uint64, len(s.seqIn))
+	for k, v := range s.seqIn {
+		s.seqAcc[k] = v
+	}
+	s.held = make(map[int]map[uint64]StashedMsg)
 }
 
 // RestartAnnouncement returns HR_p[q] for the RESTART1 message sent to

@@ -13,15 +13,15 @@ import (
 // queue.
 func deliver(t *testing.T, s *State, from int, h uint64, data []byte) Event {
 	t.Helper()
-	if act := s.Offer(from, h, 0, data); act != OfferQueue {
+	if act := s.Offer(from, h, 0, 0, data); act != OfferQueue {
 		t.Fatalf("Offer(%d,%d) = %v, want OfferQueue", from, h, act)
 	}
-	return s.Commit(from, h)
+	return s.Commit(from, h, 0)
 }
 
 func TestClockTicksOnSendAndDeliver(t *testing.T) {
 	s := NewState(0)
-	id, tx := s.PrepareSend(1, 0, []byte("a"))
+	id, _, tx := s.PrepareSend(1, 0, []byte("a"))
 	if !tx || id.Clock != 1 || id.Sender != 0 {
 		t.Fatalf("first send: id=%+v transmit=%v", id, tx)
 	}
@@ -61,20 +61,20 @@ func TestEventsAckedUnderflowPanics(t *testing.T) {
 func TestDuplicateOfferDropped(t *testing.T) {
 	s := NewState(0)
 	deliver(t, s, 2, 5, nil)
-	if act := s.Offer(2, 5, 0, nil); act != OfferDrop {
+	if act := s.Offer(2, 5, 0, 0, nil); act != OfferDrop {
 		t.Fatalf("re-offer of delivered clock: %v", act)
 	}
-	if act := s.Offer(2, 3, 0, nil); act != OfferDrop {
+	if act := s.Offer(2, 3, 0, 0, nil); act != OfferDrop {
 		t.Fatalf("older clock: %v", act)
 	}
 	// A queued-but-undelivered message also blocks its duplicates.
-	if act := s.Offer(2, 6, 0, nil); act != OfferQueue {
+	if act := s.Offer(2, 6, 0, 0, nil); act != OfferQueue {
 		t.Fatalf("fresh clock: %v", act)
 	}
-	if act := s.Offer(2, 6, 0, nil); act != OfferDrop {
+	if act := s.Offer(2, 6, 0, 0, nil); act != OfferDrop {
 		t.Fatalf("duplicate of queued message: %v", act)
 	}
-	s.Commit(2, 6)
+	s.Commit(2, 6, 0)
 }
 
 func TestCommitOfDuplicatePanics(t *testing.T) {
@@ -85,7 +85,7 @@ func TestCommitOfDuplicatePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	s.Commit(1, 4)
+	s.Commit(1, 4, 0)
 }
 
 func TestProbeCountAttachedToEvent(t *testing.T) {
@@ -142,13 +142,13 @@ func TestResendAfterRestart1(t *testing.T) {
 	// Re-executed sends at or below hp=2 to peer 1 are now suppressed.
 	s2 := NewState(0)
 	s2.OnRestart2(1, 2)
-	if _, tx := s2.PrepareSend(1, 0, []byte("m1")); tx {
+	if _, _, tx := s2.PrepareSend(1, 0, []byte("m1")); tx {
 		t.Error("re-executed send clock 1 should be suppressed")
 	}
-	if _, tx := s2.PrepareSend(1, 0, []byte("m2")); tx {
+	if _, _, tx := s2.PrepareSend(1, 0, []byte("m2")); tx {
 		t.Error("re-executed send clock 2 should be suppressed")
 	}
-	if _, tx := s2.PrepareSend(1, 0, []byte("m3")); !tx {
+	if _, _, tx := s2.PrepareSend(1, 0, []byte("m3")); !tx {
 		t.Error("send clock 3 must be transmitted")
 	}
 	// But all of them must be in SAVED (Lemma 1).
@@ -173,10 +173,10 @@ func TestReplaySequence(t *testing.T) {
 
 	// Peer 1's two messages arrive before peer 2's: both stash; only
 	// the first can be taken.
-	if act := s.Offer(1, 1, 0, []byte("a")); act != OfferStash {
+	if act := s.Offer(1, 1, 0, 0, []byte("a")); act != OfferStash {
 		t.Fatalf("replay offer: %v", act)
 	}
-	if act := s.Offer(1, 2, 0, []byte("c")); act != OfferStash {
+	if act := s.Offer(1, 2, 0, 0, []byte("c")); act != OfferStash {
 		t.Fatalf("replay offer 2: %v", act)
 	}
 	m, ev, ok := s.TakeStashed()
@@ -194,7 +194,7 @@ func TestReplaySequence(t *testing.T) {
 	if s.ReplayProbeMiss() {
 		t.Error("second probe should not miss (message 2 is next)")
 	}
-	if act := s.Offer(2, 1, 0, []byte("b")); act != OfferStash {
+	if act := s.Offer(2, 1, 0, 0, []byte("b")); act != OfferStash {
 		t.Fatal("peer 2 message should stash")
 	}
 	m, ev, ok = s.TakeStashed()
@@ -223,9 +223,9 @@ func TestDrainStashAfterReplay(t *testing.T) {
 	s.StartRecovery([]Event{{Sender: 1, SenderClock: 1, RecvClock: 1}})
 	// A fresh message from peer 2 and a future message from peer 1
 	// arrive during replay.
-	s.Offer(2, 1, 0, []byte("fresh2"))
-	s.Offer(1, 2, 0, []byte("future1"))
-	s.Offer(1, 1, 0, []byte("logged"))
+	s.Offer(2, 1, 0, 0, []byte("fresh2"))
+	s.Offer(1, 2, 0, 0, []byte("future1"))
+	s.Offer(1, 1, 0, 0, []byte("logged"))
 	if _, _, ok := s.TakeStashed(); !ok {
 		t.Fatal("logged message should be takeable")
 	}
@@ -242,7 +242,7 @@ func TestDrainStashAfterReplay(t *testing.T) {
 	}
 	// Drained messages commit normally.
 	for _, m := range rest {
-		s.Commit(m.From, m.Clock)
+		s.Commit(m.From, m.Clock, 0)
 	}
 }
 
@@ -279,7 +279,7 @@ func TestStartRecoverySkipsPreCheckpointEvents(t *testing.T) {
 func TestReplayClockDriftPanics(t *testing.T) {
 	s := NewState(0)
 	s.StartRecovery([]Event{{Sender: 1, SenderClock: 1, RecvClock: 5}})
-	s.Offer(1, 1, 0, nil)
+	s.Offer(1, 1, 0, 0, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected drift panic")
@@ -291,8 +291,8 @@ func TestReplayClockDriftPanics(t *testing.T) {
 func TestSnapshotRoundTrip(t *testing.T) {
 	s := NewState(3)
 	s.PrepareSend(1, 2, []byte("hello"))
-	s.Offer(2, 9, 0, nil)
-	s.Commit(2, 9)
+	s.Offer(2, 9, 0, 0, nil)
+	s.Commit(2, 9, 0)
 	s.EventsAcked(1)
 	sn := s.Snapshot()
 	b, err := sn.Encode()
@@ -329,7 +329,7 @@ func TestPropertySavedLogComplete(t *testing.T) {
 		byPeer := make(map[int][]uint64)
 		for _, d := range dests {
 			peer := int(d%4) + 1
-			id, _ := s.PrepareSend(peer, 0, []byte{d})
+			id, _, _ := s.PrepareSend(peer, 0, []byte{d})
 			byPeer[peer] = append(byPeer[peer], id.Clock)
 		}
 		for peer, clocks := range byPeer {
@@ -383,10 +383,10 @@ func TestPropertyReplayDeterminism(t *testing.T) {
 			if rng.Intn(3) == 0 {
 				orig.ProbeMiss()
 			}
-			if act := orig.Offer(m.from, m.h, 0, m.data); act != OfferQueue {
+			if act := orig.Offer(m.from, m.h, 0, 0, m.data); act != OfferQueue {
 				return false
 			}
-			history = append(history, orig.Commit(m.from, m.h))
+			history = append(history, orig.Commit(m.from, m.h, 0))
 			orig.EventsAcked(1)
 		}
 
@@ -401,7 +401,7 @@ func TestPropertyReplayDeterminism(t *testing.T) {
 
 		var delivered []string
 		for _, m := range arrivals {
-			re.Offer(m.from, m.h, 0, m.data)
+			re.Offer(m.from, m.h, 0, 0, m.data)
 			for {
 				sm, _, ok := re.TakeStashed()
 				if !ok {
@@ -497,11 +497,11 @@ func TestTwoCrashedPeersExchange(t *testing.T) {
 	}
 	run := func(p, q *State, deliverP, deliverQ func(wireMsg)) {
 		for i := 0; i < 6; i++ {
-			id, tx := p.PrepareSend(1, 0, []byte{byte(i)})
+			id, _, tx := p.PrepareSend(1, 0, []byte{byte(i)})
 			if tx {
 				deliverQ(wireMsg{from: 0, h: id.Clock, data: []byte{byte(i)}})
 			}
-			id, tx = q.PrepareSend(0, 0, []byte{byte(i + 100)})
+			id, _, tx = q.PrepareSend(0, 0, []byte{byte(i + 100)})
 			if tx {
 				deliverP(wireMsg{from: 1, h: id.Clock, data: []byte{byte(i + 100)}})
 			}
@@ -512,14 +512,14 @@ func TestTwoCrashedPeersExchange(t *testing.T) {
 	var histP, histQ []Event
 	run(p0, q0,
 		func(m wireMsg) {
-			if p0.Offer(m.from, m.h, 0, m.data) == OfferQueue {
-				histP = append(histP, p0.Commit(m.from, m.h))
+			if p0.Offer(m.from, m.h, 0, 0, m.data) == OfferQueue {
+				histP = append(histP, p0.Commit(m.from, m.h, 0))
 				p0.EventsAcked(1)
 			}
 		},
 		func(m wireMsg) {
-			if q0.Offer(m.from, m.h, 0, m.data) == OfferQueue {
-				histQ = append(histQ, q0.Commit(m.from, m.h))
+			if q0.Offer(m.from, m.h, 0, 0, m.data) == OfferQueue {
+				histQ = append(histQ, q0.Commit(m.from, m.h, 0))
 				q0.EventsAcked(1)
 			}
 		})
@@ -550,11 +550,11 @@ func TestTwoCrashedPeersExchange(t *testing.T) {
 	}
 	run(p1, q1,
 		func(m wireMsg) {
-			p1.Offer(m.from, m.h, 0, m.data)
+			p1.Offer(m.from, m.h, 0, 0, m.data)
 			drain(p1, &replayedP)
 		},
 		func(m wireMsg) {
-			q1.Offer(m.from, m.h, 0, m.data)
+			q1.Offer(m.from, m.h, 0, 0, m.data)
 			drain(q1, &replayedQ)
 		})
 	if p1.Replaying() || q1.Replaying() {

@@ -16,6 +16,8 @@ type Snapshot struct {
 	H     uint64
 	HS    map[int]uint64
 	HR    map[int]uint64
+	SeqTo map[int]uint64 // per-destination channel sequence counters
+	SeqIn map[int]uint64 // per-sender channel sequence of last delivery
 	Saved []SavedMsg
 }
 
@@ -31,6 +33,8 @@ func (s *State) Snapshot() *Snapshot {
 		H:     s.h,
 		HS:    make(map[int]uint64, len(s.hs)),
 		HR:    make(map[int]uint64, len(s.hr)),
+		SeqTo: make(map[int]uint64, len(s.seqTo)),
+		SeqIn: make(map[int]uint64, len(s.seqIn)),
 		Saved: make([]SavedMsg, len(s.saved)),
 	}
 	for k, v := range s.hs {
@@ -38,6 +42,12 @@ func (s *State) Snapshot() *Snapshot {
 	}
 	for k, v := range s.hr {
 		sn.HR[k] = v
+	}
+	for k, v := range s.seqTo {
+		sn.SeqTo[k] = v
+	}
+	for k, v := range s.seqIn {
+		sn.SeqIn[k] = v
 	}
 	for i, m := range s.saved {
 		cp := m
@@ -57,6 +67,13 @@ func Restore(sn *Snapshot) *State {
 	}
 	for k, v := range sn.HR {
 		s.hr[k] = v
+	}
+	for k, v := range sn.SeqTo {
+		s.seqTo[k] = v
+	}
+	for k, v := range sn.SeqIn {
+		s.seqIn[k] = v
+		s.seqAcc[k] = v
 	}
 	s.saved = make([]SavedMsg, len(sn.Saved))
 	for i, m := range sn.Saved {

@@ -90,6 +90,55 @@ type Config struct {
 	// and must run the recovery protocol before serving.
 	Restarted bool
 
+	// Incarnation counts how many times this rank has been (re)spawned
+	// (0 for the first launch). It namespaces the daemon's request
+	// sequence numbers — event-log submissions and checkpoint saves
+	// start at Incarnation<<32 — so a frame of a dead predecessor that
+	// a slow network delivers late can never be mistaken for one of
+	// ours, and the checkpoint store's monotonicity guard keeps
+	// working across restarts.
+	Incarnation uint64
+
+	// ELBackups and CSBackups are alternate event-logger / checkpoint
+	// server node ids the daemon re-homes to (round-robin) when the
+	// current one stops acknowledging; see FailoverAfter.
+	ELBackups []int
+	CSBackups []int
+
+	// Timeouts for the retry machinery on the blocking protocol paths.
+	// Each names the base of a bounded exponential backoff
+	// (transport.Backoff). Zero selects the default; negative disables
+	// that retry path.
+	//
+	//   ELAckTimeout   — event-log submission → KEventAck (default 25ms)
+	//   CkptAckTimeout — checkpoint save → KCkptSaveAck (default 250ms)
+	//   FetchTimeout   — restart-time image/event-list fetch (default 25ms)
+	//   RestartTimeout — RESTART1 → RESTART2 handshake wait (default:
+	//                    disabled; the paper's protocol never waits on
+	//                    RESTART2, so this only pays off on lossy links)
+	ELAckTimeout   time.Duration
+	CkptAckTimeout time.Duration
+	FetchTimeout   time.Duration
+	RestartTimeout time.Duration
+
+	// RestartRetries bounds RESTART1 retransmissions per peer during
+	// recovery (default 6); a peer silent for that long is presumed
+	// crashed — its own recovery will resynchronize us.
+	RestartRetries int
+
+	// FailoverAfter is the number of consecutive unanswered
+	// (re)transmissions to a service after which the daemon re-homes
+	// to the next backup (default 3).
+	FailoverAfter int
+
+	// PullTimeout, when positive, arms a pull timer whenever the
+	// daemon starves waiting for a message: it re-announces its
+	// delivered horizon (a RESTART1) to every peer, making them
+	// re-send anything the network may have dropped. Disabled by
+	// default — on a reliable fabric starvation just means the
+	// application is blocked on a message that was never sent.
+	PullTimeout time.Duration
+
 	// EventBatching accumulates reception events while an event-logger
 	// exchange is in flight and submits them as one frame on the ack,
 	// trading a longer WAITLOGGED tail for far fewer logger messages.
@@ -133,12 +182,15 @@ type rankResp struct {
 }
 
 // dEvent multiplexes everything a daemon actor can observe into its
-// single inbox: transport frames, rank requests, and death.
+// single inbox: transport frames, rank requests, timer expiries, and
+// death.
 type dEvent struct {
 	isFrame bool
 	frame   transport.Frame
 	isReq   bool
 	req     rankReq
+	isTimer bool
+	timer   uint64
 	closed  bool
 }
 
@@ -227,4 +279,8 @@ type Stats struct {
 	Resent        int64
 	GCFreedBytes  int64
 	LogOverflowed bool
+	Retransmits   int64 // timed-out requests re-sent (EL, ckpt, recovery, finalize)
+	Pulls         int64 // starvation-triggered re-announcements to peers
+	Failovers     int64 // re-homings to a backup service instance
+	Malformed     int64 // frames the daemon could not decode
 }

@@ -30,7 +30,7 @@ func startFakeEL(sim *vtime.Sim, fab transport.Fabric, id int, delay time.Durati
 			}
 			switch fr.Kind {
 			case wire.KEventLog:
-				evs, err := wire.DecodeEvents(fr.Data)
+				seq, evs, err := wire.DecodeEventLog(fr.Data)
 				if err != nil {
 					continue
 				}
@@ -38,7 +38,7 @@ func startFakeEL(sim *vtime.Sim, fab transport.Fabric, id int, delay time.Durati
 					sim.Sleep(f.delay)
 				}
 				f.acked += len(evs)
-				f.ep.Send(fr.From, wire.KEventAck, wire.EncodeU32(uint32(len(evs))))
+				f.ep.Send(fr.From, wire.KEventAck, wire.EncodeU64(seq))
 			case wire.KEventFetch:
 				f.ep.Send(fr.From, wire.KEventFetched, wire.EncodeEvents(nil))
 			}

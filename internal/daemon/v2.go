@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,16 @@ import (
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
 	"mpichv/internal/wire"
+)
+
+// Default bases for the retry machinery; see Config.
+const (
+	defELAckTimeout   = 25 * time.Millisecond
+	defCkptAckTimeout = 250 * time.Millisecond
+	defFetchTimeout   = 25 * time.Millisecond
+	defRestartRetries = 6
+	defFailoverAfter  = 3
+	finalizeRetries   = 8
 )
 
 // V2 is the MPICH-V2 communication daemon: a single actor owning the
@@ -33,16 +44,48 @@ type V2 struct {
 	ckptVectors map[uint64]map[int]uint64 // seq → HR vector captured at snapshot
 
 	finished bool
+	finAcked bool
+	finTimer uint64
 	stats    Stats
 
 	// Scheduler status counters, reset at each checkpoint so the
 	// adaptive policy sees traffic since the last checkpoint.
 	schedSent, schedRecv uint64
 
-	// Event batching (Config.EventBatching): events accumulated while
-	// an event-logger exchange is in flight.
-	elInFlight int
-	elQueue    []core.Event
+	// Virtual-time timers: after() registers a callback and posts a
+	// dEvent; handleTimer() fires it unless cancel()led meanwhile.
+	timers   map[uint64]func()
+	timerSeq uint64
+
+	// Event-logger exchange state. Requests are numbered (namespaced by
+	// incarnation) so acks can be matched to in-flight batches across
+	// loss, duplication and reordering, and unacknowledged batches are
+	// retransmitted with exponential backoff, failing over to a backup
+	// logger after repeated silence.
+	elTargets  []int
+	elIdx      int
+	elStrikes  int
+	elSeq      uint64
+	elPending  map[uint64][]core.Event
+	elSent     map[uint64]time.Duration
+	elAttempts map[uint64]int
+	elTimer    uint64
+	elQueue    []core.Event // batching: events deferred while a batch is in flight
+
+	// Checkpoint push state, mirroring the event-logger machinery.
+	csTargets    []int
+	csIdx        int
+	csStrikes    int
+	ckptPending  map[uint64][]byte // seq → encoded KCkptSave payload
+	ckptSent     map[uint64]time.Duration
+	ckptAttempts map[uint64]int
+	ckptTimer    uint64
+
+	// Pull recovery: when the daemon starves waiting for a deliverable
+	// message on a lossy fabric, it re-announces its delivered horizon
+	// so peers re-send anything that was dropped.
+	pullTimer    uint64
+	pullAttempts int
 
 	// recovery buffering: frames that arrive while we fetch our image
 	// and event list are replayed into the normal handler afterwards.
@@ -55,10 +98,26 @@ type V2 struct {
 // actors, and returns the Device for the MPI process.
 func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	d := &V2{
-		rt:          rt,
-		cfg:         cfg,
-		st:          core.NewState(cfg.Rank),
-		ckptVectors: make(map[uint64]map[int]uint64),
+		rt:           rt,
+		cfg:          cfg,
+		st:           core.NewState(cfg.Rank),
+		ckptVectors:  make(map[uint64]map[int]uint64),
+		timers:       make(map[uint64]func()),
+		elPending:    make(map[uint64][]core.Event),
+		elSent:       make(map[uint64]time.Duration),
+		elAttempts:   make(map[uint64]int),
+		ckptPending:  make(map[uint64][]byte),
+		ckptSent:     make(map[uint64]time.Duration),
+		ckptAttempts: make(map[uint64]int),
+	}
+	d.elSeq = cfg.Incarnation << 32
+	d.ckptSeq = cfg.Incarnation << 32
+	d.ckptDone = d.ckptSeq
+	if cfg.EventLogger >= 0 {
+		d.elTargets = append([]int{cfg.EventLogger}, cfg.ELBackups...)
+	}
+	if cfg.CkptServer >= 0 {
+		d.csTargets = append([]int{cfg.CkptServer}, cfg.CSBackups...)
 	}
 	d.ep = fab.Attach(cfg.Rank, fmt.Sprintf("cn%d", cfg.Rank))
 	d.in = vtime.NewMailbox[dEvent](rt, fmt.Sprintf("v2d%d", cfg.Rank))
@@ -75,6 +134,62 @@ func (d *V2) Stats() Stats { return d.stats }
 // State exposes the protocol state for tests and the checkpoint
 // scheduler status plumbing.
 func (d *V2) State() *core.State { return d.st }
+
+// --- Timeout configuration -----------------------------------------------
+
+// timeout resolves a Config duration: zero selects the default,
+// negative disables (returns 0).
+func timeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (d *V2) elAckTimeout() time.Duration   { return timeout(d.cfg.ELAckTimeout, defELAckTimeout) }
+func (d *V2) ckptAckTimeout() time.Duration { return timeout(d.cfg.CkptAckTimeout, defCkptAckTimeout) }
+func (d *V2) fetchTimeout() time.Duration   { return timeout(d.cfg.FetchTimeout, defFetchTimeout) }
+
+func (d *V2) restartRetries() int {
+	if d.cfg.RestartRetries <= 0 {
+		return defRestartRetries
+	}
+	return d.cfg.RestartRetries
+}
+
+func (d *V2) failoverAfter() int {
+	if d.cfg.FailoverAfter <= 0 {
+		return defFailoverAfter
+	}
+	return d.cfg.FailoverAfter
+}
+
+// --- Timers ---------------------------------------------------------------
+
+// after schedules fn on the daemon's own actor loop: the callback runs
+// when the daemon next pulls its inbox, never concurrently with other
+// daemon work.
+func (d *V2) after(delay time.Duration, fn func()) uint64 {
+	d.timerSeq++
+	id := d.timerSeq
+	d.timers[id] = fn
+	d.in.SendAfter(delay, dEvent{isTimer: true, timer: id})
+	return id
+}
+
+func (d *V2) cancel(id uint64) { delete(d.timers, id) }
+
+func (d *V2) handleTimer(id uint64) {
+	fn, ok := d.timers[id]
+	if !ok {
+		return // cancelled
+	}
+	delete(d.timers, id)
+	fn()
+}
 
 func (d *V2) run() {
 	defer func() {
@@ -93,6 +208,10 @@ func (d *V2) run() {
 		e := d.next()
 		if e.isFrame {
 			d.handleFrame(e.frame)
+			continue
+		}
+		if e.isTimer {
+			d.handleTimer(e.timer)
 			continue
 		}
 		d.handleReq(e.req)
@@ -114,14 +233,17 @@ func (d *V2) recover() {
 	d.recovering = true
 	d.restored = false
 
-	// Phase A1: fetch the latest checkpoint image, if any.
-	if d.cfg.CkptServer >= 0 {
-		d.ep.Send(d.cfg.CkptServer, wire.KCkptFetch, nil)
-		data := d.awaitFrame(wire.KCkptImage)
-		present, img, err := wire.DecodeCkptImage(data)
-		if err != nil {
-			panic(fmt.Sprintf("daemon: rank %d: bad checkpoint image: %v", d.cfg.Rank, err))
-		}
+	// Phase A1: fetch the latest checkpoint image, if any. On a lossy
+	// fabric the request or the reply can vanish, so the fetch runs
+	// under a timeout with bounded backoff, rotating to a backup server
+	// after repeated silence.
+	if len(d.csTargets) > 0 {
+		data := d.fetchLoop("checkpoint image", d.csTargets, wire.KCkptFetch, nil, wire.KCkptImage,
+			func(resp []byte) bool {
+				_, _, err := wire.DecodeCkptImage(resp)
+				return err == nil
+			})
+		present, img, _ := wire.DecodeCkptImage(data)
 		if present {
 			im, err := ckpt.DecodeImage(img)
 			if err != nil {
@@ -134,26 +256,88 @@ func (d *V2) recover() {
 			d.st = core.Restore(sn)
 			d.appState = im.AppState
 			d.restored = true
-			d.ckptSeq = im.Seq
-			d.ckptDone = im.Seq
+			if im.Seq > d.ckptSeq {
+				d.ckptSeq = im.Seq
+				d.ckptDone = im.Seq
+			}
 		}
 	}
 
-	// Phase A2: download the reception events to replay.
-	d.ep.Send(d.cfg.EventLogger, wire.KEventFetch, wire.EncodeU64(d.st.Clock()))
-	evData := d.awaitFrame(wire.KEventFetched)
-	evs, err := wire.DecodeEvents(evData)
-	if err != nil {
-		panic(fmt.Sprintf("daemon: rank %d: bad event list: %v", d.cfg.Rank, err))
+	// Phase A2: download the reception events to replay, same scheme.
+	evs := []core.Event(nil)
+	if len(d.elTargets) > 0 {
+		evData := d.fetchLoop("event list", d.elTargets, wire.KEventFetch,
+			wire.EncodeU64(d.st.Clock()), wire.KEventFetched,
+			func(resp []byte) bool {
+				_, err := wire.DecodeEvents(resp)
+				return err == nil
+			})
+		evs, _ = wire.DecodeEvents(evData)
 	}
 	d.st.StartRecovery(evs)
 
 	// Phase B: ask every peer to re-send from what we have delivered.
+	// Without a restart timeout this is fire-and-forget, as in the
+	// paper; with one, we insist on a RESTART2 from each live peer,
+	// retransmitting RESTART1 to the silent ones with backoff. Both
+	// messages are idempotent, and peers simultaneously in recovery are
+	// answered inline so two crashed nodes cannot deadlock waiting on
+	// each other.
+	peers := make([]int, 0, d.cfg.Size-1)
 	for q := 0; q < d.cfg.Size; q++ {
-		if q == d.cfg.Rank {
-			continue
+		if q != d.cfg.Rank {
+			peers = append(peers, q)
 		}
-		d.ep.Send(q, wire.KRestart1, wire.EncodeU64(d.st.RestartAnnouncement(q)))
+	}
+	r2Seen := make(map[int]bool, len(peers))
+	handshake := func(f transport.Frame) {
+		switch f.Kind {
+		case wire.KRestart2:
+			hp, err := wire.DecodeU64(f.Data)
+			if err != nil {
+				d.stats.Malformed++
+				return
+			}
+			r2Seen[f.From] = true
+			d.transmitSaved(f.From, d.st.OnRestart2(f.From, hp))
+		case wire.KRestart1:
+			hp, err := wire.DecodeU64(f.Data)
+			if err != nil {
+				d.stats.Malformed++
+				return
+			}
+			resend, myHR := d.st.OnRestart1(f.From, hp)
+			d.ep.Send(f.From, wire.KRestart2, wire.EncodeU64(myHR))
+			d.transmitSaved(f.From, resend)
+		default:
+			d.recoverPending = append(d.recoverPending, f)
+		}
+	}
+	restartTO := timeout(d.cfg.RestartTimeout, 0) // default: disabled
+	bo := transport.Backoff{Base: restartTO}
+	for attempt := 0; ; attempt++ {
+		for _, q := range peers {
+			if !r2Seen[q] {
+				if attempt > 0 {
+					d.stats.Retransmits++
+				}
+				d.ep.Send(q, wire.KRestart1, wire.EncodeU64(d.st.RestartAnnouncement(q)))
+			}
+		}
+		if restartTO <= 0 || attempt >= d.restartRetries() {
+			break
+		}
+		deadline := d.rt.Now() + bo.Delay(attempt)
+		for d.rt.Now() < deadline && len(r2Seen) < len(peers) {
+			f, ok := d.awaitAnyFrame(deadline - d.rt.Now())
+			if !ok {
+				break
+			}
+			handshake(f)
+		}
+		if len(r2Seen) == len(peers) {
+			break
+		}
 	}
 
 	// Frames and rank requests that raced with recovery now go through
@@ -171,11 +355,62 @@ func (d *V2) recover() {
 	}
 }
 
+// fetchLoop performs one restart-time request/reply exchange against a
+// service, retransmitting with exponential backoff on timeout or on a
+// malformed reply, and rotating to the next backup instance after
+// failoverAfter consecutive failures. It blocks until a valid reply
+// arrives — a restarting daemon cannot make progress without it.
+func (d *V2) fetchLoop(what string, targets []int, reqKind uint8, reqData []byte, respKind uint8, valid func([]byte) bool) []byte {
+	to := d.fetchTimeout()
+	bo := transport.Backoff{Base: to}
+	idx, strikes := 0, 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d.stats.Retransmits++
+		}
+		d.ep.Send(targets[idx], reqKind, reqData)
+		if to <= 0 {
+			data := d.awaitFrame(respKind)
+			if valid(data) {
+				return data
+			}
+			d.stats.Malformed++
+			continue
+		}
+		deadline := d.rt.Now() + bo.Delay(attempt)
+		for d.rt.Now() < deadline {
+			f, ok := d.awaitAnyFrame(deadline - d.rt.Now())
+			if !ok {
+				break
+			}
+			if f.Kind != respKind {
+				d.recoverPending = append(d.recoverPending, f)
+				continue
+			}
+			if !valid(f.Data) {
+				d.stats.Malformed++
+				continue
+			}
+			return f.Data
+		}
+		strikes++
+		if strikes >= d.failoverAfter() && len(targets) > 1 {
+			idx = (idx + 1) % len(targets)
+			strikes = 0
+			d.stats.Failovers++
+		}
+	}
+}
+
 // awaitFrame blocks until a frame of the wanted kind arrives, buffering
 // everything else for post-recovery processing.
 func (d *V2) awaitFrame(kind uint8) []byte {
 	for {
 		e := d.next()
+		if e.isTimer {
+			d.handleTimer(e.timer)
+			continue
+		}
 		if !e.isFrame {
 			d.recoverReqs = append(d.recoverReqs, e.req)
 			continue
@@ -184,6 +419,29 @@ func (d *V2) awaitFrame(kind uint8) []byte {
 			return e.frame.Data
 		}
 		d.recoverPending = append(d.recoverPending, e.frame)
+	}
+}
+
+// awaitAnyFrame waits up to timeout for any frame, buffering rank
+// requests. ok=false means the timeout expired.
+func (d *V2) awaitAnyFrame(timeout time.Duration) (transport.Frame, bool) {
+	expired := false
+	id := d.after(timeout, func() { expired = true })
+	defer d.cancel(id)
+	for {
+		e := d.next()
+		if e.isTimer {
+			d.handleTimer(e.timer)
+			if expired {
+				return transport.Frame{}, false
+			}
+			continue
+		}
+		if !e.isFrame {
+			d.recoverReqs = append(d.recoverReqs, e.req)
+			continue
+		}
+		return e.frame, true
 	}
 }
 
@@ -198,32 +456,44 @@ func (d *V2) handleFrame(f transport.Frame) {
 	case wire.KPayload:
 		hdr, body, err := wire.DecodePayload(f.Data)
 		if err != nil {
+			d.stats.Malformed++
 			return
 		}
-		if d.st.Offer(f.From, hdr.SenderClock, hdr.DevKind, body) == core.OfferQueue {
-			d.arrived = append(d.arrived, core.StashedMsg{From: f.From, Clock: hdr.SenderClock, Kind: hdr.DevKind, Data: body})
+		if d.st.Offer(f.From, hdr.SenderClock, hdr.PairSeq, hdr.DevKind, body) == core.OfferQueue {
+			d.arrived = append(d.arrived, core.StashedMsg{From: f.From, Clock: hdr.SenderClock, Seq: hdr.PairSeq, Kind: hdr.DevKind, Data: body})
+			// A newly admitted message may release successors that
+			// arrived out of order and were held for the gap to fill.
+			d.arrived = append(d.arrived, d.st.TakeHeld(f.From)...)
 		}
 		d.stats.RecvMsgs++
 		d.stats.RecvBytes += int64(len(body))
 		d.schedRecv += uint64(len(body))
 
 	case wire.KEventAck:
-		n, err := wire.DecodeU32(f.Data)
-		if err == nil {
-			d.st.EventsAcked(int(n))
-			d.elInFlight -= int(n)
-			if len(d.elQueue) > 0 && d.elInFlight == 0 {
-				q := d.elQueue
-				d.elQueue = nil
-				d.elInFlight += len(q)
-				d.ep.Send(d.cfg.EventLogger, wire.KEventLog, wire.EncodeEvents(q))
-				d.stats.EventsLogged += int64(len(q))
-			}
+		seq, err := wire.DecodeU64(f.Data)
+		if err != nil {
+			d.stats.Malformed++
+			return
+		}
+		evs, ok := d.elPending[seq]
+		if !ok {
+			return // duplicate ack, or ack of a dead incarnation's batch
+		}
+		delete(d.elPending, seq)
+		delete(d.elSent, seq)
+		delete(d.elAttempts, seq)
+		d.elStrikes = 0
+		d.st.EventsAcked(len(evs))
+		if d.cfg.EventBatching && len(d.elPending) == 0 && len(d.elQueue) > 0 {
+			q := d.elQueue
+			d.elQueue = nil
+			d.sendEvents(q)
 		}
 
 	case wire.KRestart1:
 		hp, err := wire.DecodeU64(f.Data)
 		if err != nil {
+			d.stats.Malformed++
 			return
 		}
 		resend, myHR := d.st.OnRestart1(f.From, hp)
@@ -233,15 +503,18 @@ func (d *V2) handleFrame(f transport.Frame) {
 	case wire.KRestart2:
 		hp, err := wire.DecodeU64(f.Data)
 		if err != nil {
+			d.stats.Malformed++
 			return
 		}
 		d.transmitSaved(f.From, d.st.OnRestart2(f.From, hp))
 
 	case wire.KCkptNote:
 		upTo, err := wire.DecodeU64(f.Data)
-		if err == nil {
-			d.stats.GCFreedBytes += d.st.CollectGarbage(f.From, upTo)
+		if err != nil {
+			d.stats.Malformed++
+			return
 		}
+		d.stats.GCFreedBytes += d.st.CollectGarbage(f.From, upTo)
 
 	case wire.KSchedPoll:
 		d.ep.Send(f.From, wire.KSchedStat, wire.EncodeStatus(wire.NodeStatus{
@@ -258,7 +531,15 @@ func (d *V2) handleFrame(f transport.Frame) {
 
 	case wire.KCkptSaveAck:
 		seq, err := wire.DecodeU64(f.Data)
-		if err != nil || seq <= d.ckptDone {
+		if err != nil {
+			d.stats.Malformed++
+			return
+		}
+		delete(d.ckptPending, seq)
+		delete(d.ckptSent, seq)
+		delete(d.ckptAttempts, seq)
+		d.csStrikes = 0
+		if seq <= d.ckptDone {
 			return
 		}
 		d.ckptDone = seq
@@ -276,15 +557,141 @@ func (d *V2) handleFrame(f transport.Frame) {
 			}
 			d.ep.Send(q, wire.KCkptNote, wire.EncodeU64(vec[q]))
 		}
+
+	case wire.KFinalizeAck:
+		d.finAcked = true
+		if d.finTimer != 0 {
+			d.cancel(d.finTimer)
+			d.finTimer = 0
+		}
 	}
 }
 
 // transmitSaved re-sends saved payload copies after a peer restart.
 func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
 	for _, m := range msgs {
-		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: m.Clock, DevKind: m.Kind}, m.Data))
+		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: m.Clock, PairSeq: m.Seq, DevKind: m.Kind}, m.Data))
 		d.stats.Resent++
 	}
+}
+
+// --- Event-logger exchange ------------------------------------------------
+
+// sendEvents ships a batch to the current event logger and arms the
+// retransmit timer.
+func (d *V2) sendEvents(evs []core.Event) {
+	d.elSeq++
+	seq := d.elSeq
+	d.elPending[seq] = evs
+	d.elSent[seq] = d.rt.Now()
+	d.elAttempts[seq] = 0
+	d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, wire.EncodeEventLog(seq, evs))
+	d.stats.EventsLogged += int64(len(evs))
+	d.armEL()
+}
+
+// armEL (re)arms the single event-logger retransmit timer for the
+// earliest deadline among pending batches.
+func (d *V2) armEL() {
+	to := d.elAckTimeout()
+	if d.elTimer != 0 || to <= 0 || len(d.elPending) == 0 {
+		return
+	}
+	bo := transport.Backoff{Base: to}
+	var min time.Duration
+	first := true
+	for seq := range d.elPending {
+		dl := d.elSent[seq] + bo.Delay(d.elAttempts[seq])
+		if first || dl < min {
+			min, first = dl, false
+		}
+	}
+	delay := min - d.rt.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	d.elTimer = d.after(delay, d.elExpired)
+}
+
+// elExpired retransmits every pending batch whose deadline has passed,
+// failing over to a backup logger after repeated silence.
+func (d *V2) elExpired() {
+	d.elTimer = 0
+	to := d.elAckTimeout()
+	if to <= 0 {
+		return
+	}
+	bo := transport.Backoff{Base: to}
+	now := d.rt.Now()
+	seqs := make([]uint64, 0, len(d.elPending))
+	for seq := range d.elPending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if d.elSent[seq]+bo.Delay(d.elAttempts[seq]) > now {
+			continue
+		}
+		d.elAttempts[seq]++
+		d.elSent[seq] = now
+		d.elStrikes++
+		if d.elStrikes >= d.failoverAfter() && len(d.elTargets) > 1 {
+			d.elIdx = (d.elIdx + 1) % len(d.elTargets)
+			d.elStrikes = 0
+			d.stats.Failovers++
+		}
+		d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, wire.EncodeEventLog(seq, d.elPending[seq]))
+		d.stats.Retransmits++
+	}
+	d.armEL()
+}
+
+func (d *V2) submitEvent(ev core.Event) {
+	if len(d.elTargets) == 0 {
+		return
+	}
+	if d.cfg.EventBatching && len(d.elPending) > 0 {
+		d.elQueue = append(d.elQueue, ev)
+		return
+	}
+	d.sendEvents([]core.Event{ev})
+}
+
+// --- Pull recovery --------------------------------------------------------
+
+// beginStarve arms the pull timer: if the daemon is still starved when
+// it fires, every peer is asked to re-send from our delivered horizon
+// (the same announcement a restarted node makes), recovering messages a
+// lossy fabric dropped. Duplicates are discarded by the clock/sequence
+// dedup on the receive path.
+func (d *V2) beginStarve() {
+	to := timeout(d.cfg.PullTimeout, 0) // default: disabled
+	if to <= 0 || d.pullTimer != 0 {
+		return
+	}
+	bo := transport.Backoff{Base: to}
+	d.pullTimer = d.after(bo.Delay(d.pullAttempts), d.pullExpired)
+}
+
+func (d *V2) endStarve() {
+	if d.pullTimer != 0 {
+		d.cancel(d.pullTimer)
+		d.pullTimer = 0
+	}
+	d.pullAttempts = 0
+}
+
+func (d *V2) pullExpired() {
+	d.pullTimer = 0
+	d.pullAttempts++
+	d.stats.Pulls++
+	for q := 0; q < d.cfg.Size; q++ {
+		if q == d.cfg.Rank {
+			continue
+		}
+		d.ep.Send(q, wire.KRestart1, wire.EncodeU64(d.st.RestartAnnouncement(q)))
+	}
+	d.beginStarve()
 }
 
 // --- Rank requests -------------------------------------------------------
@@ -302,12 +709,39 @@ func (d *V2) handleReq(r rankReq) {
 	case opCkpt:
 		d.doCheckpoint(r.data)
 	case opFinish:
-		if d.cfg.Dispatcher >= 0 {
-			d.ep.Send(d.cfg.Dispatcher, wire.KFinalize, nil)
-		}
-		d.finished = true
-		d.reply(rankResp{})
+		d.doFinish()
 	}
+}
+
+func (d *V2) doFinish() {
+	if d.cfg.Dispatcher >= 0 {
+		d.ep.Send(d.cfg.Dispatcher, wire.KFinalize, nil)
+		// Retransmit the finalize until the dispatcher confirms it:
+		// losing it would leave the run waiting on a node that has in
+		// fact completed. Bounded — a dead dispatcher must not keep the
+		// virtual timeline alive forever.
+		if to := d.elAckTimeout(); to > 0 {
+			bo := transport.Backoff{Base: to}
+			var rearm func(attempt int)
+			rearm = func(attempt int) {
+				if d.finAcked || attempt >= finalizeRetries {
+					return
+				}
+				d.finTimer = d.after(bo.Delay(attempt), func() {
+					d.finTimer = 0
+					if d.finAcked {
+						return
+					}
+					d.ep.Send(d.cfg.Dispatcher, wire.KFinalize, nil)
+					d.stats.Retransmits++
+					rearm(attempt + 1)
+				})
+			}
+			rearm(0)
+		}
+	}
+	d.finished = true
+	d.reply(rankResp{})
 }
 
 func (d *V2) reply(r rankResp) {
@@ -318,7 +752,7 @@ func (d *V2) doSend(to int, data []byte) {
 	if to == d.cfg.Rank {
 		panic("daemon: device-level self send (the MPI layer must short-circuit self messages)")
 	}
-	id, transmit := d.st.PrepareSend(to, 0, data)
+	id, seq, transmit := d.st.PrepareSend(to, 0, data)
 
 	// Sender-based logging cost: copying the payload into the SAVED
 	// log, plus the Unix-socket copy for store-and-forwarded eager
@@ -349,6 +783,8 @@ func (d *V2) doSend(to int, data []byte) {
 			e := d.next()
 			if e.isFrame {
 				d.handleFrame(e.frame)
+			} else if e.isTimer {
+				d.handleTimer(e.timer)
 			} else {
 				panic(fmt.Sprintf("daemon: rank %d: concurrent rank request during send", d.cfg.Rank))
 			}
@@ -356,7 +792,7 @@ func (d *V2) doSend(to int, data []byte) {
 	}
 
 	if transmit {
-		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: id.Clock}, data))
+		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: id.Clock, PairSeq: seq}, data))
 		d.stats.SentMsgs++
 		d.stats.SentBytes += int64(len(data))
 		d.schedSent += uint64(len(data))
@@ -368,6 +804,7 @@ func (d *V2) doRecv() {
 	if d.st.Replaying() {
 		for {
 			if m, _, ok := d.st.TakeStashed(); ok {
+				d.endStarve()
 				d.stats.Replayed++
 				if !d.st.Replaying() {
 					d.arrived = append(d.arrived, d.st.DrainStash()...)
@@ -375,21 +812,28 @@ func (d *V2) doRecv() {
 				d.replyPayload(m.From, m.Data)
 				return
 			}
+			d.beginStarve()
 			e := d.next()
 			if e.isFrame {
 				d.handleFrame(e.frame)
+			} else if e.isTimer {
+				d.handleTimer(e.timer)
 			}
 		}
 	}
 	for len(d.arrived) == 0 {
+		d.beginStarve()
 		e := d.next()
 		if e.isFrame {
 			d.handleFrame(e.frame)
+		} else if e.isTimer {
+			d.handleTimer(e.timer)
 		}
 	}
+	d.endStarve()
 	m := d.arrived[0]
 	d.arrived = d.arrived[1:]
-	ev := d.st.Commit(m.From, m.Clock)
+	ev := d.st.Commit(m.From, m.Clock, m.Seq)
 	d.submitEvent(ev)
 	d.replyPayload(m.From, m.Data)
 }
@@ -404,16 +848,6 @@ func (d *V2) replyPayload(from int, data []byte) {
 	d.reply(rankResp{from: from, data: data})
 }
 
-func (d *V2) submitEvent(ev core.Event) {
-	if d.cfg.EventBatching && d.elInFlight > 0 {
-		d.elQueue = append(d.elQueue, ev)
-		return
-	}
-	d.elInFlight++
-	d.ep.Send(d.cfg.EventLogger, wire.KEventLog, wire.EncodeEvents([]core.Event{ev}))
-	d.stats.EventsLogged++
-}
-
 func (d *V2) doProbe() {
 	// Opportunistically drain arrived frames first.
 	for {
@@ -426,6 +860,8 @@ func (d *V2) doProbe() {
 		}
 		if e.isFrame {
 			d.handleFrame(e.frame)
+		} else if e.isTimer {
+			d.handleTimer(e.timer)
 		} else {
 			panic("daemon: concurrent rank request during probe")
 		}
@@ -438,11 +874,15 @@ func (d *V2) doProbe() {
 			return
 		}
 		for !d.st.ReplayReady() {
+			d.beginStarve()
 			e := d.next()
 			if e.isFrame {
 				d.handleFrame(e.frame)
+			} else if e.isTimer {
+				d.handleTimer(e.timer)
 			}
 		}
+		d.endStarve()
 		d.reply(rankResp{flag: true})
 		return
 	}
@@ -456,7 +896,7 @@ func (d *V2) doProbe() {
 
 func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptFlag.Store(false)
-	if d.cfg.CkptServer < 0 {
+	if len(d.csTargets) == 0 {
 		d.reply(rankResp{})
 		return
 	}
@@ -479,9 +919,68 @@ func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptVectors[seq] = vec
 	d.schedSent, d.schedRecv = 0, 0
 	// The transfer is asynchronous: execution continues while the
-	// image streams to the checkpoint server (the paper's fork trick).
-	d.ep.Send(d.cfg.CkptServer, wire.KCkptSave, wire.EncodeCkptSave(seq, img))
+	// image streams to the checkpoint server (the paper's fork trick),
+	// and unacknowledged saves are retransmitted like event batches.
+	payload := wire.EncodeCkptSave(seq, img)
+	d.ckptPending[seq] = payload
+	d.ckptSent[seq] = d.rt.Now()
+	d.ckptAttempts[seq] = 0
+	d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, payload)
 	d.stats.Checkpoints++
 	d.stats.CkptBytes += int64(len(img))
+	d.armCkpt()
 	d.reply(rankResp{})
+}
+
+// armCkpt mirrors armEL for checkpoint saves.
+func (d *V2) armCkpt() {
+	to := d.ckptAckTimeout()
+	if d.ckptTimer != 0 || to <= 0 || len(d.ckptPending) == 0 {
+		return
+	}
+	bo := transport.Backoff{Base: to}
+	var min time.Duration
+	first := true
+	for seq := range d.ckptPending {
+		dl := d.ckptSent[seq] + bo.Delay(d.ckptAttempts[seq])
+		if first || dl < min {
+			min, first = dl, false
+		}
+	}
+	delay := min - d.rt.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	d.ckptTimer = d.after(delay, d.ckptExpired)
+}
+
+func (d *V2) ckptExpired() {
+	d.ckptTimer = 0
+	to := d.ckptAckTimeout()
+	if to <= 0 {
+		return
+	}
+	bo := transport.Backoff{Base: to}
+	now := d.rt.Now()
+	seqs := make([]uint64, 0, len(d.ckptPending))
+	for seq := range d.ckptPending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if d.ckptSent[seq]+bo.Delay(d.ckptAttempts[seq]) > now {
+			continue
+		}
+		d.ckptAttempts[seq]++
+		d.ckptSent[seq] = now
+		d.csStrikes++
+		if d.csStrikes >= d.failoverAfter() && len(d.csTargets) > 1 {
+			d.csIdx = (d.csIdx + 1) % len(d.csTargets)
+			d.csStrikes = 0
+			d.stats.Failovers++
+		}
+		d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, d.ckptPending[seq])
+		d.stats.Retransmits++
+	}
+	d.armCkpt()
 }

@@ -5,9 +5,16 @@
 // here because the dispatcher is the component that observes faults: a
 // scheduled fault kills the node's endpoint, and the dispatcher notices
 // after the configured detection delay.
+//
+// Beyond computing nodes, the dispatcher also monitors the service
+// nodes (event loggers, checkpoint servers): a crashed service is
+// respawned over its stable store after the same detection delay,
+// while the daemons bridge the outage with their retransmit/failover
+// machinery.
 package dispatcher
 
 import (
+	"math"
 	"time"
 
 	"mpichv/internal/transport"
@@ -15,10 +22,14 @@ import (
 	"mpichv/internal/wire"
 )
 
-// Fault is one scheduled node kill.
+// Fault is one scheduled node kill. Rank may name a computing node or a
+// monitored service node. A Permanent fault is never respawned — the
+// volatile-node model's definitive departure — forcing clients onto
+// backups.
 type Fault struct {
-	Time time.Duration // virtual time at which the node dies
-	Rank int
+	Time      time.Duration // virtual time at which the node dies
+	Rank      int
+	Permanent bool
 }
 
 // Config parameterizes a Dispatcher.
@@ -37,6 +48,14 @@ type Config struct {
 	// Respawn restarts a crashed node (new daemon + new MPI process
 	// with Restarted=true).
 	Respawn func(rank int)
+
+	// Services lists service node ids (event loggers, checkpoint
+	// servers) the dispatcher also monitors; a fault against one is
+	// answered by RespawnService rather than Respawn.
+	Services []int
+	// RespawnService restarts a crashed service frontend over its
+	// surviving stable store.
+	RespawnService func(node int)
 }
 
 // Dispatcher monitors one run.
@@ -46,18 +65,22 @@ type Dispatcher struct {
 	ep  transport.Endpoint
 	in  *vtime.Mailbox[event]
 
+	services  map[int]bool
 	finalized map[int]bool
 	done      *vtime.Mailbox[struct{}]
 
-	Restarts int
-	Kills    int
+	Restarts        int
+	Kills           int
+	ServiceKills    int
+	ServiceRestarts int
 }
 
 type event struct {
-	frame   transport.Frame
-	isFrame bool
-	fault   int // rank to kill now
-	respawn int // rank to respawn now
+	frame     transport.Frame
+	isFrame   bool
+	fault     int // rank to kill now
+	respawn   int // rank to respawn now
+	permanent bool
 }
 
 // Start attaches and runs the dispatcher. Done() signals when every rank
@@ -68,8 +91,12 @@ func Start(rt vtime.Runtime, fab transport.Fabric, cfg Config) *Dispatcher {
 		cfg:       cfg,
 		ep:        fab.Attach(cfg.Node, "dispatcher"),
 		in:        vtime.NewMailbox[event](rt, "dispatcher"),
+		services:  make(map[int]bool, len(cfg.Services)),
 		finalized: make(map[int]bool),
 		done:      vtime.NewMailbox[struct{}](rt, "dispatcher-done"),
+	}
+	for _, s := range cfg.Services {
+		d.services[s] = true
 	}
 	rt.Go("dispatcher-pump", func() {
 		for {
@@ -84,7 +111,7 @@ func Start(rt vtime.Runtime, fab transport.Fabric, cfg Config) *Dispatcher {
 	})
 	for _, f := range cfg.Faults {
 		f := f
-		d.in.SendAfter(f.Time, event{fault: f.Rank, respawn: -1})
+		d.in.SendAfter(f.Time, event{fault: f.Rank, respawn: -1, permanent: f.Permanent})
 	}
 	rt.Go("dispatcher", d.run)
 	return d
@@ -108,11 +135,33 @@ func (d *Dispatcher) run() {
 						d.done.Send(struct{}{})
 					}
 				}
+				// Always confirm, even a duplicate: on a lossy fabric
+				// the retransmission means the daemon never saw the
+				// first ack.
+				d.ep.Send(e.frame.From, wire.KFinalizeAck, nil)
 			}
 		case e.respawn >= 0:
+			if d.services[e.respawn] {
+				d.ServiceRestarts++
+				if d.cfg.RespawnService != nil {
+					d.cfg.RespawnService(e.respawn)
+				}
+				continue
+			}
 			d.Restarts++
 			d.cfg.Respawn(e.respawn)
 		default:
+			if d.services[e.fault] {
+				d.ServiceKills++
+				d.cfg.Kill(e.fault)
+				if !e.permanent {
+					d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
+				}
+				continue
+			}
+			if e.fault < 0 || e.fault >= d.cfg.Ranks {
+				continue // a fault plan entry naming an unknown node
+			}
 			// A fault fires only against nodes still computing; a
 			// finalized MPI process has no state left to lose (its
 			// daemon keeps serving saved messages, as the paper's
@@ -122,7 +171,42 @@ func (d *Dispatcher) run() {
 			}
 			d.Kills++
 			d.cfg.Kill(e.fault)
-			d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
+			if !e.permanent {
+				d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
+			}
 		}
+	}
+}
+
+// RandomFaults draws a reproducible Poisson fault plan: kills arrive at
+// the given rate (faults per second of virtual time) over the horizon,
+// each against a target chosen uniformly from targets. The same seed
+// always yields the same plan, which is what lets a chaos experiment be
+// re-run bit-identically.
+func RandomFaults(seed uint64, rate float64, horizon time.Duration, targets []int) []Fault {
+	if rate <= 0 || horizon <= 0 || len(targets) == 0 {
+		return nil
+	}
+	rng := seed
+	next := func() float64 {
+		rng = rng*2862933555777941757 + 3037000493
+		return float64(rng>>11) / float64(1<<53)
+	}
+	var plan []Fault
+	t := time.Duration(0)
+	for {
+		u := next()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := time.Duration(-math.Log(u) / rate * float64(time.Second))
+		if gap < time.Millisecond {
+			gap = time.Millisecond
+		}
+		t += gap
+		if t >= horizon {
+			return plan
+		}
+		plan = append(plan, Fault{Time: t, Rank: targets[int(next()*float64(len(targets)))%len(targets)]})
 	}
 }

@@ -4,9 +4,19 @@
 // re-executing nodes. Several event loggers can serve one system; each
 // computing node talks to exactly one, and loggers never need to talk to
 // each other.
+//
+// The package splits the logger into a Server — the protocol frontend
+// bound to one network endpoint — and a Store, the stable storage
+// behind it. Several Server instances may share one Store, modeling the
+// paper's reliable-node assumption while the frontends themselves crash
+// and fail over: a backup logger serves fetches for events the primary
+// logged. The Store is idempotent (duplicate submissions, retransmitted
+// after a lost ack, change nothing) so the daemon may retry freely.
 package eventlog
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"mpichv/internal/core"
@@ -15,28 +25,98 @@ import (
 	"mpichv/internal/wire"
 )
 
-// Server is one event logger instance.
+// Store is the stable storage of one logical event logger. It is safe
+// for use by several Server frontends.
+type Store struct {
+	mu sync.Mutex
+	// events holds, per computing node id, that node's reception
+	// events keyed by RecvClock. RecvClock totally orders a node's
+	// deliveries (it only grows), so it identifies an event across
+	// retransmissions and across incarnations of the node.
+	events map[int]map[uint64]core.Event
+
+	// Stats for the experiments.
+	Logged     int64 // events stored
+	Duplicates int64 // events re-submitted and ignored
+	Malformed  int64 // frames that failed to decode
+	Acks       int64 // submissions acknowledged
+	Fetches    int64 // fetch requests served
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{events: make(map[int]map[uint64]core.Event)}
+}
+
+// Add stores a node's events, ignoring any already present, and
+// returns how many were new.
+func (st *Store) Add(node int, evs []core.Event) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.events[node]
+	if m == nil {
+		m = make(map[uint64]core.Event)
+		st.events[node] = m
+	}
+	added := 0
+	for _, ev := range evs {
+		if _, dup := m[ev.RecvClock]; dup {
+			st.Duplicates++
+			continue
+		}
+		m[ev.RecvClock] = ev
+		added++
+	}
+	st.Logged += int64(added)
+	return added
+}
+
+// Events returns a node's stored events with RecvClock > after, sorted
+// by RecvClock. The sort matters: on a chaotic network submissions can
+// arrive out of order, and a re-executing node replays in clock order.
+func (st *Store) Events(node int, after uint64) []core.Event {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []core.Event
+	for _, ev := range st.events[node] {
+		if ev.RecvClock > after {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RecvClock < out[j].RecvClock })
+	return out
+}
+
+// Count reports the number of events stored for a node.
+func (st *Store) Count(node int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.events[node])
+}
+
+// Server is one event logger frontend.
 type Server struct {
 	rt      vtime.Runtime
 	ep      transport.Endpoint
 	service time.Duration // per-event processing time
 
-	// events holds, per computing node id, the reception events of
-	// that node in arrival order (which is RecvClock order per node,
-	// since a node submits its events in delivery order).
-	events map[int][]core.Event
-
-	// Stats for the experiments.
-	Logged  int64
-	Acks    int64
-	Fetches int64
+	// Store is the stable storage behind this frontend; shared when
+	// the server was built with NewServerWithStore.
+	Store *Store
 }
 
-// NewServer creates an event logger attached to the given endpoint.
+// NewServer creates an event logger with its own private store.
 // service is the per-event processing time of the logger's host (zero
 // for an infinitely fast logger).
 func NewServer(rt vtime.Runtime, ep transport.Endpoint, service time.Duration) *Server {
-	return &Server{rt: rt, ep: ep, service: service, events: make(map[int][]core.Event)}
+	return NewServerWithStore(rt, ep, service, NewStore())
+}
+
+// NewServerWithStore creates an event logger frontend over an existing
+// store, for failover setups where several frontends (primary and
+// respawned or backup instances) must serve the same logged events.
+func NewServerWithStore(rt vtime.Runtime, ep transport.Endpoint, service time.Duration, st *Store) *Server {
+	return &Server{rt: rt, ep: ep, service: service, Store: st}
 }
 
 // Start runs the server loop as an actor.
@@ -45,7 +125,7 @@ func (s *Server) Start() {
 }
 
 // EventCount reports the number of events stored for a node.
-func (s *Server) EventCount(rank int) int { return len(s.events[rank]) }
+func (s *Server) EventCount(rank int) int { return s.Store.Count(rank) }
 
 func (s *Server) run() {
 	for {
@@ -55,29 +135,35 @@ func (s *Server) run() {
 		}
 		switch f.Kind {
 		case wire.KEventLog:
-			evs, err := wire.DecodeEvents(f.Data)
+			seq, evs, err := wire.DecodeEventLog(f.Data)
 			if err != nil {
+				s.Store.mu.Lock()
+				s.Store.Malformed++
+				s.Store.mu.Unlock()
 				continue
 			}
 			if s.service > 0 {
 				s.rt.Sleep(time.Duration(len(evs)) * s.service)
 			}
-			s.events[f.From] = append(s.events[f.From], evs...)
-			s.Logged += int64(len(evs))
-			s.Acks++
-			s.ep.Send(f.From, wire.KEventAck, wire.EncodeU32(uint32(len(evs))))
+			s.Store.Add(f.From, evs)
+			// Always ack, even a pure duplicate: the retransmission
+			// means the submitter never saw the first ack.
+			s.Store.mu.Lock()
+			s.Store.Acks++
+			s.Store.mu.Unlock()
+			s.ep.Send(f.From, wire.KEventAck, wire.EncodeU64(seq))
 		case wire.KEventFetch:
 			h, err := wire.DecodeU64(f.Data)
 			if err != nil {
+				s.Store.mu.Lock()
+				s.Store.Malformed++
+				s.Store.mu.Unlock()
 				continue
 			}
-			s.Fetches++
-			var out []core.Event
-			for _, ev := range s.events[f.From] {
-				if ev.RecvClock > h {
-					out = append(out, ev)
-				}
-			}
+			s.Store.mu.Lock()
+			s.Store.Fetches++
+			s.Store.mu.Unlock()
+			out := s.Store.Events(f.From, h)
 			s.ep.Send(f.From, wire.KEventFetched, wire.EncodeEvents(out))
 		}
 	}

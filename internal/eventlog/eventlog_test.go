@@ -44,14 +44,60 @@ func TestLogAndAck(t *testing.T) {
 			{Sender: 2, SenderClock: 1, RecvClock: 1},
 			{Sender: 2, SenderClock: 2, RecvClock: 2, Probes: 3},
 		}
-		client.Send(100, wire.KEventLog, wire.EncodeEvents(evs))
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(7, evs))
 		f := recvKind(t, client, wire.KEventAck)
-		n, err := wire.DecodeU32(f.Data)
-		if err != nil || n != 2 {
-			t.Fatalf("ack = %d %v", n, err)
+		seq, err := wire.DecodeU64(f.Data)
+		if err != nil || seq != 7 {
+			t.Fatalf("ack seq = %d %v", seq, err)
 		}
-		if srv.EventCount(1) != 2 || srv.Logged != 2 {
-			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), srv.Logged)
+		if srv.EventCount(1) != 2 || srv.Store.Logged != 2 {
+			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), srv.Store.Logged)
+		}
+	})
+}
+
+func TestResubmittedBatchReAckedNotRelogged(t *testing.T) {
+	// A retransmission (the ack was lost) must be acked again but must
+	// not store the events a second time.
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		evs := []core.Event{{Sender: 2, SenderClock: 1, RecvClock: 1}}
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, evs))
+		recvKind(t, client, wire.KEventAck)
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, evs))
+		f := recvKind(t, client, wire.KEventAck)
+		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
+			t.Fatalf("duplicate not re-acked: seq = %d", seq)
+		}
+		if srv.EventCount(1) != 1 || srv.Store.Logged != 1 || srv.Store.Duplicates != 1 {
+			t.Errorf("after duplicate: count=%d Logged=%d Duplicates=%d",
+				srv.EventCount(1), srv.Store.Logged, srv.Store.Duplicates)
+		}
+	})
+}
+
+func TestFetchSortsOutOfOrderSubmissions(t *testing.T) {
+	// On a chaotic network batches can arrive out of order; a fetch must
+	// still return the events in RecvClock order for replay.
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(2, []core.Event{
+			{Sender: 3, SenderClock: 3, RecvClock: 3}, {Sender: 3, SenderClock: 4, RecvClock: 4},
+		}))
+		recvKind(t, client, wire.KEventAck)
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{
+			{Sender: 3, SenderClock: 1, RecvClock: 1}, {Sender: 3, SenderClock: 2, RecvClock: 2},
+		}))
+		recvKind(t, client, wire.KEventAck)
+
+		client.Send(100, wire.KEventFetch, wire.EncodeU64(0))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil || len(got) != 4 {
+			t.Fatalf("fetched %d events, err=%v; want 4", len(got), err)
+		}
+		for i, ev := range got {
+			if ev.RecvClock != uint64(i+1) {
+				t.Errorf("event %d has clock %d, want %d", i, ev.RecvClock, i+1)
+			}
 		}
 	})
 }
@@ -62,7 +108,7 @@ func TestFetchFiltersByClock(t *testing.T) {
 		for i := uint64(1); i <= 10; i++ {
 			evs = append(evs, core.Event{Sender: 3, SenderClock: i, RecvClock: i})
 		}
-		client.Send(100, wire.KEventLog, wire.EncodeEvents(evs))
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, evs))
 		recvKind(t, client, wire.KEventAck)
 
 		client.Send(100, wire.KEventFetch, wire.EncodeU64(7))
@@ -101,8 +147,8 @@ func TestEventsKeyedPerNode(t *testing.T) {
 		srv.Start()
 		c1 := fab.Attach(1, "c1")
 		c2 := fab.Attach(2, "c2")
-		c1.Send(100, wire.KEventLog, wire.EncodeEvents([]core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}}))
-		c2.Send(100, wire.KEventLog, wire.EncodeEvents([]core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}, {Sender: 9, SenderClock: 2, RecvClock: 2}}))
+		c1.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}}))
+		c2.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{{Sender: 9, SenderClock: 1, RecvClock: 1}, {Sender: 9, SenderClock: 2, RecvClock: 2}}))
 		recvKind(t, c1, wire.KEventAck)
 		recvKind(t, c2, wire.KEventAck)
 		if srv.EventCount(1) != 1 || srv.EventCount(2) != 2 {
@@ -122,7 +168,7 @@ func TestServiceTimeSerializesBursts(t *testing.T) {
 		NewServer(sim, fab.Attach(100, "el"), 100*time.Microsecond).Start()
 		c1 := fab.Attach(1, "c1")
 		c2 := fab.Attach(2, "c2")
-		ev := wire.EncodeEvents([]core.Event{{Sender: 0, SenderClock: 1, RecvClock: 1}})
+		ev := wire.EncodeEventLog(1, []core.Event{{Sender: 0, SenderClock: 1, RecvClock: 1}})
 		c1.Send(100, wire.KEventLog, ev)
 		c2.Send(100, wire.KEventLog, ev)
 		recvKind(t, c1, wire.KEventAck)
@@ -135,12 +181,36 @@ func TestServiceTimeSerializesBursts(t *testing.T) {
 	}
 }
 
-func TestMalformedFramesIgnored(t *testing.T) {
+func TestMalformedFramesCountedAndIgnored(t *testing.T) {
 	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
 		client.Send(100, wire.KEventLog, []byte{1, 2})
 		client.Send(100, wire.KEventFetch, []byte{1})
 		// The server must survive and still answer good requests.
 		client.Send(100, wire.KEventFetch, wire.EncodeU64(0))
 		recvKind(t, client, wire.KEventFetched)
+		if srv.Store.Malformed != 2 {
+			t.Errorf("Malformed = %d, want 2", srv.Store.Malformed)
+		}
+	})
+}
+
+func TestServersShareStore(t *testing.T) {
+	// Two frontends over one store: events logged through the first are
+	// served by the second — the failover configuration.
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		st := NewStore()
+		NewServerWithStore(sim, fab.Attach(100, "el-a"), 0, st).Start()
+		NewServerWithStore(sim, fab.Attach(101, "el-b"), 0, st).Start()
+		client := fab.Attach(1, "client")
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{{Sender: 2, SenderClock: 1, RecvClock: 1}}))
+		recvKind(t, client, wire.KEventAck)
+		client.Send(101, wire.KEventFetch, wire.EncodeU64(0))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("backup served %d events, err=%v; want 1", len(got), err)
+		}
 	})
 }

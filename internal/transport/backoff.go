@@ -1,0 +1,36 @@
+package transport
+
+import "time"
+
+// Backoff computes bounded exponential retry delays: retry 0 waits
+// Base, every further retry doubles the wait, capped at Max (Max <= 0
+// defaults to 32×Base). It is the one backoff rule shared by every
+// retry loop in the system — the TCP fabric's dial loop and the V2
+// daemon's retransmit timers — so all of them age the same way.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 32 * base
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		if d >= max {
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

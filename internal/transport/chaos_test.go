@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"mpichv/internal/netsim"
+	"mpichv/internal/vtime"
+)
+
+func TestBackoffDelays(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := (Backoff{}).Delay(0); got != time.Millisecond {
+		t.Errorf("zero Backoff base = %v, want 1ms", got)
+	}
+	if got := (Backoff{Base: time.Millisecond}).Delay(100); got != 32*time.Millisecond {
+		t.Errorf("default cap = %v, want 32×base", got)
+	}
+}
+
+// chaosRun sends n frames from node 1 to node 2 through a chaos-wrapped
+// sim fabric and returns the delivered frames plus the fabric.
+func chaosRun(t *testing.T, pol ChaosPolicy, n int, send func(ep Endpoint, i int)) ([]Frame, *ChaosFabric) {
+	t.Helper()
+	var got []Frame
+	var cf *ChaosFabric
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		inner := NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		cf = NewChaosFabric(sim, inner, pol)
+		src := cf.Attach(1, "src")
+		dst := cf.Attach(2, "dst")
+		for i := 0; i < n; i++ {
+			send(src, i)
+		}
+		sim.Sleep(time.Second) // let every delivery (delayed ones included) land
+		for {
+			f, ok := dst.Inbox().TryRecv()
+			if !ok {
+				break
+			}
+			got = append(got, f)
+		}
+	})
+	return got, cf
+}
+
+func plainSend(ep Endpoint, i int) { ep.Send(2, 7, []byte{byte(i), 1, 2, 3}) }
+
+func TestChaosDropAll(t *testing.T) {
+	got, cf := chaosRun(t, ChaosPolicy{Seed: 1, Drop: 1}, 50, plainSend)
+	if len(got) != 0 || cf.Dropped != 50 {
+		t.Errorf("delivered %d, Dropped = %d; want 0 and 50", len(got), cf.Dropped)
+	}
+}
+
+func TestChaosDuplicateAll(t *testing.T) {
+	got, cf := chaosRun(t, ChaosPolicy{Seed: 1, Duplicate: 1}, 50, plainSend)
+	if len(got) != 100 || cf.Duplicated != 50 {
+		t.Errorf("delivered %d, Duplicated = %d; want 100 and 50", len(got), cf.Duplicated)
+	}
+}
+
+func TestChaosCorruptTruncates(t *testing.T) {
+	got, cf := chaosRun(t, ChaosPolicy{Seed: 1, Corrupt: 1}, 20, plainSend)
+	if len(got) != 20 || cf.Corrupted != 20 {
+		t.Fatalf("delivered %d, Corrupted = %d; want 20 and 20", len(got), cf.Corrupted)
+	}
+	for _, f := range got {
+		if len(f.Data) != 0 {
+			t.Fatalf("corrupted frame still carries %d bytes", len(f.Data))
+		}
+	}
+	// Frames with no payload cannot be corrupted and pass through.
+	got, cf = chaosRun(t, ChaosPolicy{Seed: 1, Corrupt: 1}, 5, func(ep Endpoint, i int) {
+		ep.Send(2, 7, nil)
+	})
+	if len(got) != 5 || cf.Corrupted != 0 {
+		t.Errorf("empty frames: delivered %d, Corrupted = %d; want 5 and 0", len(got), cf.Corrupted)
+	}
+}
+
+func TestChaosDelayStillDelivers(t *testing.T) {
+	got, cf := chaosRun(t, ChaosPolicy{Seed: 3, Delay: 1, MaxDelay: 10 * time.Millisecond}, 50, plainSend)
+	if len(got) != 50 || cf.Delayed != 50 {
+		t.Errorf("delivered %d, Delayed = %d; want 50 each", len(got), cf.Delayed)
+	}
+}
+
+func TestChaosPartitionWindow(t *testing.T) {
+	// Frames sent inside [0, 10ms) are cut; after the window they pass.
+	pol := ChaosPolicy{Partitions: []Partition{{A: 1, B: 2, From: 0, Until: 10 * time.Millisecond}}}
+	var early, late []Frame
+	var cf *ChaosFabric
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		inner := NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		cf = NewChaosFabric(sim, inner, pol)
+		src := cf.Attach(1, "src")
+		dst := cf.Attach(2, "dst")
+		for i := 0; i < 10; i++ {
+			src.Send(2, 7, []byte{byte(i)})
+		}
+		sim.Sleep(20 * time.Millisecond)
+		for {
+			f, ok := dst.Inbox().TryRecv()
+			if !ok {
+				break
+			}
+			early = append(early, f)
+		}
+		for i := 0; i < 10; i++ {
+			src.Send(2, 7, []byte{byte(i)})
+		}
+		sim.Sleep(20 * time.Millisecond)
+		for {
+			f, ok := dst.Inbox().TryRecv()
+			if !ok {
+				break
+			}
+			late = append(late, f)
+		}
+	})
+	if len(early) != 0 || cf.Partitioned != 10 {
+		t.Errorf("during partition: delivered %d, Partitioned = %d; want 0 and 10", len(early), cf.Partitioned)
+	}
+	if len(late) != 10 {
+		t.Errorf("after partition: delivered %d, want 10", len(late))
+	}
+}
+
+func TestChaosWildcardPartitionIsolatesNode(t *testing.T) {
+	pol := ChaosPolicy{Partitions: []Partition{{A: 2, B: -1, From: 0, Until: time.Hour}}}
+	got, cf := chaosRun(t, pol, 10, plainSend)
+	if len(got) != 0 || cf.Partitioned != 10 {
+		t.Errorf("delivered %d, Partitioned = %d; want 0 and 10", len(got), cf.Partitioned)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	pol := ChaosPolicy{
+		Seed:      42,
+		Drop:      0.2,
+		Duplicate: 0.2,
+		Delay:     0.3,
+		Corrupt:   0.1,
+		MaxDelay:  5 * time.Millisecond,
+	}
+	run := func() (int, [5]int64) {
+		got, cf := chaosRun(t, pol, 400, plainSend)
+		return len(got), [5]int64{cf.Dropped, cf.Duplicated, cf.Delayed, cf.Corrupted, cf.Partitioned}
+	}
+	n1, c1 := run()
+	n2, c2 := run()
+	if n1 != n2 || c1 != c2 {
+		t.Errorf("same seed diverged: %d %v vs %d %v", n1, c1, n2, c2)
+	}
+	if c1[0] == 0 || c1[1] == 0 || c1[2] == 0 || c1[3] == 0 {
+		t.Errorf("mixed policy left a fault kind uninjected: %v", c1)
+	}
+	// A different seed must produce a different schedule.
+	pol.Seed = 43
+	_, c3 := run()
+	if c1 == c3 {
+		t.Errorf("seeds 42 and 43 produced identical fault counts %v", c1)
+	}
+}

@@ -16,7 +16,8 @@ import (
 // registered for sending — and, crucially, an inbound connection from a
 // *restarted* peer replaces the stale cached connection to its dead
 // predecessor, whose writes would otherwise vanish into a closed
-// socket. A failed write is retried once over a fresh dial.
+// socket. A failed write is retried over fresh dials with bounded
+// exponential backoff (see Backoff) before the frame is dropped.
 //
 // As in the paper's mpirun (§4.7), a socket disconnection is a trusty
 // fault detector: readers that observe EOF stop delivering, and the
@@ -232,21 +233,22 @@ func (e *tcpEndpoint) dropConn(to int, c net.Conn) {
 	c.Close()
 }
 
-// sendDialRetries × sendDialBackoff bounds how long a send waits for an
-// unreachable peer before dropping the frame. It covers both the
-// startup race (a peer's listener not yet bound) and the typical
-// restart window (the launcher re-launches a killed worker in a few
-// hundred milliseconds); a peer dead for longer loses the frame, like a
-// crash — which the recovery protocol already tolerates.
-const (
-	sendDialRetries = 25
-	sendDialBackoff = 100 * time.Millisecond
-)
+// sendRetries dial attempts with sendBackoff delays bound how long a
+// send waits for an unreachable peer before dropping the frame (the
+// delays sum to ~2.6 s). The early retries are fast so the common
+// startup race (a peer's listener not yet bound) costs milliseconds;
+// the capped tail covers the typical restart window (the launcher
+// re-launches a killed worker in a few hundred milliseconds). A peer
+// dead for longer loses the frame, like a crash — which the recovery
+// protocol already tolerates.
+const sendRetries = 12
+
+var sendBackoff = Backoff{Base: 5 * time.Millisecond, Max: 500 * time.Millisecond}
 
 func (e *tcpEndpoint) Send(to int, kind uint8, data []byte) bool {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	for attempt := 0; attempt < sendDialRetries; attempt++ {
+	for attempt := 0; attempt < sendRetries; attempt++ {
 		c, err := e.conn(to)
 		if err != nil {
 			e.mu.Lock()
@@ -255,7 +257,7 @@ func (e *tcpEndpoint) Send(to int, kind uint8, data []byte) bool {
 			if closed {
 				return false
 			}
-			time.Sleep(sendDialBackoff)
+			time.Sleep(sendBackoff.Delay(attempt))
 			continue
 		}
 		if err := WriteFrame(c, Frame{From: e.id, Kind: kind, Data: data}); err == nil {

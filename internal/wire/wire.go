@@ -23,8 +23,8 @@ const (
 	KCkptNote                  // data: u64 delivered-up-to clock (garbage collection)
 
 	// Computing node ↔ event logger.
-	KEventLog     // data: event batch
-	KEventAck     // data: u32 count of acked events
+	KEventLog     // data: u64 request seq + event batch
+	KEventAck     // data: u64 echoed request seq
 	KEventFetch   // data: u64 clock; reply holds events with RecvClock > clock
 	KEventFetched // data: event batch
 
@@ -47,6 +47,11 @@ const (
 	KCMPut // sender stores a message on the receiver's channel memory
 	KCMGet // receiver asks its channel memory for the next message
 	KCMMsg // channel memory delivers one message (u8 present + header+payload)
+
+	// KFinalizeAck confirms a KFinalize so the daemon can stop
+	// retransmitting it on a lossy fabric; data: empty. (Appended last
+	// to keep the numeric values of the kinds above stable.)
+	KFinalizeAck
 )
 
 // KindName returns a short human-readable name for diagnostics.
@@ -58,7 +63,7 @@ func KindName(k uint8) string {
 		KCkptSave: "ckpt-save", KCkptSaveAck: "ckpt-save-ack",
 		KCkptFetch: "ckpt-fetch", KCkptImage: "ckpt-image",
 		KSchedPoll: "sched-poll", KSchedStat: "sched-stat", KCkptOrder: "ckpt-order",
-		KHello: "hello", KFinalize: "finalize",
+		KHello: "hello", KFinalize: "finalize", KFinalizeAck: "finalize-ack",
 		KCMPut: "cm-put", KCMGet: "cm-get", KCMMsg: "cm-msg",
 	}
 	if n, ok := names[k]; ok {
@@ -69,21 +74,25 @@ func KindName(k uint8) string {
 
 // PayloadHeader prefixes every inter-node payload frame: the sender's
 // logical clock at emission (the message identifier of §4.1 together
-// with the frame's From field) and the device-level kind byte that the
-// MPI channel layer uses.
+// with the frame's From field), the per-destination channel sequence
+// (gap-free, so a receiver on a lossy network can detect a missing
+// predecessor; 0 = unsequenced), and the device-level kind byte that
+// the MPI channel layer uses.
 type PayloadHeader struct {
 	SenderClock uint64
+	PairSeq     uint64
 	DevKind     uint8
 }
 
 // PayloadHeaderLen is the encoded size of a PayloadHeader.
-const PayloadHeaderLen = 9
+const PayloadHeaderLen = 17
 
 // EncodePayload prepends the header to body.
 func EncodePayload(h PayloadHeader, body []byte) []byte {
 	out := make([]byte, PayloadHeaderLen+len(body))
 	binary.BigEndian.PutUint64(out[0:8], h.SenderClock)
-	out[8] = h.DevKind
+	binary.BigEndian.PutUint64(out[8:16], h.PairSeq)
+	out[16] = h.DevKind
 	copy(out[PayloadHeaderLen:], body)
 	return out
 }
@@ -96,7 +105,8 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	}
 	return PayloadHeader{
 		SenderClock: binary.BigEndian.Uint64(data[0:8]),
-		DevKind:     data[8],
+		PairSeq:     binary.BigEndian.Uint64(data[8:16]),
+		DevKind:     data[16],
 	}, data[PayloadHeaderLen:], nil
 }
 
@@ -140,6 +150,31 @@ func DecodeEvents(data []byte) ([]core.Event, error) {
 		off += eventLen
 	}
 	return evs, nil
+}
+
+// EncodeEventLog prefixes the submitter's request sequence number to an
+// event batch. The event logger echoes the sequence in its KEventAck,
+// which lets a daemon match acks to in-flight batches when frames are
+// lost, duplicated, or reordered, and lets the logger re-ack a
+// retransmitted batch it already stored.
+func EncodeEventLog(seq uint64, evs []core.Event) []byte {
+	body := EncodeEvents(evs)
+	out := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint64(out, seq)
+	copy(out[8:], body)
+	return out
+}
+
+// DecodeEventLog splits a KEventLog payload.
+func DecodeEventLog(data []byte) (uint64, []core.Event, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("wire: event log frame of %d bytes too short", len(data))
+	}
+	evs, err := DecodeEvents(data[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return binary.BigEndian.Uint64(data), evs, nil
 }
 
 // --- Small scalar payloads ----------------------------------------------
