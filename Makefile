@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -23,3 +23,10 @@ race: ## race detector over the concurrency-bearing packages
 
 bench: ## quick pass over every experiment
 	$(GO) run ./cmd/vbench -quick
+
+ci: ## the full gate: build + vet + tests + race on the logging/recovery core
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/eventlog/ ./internal/ckpt/ \
+		./internal/cluster/ ./internal/transport/

@@ -20,11 +20,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id, or \"all\"")
-		quick = flag.Bool("quick", false, "trim sweeps for a fast run")
-		list  = flag.Bool("list", false, "list experiments")
+		exp        = flag.String("exp", "", "experiment id, or \"all\"")
+		quick      = flag.Bool("quick", false, "trim sweeps for a fast run")
+		list       = flag.Bool("list", false, "list experiments")
+		elReplicas = flag.Int("elreplicas", 0, "force R replicated event loggers on the chaos experiment (0 = legacy primary+backup)")
+		elQuorum   = flag.Int("elquorum", 0, "write quorum Q for -elreplicas (0 = majority)")
 	)
 	flag.Parse()
+	bench.ELOverrideReplicas = *elReplicas
+	bench.ELOverrideQuorum = *elQuorum
 
 	if *list || *exp == "" {
 		for _, e := range bench.Experiments() {

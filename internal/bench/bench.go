@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{ID: "sched", Title: "§4.6.2: checkpoint scheduling policies (round-robin vs adaptive)", Run: SchedPolicies},
 		{ID: "ablate", Title: "Ablations: WAITLOGGED gating, payload routing, garbage collection", Run: Ablations},
 		{ID: "chaos", Title: "Chaos: BT-A under lossy links, node kills and service failover", Run: Chaos},
+		{ID: "elrep", Title: "Replication: event-logger quorum size vs overhead under chaos", Run: ELRep},
 	}
 }
 

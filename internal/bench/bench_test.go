@@ -211,6 +211,26 @@ func TestSchedulerPolicyClaim(t *testing.T) {
 	}
 }
 
+func TestELRepQuorumSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos BT sweep takes a while")
+	}
+	for _, pt := range ELRepData(true) {
+		if !pt.Verified {
+			t.Errorf("R=%d Q=%d: numerics failed verification", pt.Replicas, pt.Quorum)
+		}
+		// Quick mode runs only majority quorums, which must always pass
+		// the recovery audit — a replica loss may cost redundancy, never
+		// a logged event.
+		if !pt.AuditOK {
+			t.Errorf("R=%d Q=%d: %s", pt.Replicas, pt.Quorum, pt.Audit)
+		}
+		if pt.Replicas >= 2 && pt.Synced == 0 {
+			t.Errorf("R=%d Q=%d: killed replica resynced nothing from its peers", pt.Replicas, pt.Quorum)
+		}
+	}
+}
+
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiment sweep still takes a while")

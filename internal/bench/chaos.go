@@ -24,18 +24,34 @@ import (
 
 // ChaosPoint is one point of the chaos sweep.
 type ChaosPoint struct {
-	Drop        float64 // frame drop probability
-	Elapsed     time.Duration
-	Ratio       float64 // vs the clean run
-	Restarts    int
-	SvcKills    int
-	SvcRestarts int
-	Retransmits int64
-	Pulls       int64
-	Failovers   int64
-	Dropped     int64 // frames the chaos fabric discarded
-	Verified    bool
+	Drop         float64 // frame drop probability
+	Elapsed      time.Duration
+	Ratio        float64 // vs the clean run
+	Restarts     int
+	SvcKills     int
+	SvcRestarts  int
+	Retransmits  int64
+	Pulls        int64
+	Failovers    int64
+	Dropped      int64 // frames the chaos fabric discarded
+	StaleRejects int64 // checkpoint saves refused for regressing the seq
+	Audit        string
+	AuditOK      bool
+	Verified     bool
 }
+
+// ELOverrideReplicas/ELOverrideQuorum optionally force the replicated
+// event-logger group on the chaos experiment: R independent replicas
+// with write quorum Q instead of the legacy primary+backup pair. Set
+// from vbench's -elreplicas/-elquorum flags; zero keeps the legacy
+// layout. Under the override the event-logger kill is transient (the
+// respawned replica anti-entropies its events back from the peers)
+// rather than permanent, since quorum mode has no failover rotation to
+// escape a permanently dead target.
+var (
+	ELOverrideReplicas int
+	ELOverrideQuorum   int
+)
 
 // ChaosData runs the degradation sweep. Every point uses the same fault
 // plan and seed lineage so the columns differ only by link quality.
@@ -70,11 +86,13 @@ func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
 			MaxDelay:  300 * time.Microsecond,
 		}
 	}
-	// One permanent event-logger kill plus Poisson compute kills: the
-	// acceptance scenario, swept over link quality.
-	faults := []dispatcher.Fault{{Time: 60 * time.Millisecond, Rank: cluster.ELBase, Permanent: true}}
+	// One event-logger kill plus Poisson compute kills: the acceptance
+	// scenario, swept over link quality. In the legacy layout the kill
+	// is permanent (clients must fail over to the backup); under a
+	// quorum override it is transient and answered by anti-entropy.
+	faults := []dispatcher.Fault{{Time: 60 * time.Millisecond, Rank: cluster.ELBase, Permanent: ELOverrideReplicas == 0}}
 	faults = append(faults, dispatcher.RandomFaults(seed, 4, 400*time.Millisecond, []int{0, 1, 2, 3})...)
-	res := cluster.Run(cluster.Config{
+	cfg := cluster.Config{
 		Impl:           cluster.V2,
 		N:              4,
 		Params:         paramsFor(b),
@@ -85,20 +103,30 @@ func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
 		Faults:         faults,
 		DetectionDelay: 3 * time.Millisecond,
 		Chaos:          pol,
-	}, func(p *mpi.Proc) {
+	}
+	if ELOverrideReplicas > 0 {
+		cfg.EventLoggers = 0
+		cfg.ELReplicas = ELOverrideReplicas
+		cfg.ELQuorum = ELOverrideQuorum
+	}
+	res := cluster.Run(cfg, func(p *mpi.Proc) {
 		results[p.Rank()] = b.Run(p, b)
 	})
+	audit := cluster.Audit(res)
 	pt := ChaosPoint{
-		Drop:        drop,
-		Elapsed:     res.Elapsed,
-		Restarts:    res.Restarts,
-		SvcKills:    res.ServiceKills,
-		SvcRestarts: res.ServiceRestarts,
-		Retransmits: res.Retransmits,
-		Pulls:       res.Pulls,
-		Failovers:   res.Failovers,
-		Dropped:     res.ChaosDropped,
-		Verified:    true,
+		Drop:         drop,
+		Elapsed:      res.Elapsed,
+		Restarts:     res.Restarts,
+		SvcKills:     res.ServiceKills,
+		SvcRestarts:  res.ServiceRestarts,
+		Retransmits:  res.Retransmits,
+		Pulls:        res.Pulls,
+		Failovers:    res.Failovers,
+		Dropped:      res.ChaosDropped,
+		StaleRejects: res.StaleRejects,
+		Audit:        audit.Summary(),
+		AuditOK:      audit.OK() && res.BelowQuorumAcks == 0,
+		Verified:     true,
 	}
 	for _, r := range results {
 		if !r.Verified {
@@ -111,13 +139,18 @@ func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
 // Chaos regenerates the link-degradation experiment.
 func Chaos(w io.Writer, quick bool) error {
 	t := newTable(w)
-	t.row("drop", "time", "vs clean", "restarts", "svc k/r", "retrans", "pulls", "failovers", "dropped", "verified")
-	for _, pt := range ChaosData(quick) {
+	t.row("drop", "time", "vs clean", "restarts", "svc k/r", "retrans", "pulls", "failovers", "dropped", "stale", "audit", "verified")
+	pts := ChaosData(quick)
+	for _, pt := range pts {
 		t.row(fmt.Sprintf("%.1f%%", pt.Drop*100), pt.Elapsed.Round(time.Millisecond),
 			fmt.Sprintf("%.2f", pt.Ratio), pt.Restarts,
 			fmt.Sprintf("%d/%d", pt.SvcKills, pt.SvcRestarts),
-			pt.Retransmits, pt.Pulls, pt.Failovers, pt.Dropped, pt.Verified)
+			pt.Retransmits, pt.Pulls, pt.Failovers, pt.Dropped,
+			pt.StaleRejects, ok(pt.AuditOK), pt.Verified)
 	}
 	t.flush()
+	for _, pt := range pts {
+		fmt.Fprintf(w, "drop=%.1f%%: %s\n", pt.Drop*100, pt.Audit)
+	}
 	return nil
 }

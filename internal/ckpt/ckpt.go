@@ -1,6 +1,6 @@
 // Package ckpt implements the checkpoint system of §4.6: the checkpoint
-// image format and the Checkpoint Server, a reliable repository storing
-// the latest successful image of each MPI process and its communication
+// image format and the Checkpoint Server, a repository storing the
+// latest successful image of each MPI process and its communication
 // daemon.
 //
 // The paper checkpoints the MPI process with the Condor standalone
@@ -12,18 +12,32 @@
 // core package. See DESIGN.md §2 for why this substitution preserves the
 // protocol behaviour under test.
 //
+// Images travel and rest inside a length + CRC-32 frame: a truncated or
+// bit-flipped image is detected at decode time instead of being
+// restored into a live process. Servers verify the frame before
+// storing, so a save that was damaged in flight is never acked and the
+// daemon retransmits it; a daemon that still fetches a damaged image
+// (hit on the fetch path) rejects it and re-fetches from the next
+// replica.
+//
 // Like the event logger, the server is split into a frontend (Server)
-// and stable storage (Store) so several frontends — a primary and its
-// respawned or backup instances — can serve the same images, and so a
-// retransmitted save is recognized and re-acked instead of regressing
-// the stored image.
+// and stable storage (Store), and a server may be one of R replicas
+// with independent stores: daemons replicate every save and count acks
+// against a write quorum, and a replica respawned empty rejoins by
+// pulling its peers' latest images (anti-entropy, keyed by rank and
+// checkpoint seq). A retransmitted save is recognized and re-acked
+// instead of regressing the stored image.
 package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mpichv/internal/core"
 	"mpichv/internal/transport"
@@ -44,19 +58,48 @@ type Image struct {
 	Proto []byte
 }
 
-// Encode serializes the image for transfer.
+// imageMagic brands an encoded image so truncation that happens to
+// leave a well-formed length cannot masquerade as a different blob.
+var imageMagic = [4]byte{'M', 'V', 'C', 'K'}
+
+const imageHeaderLen = 4 + 4 + 4 // magic + body length + CRC-32
+
+// Encode serializes the image for transfer: a magic/length/CRC-32
+// header followed by the gob body. The header is what lets DecodeImage
+// reject a truncated or corrupted image deterministically.
 func (im *Image) Encode() ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(im); err != nil {
 		return nil, fmt.Errorf("ckpt: encoding image: %w", err)
 	}
-	return buf.Bytes(), nil
+	body := buf.Bytes()
+	out := make([]byte, imageHeaderLen+len(body))
+	copy(out[0:4], imageMagic[:])
+	binary.BigEndian.PutUint32(out[4:8], uint32(len(body)))
+	binary.BigEndian.PutUint32(out[8:12], crc32.ChecksumIEEE(body))
+	copy(out[imageHeaderLen:], body)
+	return out, nil
 }
 
-// DecodeImage parses an image produced by Encode.
+// DecodeImage parses an image produced by Encode, verifying the length
+// framing and the CRC-32 checksum before touching the gob payload.
 func DecodeImage(b []byte) (*Image, error) {
+	if len(b) < imageHeaderLen {
+		return nil, fmt.Errorf("ckpt: image of %d bytes shorter than its header", len(b))
+	}
+	if !bytes.Equal(b[0:4], imageMagic[:]) {
+		return nil, fmt.Errorf("ckpt: bad image magic %x", b[0:4])
+	}
+	want := int(binary.BigEndian.Uint32(b[4:8]))
+	body := b[imageHeaderLen:]
+	if len(body) != want {
+		return nil, fmt.Errorf("ckpt: truncated image: header promises %d body bytes, frame holds %d", want, len(body))
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(b[8:12]) {
+		return nil, fmt.Errorf("ckpt: image checksum mismatch")
+	}
 	var im Image
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&im); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&im); err != nil {
 		return nil, fmt.Errorf("ckpt: decoding image: %w", err)
 	}
 	return &im, nil
@@ -67,7 +110,20 @@ func (im *Image) ProtoSnapshot() (*core.Snapshot, error) {
 	return core.DecodeSnapshot(im.Proto)
 }
 
-// Store is the stable image storage of one logical checkpoint server,
+// Stats is a consistent snapshot of a Store's counters, taken under
+// the store lock.
+type Stats struct {
+	Saves        int64 // images accepted
+	SavedBytes   int64 // bytes of accepted images
+	Fetches      int64 // fetch requests served
+	Duplicates   int64 // saves re-transmitted at the stored seq and ignored
+	StaleRejects int64 // saves below the stored seq, dropped as stale
+	Malformed    int64 // frames or images that failed to decode/verify
+	Resyncs      int64 // anti-entropy rounds completed into this store
+	SyncedIn     int64 // images merged from peers during resync
+}
+
+// Store is the stable image storage of one checkpoint server replica,
 // safe for use by several Server frontends.
 type Store struct {
 	mu     sync.Mutex
@@ -75,12 +131,7 @@ type Store struct {
 	seqs   map[int]uint64 // rank → seq of the stored image
 	has    map[int]bool   // rank → an image was ever stored
 
-	// Stats for the experiments.
-	Saves      int64 // images accepted
-	SavedBytes int64 // bytes of accepted images
-	Fetches    int64 // fetch requests served
-	Duplicates int64 // stale or duplicate saves ignored
-	Malformed  int64 // frames that failed to decode
+	stats Stats
 }
 
 // NewStore creates an empty store.
@@ -88,23 +139,35 @@ func NewStore() *Store {
 	return &Store{images: make(map[int][]byte), seqs: make(map[int]uint64), has: make(map[int]bool)}
 }
 
+// Stats returns a locked snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
 // Put stores an image for a rank unless an image with the same or a
 // newer sequence number is already held — a retransmitted save whose
-// ack was lost, or a stale save racing a fresher one over a reordering
-// network, must not regress the stored image. Returns whether the image
-// was accepted.
+// ack was lost (counted as a duplicate), or a stale save racing a
+// fresher one over a reordering network (counted as a stale reject),
+// must not regress the stored image. Returns whether the image was
+// accepted.
 func (st *Store) Put(rank int, seq uint64, image []byte) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.has[rank] && seq <= st.seqs[rank] {
-		st.Duplicates++
+		if seq == st.seqs[rank] {
+			st.stats.Duplicates++
+		} else {
+			st.stats.StaleRejects++
+		}
 		return false
 	}
 	st.images[rank] = append([]byte(nil), image...)
 	st.seqs[rank] = seq
 	st.has[rank] = true
-	st.Saves++
-	st.SavedBytes += int64(len(image))
+	st.stats.Saves++
+	st.stats.SavedBytes += int64(len(image))
 	return true
 }
 
@@ -122,7 +185,56 @@ func (st *Store) Has(rank int) bool {
 	return ok
 }
 
-// Server is one checkpoint server frontend.
+// Marks returns the per-rank checkpoint-seq high-water marks for an
+// anti-entropy request; a fresh store returns an empty map and pulls
+// every rank's latest image.
+func (st *Store) Marks() map[int]uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	marks := make(map[int]uint64, len(st.seqs))
+	for rank := range st.has {
+		marks[rank] = st.seqs[rank]
+	}
+	return marks
+}
+
+// EntriesSince returns the stored images whose seq is above the
+// requester's mark for that rank — the response half of the
+// anti-entropy exchange.
+func (st *Store) EntriesSince(marks map[int]uint64) []wire.CkptEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []wire.CkptEntry
+	for rank, img := range st.images {
+		if mark, known := marks[rank]; known && st.seqs[rank] <= mark {
+			continue
+		}
+		out = append(out, wire.CkptEntry{Rank: rank, Seq: st.seqs[rank], Image: img})
+	}
+	return out
+}
+
+// MergeEntries folds a peer's sync response into the store via the
+// same monotonic Put rule, returning how many images were accepted.
+func (st *Store) MergeEntries(entries []wire.CkptEntry) int {
+	added := 0
+	for _, e := range entries {
+		if st.Put(e.Rank, e.Seq, e.Image) {
+			added++
+		}
+	}
+	st.mu.Lock()
+	st.stats.SyncedIn += int64(added)
+	st.stats.Resyncs++
+	// Merged images were already counted as Saves by Put; a resync is
+	// not a save from a daemon, so move them to the sync column
+	// (SavedBytes stays: it measures storage traffic either way).
+	st.stats.Saves -= int64(added)
+	st.mu.Unlock()
+	return added
+}
+
+// Server is one checkpoint server replica frontend.
 type Server struct {
 	rt vtime.Runtime
 	ep transport.Endpoint
@@ -130,6 +242,15 @@ type Server struct {
 	// Store is the stable storage behind this frontend; shared when
 	// the server was built with NewServerWithStore.
 	Store *Store
+
+	// Peers are the other replicas of this checkpoint group; they
+	// serve anti-entropy sync requests. Empty for a standalone server.
+	Peers []int
+	// Resync makes the server pull its peers' latest images on
+	// startup — set on a replica respawned with an empty store.
+	Resync bool
+
+	synced atomic.Bool
 }
 
 // NewServer creates a checkpoint server with its own private store.
@@ -144,13 +265,31 @@ func NewServerWithStore(rt vtime.Runtime, ep transport.Endpoint, st *Store) *Ser
 	return &Server{rt: rt, ep: ep, Store: st}
 }
 
-// Start runs the server loop as an actor.
+// Start runs the server loop as an actor, plus the resync requester if
+// the replica is rejoining its group.
 func (s *Server) Start() {
 	s.rt.Go("ckpt-server", s.run)
+	if s.Resync && len(s.Peers) > 0 {
+		s.rt.Go(fmt.Sprintf("cs-resync-%d", s.ep.ID()), s.resyncLoop)
+	}
 }
 
 // HasImage reports whether a rank has a stored checkpoint.
 func (s *Server) HasImage(rank int) bool { return s.Store.Has(rank) }
+
+// resyncLoop mirrors the event logger's: marks are snapshotted once at
+// join time and the request retries with backoff until any peer's
+// response lands (merging is idempotent).
+func (s *Server) resyncLoop() {
+	req := wire.EncodeSyncMarks(s.Store.Marks())
+	bo := transport.Backoff{Base: 5 * time.Millisecond, Seed: uint64(s.ep.ID())}
+	for attempt := 0; attempt < 10 && !s.synced.Load(); attempt++ {
+		for _, p := range s.Peers {
+			s.ep.Send(p, wire.KCSSyncReq, req)
+		}
+		s.rt.Sleep(bo.Delay(attempt))
+	}
+}
 
 func (s *Server) run() {
 	for {
@@ -162,9 +301,14 @@ func (s *Server) run() {
 		case wire.KCkptSave:
 			seq, image, err := wire.DecodeCkptSave(f.Data)
 			if err != nil {
-				s.Store.mu.Lock()
-				s.Store.Malformed++
-				s.Store.mu.Unlock()
+				s.countMalformed()
+				continue
+			}
+			// Verify the image frame before storing: a save damaged in
+			// flight is dropped *unacked*, so the daemon retransmits it
+			// and the store only ever holds verifiable images.
+			if _, err := DecodeImage(image); err != nil {
+				s.countMalformed()
 				continue
 			}
 			s.Store.Put(f.From, seq, image)
@@ -173,10 +317,31 @@ func (s *Server) run() {
 			s.ep.Send(f.From, wire.KCkptSaveAck, wire.EncodeU64(seq))
 		case wire.KCkptFetch:
 			s.Store.mu.Lock()
-			s.Store.Fetches++
+			s.Store.stats.Fetches++
 			s.Store.mu.Unlock()
 			img, ok := s.Store.Get(f.From)
 			s.ep.Send(f.From, wire.KCkptImage, wire.EncodeCkptImage(ok, img))
+		case wire.KCSSyncReq:
+			marks, err := wire.DecodeSyncMarks(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			s.ep.Send(f.From, wire.KCSSyncResp, wire.EncodeCkptEntries(s.Store.EntriesSince(marks)))
+		case wire.KCSSyncResp:
+			entries, err := wire.DecodeCkptEntries(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			s.Store.MergeEntries(entries)
+			s.synced.Store(true)
 		}
 	}
+}
+
+func (s *Server) countMalformed() {
+	s.Store.mu.Lock()
+	s.Store.stats.Malformed++
+	s.Store.mu.Unlock()
 }

@@ -3,6 +3,7 @@ package ckpt
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"mpichv/internal/core"
 	"mpichv/internal/netsim"
@@ -125,8 +126,8 @@ func TestNewerImageReplacesOlder(t *testing.T) {
 		if err != nil || im.Seq != 2 {
 			t.Fatalf("latest image seq = %v err=%v", im, err)
 		}
-		if srv.Store.Saves != 2 {
-			t.Errorf("Saves = %d", srv.Store.Saves)
+		if st := srv.Store.Stats(); st.Saves != 2 {
+			t.Errorf("Saves = %d", st.Saves)
 		}
 	})
 }
@@ -153,8 +154,78 @@ func TestStaleSaveIgnoredButAcked(t *testing.T) {
 		if err != nil || im.Seq != 2 {
 			t.Fatalf("stored image regressed: %v err=%v", im, err)
 		}
-		if srv.Store.Saves != 1 || srv.Store.Duplicates != 1 {
-			t.Errorf("Saves=%d Duplicates=%d, want 1 and 1", srv.Store.Saves, srv.Store.Duplicates)
+		if st := srv.Store.Stats(); st.Saves != 1 || st.StaleRejects != 1 {
+			t.Errorf("Saves=%d StaleRejects=%d, want 1 and 1", st.Saves, st.StaleRejects)
+		}
+	})
+}
+
+func TestDecodeImageRejectsTruncationAndBitFlips(t *testing.T) {
+	b := makeImage(t, 3, 7)
+	for cut := 0; cut < len(b); cut += 7 {
+		if _, err := DecodeImage(b[:cut]); err == nil {
+			t.Fatalf("image truncated to %d of %d bytes decoded", cut, len(b))
+		}
+	}
+	flipped := append([]byte(nil), b...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := DecodeImage(flipped); err == nil {
+		t.Error("bit-flipped image decoded")
+	}
+}
+
+func TestServerRejectsDamagedSaveWithoutAck(t *testing.T) {
+	// A save whose image fails integrity verification is dropped and
+	// NOT acked: the daemon keeps retransmitting until an intact copy
+	// lands, so the store never holds garbage.
+	img := makeImage(t, 4, 1)
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img[:len(img)/2]))
+		// Retransmission of the intact image.
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(1, img))
+		f := recvKind(t, client, wire.KCkptSaveAck)
+		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
+			t.Fatalf("intact retransmission not acked: seq = %d", seq)
+		}
+		st := srv.Store.Stats()
+		if st.Malformed != 1 || st.Saves != 1 {
+			t.Errorf("Malformed=%d Saves=%d, want 1 and 1", st.Malformed, st.Saves)
+		}
+		got, _ := srv.Store.Get(4)
+		if _, err := DecodeImage(got); err != nil {
+			t.Errorf("stored image does not verify: %v", err)
+		}
+	})
+}
+
+func TestReplicaResyncPullsLatestImages(t *testing.T) {
+	// A checkpoint replica respawned empty pulls its peers' latest
+	// images and can then serve a restart fetch itself.
+	img := makeImage(t, 4, 2)
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		a := NewServer(sim, fab.Attach(200, "cs-a"))
+		a.Peers = []int{201}
+		a.Start()
+		client := fab.Attach(4, "client")
+		client.Send(200, wire.KCkptSave, wire.EncodeCkptSave(2, img))
+		recvKind(t, client, wire.KCkptSaveAck)
+
+		b := NewServer(sim, fab.Attach(201, "cs-b"))
+		b.Peers = []int{200}
+		b.Resync = true
+		b.Start()
+		sim.Sleep(50 * time.Millisecond)
+
+		client.Send(201, wire.KCkptFetch, nil)
+		f := recvKind(t, client, wire.KCkptImage)
+		present, got, err := wire.DecodeCkptImage(f.Data)
+		if err != nil || !present || !bytes.Equal(got, img) {
+			t.Fatalf("resynced replica fetch: present=%v err=%v", present, err)
+		}
+		if st := b.Store.Stats(); st.SyncedIn != 1 {
+			t.Errorf("SyncedIn = %d, want 1", st.SyncedIn)
 		}
 	})
 }

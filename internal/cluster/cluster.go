@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mpichv/internal/ckpt"
@@ -91,6 +92,22 @@ type Config struct {
 	// (§4.5).
 	EventLoggers int
 
+	// ELReplicas switches the event-log service from partitioned
+	// frontends over one store to a replica group of that many servers
+	// (at ELBase+i), each with its OWN independent store. Every daemon
+	// submits each event batch to all replicas and WAITLOGGED is
+	// released only once ELQuorum of them acked; a respawned replica
+	// comes back empty and anti-entropy resyncs from its peers.
+	// Overrides EventLoggers when > 0.
+	ELReplicas int
+	// ELQuorum is the write quorum (default: majority, R/2+1).
+	ELQuorum int
+	// CSReplicas/CSQuorum mirror the scheme for the checkpoint service
+	// (effective only with Checkpointing; CSReplicas defaults to
+	// ELReplicas so one knob turns on full replication).
+	CSReplicas int
+	CSQuorum   int
+
 	// Checkpointing runs the checkpoint server and scheduler.
 	Checkpointing bool
 	// CkptServers is the number of checkpoint servers (default 1);
@@ -167,11 +184,24 @@ type Result struct {
 	Malformed    int64 // undecodable frames seen by daemons and services
 	ELDuplicates int64 // re-submitted events deduplicated by the loggers
 
+	// Quorum replication accounting (zero outside quorum mode).
+	ELReplicaN      int   // configured replica count R
+	ELWriteQuorum   int   // configured write quorum Q
+	QuorumAcks      int64 // batches/saves completed at their write quorum
+	BelowQuorumAcks int64 // payloads sent below quorum — must stay 0 with gating on
+	DegradedReads   int64 // restart fetches settled below the read quorum
+	CorruptImages   int64 // fetched checkpoint images rejected by integrity checks
+	ReplayDropped   int64 // replay events truncated at a channel-sequence gap
+	StaleRejects    int64 // checkpoint saves refused for regressing the stored seq
+	Resyncs         int64 // replica anti-entropy rounds completed
+	SyncedEvents    int64 // events + images replicas pulled from peers while resyncing
+
 	// Frames touched by the chaos fabric (zero without Chaos).
 	ChaosDropped     int64
 	ChaosDuplicated  int64
 	ChaosDelayed     int64
 	ChaosCorrupted   int64
+	ChaosTruncated   int64
 	ChaosPartitioned int64
 
 	// Deliveries[r] is rank r's delivery sequence as recorded by the
@@ -180,8 +210,14 @@ type Result struct {
 	// follows it exactly. Across runs, each sender→receiver channel
 	// delivers the same gap-free message sequence, but the interleaving
 	// of different senders is the reception nondeterminism the log
-	// exists to capture and may legitimately differ.
+	// exists to capture and may legitimately differ. In quorum mode it
+	// is the deduplicated union of all replica logs.
 	Deliveries [][]core.Event
+
+	// ELReplicaDeliveries[i][r] is replica i's copy of rank r's
+	// delivery log (quorum mode only) — the raw per-store view the
+	// recovery auditor cross-checks for quorum-survivable divergence.
+	ELReplicaDeliveries [][][]core.Event
 }
 
 // Run executes the program on a fresh simulated system and returns the
@@ -215,6 +251,25 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	if cfg.Policy == nil {
 		cfg.Policy = &sched.RoundRobin{}
 	}
+	if cfg.ELReplicas > 0 {
+		if cfg.ELQuorum <= 0 {
+			cfg.ELQuorum = cfg.ELReplicas/2 + 1
+		}
+		if cfg.ELQuorum > cfg.ELReplicas {
+			cfg.ELQuorum = cfg.ELReplicas
+		}
+		if cfg.Checkpointing && cfg.CSReplicas <= 0 {
+			cfg.CSReplicas = cfg.ELReplicas
+		}
+	}
+	if cfg.CSReplicas > 0 {
+		if cfg.CSQuorum <= 0 {
+			cfg.CSQuorum = cfg.CSReplicas/2 + 1
+		}
+		if cfg.CSQuorum > cfg.CSReplicas {
+			cfg.CSQuorum = cfg.CSReplicas
+		}
+	}
 
 	classify := func(id int) netsim.Class {
 		if id >= ELNode && id < CMBase {
@@ -236,34 +291,53 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	h.v2ds = make([]*daemon.V2, cfg.N)
 	h.spawns = make([]uint64, cfg.N)
 
-	// Services. Every frontend of a kind shares one stable store, so a
-	// respawned or backup instance serves exactly what its predecessor
-	// stored — the paper's reliable-service assumption, with only the
-	// frontend process being volatile.
+	// Services. In the legacy (partitioned / failover) configurations
+	// every frontend of a kind shares one stable store, so a respawned
+	// or backup instance serves exactly what its predecessor stored —
+	// the paper's reliable-service assumption, with only the frontend
+	// process being volatile. In quorum mode each replica owns an
+	// INDEPENDENT store: a killed replica loses it, and the respawn
+	// comes back empty and anti-entropy resyncs from its peers.
 	switch cfg.Impl {
 	case V2:
-		if cfg.EventLoggers <= 1 {
+		if cfg.ELReplicas > 0 {
+			h.elQ = cfg.ELQuorum
+			h.elStores = make(map[int]*eventlog.Store)
+			for i := 0; i < cfg.ELReplicas; i++ {
+				h.elNodes = append(h.elNodes, ELBase+i)
+			}
+		} else if cfg.EventLoggers <= 1 {
 			h.elNodes = []int{ELNode}
 		} else {
 			for i := 0; i < cfg.EventLoggers; i++ {
 				h.elNodes = append(h.elNodes, ELBase+i)
 			}
 		}
-		h.elStore = eventlog.NewStore()
+		if h.elStores == nil {
+			h.elStore = eventlog.NewStore()
+		}
 		for _, n := range h.elNodes {
-			h.startEL(n)
+			h.startEL(n, false)
 		}
 		if cfg.Checkpointing {
-			if cfg.CkptServers <= 1 {
+			if cfg.CSReplicas > 0 {
+				h.csQ = cfg.CSQuorum
+				h.csStores = make(map[int]*ckpt.Store)
+				for i := 0; i < cfg.CSReplicas; i++ {
+					h.csNodes = append(h.csNodes, CSBase+i)
+				}
+			} else if cfg.CkptServers <= 1 {
 				h.csNodes = []int{CSNode}
 			} else {
 				for i := 0; i < cfg.CkptServers; i++ {
 					h.csNodes = append(h.csNodes, CSBase+i)
 				}
 			}
-			h.csStore = ckpt.NewStore()
+			if h.csStores == nil {
+				h.csStore = ckpt.NewStore()
+			}
 			for _, n := range h.csNodes {
-				h.startCS(n)
+				h.startCS(n, false)
 			}
 			sched.Start(sim, fab, sched.Config{
 				Node:   SchedNode,
@@ -323,26 +397,66 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.Pulls += st.Pulls
 		res.Failovers += st.Failovers
 		res.Malformed += st.Malformed
+		res.QuorumAcks += st.QuorumAcks
+		res.BelowQuorumAcks += st.BelowQuorumAcks
+		res.DegradedReads += st.DegradedReads
+		res.CorruptImages += st.CorruptImages
+		res.ReplayDropped += st.ReplayDropped
 	}
-	if h.elStore != nil {
-		res.ELLogged = h.elStore.Logged
-		res.ELDuplicates = h.elStore.Duplicates
-		res.Malformed += h.elStore.Malformed
+	res.ELReplicaN = cfg.ELReplicas
+	res.ELWriteQuorum = cfg.ELQuorum
+	switch {
+	case h.elStores != nil:
+		res.ELReplicaDeliveries = make([][][]core.Event, 0, len(h.elNodes))
+		for _, n := range h.elNodes {
+			st := h.elStores[n]
+			s := st.Stats()
+			res.ELLogged += s.Logged
+			res.ELDuplicates += s.Duplicates
+			res.Malformed += s.Malformed
+			res.Resyncs += s.Resyncs
+			res.SyncedEvents += s.SyncedIn
+			per := make([][]core.Event, cfg.N)
+			for r := 0; r < cfg.N; r++ {
+				per[r] = st.Events(r, 0)
+			}
+			res.ELReplicaDeliveries = append(res.ELReplicaDeliveries, per)
+		}
+		res.Deliveries = mergeReplicaDeliveries(cfg.N, res.ELReplicaDeliveries)
+	case h.elStore != nil:
+		s := h.elStore.Stats()
+		res.ELLogged = s.Logged
+		res.ELDuplicates = s.Duplicates
+		res.Malformed += s.Malformed
 		res.Deliveries = make([][]core.Event, cfg.N)
 		for r := 0; r < cfg.N; r++ {
 			res.Deliveries[r] = h.elStore.Events(r, 0)
 		}
 	}
-	if h.csStore != nil {
-		res.CkptSaves = h.csStore.Saves
-		res.CkptBytes = h.csStore.SavedBytes
-		res.Malformed += h.csStore.Malformed
+	switch {
+	case h.csStores != nil:
+		for _, n := range h.csNodes {
+			s := h.csStores[n].Stats()
+			res.CkptSaves += s.Saves
+			res.CkptBytes += s.SavedBytes
+			res.Malformed += s.Malformed
+			res.StaleRejects += s.StaleRejects
+			res.Resyncs += s.Resyncs
+			res.SyncedEvents += s.SyncedIn
+		}
+	case h.csStore != nil:
+		s := h.csStore.Stats()
+		res.CkptSaves = s.Saves
+		res.CkptBytes = s.SavedBytes
+		res.Malformed += s.Malformed
+		res.StaleRejects = s.StaleRejects
 	}
 	if chaos != nil {
 		res.ChaosDropped = chaos.Dropped
 		res.ChaosDuplicated = chaos.Duplicated
 		res.ChaosDelayed = chaos.Delayed
 		res.ChaosCorrupted = chaos.Corrupted
+		res.ChaosTruncated = chaos.Truncated
 		res.ChaosPartitioned = chaos.Partitioned
 	}
 	return res
@@ -362,11 +476,14 @@ type harness struct {
 	fab  transport.Fabric
 	prog Program
 
-	elNodes []int
-	csNodes []int
-	elStore *eventlog.Store
-	csStore *ckpt.Store
-	disp    *dispatcher.Dispatcher
+	elNodes  []int
+	csNodes  []int
+	elStore  *eventlog.Store // shared store (legacy partitioned/failover mode)
+	csStore  *ckpt.Store
+	elStores map[int]*eventlog.Store // per-replica stores, node → latest incarnation (quorum mode)
+	csStores map[int]*ckpt.Store
+	elQ, csQ int // write quorums; > 0 selects quorum mode
+	disp     *dispatcher.Dispatcher
 
 	perRank []*trace.Stats
 	daemons []daemon.Stats
@@ -374,30 +491,114 @@ type harness struct {
 	spawns  []uint64 // per-rank incarnation counters
 }
 
-// startEL / startCS attach one service frontend over the shared store.
-func (h *harness) startEL(node int) {
-	eventlog.NewServerWithStore(h.sim, h.fab.Attach(node, fmt.Sprintf("event-logger@%d", node)),
-		h.cfg.Params.ELService, h.elStore).Start()
+// startEL / startCS attach one service frontend: over the shared store
+// in legacy mode, over a fresh independent store (resyncing from peers
+// when asked) in quorum mode.
+func (h *harness) startEL(node int, resync bool) {
+	ep := h.fab.Attach(node, fmt.Sprintf("event-logger@%d", node))
+	if h.elQ > 0 {
+		st := eventlog.NewStore()
+		h.elStores[node] = st
+		srv := eventlog.NewServerWithStore(h.sim, ep, h.cfg.Params.ELService, st)
+		srv.Peers = othersOf(node, h.elNodes)
+		srv.Resync = resync
+		srv.Start()
+		return
+	}
+	eventlog.NewServerWithStore(h.sim, ep, h.cfg.Params.ELService, h.elStore).Start()
 }
 
-func (h *harness) startCS(node int) {
-	ckpt.NewServerWithStore(h.sim, h.fab.Attach(node, fmt.Sprintf("ckpt-server@%d", node)), h.csStore).Start()
+func (h *harness) startCS(node int, resync bool) {
+	ep := h.fab.Attach(node, fmt.Sprintf("ckpt-server@%d", node))
+	if h.csQ > 0 {
+		st := ckpt.NewStore()
+		h.csStores[node] = st
+		srv := ckpt.NewServerWithStore(h.sim, ep, st)
+		srv.Peers = othersOf(node, h.csNodes)
+		srv.Resync = resync
+		srv.Start()
+		return
+	}
+	ckpt.NewServerWithStore(h.sim, ep, h.csStore).Start()
 }
 
-// respawnService restarts a crashed service frontend on its node id.
+// respawnService restarts a crashed service frontend on its node id. In
+// quorum mode the replacement starts over an empty store and resyncs.
 func (h *harness) respawnService(node int) {
 	for _, n := range h.elNodes {
 		if n == node {
-			h.startEL(node)
+			h.startEL(node, h.elQ > 0)
 			return
 		}
 	}
 	for _, n := range h.csNodes {
 		if n == node {
-			h.startCS(node)
+			h.startCS(node, h.csQ > 0)
 			return
 		}
 	}
+}
+
+// othersOf returns every node in nodes except self.
+func othersOf(self int, nodes []int) []int {
+	out := make([]int, 0, len(nodes)-1)
+	for _, n := range nodes {
+		if n != self {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// mergeReplicaDeliveries folds the replica logs into one per-rank view:
+// identical events deduplicate, and conflicting versions of the same
+// (sender, channel-seq) slot resolve exactly as a restarting daemon
+// resolves its read quorum — majority replica count, then higher
+// RecvClock, then higher SenderClock — so the merged view is what
+// recovery would actually replay.
+func mergeReplicaDeliveries(n int, replicas [][][]core.Event) [][]core.Event {
+	out := make([][]core.Event, n)
+	for r := 0; r < n; r++ {
+		count := make(map[core.Event]int)
+		for _, per := range replicas {
+			for _, ev := range per[r] {
+				count[ev]++
+			}
+		}
+		type slot struct {
+			sender int
+			seq    uint64
+		}
+		best := make(map[slot]core.Event)
+		merged := make([]core.Event, 0, len(count))
+		for ev, c := range count {
+			if ev.Seq == 0 {
+				merged = append(merged, ev) // unsequenced legacy event
+				continue
+			}
+			k := slot{ev.Sender, ev.Seq}
+			cur, ok := best[k]
+			if !ok || c > count[cur] ||
+				(c == count[cur] && (ev.RecvClock > cur.RecvClock ||
+					(ev.RecvClock == cur.RecvClock && ev.SenderClock > cur.SenderClock))) {
+				best[k] = ev
+			}
+		}
+		for _, ev := range best {
+			merged = append(merged, ev)
+		}
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].RecvClock != merged[j].RecvClock {
+				return merged[i].RecvClock < merged[j].RecvClock
+			}
+			if merged[i].Sender != merged[j].Sender {
+				return merged[i].Sender < merged[j].Sender
+			}
+			return merged[i].Seq < merged[j].Seq
+		})
+		out[r] = merged
+	}
+	return out
 }
 
 // backupsFor returns every service node in nodes except primary, in
@@ -438,20 +639,30 @@ func (h *harness) spawn(rank int, restarted bool) {
 	var dev daemon.Device
 	switch cfg.Impl {
 	case V2:
-		nEL := cfg.EventLoggers
-		if nEL < 1 {
-			nEL = 1
+		if cfg.ELReplicas > 0 {
+			dcfg.ELReplicas = append([]int(nil), h.elNodes...)
+			dcfg.ELQuorum = cfg.ELQuorum
+		} else {
+			nEL := cfg.EventLoggers
+			if nEL < 1 {
+				nEL = 1
+			}
+			dcfg.EventLogger = elNodeFor(rank, nEL)
+			dcfg.ELBackups = backupsFor(dcfg.EventLogger, h.elNodes)
 		}
-		dcfg.EventLogger = elNodeFor(rank, nEL)
-		dcfg.ELBackups = backupsFor(dcfg.EventLogger, h.elNodes)
 		dcfg.Scheduler = SchedNode
 		if cfg.Checkpointing {
-			nCS := cfg.CkptServers
-			if nCS < 1 {
-				nCS = 1
+			if cfg.CSReplicas > 0 {
+				dcfg.CSReplicas = append([]int(nil), h.csNodes...)
+				dcfg.CSQuorum = cfg.CSQuorum
+			} else {
+				nCS := cfg.CkptServers
+				if nCS < 1 {
+					nCS = 1
+				}
+				dcfg.CkptServer = csNodeFor(rank, nCS)
+				dcfg.CSBackups = backupsFor(dcfg.CkptServer, h.csNodes)
 			}
-			dcfg.CkptServer = csNodeFor(rank, nCS)
-			dcfg.CSBackups = backupsFor(dcfg.CkptServer, h.csNodes)
 		}
 		// On a fabric that can lose frames, the paper's fire-and-forget
 		// RESTART1 handshake and the push-only receive path are not

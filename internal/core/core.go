@@ -41,11 +41,16 @@ type MsgID struct {
 // Event is the dependency information logged for one reception (§4.5):
 // "(sender's identity; sender's logical clock at emission; receiver's
 // logical clock at delivery; number of probes since last delivery)".
+// Seq additionally records the per-channel sequence number of the
+// delivered message (1, 2, 3, … per sender), which lets recovery and
+// the post-run auditor prove the logged history of every channel is
+// gap-free; 0 marks a legacy/unsequenced event.
 type Event struct {
 	Sender      int
 	SenderClock uint64
 	RecvClock   uint64
 	Probes      uint32
+	Seq         uint64
 }
 
 // SavedMsg is one payload copy in the sender-based log.
@@ -299,7 +304,7 @@ func (s *State) Commit(from int, h, seq uint64) Event {
 		panic(fmt.Sprintf("core: rank %d: Commit of already-delivered message (%d,%d)", s.rank, from, h))
 	}
 	s.h++
-	ev := Event{Sender: from, SenderClock: h, RecvClock: s.h, Probes: s.probes}
+	ev := Event{Sender: from, SenderClock: h, RecvClock: s.h, Probes: s.probes, Seq: seq}
 	s.probes = 0
 	s.hr[from] = h
 	if seq > s.seqIn[from] {
@@ -447,7 +452,16 @@ func (s *State) ReplayProbeMiss() bool {
 // StartRecovery installs the event list downloaded from the event logger
 // (phase A of figure 2). Events at or below the checkpointed clock are
 // skipped: they were delivered before the checkpoint was taken.
-func (s *State) StartRecovery(events []Event) {
+//
+// The replay list is additionally truncated at the first per-channel
+// sequence gap. A gap means an earlier reception's event never reached
+// stable storage while a later one did — the tail beyond the gap is
+// unreplayable (its clock chain would drift) but also provably
+// unobserved: WAITLOGGED gating blocked every send while the missing
+// event was unacked, so no other process depends on the truncated
+// suffix and those messages are simply re-delivered fresh. The number
+// of events cut is returned for the daemon's stats.
+func (s *State) StartRecovery(events []Event) (dropped int) {
 	var replay []Event
 	for _, ev := range events {
 		if ev.RecvClock > s.h {
@@ -455,6 +469,27 @@ func (s *State) StartRecovery(events []Event) {
 		}
 	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].RecvClock < replay[j].RecvClock })
+	next := make(map[int]uint64, len(s.seqIn))
+	for k, v := range s.seqIn {
+		next[k] = v + 1
+	}
+	cut := len(replay)
+	for i, ev := range replay {
+		if ev.Seq == 0 {
+			continue // unsequenced legacy event: nothing to validate
+		}
+		want := next[ev.Sender]
+		if want == 0 {
+			want = 1
+		}
+		if ev.Seq != want {
+			cut = i
+			break
+		}
+		next[ev.Sender] = ev.Seq + 1
+	}
+	dropped = len(replay) - cut
+	replay = replay[:cut]
 	s.replay = replay
 	s.replayPos = 0
 	s.probes = 0
@@ -466,6 +501,7 @@ func (s *State) StartRecovery(events []Event) {
 		s.seqAcc[k] = v
 	}
 	s.held = make(map[int]map[uint64]StashedMsg)
+	return dropped
 }
 
 // RestartAnnouncement returns HR_p[q] for the RESTART1 message sent to

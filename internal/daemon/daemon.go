@@ -105,6 +105,21 @@ type Config struct {
 	ELBackups []int
 	CSBackups []int
 
+	// ELReplicas, together with ELQuorum ≥ 1, switches the event-log
+	// exchange from primary+failover to quorum replication: every event
+	// batch is submitted to all replicas, WAITLOGGED is satisfied only
+	// once ELQuorum distinct replicas have acked, retransmissions go
+	// only to the still-silent replicas, and restart-time event fetches
+	// merge a read quorum of len(ELReplicas)−ELQuorum+1 replies (the
+	// smallest set guaranteed to intersect every write quorum). When
+	// set, EventLogger/ELBackups are ignored.
+	ELReplicas []int
+	ELQuorum   int
+	// CSReplicas/CSQuorum mirror the same scheme for checkpoint saves
+	// and restart-time image fetches.
+	CSReplicas []int
+	CSQuorum   int
+
 	// Timeouts for the retry machinery on the blocking protocol paths.
 	// Each names the base of a bounded exponential backoff
 	// (transport.Backoff). Zero selects the default; negative disables
@@ -283,4 +298,11 @@ type Stats struct {
 	Pulls         int64 // starvation-triggered re-announcements to peers
 	Failovers     int64 // re-homings to a backup service instance
 	Malformed     int64 // frames the daemon could not decode
+
+	// Quorum replication counters.
+	QuorumAcks      int64 // batches/saves completed at their write quorum
+	BelowQuorumAcks int64 // completions below quorum — an invariant breach, must stay 0
+	DegradedReads   int64 // restart fetches that settled below the read quorum
+	CorruptImages   int64 // fetched checkpoint images rejected by integrity checks
+	ReplayDropped   int64 // replay events truncated at a channel-sequence gap
 }

@@ -72,6 +72,14 @@ type V2 struct {
 	elTimer    uint64
 	elQueue    []core.Event // batching: events deferred while a batch is in flight
 
+	// Quorum replication (Config.ELReplicas/ELQuorum): elQ > 0 makes
+	// every batch go to all elTargets and complete only once elQ
+	// distinct replicas acked it; elAcks tracks which replicas have.
+	// Failover rotation is meaningless here — every replica is already
+	// a target — so retransmissions go to the still-silent ones.
+	elQ    int
+	elAcks map[uint64]map[int]bool
+
 	// Checkpoint push state, mirroring the event-logger machinery.
 	csTargets    []int
 	csIdx        int
@@ -80,6 +88,8 @@ type V2 struct {
 	ckptSent     map[uint64]time.Duration
 	ckptAttempts map[uint64]int
 	ckptTimer    uint64
+	csQ          int
+	ckptAcks     map[uint64]map[int]bool
 
 	// Pull recovery: when the daemon starves waiting for a deliverable
 	// message on a lossy fabric, it re-announces its delivered horizon
@@ -106,17 +116,33 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 		elPending:    make(map[uint64][]core.Event),
 		elSent:       make(map[uint64]time.Duration),
 		elAttempts:   make(map[uint64]int),
+		elAcks:       make(map[uint64]map[int]bool),
 		ckptPending:  make(map[uint64][]byte),
 		ckptSent:     make(map[uint64]time.Duration),
 		ckptAttempts: make(map[uint64]int),
+		ckptAcks:     make(map[uint64]map[int]bool),
 	}
 	d.elSeq = cfg.Incarnation << 32
 	d.ckptSeq = cfg.Incarnation << 32
 	d.ckptDone = d.ckptSeq
-	if cfg.EventLogger >= 0 {
+	switch {
+	case len(cfg.ELReplicas) > 0 && cfg.ELQuorum > 0:
+		d.elTargets = append([]int(nil), cfg.ELReplicas...)
+		d.elQ = cfg.ELQuorum
+		if d.elQ > len(d.elTargets) {
+			d.elQ = len(d.elTargets)
+		}
+	case cfg.EventLogger >= 0:
 		d.elTargets = append([]int{cfg.EventLogger}, cfg.ELBackups...)
 	}
-	if cfg.CkptServer >= 0 {
+	switch {
+	case len(cfg.CSReplicas) > 0 && cfg.CSQuorum > 0:
+		d.csTargets = append([]int(nil), cfg.CSReplicas...)
+		d.csQ = cfg.CSQuorum
+		if d.csQ > len(d.csTargets) {
+			d.csQ = len(d.csTargets)
+		}
+	case cfg.CkptServer >= 0:
 		d.csTargets = append([]int{cfg.CkptServer}, cfg.CSBackups...)
 	}
 	d.ep = fab.Attach(cfg.Rank, fmt.Sprintf("cn%d", cfg.Rank))
@@ -165,6 +191,15 @@ func (d *V2) failoverAfter() int {
 		return defFailoverAfter
 	}
 	return d.cfg.FailoverAfter
+}
+
+// backoff builds the retransmit backoff for this daemon's service
+// exchanges: rank- and incarnation-seeded jitter desynchronizes the
+// retry storms of many daemons hammering the same replica group, while
+// staying a pure function of the configuration so chaos runs remain
+// reproducible.
+func (d *V2) backoff(base time.Duration) transport.Backoff {
+	return transport.Backoff{Base: base, Jitter: 0.2, Seed: uint64(d.cfg.Rank)*0x9e3779b9 + d.cfg.Incarnation}
 }
 
 // --- Timers ---------------------------------------------------------------
@@ -235,46 +270,82 @@ func (d *V2) recover() {
 
 	// Phase A1: fetch the latest checkpoint image, if any. On a lossy
 	// fabric the request or the reply can vanish, so the fetch runs
-	// under a timeout with bounded backoff, rotating to a backup server
-	// after repeated silence.
-	if len(d.csTargets) > 0 {
-		data := d.fetchLoop("checkpoint image", d.csTargets, wire.KCkptFetch, nil, wire.KCkptImage,
-			func(resp []byte) bool {
-				_, _, err := wire.DecodeCkptImage(resp)
-				return err == nil
-			})
+	// under a timeout with bounded backoff. A corrupt or truncated
+	// image fails the integrity check and is simply re-fetched — from
+	// the same server after a retransmit (legacy), or from the other
+	// replicas of the group (quorum). An image that damaged is never a
+	// dead end: servers only ack verified copies, so a write quorum of
+	// intact ones exists somewhere.
+	ckptValid := func(resp []byte) bool {
+		present, img, err := wire.DecodeCkptImage(resp)
+		if err != nil {
+			return false
+		}
+		if present {
+			if _, err := ckpt.DecodeImage(img); err != nil {
+				d.stats.CorruptImages++
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case d.csQ > 0:
+		// Read quorum: R−Q+1 replies intersect every write quorum, so
+		// at least one carries the newest durable image; take the
+		// highest sequence among the verified replies.
+		need := len(d.csTargets) - d.csQ + 1
+		replies := d.gatherQuorum(d.csTargets, need, wire.KCkptFetch, nil, wire.KCkptImage, ckptValid)
+		var best *ckpt.Image
+		for _, resp := range replies {
+			present, img, _ := wire.DecodeCkptImage(resp)
+			if !present {
+				continue
+			}
+			im, err := ckpt.DecodeImage(img)
+			if err != nil {
+				continue
+			}
+			if best == nil || im.Seq > best.Seq {
+				best = im
+			}
+		}
+		if best != nil {
+			d.restoreImage(best)
+		}
+	case len(d.csTargets) > 0:
+		data := d.fetchLoop("checkpoint image", d.csTargets, wire.KCkptFetch, nil, wire.KCkptImage, ckptValid)
 		present, img, _ := wire.DecodeCkptImage(data)
 		if present {
 			im, err := ckpt.DecodeImage(img)
 			if err != nil {
-				panic(fmt.Sprintf("daemon: rank %d: corrupt checkpoint: %v", d.cfg.Rank, err))
+				panic(fmt.Sprintf("daemon: rank %d: corrupt checkpoint passed validation: %v", d.cfg.Rank, err))
 			}
-			sn, err := im.ProtoSnapshot()
-			if err != nil {
-				panic(fmt.Sprintf("daemon: rank %d: corrupt protocol snapshot: %v", d.cfg.Rank, err))
-			}
-			d.st = core.Restore(sn)
-			d.appState = im.AppState
-			d.restored = true
-			if im.Seq > d.ckptSeq {
-				d.ckptSeq = im.Seq
-				d.ckptDone = im.Seq
-			}
+			d.restoreImage(im)
 		}
 	}
 
 	// Phase A2: download the reception events to replay, same scheme.
+	// In quorum mode the read-quorum replies are merged so that no
+	// event acked at the write quorum is lost even when Q−1 of the
+	// replicas answering are stale.
+	evsValid := func(resp []byte) bool {
+		_, err := wire.DecodeEvents(resp)
+		return err == nil
+	}
 	evs := []core.Event(nil)
-	if len(d.elTargets) > 0 {
+	switch {
+	case d.elQ > 0:
+		need := len(d.elTargets) - d.elQ + 1
+		replies := d.gatherQuorum(d.elTargets, need, wire.KEventFetch,
+			wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid)
+		evs = mergeEventReplies(replies)
+	case len(d.elTargets) > 0:
 		evData := d.fetchLoop("event list", d.elTargets, wire.KEventFetch,
-			wire.EncodeU64(d.st.Clock()), wire.KEventFetched,
-			func(resp []byte) bool {
-				_, err := wire.DecodeEvents(resp)
-				return err == nil
-			})
+			wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid)
 		evs, _ = wire.DecodeEvents(evData)
 	}
-	d.st.StartRecovery(evs)
+	d.stats.ReplayDropped += int64(d.st.StartRecovery(evs))
 
 	// Phase B: ask every peer to re-send from what we have delivered.
 	// Without a restart timeout this is fire-and-forget, as in the
@@ -353,6 +424,131 @@ func (d *V2) recover() {
 	for _, r := range reqs {
 		d.handleReq(r)
 	}
+}
+
+// restoreImage rebuilds the daemon from a fetched (already
+// integrity-verified) checkpoint image.
+func (d *V2) restoreImage(im *ckpt.Image) {
+	sn, err := im.ProtoSnapshot()
+	if err != nil {
+		panic(fmt.Sprintf("daemon: rank %d: corrupt protocol snapshot: %v", d.cfg.Rank, err))
+	}
+	d.st = core.Restore(sn)
+	d.appState = im.AppState
+	d.restored = true
+	if im.Seq > d.ckptSeq {
+		d.ckptSeq = im.Seq
+		d.ckptDone = im.Seq
+	}
+}
+
+// gatherQuorum performs a restart-time read-quorum exchange: the request
+// goes to every replica still missing a valid reply, and the call
+// returns once `need` distinct replicas have answered. After bounded
+// retries the fetch degrades to whatever non-empty reply set arrived —
+// a restarting daemon that waited forever on crashed replicas would
+// stall the whole run — and the degradation is counted so experiments
+// can report when the intersection guarantee was forfeited.
+func (d *V2) gatherQuorum(targets []int, need int, reqKind uint8, reqData []byte, respKind uint8, valid func([]byte) bool) map[int][]byte {
+	if need > len(targets) {
+		need = len(targets)
+	}
+	to := d.fetchTimeout()
+	if to <= 0 {
+		to = defFetchTimeout // a quorum gather cannot block without a timeout
+	}
+	bo := d.backoff(to)
+	got := make(map[int][]byte, len(targets))
+	for attempt := 0; ; attempt++ {
+		for _, t := range targets {
+			if _, ok := got[t]; ok {
+				continue
+			}
+			if attempt > 0 {
+				d.stats.Retransmits++
+			}
+			d.ep.Send(t, reqKind, reqData)
+		}
+		deadline := d.rt.Now() + bo.Delay(attempt)
+		for d.rt.Now() < deadline && len(got) < need {
+			f, ok := d.awaitAnyFrame(deadline - d.rt.Now())
+			if !ok {
+				break
+			}
+			if f.Kind != respKind {
+				d.recoverPending = append(d.recoverPending, f)
+				continue
+			}
+			if !isTarget(targets, f.From) {
+				continue
+			}
+			if !valid(f.Data) {
+				d.stats.Malformed++
+				continue
+			}
+			got[f.From] = f.Data
+		}
+		if len(got) >= need {
+			return got
+		}
+		if attempt >= d.restartRetries() && len(got) > 0 {
+			d.stats.DegradedReads++
+			return got
+		}
+	}
+}
+
+// mergeEventReplies folds a read quorum of event-list replies into one
+// replay list. Identical events deduplicate; when replicas disagree
+// about a (sender, channel-seq) slot — possible only when a previous
+// incarnation died mid-quorum and divergent suffixes were logged across
+// the group — the version held by more replicas wins (only it can have
+// completed a write quorum and thus have been observable), with the
+// higher RecvClock, then higher SenderClock, breaking ties
+// deterministically.
+func mergeEventReplies(replies map[int][]byte) []core.Event {
+	count := make(map[core.Event]int)
+	for _, data := range replies {
+		evs, err := wire.DecodeEvents(data)
+		if err != nil {
+			continue
+		}
+		for _, ev := range evs {
+			count[ev]++
+		}
+	}
+	type slot struct {
+		sender int
+		seq    uint64
+	}
+	best := make(map[slot]core.Event)
+	merged := make([]core.Event, 0, len(count))
+	for ev, n := range count {
+		if ev.Seq == 0 {
+			merged = append(merged, ev) // unsequenced legacy event: keep as-is
+			continue
+		}
+		k := slot{ev.Sender, ev.Seq}
+		cur, ok := best[k]
+		if !ok || n > count[cur] ||
+			(n == count[cur] && (ev.RecvClock > cur.RecvClock ||
+				(ev.RecvClock == cur.RecvClock && ev.SenderClock > cur.SenderClock))) {
+			best[k] = ev
+		}
+	}
+	for _, ev := range best {
+		merged = append(merged, ev)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].RecvClock != merged[j].RecvClock {
+			return merged[i].RecvClock < merged[j].RecvClock
+		}
+		if merged[i].Sender != merged[j].Sender {
+			return merged[i].Sender < merged[j].Sender
+		}
+		return merged[i].Seq < merged[j].Seq
+	})
+	return merged
 }
 
 // fetchLoop performs one restart-time request/reply exchange against a
@@ -479,6 +675,21 @@ func (d *V2) handleFrame(f transport.Frame) {
 		if !ok {
 			return // duplicate ack, or ack of a dead incarnation's batch
 		}
+		if d.elQ > 0 {
+			// WAITLOGGED is released only once the write quorum acked:
+			// record this replica and keep waiting below quorum. Acks
+			// from nodes outside the replica group cannot count.
+			if !isTarget(d.elTargets, f.From) {
+				return
+			}
+			acks := d.elAcks[seq]
+			acks[f.From] = true
+			if len(acks) < d.elQ {
+				return
+			}
+			d.stats.QuorumAcks++
+			delete(d.elAcks, seq)
+		}
 		delete(d.elPending, seq)
 		delete(d.elSent, seq)
 		delete(d.elAttempts, seq)
@@ -525,7 +736,7 @@ func (d *V2) handleFrame(f transport.Frame) {
 		}))
 
 	case wire.KCkptOrder:
-		if d.cfg.CkptServer >= 0 {
+		if len(d.csTargets) > 0 {
 			d.ckptFlag.Store(true)
 		}
 
@@ -534,6 +745,24 @@ func (d *V2) handleFrame(f transport.Frame) {
 		if err != nil {
 			d.stats.Malformed++
 			return
+		}
+		if _, ok := d.ckptPending[seq]; !ok {
+			return // duplicate ack, or ack of a dead incarnation's save
+		}
+		if d.csQ > 0 {
+			// The checkpoint is durable only once the write quorum holds
+			// a verified copy; servers never ack a damaged image, so each
+			// ack below counts a replica with an intact one.
+			if !isTarget(d.csTargets, f.From) {
+				return
+			}
+			acks := d.ckptAcks[seq]
+			acks[f.From] = true
+			if len(acks) < d.csQ {
+				return
+			}
+			d.stats.QuorumAcks++
+			delete(d.ckptAcks, seq)
 		}
 		delete(d.ckptPending, seq)
 		delete(d.ckptSent, seq)
@@ -577,17 +806,35 @@ func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
 
 // --- Event-logger exchange ------------------------------------------------
 
-// sendEvents ships a batch to the current event logger and arms the
-// retransmit timer.
+// sendEvents ships a batch to the current event logger — or, in quorum
+// mode, to every replica of the group — and arms the retransmit timer.
 func (d *V2) sendEvents(evs []core.Event) {
 	d.elSeq++
 	seq := d.elSeq
 	d.elPending[seq] = evs
 	d.elSent[seq] = d.rt.Now()
 	d.elAttempts[seq] = 0
-	d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, wire.EncodeEventLog(seq, evs))
+	payload := wire.EncodeEventLog(seq, evs)
+	if d.elQ > 0 {
+		d.elAcks[seq] = make(map[int]bool, len(d.elTargets))
+		for _, t := range d.elTargets {
+			d.ep.Send(t, wire.KEventLog, payload)
+		}
+	} else {
+		d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, payload)
+	}
 	d.stats.EventsLogged += int64(len(evs))
 	d.armEL()
+}
+
+// isTarget reports whether node is one of the configured targets.
+func isTarget(targets []int, node int) bool {
+	for _, t := range targets {
+		if t == node {
+			return true
+		}
+	}
+	return false
 }
 
 // armEL (re)arms the single event-logger retransmit timer for the
@@ -597,7 +844,7 @@ func (d *V2) armEL() {
 	if d.elTimer != 0 || to <= 0 || len(d.elPending) == 0 {
 		return
 	}
-	bo := transport.Backoff{Base: to}
+	bo := d.backoff(to)
 	var min time.Duration
 	first := true
 	for seq := range d.elPending {
@@ -613,15 +860,17 @@ func (d *V2) armEL() {
 	d.elTimer = d.after(delay, d.elExpired)
 }
 
-// elExpired retransmits every pending batch whose deadline has passed,
-// failing over to a backup logger after repeated silence.
+// elExpired retransmits every pending batch whose deadline has passed.
+// Legacy mode fails over to a backup logger after repeated silence; in
+// quorum mode every replica is already a target, so the batch is
+// re-sent only to the replicas that have not acked it yet.
 func (d *V2) elExpired() {
 	d.elTimer = 0
 	to := d.elAckTimeout()
 	if to <= 0 {
 		return
 	}
-	bo := transport.Backoff{Base: to}
+	bo := d.backoff(to)
 	now := d.rt.Now()
 	seqs := make([]uint64, 0, len(d.elPending))
 	for seq := range d.elPending {
@@ -634,6 +883,16 @@ func (d *V2) elExpired() {
 		}
 		d.elAttempts[seq]++
 		d.elSent[seq] = now
+		if d.elQ > 0 {
+			payload := wire.EncodeEventLog(seq, d.elPending[seq])
+			for _, t := range d.elTargets {
+				if !d.elAcks[seq][t] {
+					d.ep.Send(t, wire.KEventLog, payload)
+				}
+			}
+			d.stats.Retransmits++
+			continue
+		}
 		d.elStrikes++
 		if d.elStrikes >= d.failoverAfter() && len(d.elTargets) > 1 {
 			d.elIdx = (d.elIdx + 1) % len(d.elTargets)
@@ -792,6 +1051,13 @@ func (d *V2) doSend(to int, data []byte) {
 	}
 
 	if transmit {
+		if d.elQ > 0 && d.st.SendBlocked() {
+			// A payload is leaving while reception events are still
+			// below their write quorum — every path that can do this
+			// (only the NoSendGating ablation today) is counted so the
+			// auditor can assert the invariant held.
+			d.stats.BelowQuorumAcks++
+		}
 		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: id.Clock, PairSeq: seq}, data))
 		d.stats.SentMsgs++
 		d.stats.SentBytes += int64(len(data))
@@ -925,7 +1191,14 @@ func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptPending[seq] = payload
 	d.ckptSent[seq] = d.rt.Now()
 	d.ckptAttempts[seq] = 0
-	d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, payload)
+	if d.csQ > 0 {
+		d.ckptAcks[seq] = make(map[int]bool, len(d.csTargets))
+		for _, t := range d.csTargets {
+			d.ep.Send(t, wire.KCkptSave, payload)
+		}
+	} else {
+		d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, payload)
+	}
 	d.stats.Checkpoints++
 	d.stats.CkptBytes += int64(len(img))
 	d.armCkpt()
@@ -938,7 +1211,7 @@ func (d *V2) armCkpt() {
 	if d.ckptTimer != 0 || to <= 0 || len(d.ckptPending) == 0 {
 		return
 	}
-	bo := transport.Backoff{Base: to}
+	bo := d.backoff(to)
 	var min time.Duration
 	first := true
 	for seq := range d.ckptPending {
@@ -960,7 +1233,7 @@ func (d *V2) ckptExpired() {
 	if to <= 0 {
 		return
 	}
-	bo := transport.Backoff{Base: to}
+	bo := d.backoff(to)
 	now := d.rt.Now()
 	seqs := make([]uint64, 0, len(d.ckptPending))
 	for seq := range d.ckptPending {
@@ -973,6 +1246,15 @@ func (d *V2) ckptExpired() {
 		}
 		d.ckptAttempts[seq]++
 		d.ckptSent[seq] = now
+		if d.csQ > 0 {
+			for _, t := range d.csTargets {
+				if !d.ckptAcks[seq][t] {
+					d.ep.Send(t, wire.KCkptSave, d.ckptPending[seq])
+				}
+			}
+			d.stats.Retransmits++
+			continue
+		}
 		d.csStrikes++
 		if d.csStrikes >= d.failoverAfter() && len(d.csTargets) > 1 {
 			d.csIdx = (d.csIdx + 1) % len(d.csTargets)

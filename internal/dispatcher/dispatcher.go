@@ -210,3 +210,53 @@ func RandomFaults(seed uint64, rate float64, horizon time.Duration, targets []in
 		plan = append(plan, Fault{Time: t, Rank: targets[int(next()*float64(len(targets)))%len(targets)]})
 	}
 }
+
+// DoubleFaults draws a reproducible plan of correlated fault pairs: each
+// Poisson arrival kills one target and, within window, a second distinct
+// one — landing the second death while the first victim is typically
+// still mid-recovery (fetching its image, or between RESTART1 and
+// RESTART2). This is the overlap the single-fault plans of RandomFaults
+// almost never produce, and exactly the case quorum replication must
+// survive. Same seed, same plan.
+func DoubleFaults(seed uint64, rate float64, horizon, window time.Duration, targets []int) []Fault {
+	if rate <= 0 || horizon <= 0 || len(targets) == 0 {
+		return nil
+	}
+	rng := seed ^ 0x5bf0_3635
+	next := func() float64 {
+		rng = rng*2862933555777941757 + 3037000493
+		return float64(rng>>11) / float64(1<<53)
+	}
+	if window <= 0 {
+		window = 50 * time.Millisecond
+	}
+	var plan []Fault
+	t := time.Duration(0)
+	for {
+		u := next()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := time.Duration(-math.Log(u) / rate * float64(time.Second))
+		if gap < time.Millisecond {
+			gap = time.Millisecond
+		}
+		t += gap
+		if t >= horizon {
+			return plan
+		}
+		first := targets[int(next()*float64(len(targets)))%len(targets)]
+		plan = append(plan, Fault{Time: t, Rank: first})
+		if len(targets) < 2 {
+			continue
+		}
+		second := first
+		for second == first {
+			second = targets[int(next()*float64(len(targets)))%len(targets)]
+		}
+		offset := time.Duration(next() * float64(window))
+		if t+offset < horizon {
+			plan = append(plan, Fault{Time: t + offset, Rank: second})
+		}
+	}
+}

@@ -1,22 +1,30 @@
 // Package eventlog implements the Event Logger (paper §4.5): a
-// repository running on a reliable node that stores the dependency
-// information of every message reception and serves it back to
-// re-executing nodes. Several event loggers can serve one system; each
-// computing node talks to exactly one, and loggers never need to talk to
-// each other.
+// repository that stores the dependency information of every message
+// reception and serves it back to re-executing nodes.
 //
-// The package splits the logger into a Server — the protocol frontend
-// bound to one network endpoint — and a Store, the stable storage
-// behind it. Several Server instances may share one Store, modeling the
-// paper's reliable-node assumption while the frontends themselves crash
-// and fail over: a backup logger serves fetches for events the primary
-// logged. The Store is idempotent (duplicate submissions, retransmitted
-// after a lost ack, change nothing) so the daemon may retry freely.
+// The paper runs the logger on a single reliable node. This package
+// drops that assumption: a logger is a group of R replica Servers with
+// *independent* Stores. A daemon submits every event batch to all R
+// replicas and treats it as logged once a write quorum Q has acked; a
+// replica that crashed and respawned with an empty store rejoins by
+// anti-entropy — it pulls the events it is missing, keyed by
+// (node, RecvClock) range, from its peers — and restart-time fetches
+// merge a read quorum so no quorum-committed event is ever lost even
+// while up to Q−1 replicas hold stale state.
+//
+// The split between Server (the protocol frontend bound to one network
+// endpoint) and Store (the storage behind it) is kept: legacy
+// single-logger setups still share one Store across failover
+// frontends. The Store is idempotent (duplicate submissions,
+// retransmitted after a lost ack, change nothing) so the daemon may
+// retry freely.
 package eventlog
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpichv/internal/core"
@@ -25,7 +33,20 @@ import (
 	"mpichv/internal/wire"
 )
 
-// Store is the stable storage of one logical event logger. It is safe
+// Stats is a consistent snapshot of a Store's counters, taken under
+// the store lock so concurrent server frontends never expose a torn
+// read.
+type Stats struct {
+	Logged     int64 // events stored
+	Duplicates int64 // events re-submitted and ignored
+	Malformed  int64 // frames that failed to decode
+	Acks       int64 // submissions acknowledged
+	Fetches    int64 // fetch requests served
+	Resyncs    int64 // anti-entropy rounds completed into this store
+	SyncedIn   int64 // events merged from peers during resync
+}
+
+// Store is the stable storage of one event logger replica. It is safe
 // for use by several Server frontends.
 type Store struct {
 	mu sync.Mutex
@@ -35,12 +56,7 @@ type Store struct {
 	// retransmissions and across incarnations of the node.
 	events map[int]map[uint64]core.Event
 
-	// Stats for the experiments.
-	Logged     int64 // events stored
-	Duplicates int64 // events re-submitted and ignored
-	Malformed  int64 // frames that failed to decode
-	Acks       int64 // submissions acknowledged
-	Fetches    int64 // fetch requests served
+	stats Stats
 }
 
 // NewStore creates an empty store.
@@ -48,11 +64,26 @@ func NewStore() *Store {
 	return &Store{events: make(map[int]map[uint64]core.Event)}
 }
 
+// Stats returns a locked snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
 // Add stores a node's events, ignoring any already present, and
 // returns how many were new.
 func (st *Store) Add(node int, evs []core.Event) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	added := st.addLocked(node, evs, true)
+	st.stats.Logged += int64(added)
+	return added
+}
+
+// addLocked inserts events, optionally counting duplicates. Callers
+// hold st.mu.
+func (st *Store) addLocked(node int, evs []core.Event, countDups bool) int {
 	m := st.events[node]
 	if m == nil {
 		m = make(map[uint64]core.Event)
@@ -61,13 +92,14 @@ func (st *Store) Add(node int, evs []core.Event) int {
 	added := 0
 	for _, ev := range evs {
 		if _, dup := m[ev.RecvClock]; dup {
-			st.Duplicates++
+			if countDups {
+				st.stats.Duplicates++
+			}
 			continue
 		}
 		m[ev.RecvClock] = ev
 		added++
 	}
-	st.Logged += int64(added)
 	return added
 }
 
@@ -94,7 +126,65 @@ func (st *Store) Count(node int) int {
 	return len(st.events[node])
 }
 
-// Server is one event logger frontend.
+// Marks returns the per-node RecvClock high-water marks, the request
+// half of the anti-entropy exchange: "send me everything above these".
+// A fresh (respawned) store returns an empty map and pulls everything.
+func (st *Store) Marks() map[int]uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	marks := make(map[int]uint64, len(st.events))
+	for node, m := range st.events {
+		var hi uint64
+		for rc := range m {
+			if rc > hi {
+				hi = rc
+			}
+		}
+		marks[node] = hi
+	}
+	return marks
+}
+
+// EventsSince returns, per node, every stored event with RecvClock
+// above that node's mark (absent nodes mean "from the beginning") —
+// the response half of the anti-entropy exchange.
+func (st *Store) EventsSince(marks map[int]uint64) map[int][]core.Event {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[int][]core.Event)
+	for node, m := range st.events {
+		after := marks[node]
+		var evs []core.Event
+		for _, ev := range m {
+			if ev.RecvClock > after {
+				evs = append(evs, ev)
+			}
+		}
+		if len(evs) > 0 {
+			sort.Slice(evs, func(i, j int) bool { return evs[i].RecvClock < evs[j].RecvClock })
+			out[node] = evs
+		}
+	}
+	return out
+}
+
+// Merge folds a peer's sync response into the store and returns how
+// many events were new. Overlap with already-held events is expected
+// (resync is re-entrant) and not counted as protocol duplicates.
+func (st *Store) Merge(m map[int][]core.Event) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	added := 0
+	for node, evs := range m {
+		added += st.addLocked(node, evs, false)
+	}
+	st.stats.Logged += int64(added)
+	st.stats.SyncedIn += int64(added)
+	st.stats.Resyncs++
+	return added
+}
+
+// Server is one event logger replica frontend.
 type Server struct {
 	rt      vtime.Runtime
 	ep      transport.Endpoint
@@ -103,6 +193,15 @@ type Server struct {
 	// Store is the stable storage behind this frontend; shared when
 	// the server was built with NewServerWithStore.
 	Store *Store
+
+	// Peers are the other replicas of this logger group; they serve
+	// anti-entropy sync requests. Empty for a standalone logger.
+	Peers []int
+	// Resync makes the server pull missing events from Peers on
+	// startup — set on a replica respawned with an empty store.
+	Resync bool
+
+	synced atomic.Bool
 }
 
 // NewServer creates an event logger with its own private store.
@@ -119,13 +218,33 @@ func NewServerWithStore(rt vtime.Runtime, ep transport.Endpoint, service time.Du
 	return &Server{rt: rt, ep: ep, service: service, Store: st}
 }
 
-// Start runs the server loop as an actor.
+// Start runs the server loop as an actor, plus the resync requester if
+// the replica is rejoining its group.
 func (s *Server) Start() {
 	s.rt.Go("event-logger", s.run)
+	if s.Resync && len(s.Peers) > 0 {
+		s.rt.Go(fmt.Sprintf("el-resync-%d", s.ep.ID()), s.resyncLoop)
+	}
 }
 
 // EventCount reports the number of events stored for a node.
 func (s *Server) EventCount(rank int) int { return s.Store.Count(rank) }
+
+// resyncLoop re-requests the missing event ranges from every peer until
+// at least one sync response lands (merges are idempotent, so asking
+// everyone and retrying is safe). The marks are snapshotted once, at
+// join time: recomputing them after a partial merge could advance past
+// holes a stale peer left behind.
+func (s *Server) resyncLoop() {
+	req := wire.EncodeSyncMarks(s.Store.Marks())
+	bo := transport.Backoff{Base: 5 * time.Millisecond, Seed: uint64(s.ep.ID())}
+	for attempt := 0; attempt < 10 && !s.synced.Load(); attempt++ {
+		for _, p := range s.Peers {
+			s.ep.Send(p, wire.KELSyncReq, req)
+		}
+		s.rt.Sleep(bo.Delay(attempt))
+	}
+}
 
 func (s *Server) run() {
 	for {
@@ -137,9 +256,7 @@ func (s *Server) run() {
 		case wire.KEventLog:
 			seq, evs, err := wire.DecodeEventLog(f.Data)
 			if err != nil {
-				s.Store.mu.Lock()
-				s.Store.Malformed++
-				s.Store.mu.Unlock()
+				s.countMalformed()
 				continue
 			}
 			if s.service > 0 {
@@ -149,22 +266,41 @@ func (s *Server) run() {
 			// Always ack, even a pure duplicate: the retransmission
 			// means the submitter never saw the first ack.
 			s.Store.mu.Lock()
-			s.Store.Acks++
+			s.Store.stats.Acks++
 			s.Store.mu.Unlock()
 			s.ep.Send(f.From, wire.KEventAck, wire.EncodeU64(seq))
 		case wire.KEventFetch:
 			h, err := wire.DecodeU64(f.Data)
 			if err != nil {
-				s.Store.mu.Lock()
-				s.Store.Malformed++
-				s.Store.mu.Unlock()
+				s.countMalformed()
 				continue
 			}
 			s.Store.mu.Lock()
-			s.Store.Fetches++
+			s.Store.stats.Fetches++
 			s.Store.mu.Unlock()
 			out := s.Store.Events(f.From, h)
 			s.ep.Send(f.From, wire.KEventFetched, wire.EncodeEvents(out))
+		case wire.KELSyncReq:
+			marks, err := wire.DecodeSyncMarks(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			s.ep.Send(f.From, wire.KELSyncResp, wire.EncodeNodeEvents(s.Store.EventsSince(marks)))
+		case wire.KELSyncResp:
+			m, err := wire.DecodeNodeEvents(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			s.Store.Merge(m)
+			s.synced.Store(true)
 		}
 	}
+}
+
+func (s *Server) countMalformed() {
+	s.Store.mu.Lock()
+	s.Store.stats.Malformed++
+	s.Store.mu.Unlock()
 }

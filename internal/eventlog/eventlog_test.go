@@ -50,8 +50,8 @@ func TestLogAndAck(t *testing.T) {
 		if err != nil || seq != 7 {
 			t.Fatalf("ack seq = %d %v", seq, err)
 		}
-		if srv.EventCount(1) != 2 || srv.Store.Logged != 2 {
-			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), srv.Store.Logged)
+		if st := srv.Store.Stats(); srv.EventCount(1) != 2 || st.Logged != 2 {
+			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), st.Logged)
 		}
 	})
 }
@@ -68,9 +68,9 @@ func TestResubmittedBatchReAckedNotRelogged(t *testing.T) {
 		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
 			t.Fatalf("duplicate not re-acked: seq = %d", seq)
 		}
-		if srv.EventCount(1) != 1 || srv.Store.Logged != 1 || srv.Store.Duplicates != 1 {
+		if st := srv.Store.Stats(); srv.EventCount(1) != 1 || st.Logged != 1 || st.Duplicates != 1 {
 			t.Errorf("after duplicate: count=%d Logged=%d Duplicates=%d",
-				srv.EventCount(1), srv.Store.Logged, srv.Store.Duplicates)
+				srv.EventCount(1), st.Logged, st.Duplicates)
 		}
 	})
 }
@@ -188,8 +188,77 @@ func TestMalformedFramesCountedAndIgnored(t *testing.T) {
 		// The server must survive and still answer good requests.
 		client.Send(100, wire.KEventFetch, wire.EncodeU64(0))
 		recvKind(t, client, wire.KEventFetched)
-		if srv.Store.Malformed != 2 {
-			t.Errorf("Malformed = %d, want 2", srv.Store.Malformed)
+		if st := srv.Store.Stats(); st.Malformed != 2 {
+			t.Errorf("Malformed = %d, want 2", st.Malformed)
+		}
+	})
+}
+
+func TestReplicaResyncPullsMissingEvents(t *testing.T) {
+	// A replica respawned with an empty store pulls everything its
+	// peers hold via anti-entropy and then serves fetches itself.
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		a := NewServer(sim, fab.Attach(100, "el-a"), 0)
+		a.Peers = []int{101}
+		a.Start()
+		client := fab.Attach(1, "client")
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{
+			{Sender: 2, SenderClock: 1, RecvClock: 1, Seq: 1},
+			{Sender: 2, SenderClock: 2, RecvClock: 2, Seq: 2},
+		}))
+		recvKind(t, client, wire.KEventAck)
+
+		// Replica B joins late with a fresh store and resyncs from A.
+		b := NewServer(sim, fab.Attach(101, "el-b"), 0)
+		b.Peers = []int{100}
+		b.Resync = true
+		b.Start()
+		sim.Sleep(50 * time.Millisecond)
+
+		client.Send(101, wire.KEventFetch, wire.EncodeU64(0))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("resynced replica served %d events, err=%v; want 2", len(got), err)
+		}
+		st := b.Store.Stats()
+		if st.SyncedIn != 2 || st.Resyncs == 0 {
+			t.Errorf("resync stats: %+v", st)
+		}
+	})
+}
+
+func TestResyncMarksPullOnlyMissingRange(t *testing.T) {
+	// A stale (not empty) replica asks only for events above its
+	// high-water marks; overlap is not re-counted.
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		full := NewServer(sim, fab.Attach(100, "el-a"), 0)
+		full.Start()
+		client := fab.Attach(1, "client")
+		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, []core.Event{
+			{Sender: 2, SenderClock: 1, RecvClock: 1, Seq: 1},
+			{Sender: 2, SenderClock: 2, RecvClock: 2, Seq: 2},
+			{Sender: 2, SenderClock: 3, RecvClock: 3, Seq: 3},
+		}))
+		recvKind(t, client, wire.KEventAck)
+
+		stale := NewStore()
+		stale.Add(1, []core.Event{{Sender: 2, SenderClock: 1, RecvClock: 1, Seq: 1}})
+		b := NewServerWithStore(sim, fab.Attach(101, "el-b"), 0, stale)
+		b.Peers = []int{100}
+		b.Resync = true
+		b.Start()
+		sim.Sleep(50 * time.Millisecond)
+
+		if n := stale.Count(1); n != 3 {
+			t.Fatalf("stale replica holds %d events after resync, want 3", n)
+		}
+		if st := stale.Stats(); st.SyncedIn != 2 {
+			t.Errorf("SyncedIn = %d, want 2 (only the missing range)", st.SyncedIn)
 		}
 	})
 }

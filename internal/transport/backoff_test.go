@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		b := Backoff{Base: 10 * time.Millisecond, Max: 160 * time.Millisecond, Jitter: 0.5, Seed: seed}
+		var ds []time.Duration
+		for i := 0; i < 12; i++ {
+			ds = append(ds, b.Delay(i))
+		}
+		return ds
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed gave %v then %v", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical schedules: %v", a)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 0.3, Seed: 7}
+	for attempt := 0; attempt < 64; attempt++ {
+		d := b.Delay(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+		}
+		if d > b.Max {
+			t.Fatalf("attempt %d: delay %v exceeds Max %v", attempt, d, b.Max)
+		}
+		// Jitter is subtractive and bounded by the fraction.
+		full := Backoff{Base: b.Base, Max: b.Max}.Delay(attempt)
+		if min := time.Duration(float64(full) * (1 - b.Jitter)); d < min {
+			t.Fatalf("attempt %d: delay %v below jitter floor %v", attempt, d, min)
+		}
+	}
+}
+
+func TestBackoffFullJitterStaysPositive(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Jitter: 1.0, Seed: 1}
+	for attempt := 0; attempt < 40; attempt++ {
+		if d := b.Delay(attempt); d <= 0 {
+			t.Fatalf("attempt %d: delay %v must stay positive", attempt, d)
+		}
+	}
+}
+
+func TestBackoffZeroJitterUnchanged(t *testing.T) {
+	with := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt, want := range []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	} {
+		if got := with.Delay(attempt); got != want {
+			t.Fatalf("attempt %d: got %v want %v", attempt, got, want)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type ChaosPolicy struct {
 	// mistake it for valid data. Frames that legitimately carry no
 	// payload pass through unharmed (there is nothing to corrupt).
 	Corrupt float64
+	// Truncate cuts the frame's payload in half, modeling a transfer
+	// severed mid-flight: length-framed decoders reject the stub, and
+	// blobs whose framing survives (a checkpoint image inside a save
+	// request) must be caught by their integrity checksum downstream.
+	Truncate float64
 
 	// Partitions are timed cuts between node pairs.
 	Partitions []Partition
@@ -37,14 +42,15 @@ type ChaosPolicy struct {
 
 // Active reports whether the policy injects anything at all.
 func (p ChaosPolicy) Active() bool {
-	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 || p.Corrupt > 0 || len(p.Partitions) > 0
+	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 || p.Corrupt > 0 ||
+		p.Truncate > 0 || len(p.Partitions) > 0
 }
 
 // Lossy reports whether the policy can make a frame vanish (drop,
 // corruption, partition) — the cases that need end-to-end retransmit
 // and pull machinery rather than mere reordering tolerance.
 func (p ChaosPolicy) Lossy() bool {
-	return p.Drop > 0 || p.Corrupt > 0 || len(p.Partitions) > 0
+	return p.Drop > 0 || p.Corrupt > 0 || p.Truncate > 0 || len(p.Partitions) > 0
 }
 
 // Partition cuts every frame between nodes A and B, in both directions,
@@ -83,6 +89,7 @@ type ChaosFabric struct {
 	Duplicated  int64 // frames delivered twice
 	Delayed     int64 // frames held back by extra jitter
 	Corrupted   int64 // frames truncated to an undecodable stub
+	Truncated   int64 // frames cut in half mid-flight
 	Partitioned int64 // frames cut by an active partition
 }
 
@@ -158,11 +165,19 @@ func (e *chaosEndpoint) Send(to int, kind uint8, data []byte) bool {
 			jitter = time.Microsecond
 		}
 	}
+	// The truncation roll is drawn only when the policy enables it, so
+	// pre-existing policies keep their exact variate streams.
+	trunc := false
+	if f.pol.Truncate > 0 {
+		trunc = f.roll() < f.pol.Truncate && len(data) > 1
+	}
 	switch {
 	case drop:
 		f.Dropped++
 	case corrupt:
 		f.Corrupted++
+	case trunc:
+		f.Truncated++
 	default:
 		if dup {
 			f.Duplicated++
@@ -180,6 +195,8 @@ func (e *chaosEndpoint) Send(to int, kind uint8, data []byte) bool {
 	}
 	if corrupt {
 		data = data[:0:0]
+	} else if trunc {
+		data = data[: len(data)/2 : len(data)/2]
 	}
 	if dup {
 		// The duplicate travels undelayed; the original may jitter past

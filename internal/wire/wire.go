@@ -2,13 +2,16 @@
 // between the components of an MPICH-V2 system: computing-node daemons,
 // event loggers, checkpoint servers, the checkpoint scheduler and the
 // dispatcher. Encodings are hand-rolled over encoding/binary: the event
-// record is 24 bytes, matching the paper's "small message (in the order
-// of 20 bytes) to the Event Logger".
+// record is 32 bytes — the paper's "small message (in the order of 20
+// bytes) to the Event Logger" plus the per-channel sequence number the
+// recovery auditor uses to prove logged histories are gap-free.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"sort"
 
 	"mpichv/internal/core"
 )
@@ -52,6 +55,13 @@ const (
 	// retransmitting it on a lossy fabric; data: empty. (Appended last
 	// to keep the numeric values of the kinds above stable.)
 	KFinalizeAck
+
+	// Replica ↔ replica anti-entropy (appended after KFinalizeAck for
+	// the same numbering-stability reason).
+	KELSyncReq  // data: sync marks (node → RecvClock high-water)
+	KELSyncResp // data: per-node event batches above the marks
+	KCSSyncReq  // data: sync marks (rank → checkpoint seq high-water)
+	KCSSyncResp // data: checkpoint entries above the marks
 )
 
 // KindName returns a short human-readable name for diagnostics.
@@ -65,6 +75,8 @@ func KindName(k uint8) string {
 		KSchedPoll: "sched-poll", KSchedStat: "sched-stat", KCkptOrder: "ckpt-order",
 		KHello: "hello", KFinalize: "finalize", KFinalizeAck: "finalize-ack",
 		KCMPut: "cm-put", KCMGet: "cm-get", KCMMsg: "cm-msg",
+		KELSyncReq: "el-sync-req", KELSyncResp: "el-sync-resp",
+		KCSSyncReq: "cs-sync-req", KCSSyncResp: "cs-sync-resp",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -77,42 +89,56 @@ func KindName(k uint8) string {
 // with the frame's From field), the per-destination channel sequence
 // (gap-free, so a receiver on a lossy network can detect a missing
 // predecessor; 0 = unsequenced), and the device-level kind byte that
-// the MPI channel layer uses.
+// the MPI channel layer uses. The encoding additionally frames the
+// body with its length and CRC-32, so a frame truncated or bit-flipped
+// in flight fails DecodePayload instead of handing garbage to the MPI
+// layer — the receiver then treats it exactly like a dropped frame and
+// the retry machinery re-delivers it.
 type PayloadHeader struct {
 	SenderClock uint64
 	PairSeq     uint64
 	DevKind     uint8
 }
 
-// PayloadHeaderLen is the encoded size of a PayloadHeader.
-const PayloadHeaderLen = 17
+// PayloadHeaderLen is the encoded size of a PayloadHeader plus the body
+// length and checksum framing.
+const PayloadHeaderLen = 17 + 8
 
-// EncodePayload prepends the header to body.
+// EncodePayload prepends the header and the body's length/CRC framing.
 func EncodePayload(h PayloadHeader, body []byte) []byte {
 	out := make([]byte, PayloadHeaderLen+len(body))
 	binary.BigEndian.PutUint64(out[0:8], h.SenderClock)
 	binary.BigEndian.PutUint64(out[8:16], h.PairSeq)
 	out[16] = h.DevKind
+	binary.BigEndian.PutUint32(out[17:21], uint32(len(body)))
+	binary.BigEndian.PutUint32(out[21:25], crc32.ChecksumIEEE(body))
 	copy(out[PayloadHeaderLen:], body)
 	return out
 }
 
-// DecodePayload splits a payload frame into header and body. The body
-// aliases data.
+// DecodePayload splits a payload frame into header and body, verifying
+// the body's length and checksum. The body aliases data.
 func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	if len(data) < PayloadHeaderLen {
 		return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short", len(data))
+	}
+	body := data[PayloadHeaderLen:]
+	if n := binary.BigEndian.Uint32(data[17:21]); int(n) != len(body) {
+		return PayloadHeader{}, nil, fmt.Errorf("wire: payload body of %d bytes, framed as %d", len(body), n)
+	}
+	if sum := binary.BigEndian.Uint32(data[21:25]); sum != crc32.ChecksumIEEE(body) {
+		return PayloadHeader{}, nil, fmt.Errorf("wire: payload checksum mismatch")
 	}
 	return PayloadHeader{
 		SenderClock: binary.BigEndian.Uint64(data[0:8]),
 		PairSeq:     binary.BigEndian.Uint64(data[8:16]),
 		DevKind:     data[16],
-	}, data[PayloadHeaderLen:], nil
+	}, body, nil
 }
 
 // --- Event batches -------------------------------------------------------
 
-const eventLen = 4 + 8 + 8 + 4
+const eventLen = 4 + 8 + 8 + 4 + 8
 
 // EncodeEvents serializes a batch of reception events.
 func EncodeEvents(evs []core.Event) []byte {
@@ -124,6 +150,7 @@ func EncodeEvents(evs []core.Event) []byte {
 		binary.BigEndian.PutUint64(out[off+4:], ev.SenderClock)
 		binary.BigEndian.PutUint64(out[off+12:], ev.RecvClock)
 		binary.BigEndian.PutUint32(out[off+20:], ev.Probes)
+		binary.BigEndian.PutUint64(out[off+24:], ev.Seq)
 		off += eventLen
 	}
 	return out
@@ -146,6 +173,7 @@ func DecodeEvents(data []byte) ([]core.Event, error) {
 			SenderClock: binary.BigEndian.Uint64(data[off+4:]),
 			RecvClock:   binary.BigEndian.Uint64(data[off+12:]),
 			Probes:      binary.BigEndian.Uint32(data[off+20:]),
+			Seq:         binary.BigEndian.Uint64(data[off+24:]),
 		}
 		off += eventLen
 	}
@@ -280,4 +308,144 @@ func DecodeCkptImage(data []byte) (present bool, image []byte, err error) {
 		return false, nil, fmt.Errorf("wire: ckpt image frame too short")
 	}
 	return data[0] == 1, data[1:], nil
+}
+
+// --- Replica anti-entropy -------------------------------------------------
+
+// EncodeSyncMarks serializes per-key high-water marks for a sync
+// request: the requester asks its peers for everything above each mark
+// (event-logger replicas key by computing node and RecvClock;
+// checkpoint replicas key by rank and checkpoint seq). Keys are sorted
+// so the encoding is deterministic.
+func EncodeSyncMarks(marks map[int]uint64) []byte {
+	keys := make([]int, 0, len(marks))
+	for k := range marks {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]byte, 4+12*len(keys))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(keys)))
+	off := 4
+	for _, k := range keys {
+		binary.BigEndian.PutUint32(out[off:], uint32(int32(k)))
+		binary.BigEndian.PutUint64(out[off+4:], marks[k])
+		off += 12
+	}
+	return out
+}
+
+// DecodeSyncMarks parses a sync-marks payload.
+func DecodeSyncMarks(data []byte) (map[int]uint64, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: sync marks too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	if len(data) != 4+12*n {
+		return nil, fmt.Errorf("wire: sync marks of %d bytes do not hold %d entries", len(data), n)
+	}
+	marks := make(map[int]uint64, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		k := int(int32(binary.BigEndian.Uint32(data[off:])))
+		marks[k] = binary.BigEndian.Uint64(data[off+4:])
+		off += 12
+	}
+	return marks, nil
+}
+
+// EncodeNodeEvents serializes a sync response: per computing node, the
+// events the peer holds above the requested marks. Nodes are sorted for
+// a deterministic encoding.
+func EncodeNodeEvents(m map[int][]core.Event) []byte {
+	nodes := make([]int, 0, len(m))
+	for k := range m {
+		nodes = append(nodes, k)
+	}
+	sort.Ints(nodes)
+	out := EncodeU32(uint32(len(nodes)))
+	for _, node := range nodes {
+		out = append(out, EncodeU32(uint32(int32(node)))...)
+		out = append(out, EncodeEvents(m[node])...)
+	}
+	return out
+}
+
+// DecodeNodeEvents parses a sync response.
+func DecodeNodeEvents(data []byte) (map[int][]core.Event, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: node events too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	off := 4
+	m := make(map[int][]core.Event, n)
+	for i := 0; i < n; i++ {
+		if len(data) < off+8 {
+			return nil, fmt.Errorf("wire: node events truncated")
+		}
+		node := int(int32(binary.BigEndian.Uint32(data[off:])))
+		cnt := int(binary.BigEndian.Uint32(data[off+4:]))
+		end := off + 4 + 4 + cnt*eventLen
+		if len(data) < end {
+			return nil, fmt.Errorf("wire: node events truncated")
+		}
+		evs, err := DecodeEvents(data[off+4 : end])
+		if err != nil {
+			return nil, err
+		}
+		m[node] = evs
+		off = end
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wire: node events have %d trailing bytes", len(data)-off)
+	}
+	return m, nil
+}
+
+// CkptEntry is one replicated checkpoint image in a KCSSyncResp.
+type CkptEntry struct {
+	Rank  int
+	Seq   uint64
+	Image []byte
+}
+
+// EncodeCkptEntries serializes a checkpoint sync response.
+func EncodeCkptEntries(entries []CkptEntry) []byte {
+	out := EncodeU32(uint32(len(entries)))
+	for _, e := range entries {
+		var hdr [16]byte
+		binary.BigEndian.PutUint32(hdr[0:], uint32(int32(e.Rank)))
+		binary.BigEndian.PutUint64(hdr[4:], e.Seq)
+		binary.BigEndian.PutUint32(hdr[12:], uint32(len(e.Image)))
+		out = append(out, hdr[:]...)
+		out = append(out, e.Image...)
+	}
+	return out
+}
+
+// DecodeCkptEntries parses a checkpoint sync response.
+func DecodeCkptEntries(data []byte) ([]CkptEntry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: ckpt entries too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	off := 4
+	entries := make([]CkptEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < off+16 {
+			return nil, fmt.Errorf("wire: ckpt entries truncated")
+		}
+		rank := int(int32(binary.BigEndian.Uint32(data[off:])))
+		seq := binary.BigEndian.Uint64(data[off+4:])
+		sz := int(binary.BigEndian.Uint32(data[off+12:]))
+		off += 16
+		if len(data) < off+sz {
+			return nil, fmt.Errorf("wire: ckpt entries truncated")
+		}
+		entries = append(entries, CkptEntry{Rank: rank, Seq: seq, Image: data[off : off+sz]})
+		off += sz
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wire: ckpt entries have %d trailing bytes", len(data)-off)
+	}
+	return entries, nil
 }
