@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench ci
+.PHONY: verify build vet test race bench bench-paper ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -21,8 +21,11 @@ race: ## race detector over the concurrency-bearing packages
 		./internal/daemon/ ./internal/eventlog/ ./internal/ckpt/ \
 		./internal/dispatcher/ ./internal/cluster/ ./internal/mpi/
 
-bench: ## quick pass over every experiment
-	$(GO) run ./cmd/vbench -quick
+bench: ## Go microbenchmarks with allocation counts (wire codec, vtime actors)
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/wire/ ./internal/vtime/
+
+bench-paper: ## quick pass over every paper experiment
+	$(GO) run ./cmd/vbench -exp all -quick
 
 ci: ## the full gate: build + vet + tests + race on the logging/recovery core
 	$(GO) build ./...

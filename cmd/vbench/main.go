@@ -7,9 +7,11 @@
 //	vbench -exp fig5         # regenerate one experiment
 //	vbench -exp all          # regenerate everything (slow)
 //	vbench -exp fig7 -quick  # trimmed sweeps
+//	vbench -exp perf -json   # write BENCH_perf.json instead of the table
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id, or \"all\"")
 		quick      = flag.Bool("quick", false, "trim sweeps for a fast run")
 		list       = flag.Bool("list", false, "list experiments")
+		jsonOut    = flag.Bool("json", false, "write BENCH_<id>.json instead of printing the table")
 		elReplicas = flag.Int("elreplicas", 0, "force R replicated event loggers on the chaos experiment (0 = legacy primary+backup)")
 		elQuorum   = flag.Int("elquorum", 0, "write quorum Q for -elreplicas (0 = majority)")
 	)
@@ -44,6 +47,31 @@ func main() {
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		start := time.Now()
+		if *jsonOut {
+			// The structured twin of the table: one run of the sweep,
+			// marshalled, never both (sweeps are too slow to run twice).
+			if e.Data == nil {
+				fmt.Fprintf(os.Stderr, "vbench: %s has no structured data export\n", e.ID)
+				os.Exit(1)
+			}
+			data, err := e.Data(*quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			enc, err := json.MarshalIndent(data, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vbench: %s: marshal: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("BENCH_%s.json", e.ID)
+			if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "vbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- %s → %s in %v\n\n", e.ID, path, time.Since(start).Round(time.Millisecond))
+			return
+		}
 		if err := e.Run(os.Stdout, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "vbench: %s: %v\n", e.ID, err)
 			os.Exit(1)

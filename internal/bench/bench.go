@@ -23,13 +23,19 @@ type Experiment struct {
 	// Run regenerates the experiment, writing the rows to w. Quick
 	// mode trims sweeps for fast regression runs.
 	Run func(w io.Writer, quick bool) error
+	// Data, when set, regenerates the experiment as a structured value
+	// suitable for json.Marshal — the machine-readable twin of Run,
+	// emitted by vbench -json as BENCH_<id>.json.
+	Data func(quick bool) (any, error)
 }
 
 // Experiments returns the full index, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{ID: "fig5", Title: "Figure 5: ping-pong bandwidth, P4 vs V1 vs V2", Run: Figure5},
-		{ID: "fig6", Title: "Figure 6: ping-pong latency, P4 vs V1 vs V2", Run: Figure6},
+		{ID: "fig5", Title: "Figure 5: ping-pong bandwidth, P4 vs V1 vs V2", Run: Figure5,
+			Data: func(q bool) (any, error) { return pingPongSeries(Figure5Data(q)), nil }},
+		{ID: "fig6", Title: "Figure 6: ping-pong latency, P4 vs V1 vs V2", Run: Figure6,
+			Data: func(q bool) (any, error) { return pingPongSeries(Figure6Data(q)), nil }},
 		{ID: "fig7", Title: "Figure 7: NAS Parallel Benchmarks, P4 vs V2", Run: Figure7},
 		{ID: "fig8", Title: "Figure 8: execution time breakdown, CG-A and BT-B", Run: Figure8},
 		{ID: "tab1", Title: "Table 1: MPI call time decomposition, BT-A-9 and CG-A-8", Run: Table1},
@@ -38,8 +44,12 @@ func Experiments() []Experiment {
 		{ID: "fig11", Title: "Figure 11: BT-A with faults during execution", Run: Figure11},
 		{ID: "sched", Title: "§4.6.2: checkpoint scheduling policies (round-robin vs adaptive)", Run: SchedPolicies},
 		{ID: "ablate", Title: "Ablations: WAITLOGGED gating, payload routing, garbage collection", Run: Ablations},
-		{ID: "chaos", Title: "Chaos: BT-A under lossy links, node kills and service failover", Run: Chaos},
-		{ID: "elrep", Title: "Replication: event-logger quorum size vs overhead under chaos", Run: ELRep},
+		{ID: "chaos", Title: "Chaos: BT-A under lossy links, node kills and service failover", Run: Chaos,
+			Data: func(q bool) (any, error) { return ChaosData(q), nil }},
+		{ID: "elrep", Title: "Replication: event-logger quorum size vs overhead under chaos", Run: ELRep,
+			Data: func(q bool) (any, error) { return ELRepData(q), nil }},
+		{ID: "perf", Title: "Perf: pipelined determinant logging, window × size × batching", Run: Perf,
+			Data: func(q bool) (any, error) { return PerfData(q), nil }},
 	}
 }
 

@@ -231,6 +231,38 @@ func TestELRepQuorumSweep(t *testing.T) {
 	}
 }
 
+func TestPerfWindowShape(t *testing.T) {
+	// The pipelined determinant window must beat stop-and-wait on the
+	// latency-bound small-message burst (where logger round-trips
+	// dominate) and never lose anywhere: a deeper window can only
+	// overlap waits that stop-and-wait serializes.
+	pts := PerfData(true)
+	byKey := func(size, window int, batching bool) PerfPoint {
+		for _, pt := range pts {
+			if pt.Size == size && pt.Window == window && pt.Batching == batching {
+				return pt
+			}
+		}
+		t.Fatalf("missing point size=%d window=%d batching=%v", size, window, batching)
+		return PerfPoint{}
+	}
+	small := byKey(0, 8, false)
+	t.Logf("0B window=8: %.2fx vs stop-and-wait", small.Speedup)
+	if small.Speedup < 1.5 {
+		t.Errorf("window=8 speedup %.2fx at 0B, want ≥ 1.5x over stop-and-wait", small.Speedup)
+	}
+	for _, pt := range pts {
+		if pt.Speedup < 0.99 {
+			t.Errorf("size=%d window=%d batching=%v: pipelining SLOWED the run (%.2fx)",
+				pt.Size, pt.Window, pt.Batching, pt.Speedup)
+		}
+		if pt.Events == 0 || pt.ELWaits == 0 {
+			t.Errorf("size=%d window=%d batching=%v: workload did not stress WAITLOGGED (events=%d waits=%d)",
+				pt.Size, pt.Window, pt.Batching, pt.Events, pt.ELWaits)
+		}
+	}
+}
+
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiment sweep still takes a while")

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/mpi"
+)
+
+// Perf experiment: the critical-path cost of pessimistic determinant
+// logging, swept over the pipelined-window depth. The workload is a
+// burst-reply pattern built to stress WAITLOGGED: each round rank 0
+// sends a burst of messages, and rank 1 — now holding one reception
+// event per message — must get every event acked by the logger before
+// its reply may leave. With stop-and-wait (window 1) the events drain
+// one logger round-trip each; a window ≥ 4 overlaps them, and event
+// batching collapses the queue into adaptive batches. The sweep prices
+// all three against each other at several message sizes.
+
+// PerfPoint is one (size, window, batching) point of the sweep.
+type PerfPoint struct {
+	Size     int
+	Window   int
+	Batching bool
+	Elapsed  time.Duration
+	PerMsg   time.Duration // elapsed per burst message
+	Speedup  float64       // vs window=1 at the same size and batching
+	ELWaits  int64         // sends that actually blocked on WAITLOGGED
+	Events   int64         // reception events submitted to the logger
+}
+
+const perfBurst = 8 // messages per round; rank 1's reply gates on all of them
+
+// perfRun measures one point of the sweep.
+func perfRun(size, window int, batching bool, rounds int) PerfPoint {
+	res := cluster.Run(cluster.Config{
+		Impl: cluster.V2, N: 2,
+		EventBatching: batching,
+		ELWindow:      window,
+	}, func(p *mpi.Proc) {
+		msg := make([]byte, size)
+		for r := 0; r < rounds; r++ {
+			if p.Rank() == 0 {
+				for i := 0; i < perfBurst; i++ {
+					p.Send(1, 1, msg)
+				}
+				p.Recv(1, 2)
+			} else {
+				for i := 0; i < perfBurst; i++ {
+					p.Recv(0, 1)
+				}
+				p.Send(0, 2, []byte{1})
+			}
+		}
+	})
+	pt := PerfPoint{
+		Size:     size,
+		Window:   window,
+		Batching: batching,
+		Elapsed:  res.Elapsed,
+		PerMsg:   res.Elapsed / time.Duration(rounds*perfBurst),
+	}
+	for _, d := range res.Daemons {
+		pt.ELWaits += d.ELWaits
+		pt.Events += d.EventsLogged
+	}
+	return pt
+}
+
+// PerfData runs the sweep. Window 1 — explicit stop-and-wait — is
+// always first at each (size, batching) so it anchors the Speedup
+// column.
+func PerfData(quick bool) []PerfPoint {
+	sizes := []int{0, 512, 4 << 10, 64 << 10}
+	windows := []int{1, 4, 8}
+	rounds := 30
+	if quick {
+		sizes = []int{0, 4 << 10}
+		windows = []int{1, 8}
+		rounds = 10
+	}
+	var out []PerfPoint
+	for _, batching := range []bool{false, true} {
+		for _, size := range sizes {
+			var base time.Duration
+			for _, w := range windows {
+				pt := perfRun(size, w, batching, rounds)
+				if w == 1 {
+					base = pt.Elapsed
+				}
+				pt.Speedup = float64(base) / float64(pt.Elapsed)
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}
+
+// Perf regenerates the pipelined-logging sweep.
+func Perf(w io.Writer, quick bool) error {
+	pts := PerfData(quick)
+	t := newTable(w)
+	t.row("size", "window", "batching", "time", "per msg", "vs w=1", "el waits", "events")
+	for _, pt := range pts {
+		t.row(sizeLabel(pt.Size), pt.Window, pt.Batching,
+			pt.Elapsed.Round(time.Microsecond), pt.PerMsg.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", pt.Speedup), pt.ELWaits, pt.Events)
+	}
+	t.flush()
+	fmt.Fprintf(w, "burst=%d messages per round; window=1 is stop-and-wait determinant logging\n", perfBurst)
+	return nil
+}

@@ -49,6 +49,21 @@ func PingPong(impl cluster.Impl, size, rounds int) PingPongResult {
 
 var ppImpls = []cluster.Impl{cluster.P4, cluster.V1, cluster.V2}
 
+// PingPongSeries is one implementation's sweep, named for JSON export
+// (cluster.Impl map keys do not marshal).
+type PingPongSeries struct {
+	Impl   string
+	Points []PingPongResult
+}
+
+func pingPongSeries(data map[cluster.Impl][]PingPongResult) []PingPongSeries {
+	var out []PingPongSeries
+	for _, impl := range ppImpls {
+		out = append(out, PingPongSeries{Impl: impl.String(), Points: data[impl]})
+	}
+	return out
+}
+
 // Figure5Data sweeps ping-pong bandwidth over message sizes.
 func Figure5Data(quick bool) map[cluster.Impl][]PingPongResult {
 	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20}

@@ -312,9 +312,11 @@ func (s *Server) run() {
 				continue
 			}
 			s.Store.Put(f.From, seq, image)
-			// Ack even a duplicate: the retransmission means the
-			// saver never saw the first ack.
-			s.ep.Send(f.From, wire.KCkptSaveAck, wire.EncodeU64(seq))
+			// The save frame itself is NOT recycled: the daemon retains
+			// its ckptPending buffer for retransmission. Ack even a
+			// duplicate: the retransmission means the saver never saw
+			// the first ack.
+			s.ep.Send(f.From, wire.KCkptSaveAck, wire.AppendU64(wire.GetBuf(8), seq))
 		case wire.KCkptFetch:
 			s.Store.mu.Lock()
 			s.Store.stats.Fetches++

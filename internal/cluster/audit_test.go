@@ -120,13 +120,25 @@ func TestAuditSeededQuorumChaosRuns(t *testing.T) {
 		}
 		faults := dispatcher.RandomFaults(seed, 30, 120*time.Millisecond, targets)
 
-		res, finals, _ := chaosRing(Config{
+		// Cycle the EL submission mode across seeds so the no-orphans
+		// property is exercised with legacy stop-and-wait, a pipelined
+		// window of per-event batches, and a pipelined window with
+		// adaptive batching.
+		cfg := Config{
 			Impl: V2, N: n,
 			ELReplicas:     3,
 			Chaos:          pol,
 			Faults:         faults,
 			DetectionDelay: 2 * time.Millisecond,
-		}, rounds)
+		}
+		switch seed % 3 {
+		case 1:
+			cfg.ELWindow = 8
+		case 2:
+			cfg.ELWindow = 8
+			cfg.EventBatching = true
+		}
+		res, finals, _ := chaosRing(cfg, rounds)
 
 		for r := 0; r < n; r++ {
 			if finals[r] != wantFinals[r] {
@@ -235,6 +247,8 @@ func TestQuorumBTAcceptance(t *testing.T) {
 	faulty, res := run(Config{
 		Impl: V2, N: n,
 		ELReplicas:     3,
+		ELWindow:       4, // acceptance runs with pipelined determinant logging
+		EventBatching:  true,
 		Checkpointing:  true,
 		SchedPeriod:    5 * time.Millisecond,
 		DetectionDelay: 3 * time.Millisecond,

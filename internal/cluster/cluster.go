@@ -118,6 +118,10 @@ type Config struct {
 	// reducing logger load (the asynchronous-submission optimization
 	// of §4.5).
 	EventBatching bool
+	// ELWindow, when positive, pipelines determinant logging with up
+	// to ELWindow event batches in flight per daemon (1 = explicit
+	// stop-and-wait; 0 = legacy behavior). See daemon.Config.ELWindow.
+	ELWindow int
 	// Policy is the checkpoint scheduling policy (default round
 	// robin).
 	Policy sched.Policy
@@ -679,6 +683,7 @@ func (h *harness) spawn(rank int, restarted bool) {
 			}
 		}
 		dcfg.EventBatching = cfg.EventBatching
+		dcfg.ELWindow = cfg.ELWindow
 		dcfg.NoSendGating = cfg.NoSendGating
 		dcfg.UnixCopyPerByte = cfg.Params.UnixCopyPerByte
 		dcfg.PipelineLimit = cfg.Params.EagerLimit

@@ -159,6 +159,15 @@ type Config struct {
 	// trading a longer WAITLOGGED tail for far fewer logger messages.
 	EventBatching bool
 
+	// ELWindow, when positive, pipelines determinant logging: up to
+	// ELWindow event batches may be in flight to the logger at once,
+	// and the queue flushes into a new batch whenever a slot frees.
+	// 1 is explicit stop-and-wait; 0 keeps the legacy behavior
+	// (stop-and-wait iff EventBatching, else one batch per event with
+	// no limit). The pessimistic guarantee is unchanged: WAITLOGGED
+	// still holds sends until every submitted batch is acked.
+	ELWindow int
+
 	// NoSendGating disables the WAITLOGGED barrier (ablation only):
 	// sends leave before reception events are acknowledged, turning
 	// the protocol into an optimistic-style logger that can no longer

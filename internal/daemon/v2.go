@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -62,23 +63,31 @@ type V2 struct {
 	// loss, duplication and reordering, and unacknowledged batches are
 	// retransmitted with exponential backoff, failing over to a backup
 	// logger after repeated silence.
-	elTargets  []int
-	elIdx      int
-	elStrikes  int
-	elSeq      uint64
-	elPending  map[uint64][]core.Event
-	elSent     map[uint64]time.Duration
-	elAttempts map[uint64]int
-	elTimer    uint64
-	elQueue    []core.Event // batching: events deferred while a batch is in flight
+	//
+	// In-flight batches live in elRing, ordered ascending by seq — the
+	// submission order. The ring is the sliding window of pipelined
+	// determinant logging: up to elWindow() batches may be outstanding,
+	// further events wait in elQueue for a free slot, and completed
+	// batches retire strictly from the front (see retireEL) so
+	// EventsAcked credits events in submission order exactly as
+	// stop-and-wait did. Walking the ring replaces the per-fire
+	// sort.Slice + map scans the old map-keyed state needed.
+	elTargets []int
+	elIdx     int
+	elStrikes int
+	elSeq     uint64
+	elRing    []elBatch
+	elTimer   uint64
+	elQueue   []core.Event // events awaiting a free window slot
 
 	// Quorum replication (Config.ELReplicas/ELQuorum): elQ > 0 makes
 	// every batch go to all elTargets and complete only once elQ
-	// distinct replicas acked it; elAcks tracks which replicas have.
+	// distinct replicas acked it; each batch's acked bitmask tracks
+	// which replicas have, with elBits assigning each replica its bit.
 	// Failover rotation is meaningless here — every replica is already
 	// a target — so retransmissions go to the still-silent ones.
 	elQ    int
-	elAcks map[uint64]map[int]bool
+	elBits map[int]uint
 
 	// Checkpoint push state, mirroring the event-logger machinery.
 	csTargets    []int
@@ -89,7 +98,8 @@ type V2 struct {
 	ckptAttempts map[uint64]int
 	ckptTimer    uint64
 	csQ          int
-	ckptAcks     map[uint64]map[int]bool
+	ckptAcks     map[uint64]uint64 // seq → replica ack bitmask (quorum mode)
+	csBits       map[int]uint
 
 	// Pull recovery: when the daemon starves waiting for a deliverable
 	// message on a lossy fabric, it re-announces its delivered horizon
@@ -113,14 +123,10 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 		st:           core.NewState(cfg.Rank),
 		ckptVectors:  make(map[uint64]map[int]uint64),
 		timers:       make(map[uint64]func()),
-		elPending:    make(map[uint64][]core.Event),
-		elSent:       make(map[uint64]time.Duration),
-		elAttempts:   make(map[uint64]int),
-		elAcks:       make(map[uint64]map[int]bool),
 		ckptPending:  make(map[uint64][]byte),
 		ckptSent:     make(map[uint64]time.Duration),
 		ckptAttempts: make(map[uint64]int),
-		ckptAcks:     make(map[uint64]map[int]bool),
+		ckptAcks:     make(map[uint64]uint64),
 	}
 	d.elSeq = cfg.Incarnation << 32
 	d.ckptSeq = cfg.Incarnation << 32
@@ -145,12 +151,29 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	case cfg.CkptServer >= 0:
 		d.csTargets = append([]int{cfg.CkptServer}, cfg.CSBackups...)
 	}
+	d.elBits = replicaBits(cfg.Rank, d.elTargets)
+	d.csBits = replicaBits(cfg.Rank, d.csTargets)
 	d.ep = fab.Attach(cfg.Rank, fmt.Sprintf("cn%d", cfg.Rank))
 	d.in = vtime.NewMailbox[dEvent](rt, fmt.Sprintf("v2d%d", cfg.Rank))
 	d.rsp = vtime.NewMailbox[rankResp](rt, fmt.Sprintf("v2r%d", cfg.Rank))
 	pump(rt, fmt.Sprintf("pump-cn%d", cfg.Rank), d.ep, d.in)
 	rt.Go(fmt.Sprintf("daemon-cn%d", cfg.Rank), d.run)
 	return &proxy{rank: cfg.Rank, delay: cfg.UnixDelay, in: d.in, resp: d.rsp, ckpt: &d.ckptFlag}, d
+}
+
+// replicaBits assigns each node of a target group a fixed bit in the
+// per-request ack bitmask, replacing per-ack linear scans and per-batch
+// ack sets. Replica groups are small and static for the life of a run;
+// 64 bits is far beyond any sane replication factor.
+func replicaBits(rank int, targets []int) map[int]uint {
+	if len(targets) > 64 {
+		panic(fmt.Sprintf("daemon: rank %d: %d replicas exceed the 64-bit ack mask", rank, len(targets)))
+	}
+	m := make(map[int]uint, len(targets))
+	for i, t := range targets {
+		m[t] = uint(i)
+	}
+	return m
 }
 
 // Stats returns the daemon's counters. Read it after the simulation (or
@@ -442,6 +465,18 @@ func (d *V2) restoreImage(im *ckpt.Image) {
 	}
 }
 
+// isTarget reports whether node is one of the configured targets — a
+// linear scan, fine for the restart path; the per-ack hot path uses the
+// elBits/csBits bitmask maps instead.
+func isTarget(targets []int, node int) bool {
+	for _, t := range targets {
+		if t == node {
+			return true
+		}
+	}
+	return false
+}
+
 // gatherQuorum performs a restart-time read-quorum exchange: the request
 // goes to every replica still missing a valid reply, and the call
 // returns once `need` distinct replicas have answered. After bounded
@@ -666,40 +701,13 @@ func (d *V2) handleFrame(f transport.Frame) {
 		d.schedRecv += uint64(len(body))
 
 	case wire.KEventAck:
-		seq, err := wire.DecodeU64(f.Data)
+		seq, cum, err := wire.DecodeEventAck(f.Data)
 		if err != nil {
 			d.stats.Malformed++
 			return
 		}
-		evs, ok := d.elPending[seq]
-		if !ok {
-			return // duplicate ack, or ack of a dead incarnation's batch
-		}
-		if d.elQ > 0 {
-			// WAITLOGGED is released only once the write quorum acked:
-			// record this replica and keep waiting below quorum. Acks
-			// from nodes outside the replica group cannot count.
-			if !isTarget(d.elTargets, f.From) {
-				return
-			}
-			acks := d.elAcks[seq]
-			acks[f.From] = true
-			if len(acks) < d.elQ {
-				return
-			}
-			d.stats.QuorumAcks++
-			delete(d.elAcks, seq)
-		}
-		delete(d.elPending, seq)
-		delete(d.elSent, seq)
-		delete(d.elAttempts, seq)
-		d.elStrikes = 0
-		d.st.EventsAcked(len(evs))
-		if d.cfg.EventBatching && len(d.elPending) == 0 && len(d.elQueue) > 0 {
-			q := d.elQueue
-			d.elQueue = nil
-			d.sendEvents(q)
-		}
+		wire.PutBuf(f.Data) // seq and cum are copied out; the frame is dead
+		d.elAck(f.From, seq, cum)
 
 	case wire.KRestart1:
 		hp, err := wire.DecodeU64(f.Data)
@@ -746,19 +754,22 @@ func (d *V2) handleFrame(f transport.Frame) {
 			d.stats.Malformed++
 			return
 		}
+		wire.PutBuf(f.Data) // seq is copied out; the frame is dead
 		if _, ok := d.ckptPending[seq]; !ok {
 			return // duplicate ack, or ack of a dead incarnation's save
 		}
 		if d.csQ > 0 {
 			// The checkpoint is durable only once the write quorum holds
 			// a verified copy; servers never ack a damaged image, so each
-			// ack below counts a replica with an intact one.
-			if !isTarget(d.csTargets, f.From) {
+			// ack below counts a replica with an intact one. Acks from
+			// nodes outside the replica group cannot count.
+			bit, inGroup := d.csBits[f.From]
+			if !inGroup {
 				return
 			}
-			acks := d.ckptAcks[seq]
-			acks[f.From] = true
-			if len(acks) < d.csQ {
+			acks := d.ckptAcks[seq] | 1<<bit
+			d.ckptAcks[seq] = acks
+			if bits.OnesCount64(acks) < d.csQ {
 				return
 			}
 			d.stats.QuorumAcks++
@@ -799,59 +810,178 @@ func (d *V2) handleFrame(f transport.Frame) {
 // transmitSaved re-sends saved payload copies after a peer restart.
 func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
 	for _, m := range msgs {
-		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: m.Clock, PairSeq: m.Seq, DevKind: m.Kind}, m.Data))
+		hdr := wire.PayloadHeader{SenderClock: m.Clock, PairSeq: m.Seq, DevKind: m.Kind}
+		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSize(len(m.Data))), hdr, m.Data))
 		d.stats.Resent++
 	}
 }
 
 // --- Event-logger exchange ------------------------------------------------
 
-// sendEvents ships a batch to the current event logger — or, in quorum
-// mode, to every replica of the group — and arms the retransmit timer.
+// elBatch is one in-flight event-log submission.
+type elBatch struct {
+	seq      uint64
+	evs      []core.Event
+	sent     time.Duration // last (re)transmission
+	attempts int
+	acked    uint64 // replica ack bitmask (quorum mode)
+	done     bool   // complete, waiting for older batches to retire
+}
+
+// elWindow is the bound on in-flight batches: ELWindow when configured,
+// else the legacy behavior — stop-and-wait under EventBatching,
+// unbounded (one batch per event, 0 = no limit) without it.
+func (d *V2) elWindow() int {
+	if d.cfg.ELWindow > 0 {
+		return d.cfg.ELWindow
+	}
+	if d.cfg.EventBatching {
+		return 1
+	}
+	return 0
+}
+
+// pumpEL flushes queued events into new batches while the window has
+// free slots — the adaptive close of the pipeline: under batching the
+// whole queue becomes one batch, so batch size adapts to however many
+// events accumulated while the window was full.
+func (d *V2) pumpEL() {
+	w := d.elWindow()
+	for len(d.elQueue) > 0 && (w == 0 || len(d.elRing) < w) {
+		var evs []core.Event
+		if d.cfg.EventBatching {
+			evs = d.elQueue
+			d.elQueue = nil
+		} else {
+			evs = d.elQueue[:1:1]
+			d.elQueue = d.elQueue[1:]
+		}
+		d.sendEvents(evs)
+	}
+	if len(d.elQueue) == 0 {
+		d.elQueue = nil
+	}
+}
+
+// sendEvents opens a window slot: it ships a batch to the current event
+// logger — or, in quorum mode, to every replica of the group — appends
+// it to the in-flight ring and arms the retransmit timer.
 func (d *V2) sendEvents(evs []core.Event) {
 	d.elSeq++
 	seq := d.elSeq
-	d.elPending[seq] = evs
-	d.elSent[seq] = d.rt.Now()
-	d.elAttempts[seq] = 0
-	payload := wire.EncodeEventLog(seq, evs)
+	d.elRing = append(d.elRing, elBatch{seq: seq, evs: evs, sent: d.rt.Now()})
 	if d.elQ > 0 {
-		d.elAcks[seq] = make(map[int]bool, len(d.elTargets))
 		for _, t := range d.elTargets {
-			d.ep.Send(t, wire.KEventLog, payload)
+			d.sendEventFrame(t, seq, evs)
 		}
 	} else {
-		d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, payload)
+		d.sendEventFrame(d.elTargets[d.elIdx], seq, evs)
 	}
 	d.stats.EventsLogged += int64(len(evs))
 	d.armEL()
 }
 
-// isTarget reports whether node is one of the configured targets.
-func isTarget(targets []int, node int) bool {
-	for _, t := range targets {
-		if t == node {
-			return true
+// sendEventFrame encodes one KEventLog into a pooled framing buffer and
+// ships it. Every transmission gets a fresh buffer — ownership moves
+// with the frame, and the logger recycles it after decoding — so
+// retransmissions re-encode rather than caching an encoding per batch.
+func (d *V2) sendEventFrame(to int, seq uint64, evs []core.Event) {
+	d.ep.Send(to, wire.KEventLog, wire.AppendEventLog(wire.GetBuf(wire.EventLogSize(len(evs))), seq, evs))
+}
+
+// elAck completes in-flight batches: the batch matching the acked seq,
+// plus — via the server's cumulative mark — every older batch the
+// server has stored whose own ack was lost on the wire. Completed
+// batches retire strictly from the front of the ring (retireEL), so
+// events are credited against WAITLOGGED in submission order and
+// unacked reaches zero at exactly the moment stop-and-wait would have
+// reached it: when every submitted batch is complete.
+func (d *V2) elAck(from int, seq, cum uint64) {
+	var mask uint64
+	if d.elQ > 0 {
+		// WAITLOGGED is released only once the write quorum acked:
+		// record this replica and keep waiting below quorum. Acks from
+		// nodes outside the replica group cannot count.
+		bit, inGroup := d.elBits[from]
+		if !inGroup {
+			return
 		}
+		mask = 1 << bit
 	}
-	return false
+	hi := seq
+	if cum > hi {
+		hi = cum
+	}
+	progressed := false
+	for i := range d.elRing {
+		b := &d.elRing[i]
+		if b.seq > hi {
+			break // the ring is ascending; nothing further can match
+		}
+		if b.done || (b.seq != seq && b.seq > cum) {
+			continue
+		}
+		if d.elQ > 0 {
+			if b.acked&mask != 0 {
+				continue
+			}
+			b.acked |= mask
+			progressed = true
+			if bits.OnesCount64(b.acked) < d.elQ {
+				continue
+			}
+			d.stats.QuorumAcks++
+		} else {
+			progressed = true
+		}
+		b.done = true
+	}
+	if !progressed {
+		return // duplicate ack, or ack of a dead incarnation's batch
+	}
+	d.elStrikes = 0
+	d.retireEL()
+	d.pumpEL()
+}
+
+// retireEL pops completed batches off the front of the ring, crediting
+// their events in submission order.
+func (d *V2) retireEL() {
+	n := 0
+	for n < len(d.elRing) && d.elRing[n].done {
+		d.st.EventsAcked(len(d.elRing[n].evs))
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	d.elRing = append(d.elRing[:0], d.elRing[n:]...)
+	if len(d.elRing) == 0 {
+		d.elRing = nil
+	}
 }
 
 // armEL (re)arms the single event-logger retransmit timer for the
-// earliest deadline among pending batches.
+// earliest deadline among in-flight batches.
 func (d *V2) armEL() {
 	to := d.elAckTimeout()
-	if d.elTimer != 0 || to <= 0 || len(d.elPending) == 0 {
+	if d.elTimer != 0 || to <= 0 {
 		return
 	}
 	bo := d.backoff(to)
 	var min time.Duration
 	first := true
-	for seq := range d.elPending {
-		dl := d.elSent[seq] + bo.Delay(d.elAttempts[seq])
-		if first || dl < min {
+	for i := range d.elRing {
+		b := &d.elRing[i]
+		if b.done {
+			continue
+		}
+		if dl := b.sent + bo.Delay(b.attempts); first || dl < min {
 			min, first = dl, false
 		}
+	}
+	if first {
+		return // nothing awaiting an ack
 	}
 	delay := min - d.rt.Now()
 	if delay < 0 {
@@ -860,10 +990,11 @@ func (d *V2) armEL() {
 	d.elTimer = d.after(delay, d.elExpired)
 }
 
-// elExpired retransmits every pending batch whose deadline has passed.
-// Legacy mode fails over to a backup logger after repeated silence; in
-// quorum mode every replica is already a target, so the batch is
-// re-sent only to the replicas that have not acked it yet.
+// elExpired retransmits every in-flight batch whose deadline has
+// passed, walking the ring front to back so retransmissions go out in
+// ascending seq order. Legacy mode fails over to a backup logger after
+// repeated silence; in quorum mode every replica is already a target,
+// so the batch is re-sent only to the replicas that have not acked it.
 func (d *V2) elExpired() {
 	d.elTimer = 0
 	to := d.elAckTimeout()
@@ -872,22 +1003,17 @@ func (d *V2) elExpired() {
 	}
 	bo := d.backoff(to)
 	now := d.rt.Now()
-	seqs := make([]uint64, 0, len(d.elPending))
-	for seq := range d.elPending {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		if d.elSent[seq]+bo.Delay(d.elAttempts[seq]) > now {
+	for i := range d.elRing {
+		b := &d.elRing[i]
+		if b.done || b.sent+bo.Delay(b.attempts) > now {
 			continue
 		}
-		d.elAttempts[seq]++
-		d.elSent[seq] = now
+		b.attempts++
+		b.sent = now
 		if d.elQ > 0 {
-			payload := wire.EncodeEventLog(seq, d.elPending[seq])
 			for _, t := range d.elTargets {
-				if !d.elAcks[seq][t] {
-					d.ep.Send(t, wire.KEventLog, payload)
+				if b.acked&(1<<d.elBits[t]) == 0 {
+					d.sendEventFrame(t, b.seq, b.evs)
 				}
 			}
 			d.stats.Retransmits++
@@ -899,7 +1025,7 @@ func (d *V2) elExpired() {
 			d.elStrikes = 0
 			d.stats.Failovers++
 		}
-		d.ep.Send(d.elTargets[d.elIdx], wire.KEventLog, wire.EncodeEventLog(seq, d.elPending[seq]))
+		d.sendEventFrame(d.elTargets[d.elIdx], b.seq, b.evs)
 		d.stats.Retransmits++
 	}
 	d.armEL()
@@ -909,11 +1035,8 @@ func (d *V2) submitEvent(ev core.Event) {
 	if len(d.elTargets) == 0 {
 		return
 	}
-	if d.cfg.EventBatching && len(d.elPending) > 0 {
-		d.elQueue = append(d.elQueue, ev)
-		return
-	}
-	d.sendEvents([]core.Event{ev})
+	d.elQueue = append(d.elQueue, ev)
+	d.pumpEL()
 }
 
 // --- Pull recovery --------------------------------------------------------
@@ -1058,7 +1181,8 @@ func (d *V2) doSend(to int, data []byte) {
 			// auditor can assert the invariant held.
 			d.stats.BelowQuorumAcks++
 		}
-		d.ep.Send(to, wire.KPayload, wire.EncodePayload(wire.PayloadHeader{SenderClock: id.Clock, PairSeq: seq}, data))
+		hdr := wire.PayloadHeader{SenderClock: id.Clock, PairSeq: seq}
+		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSize(len(data))), hdr, data))
 		d.stats.SentMsgs++
 		d.stats.SentBytes += int64(len(data))
 		d.schedSent += uint64(len(data))
@@ -1192,7 +1316,6 @@ func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptSent[seq] = d.rt.Now()
 	d.ckptAttempts[seq] = 0
 	if d.csQ > 0 {
-		d.ckptAcks[seq] = make(map[int]bool, len(d.csTargets))
 		for _, t := range d.csTargets {
 			d.ep.Send(t, wire.KCkptSave, payload)
 		}
@@ -1248,7 +1371,7 @@ func (d *V2) ckptExpired() {
 		d.ckptSent[seq] = now
 		if d.csQ > 0 {
 			for _, t := range d.csTargets {
-				if !d.ckptAcks[seq][t] {
+				if d.ckptAcks[seq]&(1<<d.csBits[t]) == 0 {
 					d.ep.Send(t, wire.KCkptSave, d.ckptPending[seq])
 				}
 			}

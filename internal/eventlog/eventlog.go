@@ -202,6 +202,20 @@ type Server struct {
 	Resync bool
 
 	synced atomic.Bool
+
+	// cums tracks, per submitting node, the contiguous prefix of batch
+	// seqs this replica has stored, so every ack can piggyback a
+	// cumulative mark (see ackCum). Touched only by the server actor.
+	cums map[int]*cumTracker
+}
+
+// cumTracker follows one submitter's contiguous batch-seq prefix. Batch
+// seqs are namespaced by incarnation in their high 32 bits; a submitter
+// restarting under a new incarnation starts a fresh stream, and marks
+// from the old one can never complete batches of the new.
+type cumTracker struct {
+	cum  uint64              // every batch in (base, cum] is stored
+	pend map[uint64]struct{} // stored batches above cum, awaiting the gap
 }
 
 // NewServer creates an event logger with its own private store.
@@ -215,7 +229,31 @@ func NewServer(rt vtime.Runtime, ep transport.Endpoint, service time.Duration) *
 // store, for failover setups where several frontends (primary and
 // respawned or backup instances) must serve the same logged events.
 func NewServerWithStore(rt vtime.Runtime, ep transport.Endpoint, service time.Duration, st *Store) *Server {
-	return &Server{rt: rt, ep: ep, service: service, Store: st}
+	return &Server{rt: rt, ep: ep, service: service, Store: st, cums: make(map[int]*cumTracker)}
+}
+
+// ackCum records that the batch with the given seq is now stored and
+// returns the submitter's cumulative mark: the highest seq such that
+// every batch of the same incarnation up to and including it is stored
+// on this replica. The mark rides on the KEventAck, letting a pipelined
+// submitter retire older in-flight batches whose own acks were lost.
+func (s *Server) ackCum(from int, seq uint64) uint64 {
+	t := s.cums[from]
+	if t == nil || seq>>32 != t.cum>>32 {
+		t = &cumTracker{cum: seq >> 32 << 32, pend: make(map[uint64]struct{})}
+		s.cums[from] = t
+	}
+	if seq > t.cum {
+		t.pend[seq] = struct{}{}
+		for {
+			if _, ok := t.pend[t.cum+1]; !ok {
+				break
+			}
+			t.cum++
+			delete(t.pend, t.cum)
+		}
+	}
+	return t.cum
 }
 
 // Start runs the server loop as an actor, plus the resync requester if
@@ -263,12 +301,16 @@ func (s *Server) run() {
 				s.rt.Sleep(time.Duration(len(evs)) * s.service)
 			}
 			s.Store.Add(f.From, evs)
+			// Add copied the events out, so the frame's buffer is dead
+			// and goes back to the framing pool.
+			wire.PutBuf(f.Data)
 			// Always ack, even a pure duplicate: the retransmission
 			// means the submitter never saw the first ack.
 			s.Store.mu.Lock()
 			s.Store.stats.Acks++
 			s.Store.mu.Unlock()
-			s.ep.Send(f.From, wire.KEventAck, wire.EncodeU64(seq))
+			cum := s.ackCum(f.From, seq)
+			s.ep.Send(f.From, wire.KEventAck, wire.AppendEventAck(wire.GetBuf(16), seq, cum))
 		case wire.KEventFetch:
 			h, err := wire.DecodeU64(f.Data)
 			if err != nil {

@@ -46,9 +46,14 @@ func TestLogAndAck(t *testing.T) {
 		}
 		client.Send(100, wire.KEventLog, wire.EncodeEventLog(7, evs))
 		f := recvKind(t, client, wire.KEventAck)
-		seq, err := wire.DecodeU64(f.Data)
+		seq, cum, err := wire.DecodeEventAck(f.Data)
 		if err != nil || seq != 7 {
 			t.Fatalf("ack seq = %d %v", seq, err)
+		}
+		// Batch 7 arrived with 1..6 missing, so the cumulative mark
+		// stays at the incarnation base.
+		if cum != 0 {
+			t.Fatalf("cum = %d, want 0 (gap 1..6 unfilled)", cum)
 		}
 		if st := srv.Store.Stats(); srv.EventCount(1) != 2 || st.Logged != 2 {
 			t.Errorf("stored %d events, Logged=%d", srv.EventCount(1), st.Logged)
@@ -65,7 +70,7 @@ func TestResubmittedBatchReAckedNotRelogged(t *testing.T) {
 		recvKind(t, client, wire.KEventAck)
 		client.Send(100, wire.KEventLog, wire.EncodeEventLog(1, evs))
 		f := recvKind(t, client, wire.KEventAck)
-		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
+		if seq, _, _ := wire.DecodeEventAck(f.Data); seq != 1 {
 			t.Fatalf("duplicate not re-acked: seq = %d", seq)
 		}
 		if st := srv.Store.Stats(); srv.EventCount(1) != 1 || st.Logged != 1 || st.Duplicates != 1 {
@@ -168,9 +173,11 @@ func TestServiceTimeSerializesBursts(t *testing.T) {
 		NewServer(sim, fab.Attach(100, "el"), 100*time.Microsecond).Start()
 		c1 := fab.Attach(1, "c1")
 		c2 := fab.Attach(2, "c2")
-		ev := wire.EncodeEventLog(1, []core.Event{{Sender: 0, SenderClock: 1, RecvClock: 1}})
-		c1.Send(100, wire.KEventLog, ev)
-		c2.Send(100, wire.KEventLog, ev)
+		// Each send owns its buffer: the server recycles KEventLog
+		// frames after storing them, so frames must never share bytes.
+		ev := []core.Event{{Sender: 0, SenderClock: 1, RecvClock: 1}}
+		c1.Send(100, wire.KEventLog, wire.EncodeEventLog(1, ev))
+		c2.Send(100, wire.KEventLog, wire.EncodeEventLog(1, ev))
 		recvKind(t, c1, wire.KEventAck)
 		t1 := sim.Now()
 		recvKind(t, c2, wire.KEventAck)
@@ -280,6 +287,46 @@ func TestServersShareStore(t *testing.T) {
 		got, err := wire.DecodeEvents(f.Data)
 		if err != nil || len(got) != 1 {
 			t.Fatalf("backup served %d events, err=%v; want 1", len(got), err)
+		}
+	})
+}
+
+func TestCumulativeAckTracksContiguousPrefix(t *testing.T) {
+	// The mark on each ack is the highest seq with every batch of the
+	// same incarnation up to it stored: out-of-order arrivals park
+	// until the gap fills, and a new incarnation starts a new stream.
+	harness(t, 0, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		ev := []core.Event{{Sender: 2, SenderClock: 1, RecvClock: 1}}
+		ack := func(seq uint64) (uint64, uint64) {
+			t.Helper()
+			client.Send(100, wire.KEventLog, wire.EncodeEventLog(seq, ev))
+			got, cum, err := wire.DecodeEventAck(recvKind(t, client, wire.KEventAck).Data)
+			if err != nil || got != seq {
+				t.Fatalf("ack for %d = (%d, %v)", seq, got, err)
+			}
+			return got, cum
+		}
+		if _, cum := ack(1); cum != 1 {
+			t.Errorf("after batch 1: cum = %d, want 1", cum)
+		}
+		if _, cum := ack(3); cum != 1 {
+			t.Errorf("after batch 3 (2 missing): cum = %d, want 1", cum)
+		}
+		if _, cum := ack(2); cum != 3 {
+			t.Errorf("after gap filled: cum = %d, want 3", cum)
+		}
+		// Same stream, duplicate batch: the mark must not regress.
+		if _, cum := ack(2); cum != 3 {
+			t.Errorf("after duplicate: cum = %d, want 3", cum)
+		}
+		// A restarted submitter logs under a new incarnation namespace;
+		// its mark restarts from the incarnation base.
+		base := uint64(2) << 32
+		if _, cum := ack(base + 1); cum != base+1 {
+			t.Errorf("new incarnation: cum = %d, want %d", cum, base+1)
+		}
+		if _, cum := ack(base + 3); cum != base+1 {
+			t.Errorf("new incarnation gap: cum = %d, want %d", cum, base+1)
 		}
 	})
 }

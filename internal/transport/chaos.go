@@ -200,8 +200,11 @@ func (e *chaosEndpoint) Send(to int, kind uint8, data []byte) bool {
 	}
 	if dup {
 		// The duplicate travels undelayed; the original may jitter past
-		// it, exercising reordering too.
-		e.inner.Send(to, kind, data)
+		// it, exercising reordering too. It owns its bytes: the
+		// original's receiver may recycle the frame's buffer
+		// (wire.PutBuf) after decoding it, and a shared backing array
+		// would let that recycle scribble over this copy in flight.
+		e.inner.Send(to, kind, append([]byte(nil), data...))
 	}
 	if jitter > 0 {
 		f.rt.Go(fmt.Sprintf("chaos-delay-%d", seq), func() {

@@ -1,0 +1,48 @@
+package vtime
+
+import "testing"
+
+// BenchmarkMailboxHandoff prices one round-trip between two simulator
+// actors — a request/response pair over two mailboxes, the pattern of
+// every MPI-process↔daemon "Unix socket" crossing — including the
+// token handoffs the single-threaded scheduler performs in between.
+func BenchmarkMailboxHandoff(b *testing.B) {
+	sim := NewSim()
+	sim.Run(func() {
+		req := NewMailbox[int](sim, "req")
+		rsp := NewMailbox[int](sim, "rsp")
+		sim.Go("echo", func() {
+			for {
+				v, ok := req.Recv()
+				if !ok {
+					return
+				}
+				rsp.Send(v)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req.Send(i)
+			rsp.Recv()
+		}
+		b.StopTimer()
+		req.Close()
+	})
+}
+
+// BenchmarkMailboxSendRecv prices the same-actor enqueue/dequeue pair
+// alone, without a scheduler handoff.
+func BenchmarkMailboxSendRecv(b *testing.B) {
+	sim := NewSim()
+	sim.Run(func() {
+		mb := NewMailbox[int](sim, "mb")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mb.Send(i)
+			mb.Recv()
+		}
+		b.StopTimer()
+	})
+}

@@ -27,7 +27,7 @@ const (
 
 	// Computing node ↔ event logger.
 	KEventLog     // data: u64 request seq + event batch
-	KEventAck     // data: u64 echoed request seq
+	KEventAck     // data: u64 echoed request seq + u64 cumulative seq (legacy: seq only)
 	KEventFetch   // data: u64 clock; reply holds events with RecvClock > clock
 	KEventFetched // data: event batch
 
@@ -104,16 +104,26 @@ type PayloadHeader struct {
 // length and checksum framing.
 const PayloadHeaderLen = 17 + 8
 
+// PayloadSize is the encoded size of a payload frame with an n-byte body.
+func PayloadSize(n int) int { return PayloadHeaderLen + n }
+
+// AppendPayload appends the encoded frame to dst and returns the
+// extended slice. With dst capacity of at least PayloadSize(len(body))
+// — e.g. a GetBuf buffer — it performs no allocation.
+func AppendPayload(dst []byte, h PayloadHeader, body []byte) []byte {
+	var hdr [PayloadHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], h.SenderClock)
+	binary.BigEndian.PutUint64(hdr[8:16], h.PairSeq)
+	hdr[16] = h.DevKind
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[21:25], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
 // EncodePayload prepends the header and the body's length/CRC framing.
 func EncodePayload(h PayloadHeader, body []byte) []byte {
-	out := make([]byte, PayloadHeaderLen+len(body))
-	binary.BigEndian.PutUint64(out[0:8], h.SenderClock)
-	binary.BigEndian.PutUint64(out[8:16], h.PairSeq)
-	out[16] = h.DevKind
-	binary.BigEndian.PutUint32(out[17:21], uint32(len(body)))
-	binary.BigEndian.PutUint32(out[21:25], crc32.ChecksumIEEE(body))
-	copy(out[PayloadHeaderLen:], body)
-	return out
+	return AppendPayload(make([]byte, 0, PayloadSize(len(body))), h, body)
 }
 
 // DecodePayload splits a payload frame into header and body, verifying
@@ -140,20 +150,30 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 
 const eventLen = 4 + 8 + 8 + 4 + 8
 
+// EventsSize is the encoded size of an n-event batch.
+func EventsSize(n int) int { return 4 + eventLen*n }
+
+// AppendEvents appends a serialized batch of reception events to dst.
+// With sufficient dst capacity — EventsSize(len(evs)) — it performs no
+// allocation.
+func AppendEvents(dst []byte, evs []core.Event) []byte {
+	var b [eventLen]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(len(evs)))
+	dst = append(dst, b[:4]...)
+	for _, ev := range evs {
+		binary.BigEndian.PutUint32(b[0:], uint32(int32(ev.Sender)))
+		binary.BigEndian.PutUint64(b[4:], ev.SenderClock)
+		binary.BigEndian.PutUint64(b[12:], ev.RecvClock)
+		binary.BigEndian.PutUint32(b[20:], ev.Probes)
+		binary.BigEndian.PutUint64(b[24:], ev.Seq)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
 // EncodeEvents serializes a batch of reception events.
 func EncodeEvents(evs []core.Event) []byte {
-	out := make([]byte, 4+eventLen*len(evs))
-	binary.BigEndian.PutUint32(out[0:4], uint32(len(evs)))
-	off := 4
-	for _, ev := range evs {
-		binary.BigEndian.PutUint32(out[off:], uint32(int32(ev.Sender)))
-		binary.BigEndian.PutUint64(out[off+4:], ev.SenderClock)
-		binary.BigEndian.PutUint64(out[off+12:], ev.RecvClock)
-		binary.BigEndian.PutUint32(out[off+20:], ev.Probes)
-		binary.BigEndian.PutUint64(out[off+24:], ev.Seq)
-		off += eventLen
-	}
-	return out
+	return AppendEvents(make([]byte, 0, EventsSize(len(evs))), evs)
 }
 
 // DecodeEvents parses a batch of reception events.
@@ -180,17 +200,23 @@ func DecodeEvents(data []byte) ([]core.Event, error) {
 	return evs, nil
 }
 
+// EventLogSize is the encoded size of a KEventLog frame holding n events.
+func EventLogSize(n int) int { return 8 + EventsSize(n) }
+
+// AppendEventLog appends a KEventLog frame to dst: the submitter's
+// request sequence number followed by the event batch. With sufficient
+// dst capacity — EventLogSize(len(evs)) — it performs no allocation.
+func AppendEventLog(dst []byte, seq uint64, evs []core.Event) []byte {
+	return AppendEvents(AppendU64(dst, seq), evs)
+}
+
 // EncodeEventLog prefixes the submitter's request sequence number to an
 // event batch. The event logger echoes the sequence in its KEventAck,
 // which lets a daemon match acks to in-flight batches when frames are
 // lost, duplicated, or reordered, and lets the logger re-ack a
 // retransmitted batch it already stored.
 func EncodeEventLog(seq uint64, evs []core.Event) []byte {
-	body := EncodeEvents(evs)
-	out := make([]byte, 8+len(body))
-	binary.BigEndian.PutUint64(out, seq)
-	copy(out[8:], body)
-	return out
+	return AppendEventLog(make([]byte, 0, EventLogSize(len(evs))), seq, evs)
 }
 
 // DecodeEventLog splits a KEventLog payload.
@@ -205,7 +231,48 @@ func DecodeEventLog(data []byte) (uint64, []core.Event, error) {
 	return binary.BigEndian.Uint64(data), evs, nil
 }
 
+// --- Event acks -----------------------------------------------------------
+
+// eventAckLen is the encoded size of a full KEventAck: the echoed
+// request seq plus the server's cumulative mark.
+const eventAckLen = 16
+
+// AppendEventAck appends a KEventAck to dst: the echoed request seq and
+// the server's cumulative mark cum — the highest sequence number such
+// that the server has stored every batch of the same incarnation up to
+// and including it. The mark lets the submitter complete older batches
+// whose own acks were lost without waiting for a retransmit round trip.
+func AppendEventAck(dst []byte, seq, cum uint64) []byte {
+	return AppendU64(AppendU64(dst, seq), cum)
+}
+
+// EncodeEventAck encodes a KEventAck.
+func EncodeEventAck(seq, cum uint64) []byte {
+	return AppendEventAck(make([]byte, 0, eventAckLen), seq, cum)
+}
+
+// DecodeEventAck parses a KEventAck. The legacy 8-byte form (seq only)
+// is accepted with cum = 0, which can never match a live batch: it is
+// what a chaos-truncated 16-byte ack decays to, and what pre-cumulative
+// loggers send, so both degrade to a plain per-batch ack.
+func DecodeEventAck(data []byte) (seq, cum uint64, err error) {
+	switch len(data) {
+	case eventAckLen:
+		return binary.BigEndian.Uint64(data), binary.BigEndian.Uint64(data[8:]), nil
+	case 8:
+		return binary.BigEndian.Uint64(data), 0, nil
+	}
+	return 0, 0, fmt.Errorf("wire: event ack of %d bytes, want 8 or %d", len(data), eventAckLen)
+}
+
 // --- Small scalar payloads ----------------------------------------------
+
+// AppendU64 appends a big-endian 64-bit value to dst.
+func AppendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
 
 // EncodeU64 encodes a single 64-bit value (clocks, counts, sequence
 // numbers).
