@@ -281,3 +281,43 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		})
 	}
 }
+
+func TestCkptBenchShape(t *testing.T) {
+	// The delta acceptance bar: on the steady-state mostly-stable SAVED
+	// log, delta shipping must cut the bytes pushed per checkpoint at
+	// least in half, and must cost nothing when it is switched off —
+	// delta-off monolithic and delta-off chunked are the same bytes at
+	// drop 0 up to per-chunk framing.
+	pts := CkptBenchData(true)
+	byKey := func(chunk int, delta bool, drop float64) CkptPoint {
+		for _, pt := range pts {
+			if pt.Chunk == chunk && pt.Delta == delta && pt.Drop == drop {
+				return pt
+			}
+		}
+		t.Fatalf("missing point chunk=%d delta=%v drop=%v", chunk, delta, drop)
+		return CkptPoint{}
+	}
+	for _, pt := range pts {
+		if pt.Ckpts == 0 {
+			t.Errorf("chunk=%d delta=%v drop=%v: no checkpoints completed", pt.Chunk, pt.Delta, pt.Drop)
+		}
+		if pt.Delta && pt.DeltaCkpts == 0 {
+			t.Errorf("chunk=%d drop=%v: delta mode never shipped a delta", pt.Chunk, pt.Drop)
+		}
+		if !pt.Delta && pt.DeltaCkpts != 0 {
+			t.Errorf("chunk=%d drop=%v: %d deltas with delta shipping off", pt.Chunk, pt.Drop, pt.DeltaCkpts)
+		}
+		if pt.Delta && pt.Reduction < 2 {
+			t.Errorf("chunk=%d drop=%v: delta reduction %.2fx, want ≥ 2x", pt.Chunk, pt.Drop, pt.Reduction)
+		}
+		t.Logf("log=%dKB chunk=%d delta=%v drop=%.1f%%: %d ckpts, %dB/ckpt, %.1fx, retrans=%d",
+			pt.LogKB, pt.Chunk, pt.Delta, pt.Drop*100, pt.Ckpts, pt.BytesPerCkpt, pt.Reduction, pt.Retrans)
+	}
+	mono := byKey(-1, false, 0)
+	chunked := byKey(1024, false, 0)
+	if chunked.BytesPerCkpt > mono.BytesPerCkpt*110/100 {
+		t.Errorf("chunked delta-off ships %dB/ckpt vs monolithic %dB/ckpt; framing overhead above 10%%",
+			chunked.BytesPerCkpt, mono.BytesPerCkpt)
+	}
+}

@@ -35,6 +35,10 @@ type ChaosPoint struct {
 	Failovers    int64
 	Dropped      int64 // frames the chaos fabric discarded
 	StaleRejects int64 // checkpoint saves refused for regressing the seq
+	DeltaCkpts   int64 // checkpoints shipped as deltas against an acked base
+	ChunkRetrans int64 // checkpoint chunks re-sent after a timeout
+	Compactions  int64 // superseded delta chains dropped by the stores
+	Manifests    int64 // restart-time manifest gathers (chunked fast path)
 	Audit        string
 	AuditOK      bool
 	Verified     bool
@@ -124,6 +128,10 @@ func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
 		Failovers:    res.Failovers,
 		Dropped:      res.ChaosDropped,
 		StaleRejects: res.StaleRejects,
+		DeltaCkpts:   res.DeltaCkpts,
+		ChunkRetrans: res.ChunkRetransmits,
+		Compactions:  res.ChainCompactions,
+		Manifests:    res.ManifestFetches,
 		Audit:        audit.Summary(),
 		AuditOK:      audit.OK() && res.BelowQuorumAcks == 0,
 		Verified:     true,
@@ -139,14 +147,15 @@ func runChaosBT(b nas.Benchmark, drop float64, seed uint64) ChaosPoint {
 // Chaos regenerates the link-degradation experiment.
 func Chaos(w io.Writer, quick bool) error {
 	t := newTable(w)
-	t.row("drop", "time", "vs clean", "restarts", "svc k/r", "retrans", "pulls", "failovers", "dropped", "stale", "audit", "verified")
+	t.row("drop", "time", "vs clean", "restarts", "svc k/r", "retrans", "pulls", "failovers", "dropped", "stale", "deltas", "chunkrt", "compact", "manifests", "audit", "verified")
 	pts := ChaosData(quick)
 	for _, pt := range pts {
 		t.row(fmt.Sprintf("%.1f%%", pt.Drop*100), pt.Elapsed.Round(time.Millisecond),
 			fmt.Sprintf("%.2f", pt.Ratio), pt.Restarts,
 			fmt.Sprintf("%d/%d", pt.SvcKills, pt.SvcRestarts),
 			pt.Retransmits, pt.Pulls, pt.Failovers, pt.Dropped,
-			pt.StaleRejects, ok(pt.AuditOK), pt.Verified)
+			pt.StaleRejects, pt.DeltaCkpts, pt.ChunkRetrans, pt.Compactions,
+			pt.Manifests, ok(pt.AuditOK), pt.Verified)
 	}
 	t.flush()
 	for _, pt := range pts {

@@ -52,6 +52,11 @@ type Image struct {
 	// Seq numbers the node's checkpoints; the server keeps the
 	// highest completed one.
 	Seq uint64
+	// BaseSeq is zero for a full image. Nonzero marks a delta: Proto
+	// carries only the SAVED entries appended since the checkpoint at
+	// BaseSeq (the last one the store acked), and the store must
+	// materialize the full image from the base before serving it.
+	BaseSeq uint64
 	// AppState is the application-level snapshot of the MPI process.
 	AppState []byte
 	// Proto is the encoded core.Snapshot of the daemon.
@@ -60,34 +65,63 @@ type Image struct {
 
 // imageMagic brands an encoded image so truncation that happens to
 // leave a well-formed length cannot masquerade as a different blob.
-var imageMagic = [4]byte{'M', 'V', 'C', 'K'}
+// imageMagicGob is the previous release's frame, whose body is gob;
+// it is still decoded for backward compatibility.
+var (
+	imageMagic    = [4]byte{'M', 'V', 'C', '2'}
+	imageMagicGob = [4]byte{'M', 'V', 'C', 'K'}
+)
 
 const imageHeaderLen = 4 + 4 + 4 // magic + body length + CRC-32
 
-// Encode serializes the image for transfer: a magic/length/CRC-32
-// header followed by the gob body. The header is what lets DecodeImage
-// reject a truncated or corrupted image deterministically.
+// ImageSize returns the exact encoded size of AppendImage's output.
+func ImageSize(im *Image) int {
+	return imageHeaderLen + 4 + 8 + 8 + 4 + len(im.AppState) + 4 + len(im.Proto)
+}
+
+// AppendImage appends the binary encoding of im to dst: the
+// magic/length/CRC-32 header followed by a fixed-layout body (rank,
+// seq, baseSeq, app state, proto snapshot). With dst capacity of at
+// least ImageSize(im) — e.g. a wire.GetBuf buffer — it performs no
+// allocation. Unlike the gob body it replaces, the encoding is
+// deterministic, which the store relies on: replicas materialize full
+// images independently and anti-entropy compares them byte for byte.
+func AppendImage(dst []byte, im *Image) []byte {
+	start := len(dst)
+	var b [24]byte
+	dst = append(dst, b[:imageHeaderLen]...) // header, patched below
+	binary.BigEndian.PutUint32(b[0:4], uint32(im.Rank))
+	binary.BigEndian.PutUint64(b[4:12], im.Seq)
+	binary.BigEndian.PutUint64(b[12:20], im.BaseSeq)
+	binary.BigEndian.PutUint32(b[20:24], uint32(len(im.AppState)))
+	dst = append(dst, b[:24]...)
+	dst = append(dst, im.AppState...)
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(im.Proto)))
+	dst = append(dst, b[:4]...)
+	dst = append(dst, im.Proto...)
+	body := dst[start+imageHeaderLen:]
+	copy(dst[start:start+4], imageMagic[:])
+	binary.BigEndian.PutUint32(dst[start+4:start+8], uint32(len(body)))
+	binary.BigEndian.PutUint32(dst[start+8:start+12], crc32.ChecksumIEEE(body))
+	return dst
+}
+
+// Encode serializes the image for transfer. The header is what lets
+// DecodeImage reject a truncated or corrupted image deterministically.
 func (im *Image) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(im); err != nil {
-		return nil, fmt.Errorf("ckpt: encoding image: %w", err)
-	}
-	body := buf.Bytes()
-	out := make([]byte, imageHeaderLen+len(body))
-	copy(out[0:4], imageMagic[:])
-	binary.BigEndian.PutUint32(out[4:8], uint32(len(body)))
-	binary.BigEndian.PutUint32(out[8:12], crc32.ChecksumIEEE(body))
-	copy(out[imageHeaderLen:], body)
-	return out, nil
+	return AppendImage(make([]byte, 0, ImageSize(im)), im), nil
 }
 
 // DecodeImage parses an image produced by Encode, verifying the length
-// framing and the CRC-32 checksum before touching the gob payload.
+// framing and the CRC-32 checksum before touching the payload. Frames
+// written by the previous release's gob encoder (magic "MVCK") are
+// still accepted.
 func DecodeImage(b []byte) (*Image, error) {
 	if len(b) < imageHeaderLen {
 		return nil, fmt.Errorf("ckpt: image of %d bytes shorter than its header", len(b))
 	}
-	if !bytes.Equal(b[0:4], imageMagic[:]) {
+	isGob := bytes.Equal(b[0:4], imageMagicGob[:])
+	if !isGob && !bytes.Equal(b[0:4], imageMagic[:]) {
 		return nil, fmt.Errorf("ckpt: bad image magic %x", b[0:4])
 	}
 	want := int(binary.BigEndian.Uint32(b[4:8]))
@@ -99,9 +133,31 @@ func DecodeImage(b []byte) (*Image, error) {
 		return nil, fmt.Errorf("ckpt: image checksum mismatch")
 	}
 	var im Image
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&im); err != nil {
-		return nil, fmt.Errorf("ckpt: decoding image: %w", err)
+	if isGob {
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&im); err != nil {
+			return nil, fmt.Errorf("ckpt: decoding image: %w", err)
+		}
+		return &im, nil
 	}
+	if len(body) < 24 {
+		return nil, fmt.Errorf("ckpt: image body of %d bytes shorter than its fixed fields", len(body))
+	}
+	im.Rank = int(binary.BigEndian.Uint32(body[0:4]))
+	im.Seq = binary.BigEndian.Uint64(body[4:12])
+	im.BaseSeq = binary.BigEndian.Uint64(body[12:20])
+	appLen := int(binary.BigEndian.Uint32(body[20:24]))
+	off := 24
+	if appLen < 0 || off+appLen+4 > len(body) {
+		return nil, fmt.Errorf("ckpt: image app state of %d bytes truncated", appLen)
+	}
+	im.AppState = append([]byte(nil), body[off:off+appLen]...)
+	off += appLen
+	protoLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if protoLen < 0 || off+protoLen != len(body) {
+		return nil, fmt.Errorf("ckpt: image proto of %d bytes does not fill the body", protoLen)
+	}
+	im.Proto = append([]byte(nil), body[off:]...)
 	return &im, nil
 }
 
@@ -113,30 +169,64 @@ func (im *Image) ProtoSnapshot() (*core.Snapshot, error) {
 // Stats is a consistent snapshot of a Store's counters, taken under
 // the store lock.
 type Stats struct {
-	Saves        int64 // images accepted
-	SavedBytes   int64 // bytes of accepted images
-	Fetches      int64 // fetch requests served
-	Duplicates   int64 // saves re-transmitted at the stored seq and ignored
-	StaleRejects int64 // saves below the stored seq, dropped as stale
-	Malformed    int64 // frames or images that failed to decode/verify
-	Resyncs      int64 // anti-entropy rounds completed into this store
-	SyncedIn     int64 // images merged from peers during resync
+	Saves            int64 // images accepted
+	SavedBytes       int64 // bytes of accepted (materialized) images
+	Fetches          int64 // fetch/manifest requests served
+	Duplicates       int64 // saves re-transmitted at the stored seq and ignored
+	StaleRejects     int64 // saves below the stored seq, dropped as stale
+	Malformed        int64 // frames or images that failed to decode/verify
+	Resyncs          int64 // anti-entropy rounds completed into this store
+	SyncedIn         int64 // images merged from peers during resync
+	DeltaSaves       int64 // accepted images that arrived as deltas
+	ChainCompactions int64 // superseded chain images compacted away
+	ChainBreaks      int64 // deltas dropped because their base was missing
+}
+
+// AcceptStatus is the store's verdict on an arriving image; the server
+// acks on Accepted and Stale (a stale save usually means the saver
+// never saw the first ack), stays silent on Malformed (the daemon
+// retransmits), and triggers an anti-entropy pull on ChainBreak.
+type AcceptStatus int
+
+const (
+	Accepted   AcceptStatus = iota // newly stored (after materialization if a delta)
+	Stale                          // at or below the stored seq; re-ack, don't store
+	Malformed                      // failed decode/verify; drop unacked
+	ChainBreak                     // delta whose base image is missing; drop unacked
+)
+
+// partialImage is a chunked image mid-assembly: chunks land in any
+// order and the image is decoded only once every index is present.
+type partialImage struct {
+	count  int
+	n      int
+	size   int
+	got    []bool
+	chunks [][]byte
 }
 
 // Store is the stable image storage of one checkpoint server replica,
-// safe for use by several Server frontends.
+// safe for use by several Server frontends. Per rank it holds
+// materialized full images keyed by checkpoint seq — the latest one is
+// what fetches serve; older ones are kept only while an in-flight delta
+// may still name them as its base, and are compacted as the base
+// horizon advances.
 type Store struct {
-	mu     sync.Mutex
-	images map[int][]byte // rank → encoded latest image
-	seqs   map[int]uint64 // rank → seq of the stored image
-	has    map[int]bool   // rank → an image was ever stored
+	mu       sync.Mutex
+	images   map[int]map[uint64][]byte     // rank → seq → materialized full image
+	latest   map[int]uint64                // rank → highest stored seq
+	partials map[int]map[uint64]*partialImage
 
 	stats Stats
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{images: make(map[int][]byte), seqs: make(map[int]uint64), has: make(map[int]bool)}
+	return &Store{
+		images:   make(map[int]map[uint64][]byte),
+		latest:   make(map[int]uint64),
+		partials: make(map[int]map[uint64]*partialImage),
+	}
 }
 
 // Stats returns a locked snapshot of the store's counters.
@@ -146,36 +236,201 @@ func (st *Store) Stats() Stats {
 	return st.stats
 }
 
-// Put stores an image for a rank unless an image with the same or a
-// newer sequence number is already held — a retransmitted save whose
-// ack was lost (counted as a duplicate), or a stale save racing a
-// fresher one over a reordering network (counted as a stale reject),
-// must not regress the stored image. Returns whether the image was
-// accepted.
-func (st *Store) Put(rank int, seq uint64, image []byte) bool {
+// Accept verifies and stores an image for a rank unless an image with
+// the same or a newer sequence number is already held — a retransmitted
+// save whose ack was lost (Duplicates), or a stale save racing a
+// fresher one over a reordering network (StaleRejects), must not
+// regress the stored image. A delta is materialized against its base
+// before storing; see acceptLocked.
+func (st *Store) Accept(rank int, seq uint64, image []byte) AcceptStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.has[rank] && seq <= st.seqs[rank] {
-		if seq == st.seqs[rank] {
-			st.stats.Duplicates++
-		} else {
-			st.stats.StaleRejects++
-		}
+	return st.acceptLocked(rank, seq, image)
+}
+
+// Put is Accept reduced to the legacy boolean: true iff newly stored.
+func (st *Store) Put(rank int, seq uint64, image []byte) bool {
+	return st.Accept(rank, seq, image) == Accepted
+}
+
+func (st *Store) staleLocked(rank int, seq uint64) bool {
+	if len(st.images[rank]) == 0 || seq > st.latest[rank] {
 		return false
 	}
-	st.images[rank] = append([]byte(nil), image...)
-	st.seqs[rank] = seq
-	st.has[rank] = true
-	st.stats.Saves++
-	st.stats.SavedBytes += int64(len(image))
+	if seq == st.latest[rank] {
+		st.stats.Duplicates++
+	} else {
+		st.stats.StaleRejects++
+	}
 	return true
 }
 
-// Get returns the stored image for a rank, if any.
+// acceptLocked runs the shared admission path: integrity verification,
+// stale suppression, delta materialization, compaction. A delta whose
+// base image at BaseSeq is missing (the replica was respawned after the
+// base shipped, or over-compacted) is a chain break: it is NOT acked,
+// and the server self-heals by pulling peers' materialized images —
+// the daemon meanwhile retransmits and eventually escalates to a full
+// image, so liveness never depends on the chain being repairable.
+func (st *Store) acceptLocked(rank int, seq uint64, image []byte) AcceptStatus {
+	if st.staleLocked(rank, seq) {
+		return Stale
+	}
+	im, err := DecodeImage(image)
+	if err != nil || im.Seq != seq {
+		st.stats.Malformed++
+		return Malformed
+	}
+	if im.BaseSeq != 0 {
+		base, ok := st.images[rank][im.BaseSeq]
+		if !ok {
+			st.stats.ChainBreaks++
+			return ChainBreak
+		}
+		full, err := materialize(base, im)
+		if err != nil {
+			st.stats.Malformed++
+			return Malformed
+		}
+		image = full
+		st.stats.DeltaSaves++
+		st.storeLocked(rank, seq, image)
+		// A delta based on B proves the daemon saw B acked by a write
+		// quorum, so every future base is ≥ B: anything below B is
+		// unreachable and compacts away. B itself stays — another
+		// in-flight delta may still name it.
+		st.compactLocked(rank, im.BaseSeq)
+	} else {
+		st.storeLocked(rank, seq, append([]byte(nil), image...))
+		// A full image at S supersedes everything below it. If an
+		// in-flight delta still names a compacted base, the resulting
+		// chain break heals via anti-entropy or daemon escalation.
+		st.compactLocked(rank, seq)
+	}
+	st.stats.Saves++
+	st.stats.SavedBytes += int64(len(image))
+	return Accepted
+}
+
+// materialize rebuilds the full image a delta describes: the base's
+// SAVED log followed by the delta's, under the delta's clocks and
+// vectors. The re-encoding is deterministic (sorted vector keys, fixed
+// layout), so every replica materializes byte-identical images from the
+// same chain — what lets anti-entropy and the chunked restart fetch
+// treat replicas as interchangeable byte sources.
+func materialize(baseImg []byte, delta *Image) ([]byte, error) {
+	base, err := DecodeImage(baseImg)
+	if err != nil {
+		return nil, err
+	}
+	bsn, err := base.ProtoSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	dsn, err := delta.ProtoSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	sn := core.MergeSnapshots(bsn, dsn)
+	full := &Image{
+		Rank:     delta.Rank,
+		Seq:      delta.Seq,
+		AppState: delta.AppState,
+		Proto:    core.AppendSnapshot(make([]byte, 0, core.SnapshotSize(sn)), sn),
+	}
+	return AppendImage(make([]byte, 0, ImageSize(full)), full), nil
+}
+
+func (st *Store) storeLocked(rank int, seq uint64, image []byte) {
+	m := st.images[rank]
+	if m == nil {
+		m = make(map[uint64][]byte)
+		st.images[rank] = m
+	}
+	m[seq] = image
+	if seq > st.latest[rank] {
+		st.latest[rank] = seq
+	}
+	// Partial assemblies at or below the new image are superseded.
+	for s := range st.partials[rank] {
+		if s <= st.latest[rank] {
+			delete(st.partials[rank], s)
+		}
+	}
+}
+
+func (st *Store) compactLocked(rank int, floor uint64) {
+	for s := range st.images[rank] {
+		if s < floor {
+			delete(st.images[rank], s)
+			st.stats.ChainCompactions++
+		}
+	}
+}
+
+// PutChunk lands one chunk of a chunked image transfer. ack asks the
+// server to acknowledge the chunk — pure retransmit suppression; the
+// daemon never infers durability from chunk acks, because a replica
+// respawned empty still looks all-acked to a daemon that shipped it
+// chunks before the crash. full asks for a full-image ack
+// (KCkptSaveAck) instead: the store holds a verified, materialized
+// image at or above seq — either this chunk completed the assembly, or
+// the transfer is a retransmission of something already stored. Only
+// full acks count toward the write quorum, so a replica that dies with
+// a partial chain, or assembles a delta whose base it lost, never
+// claims an image it cannot serve.
+func (st *Store) PutChunk(rank int, seq uint64, idx, count uint32, body []byte) (ack, full, chainBreak bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.staleLocked(rank, seq) {
+		return false, true, false
+	}
+	pm := st.partials[rank]
+	if pm == nil {
+		pm = make(map[uint64]*partialImage)
+		st.partials[rank] = pm
+	}
+	p := pm[seq]
+	if p == nil || p.count != int(count) {
+		p = &partialImage{count: int(count), got: make([]bool, count), chunks: make([][]byte, count)}
+		pm[seq] = p
+	}
+	if !p.got[idx] {
+		p.chunks[idx] = append([]byte(nil), body...)
+		p.got[idx] = true
+		p.n++
+		p.size += len(body)
+	}
+	if p.n < p.count {
+		return true, false, false
+	}
+	// Fully assembled — possibly a retry, if an earlier attempt broke
+	// its chain and a retransmitted chunk re-triggered assembly after
+	// anti-entropy delivered the base.
+	image := make([]byte, 0, p.size)
+	for _, c := range p.chunks {
+		image = append(image, c...)
+	}
+	switch st.acceptLocked(rank, seq, image) {
+	case Accepted, Stale:
+		delete(pm, seq)
+		return false, true, false
+	case ChainBreak:
+		// Keep the partial: the base may yet arrive via the sync pull
+		// this verdict triggers, and the daemon's chunk retransmit will
+		// re-run this acceptance.
+		return false, false, true
+	default:
+		delete(pm, seq)
+		return false, false, false
+	}
+}
+
+// Get returns the latest stored image for a rank, if any.
 func (st *Store) Get(rank int) ([]byte, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	img, ok := st.images[rank]
+	img, ok := st.images[rank][st.latest[rank]]
 	return img, ok && len(img) > 0
 }
 
@@ -185,31 +440,88 @@ func (st *Store) Has(rank int) bool {
 	return ok
 }
 
+// Manifest describes the latest stored image for a rank, cut at
+// chunkSize bytes per chunk, for the restart fast path: per-chunk
+// CRC-32s let the fetcher validate each pulled chunk independently, and
+// the whole-image CRC lets it group replicas serving byte-identical
+// copies.
+func (st *Store) Manifest(rank int, chunkSize uint32) wire.CkptManifest {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	img, ok := st.images[rank][st.latest[rank]]
+	if !ok || len(img) == 0 || chunkSize == 0 {
+		return wire.CkptManifest{}
+	}
+	n := (len(img) + int(chunkSize) - 1) / int(chunkSize)
+	m := wire.CkptManifest{
+		Present:   true,
+		Seq:       st.latest[rank],
+		Size:      uint64(len(img)),
+		ChunkSize: chunkSize,
+		ImageCRC:  crc32.ChecksumIEEE(img),
+		ChunkCRCs: make([]uint32, n),
+	}
+	for i := range m.ChunkCRCs {
+		lo := i * int(chunkSize)
+		hi := min(lo+int(chunkSize), len(img))
+		m.ChunkCRCs[i] = crc32.ChecksumIEEE(img[lo:hi])
+	}
+	return m
+}
+
+// ChunkAt returns the encoded chunk frame for chunk idx of the image
+// stored at exactly seq, cut at chunkSize — the fetch must hit the same
+// bytes the manifest described, so a store that has since moved to a
+// newer image serves nothing and lets the fetcher re-gather manifests.
+func (st *Store) ChunkAt(rank int, seq uint64, idx, chunkSize uint32) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	img, ok := st.images[rank][seq]
+	if !ok || len(img) == 0 || chunkSize == 0 {
+		return nil, false
+	}
+	n := (len(img) + int(chunkSize) - 1) / int(chunkSize)
+	if int(idx) >= n {
+		return nil, false
+	}
+	lo := int(idx) * int(chunkSize)
+	hi := min(lo+int(chunkSize), len(img))
+	body := img[lo:hi]
+	return wire.AppendCkptChunk(wire.GetBuf(wire.CkptChunkSize(len(body))), seq, idx, uint32(n), body), true
+}
+
 // Marks returns the per-rank checkpoint-seq high-water marks for an
 // anti-entropy request; a fresh store returns an empty map and pulls
 // every rank's latest image.
 func (st *Store) Marks() map[int]uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	marks := make(map[int]uint64, len(st.seqs))
-	for rank := range st.has {
-		marks[rank] = st.seqs[rank]
+	marks := make(map[int]uint64, len(st.latest))
+	for rank, m := range st.images {
+		if len(m) > 0 {
+			marks[rank] = st.latest[rank]
+		}
 	}
 	return marks
 }
 
-// EntriesSince returns the stored images whose seq is above the
+// EntriesSince returns the latest stored images whose seq is above the
 // requester's mark for that rank — the response half of the
-// anti-entropy exchange.
+// anti-entropy exchange. Only materialized full images travel: a
+// respawned replica never needs a delta chain.
 func (st *Store) EntriesSince(marks map[int]uint64) []wire.CkptEntry {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	var out []wire.CkptEntry
-	for rank, img := range st.images {
-		if mark, known := marks[rank]; known && st.seqs[rank] <= mark {
+	for rank, m := range st.images {
+		img, ok := m[st.latest[rank]]
+		if !ok || len(img) == 0 {
 			continue
 		}
-		out = append(out, wire.CkptEntry{Rank: rank, Seq: st.seqs[rank], Image: img})
+		if mark, known := marks[rank]; known && st.latest[rank] <= mark {
+			continue
+		}
+		out = append(out, wire.CkptEntry{Rank: rank, Seq: st.latest[rank], Image: img})
 	}
 	return out
 }
@@ -304,19 +616,62 @@ func (s *Server) run() {
 				s.countMalformed()
 				continue
 			}
-			// Verify the image frame before storing: a save damaged in
-			// flight is dropped *unacked*, so the daemon retransmits it
-			// and the store only ever holds verifiable images.
-			if _, err := DecodeImage(image); err != nil {
+			// Accept verifies the image before storing: a save damaged
+			// in flight is dropped *unacked*, so the daemon retransmits
+			// it and the store only ever holds verifiable images. The
+			// save frame itself is NOT recycled: the daemon retains its
+			// transfer buffer for retransmission. Ack even a stale
+			// duplicate: the retransmission means the saver never saw
+			// the first ack.
+			switch s.Store.Accept(f.From, seq, image) {
+			case Accepted, Stale:
+				s.ep.Send(f.From, wire.KCkptSaveAck, wire.AppendU64(wire.GetBuf(8), seq))
+			case ChainBreak:
+				s.pullPeers()
+			}
+		case wire.KCkptChunk:
+			seq, idx, count, body, err := wire.DecodeCkptChunk(f.Data)
+			if err != nil {
 				s.countMalformed()
 				continue
 			}
-			s.Store.Put(f.From, seq, image)
-			// The save frame itself is NOT recycled: the daemon retains
-			// its ckptPending buffer for retransmission. Ack even a
-			// duplicate: the retransmission means the saver never saw
-			// the first ack.
-			s.ep.Send(f.From, wire.KCkptSaveAck, wire.AppendU64(wire.GetBuf(8), seq))
+			// Like saves, chunk frames are retained by the daemon for
+			// retransmission and never recycled here; the body is copied
+			// into the partial assembly. A full-image ack (the store holds
+			// a verified image at or above seq) supersedes the chunk ack:
+			// only it counts toward the daemon's write quorum.
+			ack, full, chainBreak := s.Store.PutChunk(f.From, seq, idx, count, body)
+			switch {
+			case full:
+				s.ep.Send(f.From, wire.KCkptSaveAck, wire.AppendU64(wire.GetBuf(8), seq))
+			case ack:
+				s.ep.Send(f.From, wire.KCkptChunkAck,
+					wire.AppendCkptChunkAck(wire.GetBuf(wire.CkptChunkAckLen), seq, idx))
+			}
+			if chainBreak {
+				s.pullPeers()
+			}
+		case wire.KCkptManifestReq:
+			chunkSize, err := wire.DecodeU32(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			s.Store.mu.Lock()
+			s.Store.stats.Fetches++
+			s.Store.mu.Unlock()
+			s.ep.Send(f.From, wire.KCkptManifest, wire.EncodeCkptManifest(s.Store.Manifest(f.From, chunkSize)))
+		case wire.KCkptChunkFetch:
+			seq, idx, chunkSize, err := wire.DecodeCkptChunkFetch(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			// Silent when the exact image is gone (superseded since the
+			// manifest was served): the fetcher times out and re-gathers.
+			if frame, ok := s.Store.ChunkAt(f.From, seq, idx, chunkSize); ok {
+				s.ep.Send(f.From, wire.KCkptChunkData, frame)
+			}
 		case wire.KCkptFetch:
 			s.Store.mu.Lock()
 			s.Store.stats.Fetches++
@@ -339,6 +694,20 @@ func (s *Server) run() {
 			s.Store.MergeEntries(entries)
 			s.synced.Store(true)
 		}
+	}
+}
+
+// pullPeers fires a one-shot anti-entropy pull after a chain break: a
+// peer's materialized latest image at or above the broken delta's base
+// repairs or supersedes the chain. The daemon's retransmit/escalation
+// keeps the save live regardless, so one unretried round suffices.
+func (s *Server) pullPeers() {
+	if len(s.Peers) == 0 {
+		return
+	}
+	req := wire.EncodeSyncMarks(s.Store.Marks())
+	for _, p := range s.Peers {
+		s.ep.Send(p, wire.KCSSyncReq, req)
 	}
 }
 

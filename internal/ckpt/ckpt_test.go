@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"hash/crc32"
 	"testing"
 	"time"
 
@@ -271,4 +272,314 @@ func TestImagesKeyedPerRank(t *testing.T) {
 			t.Error("rank 5 fetched rank 4's image")
 		}
 	})
+}
+
+// chainImages builds an encoded base image at seq1, a delta at seq2
+// taken against it, and the full image the delta must materialize to —
+// the snapshots are built by hand so the SAVED split across the
+// base/delta boundary is explicit.
+func chainImages(rank int, seq1, seq2 uint64) (base, delta, full []byte) {
+	sn1 := &core.Snapshot{
+		Rank: rank, H: 12,
+		HS: map[int]uint64{0: 2}, HR: map[int]uint64{1: 1},
+		SeqTo: map[int]uint64{0: 2, 1: 1}, SeqIn: map[int]uint64{1: 3},
+		Saved: []core.SavedMsg{
+			{To: 0, Clock: 3, Seq: 1, Kind: 1, Data: []byte("one")},
+			{To: 1, Clock: 5, Seq: 1, Kind: 1, Data: []byte("two")},
+			{To: 0, Clock: 7, Seq: 2, Kind: 1, Data: []byte("three")},
+		},
+	}
+	sn2 := &core.Snapshot{
+		Rank: rank, H: 30,
+		HS: map[int]uint64{0: 6, 1: 2}, HR: map[int]uint64{1: 4},
+		SeqTo: map[int]uint64{0: 3, 1: 2}, SeqIn: map[int]uint64{1: 9},
+		Saved: append(append([]core.SavedMsg(nil), sn1.Saved...),
+			core.SavedMsg{To: 1, Clock: 9, Seq: 2, Kind: 1, Data: []byte("four")},
+			core.SavedMsg{To: 0, Clock: 11, Seq: 3, Kind: 2, Data: []byte("five!")},
+		),
+	}
+	enc := func(im *Image) []byte {
+		b, _ := im.Encode()
+		return b
+	}
+	base = enc(&Image{Rank: rank, Seq: seq1, AppState: []byte("app@1"),
+		Proto: core.AppendSnapshot(nil, sn1)})
+	delta = enc(&Image{Rank: rank, Seq: seq2, BaseSeq: seq1, AppState: []byte("app@2"),
+		Proto: core.AppendSnapshotDelta(nil, sn2, sn1.SeqTo)})
+	full = enc(&Image{Rank: rank, Seq: seq2, AppState: []byte("app@2"),
+		Proto: core.AppendSnapshot(nil, sn2)})
+	return base, delta, full
+}
+
+func TestDeltaMaterializesToFullImage(t *testing.T) {
+	base, delta, full := chainImages(4, 1, 2)
+	st := NewStore()
+	if got := st.Accept(4, 1, base); got != Accepted {
+		t.Fatalf("base: %v", got)
+	}
+	if got := st.Accept(4, 2, delta); got != Accepted {
+		t.Fatalf("delta: %v", got)
+	}
+	img, ok := st.Get(4)
+	if !ok || !bytes.Equal(img, full) {
+		t.Error("materialized image differs from the monolithic full encoding")
+	}
+	s := st.Stats()
+	if s.DeltaSaves != 1 || s.ChainBreaks != 0 {
+		t.Errorf("DeltaSaves=%d ChainBreaks=%d, want 1, 0", s.DeltaSaves, s.ChainBreaks)
+	}
+	// The delta's base stays resident (another in-flight delta may name
+	// it); a full image at seq 3 supersedes the whole chain.
+	full3 := makeImage(t, 4, 3)
+	if got := st.Accept(4, 3, full3); got != Accepted {
+		t.Fatalf("full@3: %v", got)
+	}
+	if s := st.Stats(); s.ChainCompactions != 2 {
+		t.Errorf("ChainCompactions = %d, want 2 (seqs 1 and 2)", s.ChainCompactions)
+	}
+}
+
+func TestDeltaChainBreakHealsViaSync(t *testing.T) {
+	// A replica respawned empty receives a delta whose base it never
+	// held: the delta must be refused unacked (ChainBreak) and must
+	// succeed once anti-entropy delivers the base.
+	base, delta, full := chainImages(4, 1, 2)
+	st := NewStore()
+	if got := st.Accept(4, 2, delta); got != ChainBreak {
+		t.Fatalf("delta without base: %v, want ChainBreak", got)
+	}
+	if st.Has(4) {
+		t.Fatal("broken chain stored an image")
+	}
+	if st.MergeEntries([]wire.CkptEntry{{Rank: 4, Seq: 1, Image: base}}) != 1 {
+		t.Fatal("sync entry not merged")
+	}
+	if got := st.Accept(4, 2, delta); got != Accepted {
+		t.Fatalf("delta after sync: %v", got)
+	}
+	img, _ := st.Get(4)
+	if !bytes.Equal(img, full) {
+		t.Error("healed chain materialized different bytes")
+	}
+	if s := st.Stats(); s.ChainBreaks != 1 {
+		t.Errorf("ChainBreaks = %d, want 1", s.ChainBreaks)
+	}
+}
+
+// putChunks slices img at cs and feeds the chunks to the store in a
+// deterministic scrambled order (odd indices first), returning the
+// verdict of the completing chunk.
+func putChunks(st *Store, rank int, seq uint64, img []byte, cs int) (ack, full, chainBreak bool) {
+	n := (len(img) + cs - 1) / cs
+	order := make([]int, 0, n)
+	for i := 1; i < n; i += 2 {
+		order = append(order, i)
+	}
+	for i := 0; i < n; i += 2 {
+		order = append(order, i)
+	}
+	for _, i := range order {
+		lo := i * cs
+		hi := min(lo+cs, len(img))
+		ack, full, chainBreak = st.PutChunk(rank, seq, uint32(i), uint32(n), img[lo:hi])
+	}
+	return ack, full, chainBreak
+}
+
+func TestChunkedAssemblyByteIdentityAnyChunkSize(t *testing.T) {
+	// The determinism pin of the chunked transfer: whatever the chunk
+	// size and arrival order, the assembled image — and therefore the
+	// core.Snapshot a restart decodes from it — is byte-identical to the
+	// monolithic save.
+	img := makeImage(t, 4, 1)
+	for _, cs := range []int{1, 7, 997, len(img) - 1, len(img), len(img) + 100} {
+		st := NewStore()
+		ack, full, chainBreak := putChunks(st, 4, 1, img, cs)
+		if ack || !full || chainBreak {
+			t.Fatalf("cs=%d: completing chunk = (ack=%v full=%v break=%v), want full ack", cs, ack, full, chainBreak)
+		}
+		got, ok := st.Get(4)
+		if !ok || !bytes.Equal(got, img) {
+			t.Errorf("cs=%d: assembled image differs from monolithic bytes", cs)
+		}
+	}
+}
+
+func TestChunkedDeltaMatchesMonolithicDelta(t *testing.T) {
+	base, delta, full := chainImages(4, 1, 2)
+	st := NewStore()
+	st.Accept(4, 1, base)
+	if _, fullAck, _ := putChunks(st, 4, 2, delta, 11); !fullAck {
+		t.Fatal("chunked delta did not complete")
+	}
+	img, _ := st.Get(4)
+	if !bytes.Equal(img, full) {
+		t.Error("chunked delta materialized different bytes than the monolithic path")
+	}
+}
+
+func TestPartialAssemblyNeverClaimsImage(t *testing.T) {
+	// A replica that dies with a partial chain must never be counted as
+	// holding the image. Full-image acks are what the daemon counts;
+	// chunk acks are retransmit suppression only — so the respawned
+	// store may chunk-ack whatever lands, as long as it never full-acks
+	// an image it cannot serve.
+	img := makeImage(t, 4, 1)
+	const cs = 64
+	n := (len(img) + cs - 1) / cs
+	if n < 3 {
+		t.Fatalf("image too small for the scenario: %d chunks", n)
+	}
+	st := NewStore()
+	for i := 0; i < n-1; i++ {
+		ack, full, _ := st.PutChunk(4, 1, uint32(i), uint32(n), img[i*cs:min((i+1)*cs, len(img))])
+		if !ack || full {
+			t.Fatalf("chunk %d: ack=%v full=%v, want plain chunk ack", i, ack, full)
+		}
+	}
+	if st.Has(4) || st.Manifest(4, cs).Present {
+		t.Fatal("store claims an image from a partial assembly")
+	}
+
+	// The replica dies; its respawn comes back empty. The daemon,
+	// remembering the old chunk acks, retransmits only the final chunk.
+	respawned := NewStore()
+	ack, full, _ := respawned.PutChunk(4, 1, uint32(n-1), uint32(n), img[(n-1)*cs:])
+	if full {
+		t.Fatal("respawned replica full-acked an image it assembled 1 chunk of")
+	}
+	if !ack {
+		t.Error("lone chunk should still be chunk-acked (suppress its retransmit)")
+	}
+	if respawned.Has(4) {
+		t.Fatal("respawned store claims an image")
+	}
+}
+
+func TestChunkedChainBreakKeepsPartialForRetry(t *testing.T) {
+	// A delta assembled on a store missing its base is not acked and the
+	// partial is kept: once anti-entropy delivers the base, the daemon's
+	// retransmission of any chunk re-runs acceptance.
+	base, delta, full := chainImages(4, 1, 2)
+	st := NewStore()
+	ack, fullAck, chainBreak := putChunks(st, 4, 2, delta, 13)
+	if ack || fullAck || !chainBreak {
+		t.Fatalf("completing chunk on broken chain = (ack=%v full=%v break=%v), want break only", ack, fullAck, chainBreak)
+	}
+	st.MergeEntries([]wire.CkptEntry{{Rank: 4, Seq: 1, Image: base}})
+	// The daemon retransmits an unacked chunk — a duplicate for the kept
+	// partial — which re-triggers assembly against the synced base.
+	n := (len(delta) + 13 - 1) / 13
+	ack, fullAck, chainBreak = st.PutChunk(4, 2, 0, uint32(n), delta[:13])
+	if ack || !fullAck || chainBreak {
+		t.Fatalf("retry after sync = (ack=%v full=%v break=%v), want full ack", ack, fullAck, chainBreak)
+	}
+	img, _ := st.Get(4)
+	if !bytes.Equal(img, full) {
+		t.Error("healed chunked chain materialized different bytes")
+	}
+}
+
+func TestManifestAndChunkAtServeVerifiableChunks(t *testing.T) {
+	img := makeImage(t, 4, 3)
+	st := NewStore()
+	st.Accept(4, 3, img)
+	const cs = 100
+	m := st.Manifest(4, cs)
+	if !m.Present || m.Seq != 3 || m.Size != uint64(len(img)) {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.ImageCRC != crc32.ChecksumIEEE(img) {
+		t.Error("manifest whole-image CRC mismatch")
+	}
+	var rebuilt []byte
+	for i := 0; i < m.Chunks(); i++ {
+		frame, ok := st.ChunkAt(4, 3, uint32(i), cs)
+		if !ok {
+			t.Fatalf("chunk %d not served", i)
+		}
+		seq, idx, count, body, err := wire.DecodeCkptChunk(frame)
+		if err != nil || seq != 3 || idx != uint32(i) || count != uint32(m.Chunks()) {
+			t.Fatalf("chunk %d frame: seq=%d idx=%d count=%d err=%v", i, seq, idx, count, err)
+		}
+		if crc32.ChecksumIEEE(body) != m.ChunkCRCs[i] {
+			t.Fatalf("chunk %d CRC differs from manifest", i)
+		}
+		rebuilt = append(rebuilt, body...)
+	}
+	if !bytes.Equal(rebuilt, img) {
+		t.Error("chunks do not reassemble to the stored image")
+	}
+	// A fetch for a seq the store has moved past serves nothing — the
+	// fetcher must re-gather manifests instead of mixing images.
+	if _, ok := st.ChunkAt(4, 2, 0, cs); ok {
+		t.Error("ChunkAt served a chunk for an absent seq")
+	}
+}
+
+func TestServerChunkedSaveFullAcksOnlyOnCompletion(t *testing.T) {
+	img := makeImage(t, 4, 1)
+	const cs = 48
+	n := (len(img) + cs - 1) / cs
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		for i := 0; i < n; i++ {
+			lo := i * cs
+			hi := min(lo+cs, len(img))
+			client.Send(200, wire.KCkptChunk, wire.AppendCkptChunk(nil, 1, uint32(i), uint32(n), img[lo:hi]))
+			if i < n-1 {
+				f := recvKind(t, client, wire.KCkptChunkAck)
+				seq, idx, err := wire.DecodeCkptChunkAck(f.Data)
+				if err != nil || seq != 1 || idx != uint32(i) {
+					t.Fatalf("chunk ack %d: seq=%d idx=%d err=%v", i, seq, idx, err)
+				}
+			}
+		}
+		// The completing chunk is answered with a FULL ack — the only
+		// ack kind the daemon counts toward the write quorum.
+		f := recvKind(t, client, wire.KCkptSaveAck)
+		if seq, err := wire.DecodeU64(f.Data); err != nil || seq != 1 {
+			t.Fatalf("full ack: seq=%d err=%v", seq, err)
+		}
+		if !srv.HasImage(4) {
+			t.Fatal("server holds no image after chunked save")
+		}
+		// A retransmitted chunk after completion (the full ack may have
+		// been lost) is answered with another full ack, not a chunk ack.
+		client.Send(200, wire.KCkptChunk, wire.AppendCkptChunk(nil, 1, 0, uint32(n), img[:cs]))
+		f = recvKind(t, client, wire.KCkptSaveAck)
+		if seq, _ := wire.DecodeU64(f.Data); seq != 1 {
+			t.Fatalf("stale chunk re-ack seq = %d", seq)
+		}
+	})
+}
+
+func TestServerDamagedChunkNotAcked(t *testing.T) {
+	img := makeImage(t, 4, 1)
+	serverHarness(t, func(s *vtime.Sim, srv *Server, client transport.Endpoint) {
+		frame := wire.AppendCkptChunk(nil, 1, 0, 2, img[:50])
+		frame[len(frame)-1] ^= 0x10
+		client.Send(200, wire.KCkptChunk, frame)
+		// An intact chunk after the damaged one: its ack proves the
+		// server processed (and silently dropped) the damaged frame.
+		client.Send(200, wire.KCkptChunk, wire.AppendCkptChunk(nil, 1, 1, 2, img[50:100]))
+		f := recvKind(t, client, wire.KCkptChunkAck)
+		if _, idx, _ := wire.DecodeCkptChunkAck(f.Data); idx != 1 {
+			t.Fatalf("acked idx = %d, want 1 (the intact chunk)", idx)
+		}
+		if st := srv.Store.Stats(); st.Malformed != 1 {
+			t.Errorf("Malformed = %d, want 1", st.Malformed)
+		}
+	})
+}
+
+func TestAppendImageZeroAlloc(t *testing.T) {
+	img := makeImage(t, 4, 1)
+	im, err := DecodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, ImageSize(im))
+	if allocs := testing.AllocsPerRun(200, func() { AppendImage(dst[:0], im) }); allocs != 0 {
+		t.Errorf("AppendImage: %.1f allocs/op, want 0", allocs)
+	}
 }

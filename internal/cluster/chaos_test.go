@@ -384,3 +384,113 @@ func compareChannels(t *testing.T, n int, want, got [][]core.Event) {
 		}
 	}
 }
+
+// TestChaosCSReplicaKilledMidChunkedTransfer kills a quorum checkpoint
+// replica while chunked delta images are streaming to it on a lossy
+// fabric. The replica respawns EMPTY: any per-chunk acks the daemons
+// still hold for it are phantom, so completion must ride only on full
+// save acks — the write quorum may never count a replica that holds
+// nothing. A later compute kill then restarts through the manifest
+// fast path against the healed group.
+func TestChaosCSReplicaKilledMidChunkedTransfer(t *testing.T) {
+	const n, iters = 4, 50
+	finals := make([]float64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		ELReplicas:     3, // implies CSReplicas=3, quorum 2
+		SchedPeriod:    time.Millisecond,
+		CkptChunk:      64, // force multi-chunk transfers
+		DetectionDelay: 3 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 17, Drop: 0.01, Delay: 0.02, MaxDelay: 200 * time.Microsecond},
+		Faults: []dispatcher.Fault{
+			{Time: 10 * time.Millisecond, Rank: CSBase + 1},
+			{Time: 30 * time.Millisecond, Rank: 2},
+		},
+	}, ckptProgram(iters, finals))
+
+	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
+		t.Fatalf("service kills/restarts = %d/%d, want 1/1", res.ServiceKills, res.ServiceRestarts)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("compute restarts = %d, want 1", res.Restarts)
+	}
+	want := ckptExpect(n, iters)
+	for r, v := range finals {
+		if v != want {
+			t.Errorf("rank %d acc = %v, want %v", r, v, want)
+		}
+	}
+	if res.CkptSaves == 0 {
+		t.Error("no checkpoints stored")
+	}
+	if res.DeltaCkpts == 0 {
+		t.Error("steady-state checkpointing never shipped a delta")
+	}
+	if res.ManifestFetches == 0 {
+		t.Error("restart did not take the chunked manifest fast path")
+	}
+	if res.BelowQuorumAcks != 0 {
+		t.Errorf("%d sends escaped below the write quorum", res.BelowQuorumAcks)
+	}
+	if rep := Audit(res); !rep.OK() {
+		t.Errorf("%s", rep.Summary())
+	}
+	t.Logf("saves=%d deltas=%d shipped=%dB retrans=%d manifests=%d compactions=%d breaks=%d resyncs=%d",
+		res.CkptSaves, res.DeltaCkpts, res.CkptShippedBytes, res.ChunkRetransmits,
+		res.ManifestFetches, res.ChainCompactions, res.ChainBreaks, res.Resyncs)
+}
+
+// TestChaosBrokenDeltaChainFallsBackToFullImage engineers a broken
+// delta chain: a checkpoint replica respawns empty into a stream of
+// deltas whose bases it never saw. The store must refuse to ack those
+// (ChainBreak, no phantom durability), heal through anti-entropy, and
+// a compute restart afterwards must still recover from the last
+// materialized full image — the chain is a shipping optimisation, never
+// the durability unit.
+func TestChaosBrokenDeltaChainFallsBackToFullImage(t *testing.T) {
+	const n, iters = 4, 60
+	finals := make([]float64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		ELReplicas:     3,
+		SchedPeriod:    time.Millisecond, // constant deltas in flight
+		CkptChunk:      48,
+		DetectionDelay: 2 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 23, Drop: 0.02, Delay: 0.03, MaxDelay: 400 * time.Microsecond},
+		Faults: []dispatcher.Fault{
+			{Time: 8 * time.Millisecond, Rank: CSBase + 2},
+			{Time: 14 * time.Millisecond, Rank: CSBase},
+			{Time: 28 * time.Millisecond, Rank: 1},
+		},
+	}, ckptProgram(iters, finals))
+
+	if res.ServiceKills != 2 || res.ServiceRestarts != 2 {
+		t.Fatalf("service kills/restarts = %d/%d, want 2/2", res.ServiceKills, res.ServiceRestarts)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("compute restarts = %d, want 1", res.Restarts)
+	}
+	want := ckptExpect(n, iters)
+	for r, v := range finals {
+		if v != want {
+			t.Errorf("rank %d acc = %v, want %v", r, v, want)
+		}
+	}
+	if res.DeltaCkpts == 0 {
+		t.Error("no deltas were in flight; the chain-break path went unexercised")
+	}
+	if res.ChainBreaks == 0 {
+		t.Error("no replica ever saw a delta without its base; the fallback went unexercised")
+	}
+	if res.BelowQuorumAcks != 0 {
+		t.Errorf("%d sends escaped below the write quorum", res.BelowQuorumAcks)
+	}
+	if rep := Audit(res); !rep.OK() {
+		t.Errorf("%s", rep.Summary())
+	}
+	t.Logf("deltas=%d breaks=%d compactions=%d resyncs=%d synced=%d saves=%d",
+		res.DeltaCkpts, res.ChainBreaks, res.ChainCompactions,
+		res.Resyncs, res.SyncedEvents, res.CkptSaves)
+}

@@ -160,6 +160,14 @@ type Config struct {
 	// negative disables explicitly.
 	RestartTimeout time.Duration
 	PullTimeout    time.Duration
+
+	// CkptChunk is the chunked checkpoint transfer's chunk size in
+	// bytes (0 = daemon default, negative = monolithic saves); see
+	// daemon.Config.CkptChunkSize.
+	CkptChunk int
+	// CkptNoDelta ships full images on every checkpoint (ablation);
+	// see daemon.Config.CkptNoDelta.
+	CkptNoDelta bool
 }
 
 // Result carries everything the experiments measure.
@@ -199,6 +207,16 @@ type Result struct {
 	StaleRejects    int64 // checkpoint saves refused for regressing the stored seq
 	Resyncs         int64 // replica anti-entropy rounds completed
 	SyncedEvents    int64 // events + images replicas pulled from peers while resyncing
+
+	// Incremental chunked checkpointing accounting. CkptShippedBytes is
+	// what the daemons pushed onto the wire (delta-reduced); CkptBytes
+	// above is what the stores hold after materialization.
+	CkptShippedBytes int64
+	DeltaCkpts       int64 // checkpoints shipped as deltas
+	ChunkRetransmits int64 // checkpoint chunks re-sent after a timeout
+	ManifestFetches  int64 // restart-time manifest gathers (chunked fast path)
+	ChainCompactions int64 // superseded chain images compacted by the stores
+	ChainBreaks      int64 // deltas that arrived at a store missing their base
 
 	// Frames touched by the chaos fabric (zero without Chaos).
 	ChaosDropped     int64
@@ -406,6 +424,10 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.DegradedReads += st.DegradedReads
 		res.CorruptImages += st.CorruptImages
 		res.ReplayDropped += st.ReplayDropped
+		res.CkptShippedBytes += st.CkptBytes
+		res.DeltaCkpts += st.DeltaCkpts
+		res.ChunkRetransmits += st.ChunkRetransmits
+		res.ManifestFetches += st.ManifestFetches
 	}
 	res.ELReplicaN = cfg.ELReplicas
 	res.ELWriteQuorum = cfg.ELQuorum
@@ -447,6 +469,8 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 			res.StaleRejects += s.StaleRejects
 			res.Resyncs += s.Resyncs
 			res.SyncedEvents += s.SyncedIn
+			res.ChainCompactions += s.ChainCompactions
+			res.ChainBreaks += s.ChainBreaks
 		}
 	case h.csStore != nil:
 		s := h.csStore.Stats()
@@ -454,6 +478,8 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.CkptBytes = s.SavedBytes
 		res.Malformed += s.Malformed
 		res.StaleRejects = s.StaleRejects
+		res.ChainCompactions = s.ChainCompactions
+		res.ChainBreaks = s.ChainBreaks
 	}
 	if chaos != nil {
 		res.ChaosDropped = chaos.Dropped
@@ -685,6 +711,8 @@ func (h *harness) spawn(rank int, restarted bool) {
 		dcfg.EventBatching = cfg.EventBatching
 		dcfg.ELWindow = cfg.ELWindow
 		dcfg.NoSendGating = cfg.NoSendGating
+		dcfg.CkptChunkSize = cfg.CkptChunk
+		dcfg.CkptNoDelta = cfg.CkptNoDelta
 		dcfg.UnixCopyPerByte = cfg.Params.UnixCopyPerByte
 		dcfg.PipelineLimit = cfg.Params.EagerLimit
 		dcfg.LogCopyPerByte = cfg.Params.LogCopyPerByte

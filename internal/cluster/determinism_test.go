@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mpichv/internal/dispatcher"
 	"mpichv/internal/transport"
 )
 
@@ -58,5 +59,73 @@ func TestELWindowDeterminismUnderChaos(t *testing.T) {
 	}
 	if !reflect.DeepEqual(sw.seqs, pipe.seqs) {
 		t.Errorf("delivery transcripts diverged:\nstop-and-wait %v\nwindow=8      %v", sw.seqs, pipe.seqs)
+	}
+}
+
+// TestCkptChunkingDeterminism is the ablation guard on the checkpoint
+// data path: monolithic images, default chunking, a pathological odd
+// chunk size, and delta shipping on/off are pure transport choices — a
+// rank killed mid-run must restore the exact same state (and hence the
+// same finals) under every one of them. The byte-identity of the
+// reassembled image itself is pinned in the ckpt package; this pins
+// that nothing above it can tell the difference either.
+func TestCkptChunkingDeterminism(t *testing.T) {
+	const n, iters = 4, 50
+	type ablation struct {
+		name    string
+		chunk   int
+		noDelta bool
+	}
+	cases := []ablation{
+		{"monolithic+delta", -1, false},
+		{"chunk=default+delta", 0, false},
+		{"chunk=97+delta", 97, false},
+		{"chunk=default+nodelta", 0, true},
+		{"monolithic+nodelta", -1, true},
+	}
+	want := ckptExpect(n, iters)
+	for _, c := range cases {
+		finals := make([]float64, n)
+		res := Run(Config{
+			Impl: V2, N: n,
+			Checkpointing:  true,
+			ELReplicas:     3,
+			SchedPeriod:    2 * time.Millisecond,
+			CkptChunk:      c.chunk,
+			CkptNoDelta:    c.noDelta,
+			DetectionDelay: 3 * time.Millisecond,
+			Chaos:          transport.ChaosPolicy{Seed: 31, Drop: 0.01, Delay: 0.02, MaxDelay: 200 * time.Microsecond},
+			Faults:         []dispatcher.Fault{{Time: 25 * time.Millisecond, Rank: 2}},
+		}, ckptProgram(iters, finals))
+
+		if res.Restarts != 1 {
+			t.Errorf("%s: restarts = %d, want 1", c.name, res.Restarts)
+		}
+		for r, v := range finals {
+			if v != want {
+				t.Errorf("%s: rank %d acc = %v, want %v", c.name, r, v, want)
+			}
+		}
+		if res.CkptSaves == 0 {
+			t.Errorf("%s: no checkpoints stored", c.name)
+		}
+		if c.noDelta && res.DeltaCkpts != 0 {
+			t.Errorf("%s: shipped %d deltas with delta shipping disabled", c.name, res.DeltaCkpts)
+		}
+		if !c.noDelta && res.DeltaCkpts == 0 {
+			t.Errorf("%s: never shipped a delta", c.name)
+		}
+		if c.chunk < 0 && res.ChunkRetransmits != 0 {
+			t.Errorf("%s: %d chunk retransmits in monolithic mode", c.name, res.ChunkRetransmits)
+		}
+		if c.chunk < 0 && res.ManifestFetches != 0 {
+			t.Errorf("%s: %d manifest fetches in monolithic mode", c.name, res.ManifestFetches)
+		}
+		if rep := Audit(res); !rep.OK() {
+			t.Errorf("%s: %s", c.name, rep.Summary())
+		}
+		t.Logf("%s: saves=%d deltas=%d shipped=%dB retrans=%d manifests=%d",
+			c.name, res.CkptSaves, res.DeltaCkpts, res.CkptShippedBytes,
+			res.ChunkRetransmits, res.ManifestFetches)
 	}
 }

@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Snapshot is the serializable protocol state included in a checkpoint
@@ -85,20 +88,231 @@ func Restore(sn *Snapshot) *State {
 	return s
 }
 
-// Encode serializes the snapshot for transfer to the checkpoint server.
-func (sn *Snapshot) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(sn); err != nil {
-		return nil, fmt.Errorf("core: encoding snapshot: %w", err)
+// The snapshot body uses a hand-rolled binary format ("MVS1") rather
+// than gob for two reasons: the encode path must not allocate (it runs
+// on every checkpoint), and the encoding must be deterministic — CS
+// replicas materialize full images independently from base+delta
+// chains, and anti-entropy compares them byte for byte, so map iteration
+// order (which gob leaks into its output) cannot be allowed to leak into
+// the image. Vector keys are therefore emitted in sorted order.
+//
+// Layout (all integers big-endian):
+//
+//	magic "MVS1" | u32 rank | u64 h
+//	4 × vector: u32 n, then n × (u32 key, u64 val)   — HS, HR, SeqTo, SeqIn
+//	u32 nSaved, then nSaved × (u32 to, u64 clock, u64 seq, u8 kind, u32 len, data)
+var snapMagic = [4]byte{'M', 'V', 'S', '1'}
+
+// intScratch pools the sorted-key scratch slices the encoder needs, so
+// encoding into a preallocated destination performs zero allocations.
+var intScratch = sync.Pool{New: func() any { b := make([]int, 0, 64); return &b }}
+
+func vecSize(m map[int]uint64) int { return 4 + 12*len(m) }
+
+func savedSize(msgs []SavedMsg) int {
+	n := 4
+	for i := range msgs {
+		n += 4 + 8 + 8 + 1 + 4 + len(msgs[i].Data)
 	}
-	return buf.Bytes(), nil
+	return n
 }
 
-// DecodeSnapshot parses a snapshot produced by Encode.
+// SnapshotSize returns the exact encoded size of AppendSnapshot's
+// output for sn.
+func SnapshotSize(sn *Snapshot) int {
+	return 4 + 4 + 8 + vecSize(sn.HS) + vecSize(sn.HR) + vecSize(sn.SeqTo) +
+		vecSize(sn.SeqIn) + savedSize(sn.Saved)
+}
+
+// SnapshotDeltaSize returns the exact encoded size of
+// AppendSnapshotDelta's output for sn against marks.
+func SnapshotDeltaSize(sn *Snapshot, marks map[int]uint64) int {
+	n := 4 + 4 + 8 + vecSize(sn.HS) + vecSize(sn.HR) + vecSize(sn.SeqTo) +
+		vecSize(sn.SeqIn) + 4
+	for i := range sn.Saved {
+		m := &sn.Saved[i]
+		if m.Seq > marks[m.To] {
+			n += 4 + 8 + 8 + 1 + 4 + len(m.Data)
+		}
+	}
+	return n
+}
+
+func appendVec(dst []byte, m map[int]uint64) []byte {
+	kp := intScratch.Get().(*[]int)
+	keys := (*kp)[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(keys)))
+	dst = append(dst, b[0:4]...)
+	for _, k := range keys {
+		binary.BigEndian.PutUint32(b[0:4], uint32(k))
+		binary.BigEndian.PutUint64(b[4:12], m[k])
+		dst = append(dst, b[:]...)
+	}
+	*kp = keys
+	intScratch.Put(kp)
+	return dst
+}
+
+func appendSaved(dst []byte, m *SavedMsg) []byte {
+	var b [25]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(m.To))
+	binary.BigEndian.PutUint64(b[4:12], m.Clock)
+	binary.BigEndian.PutUint64(b[12:20], m.Seq)
+	b[20] = m.Kind
+	binary.BigEndian.PutUint32(b[21:25], uint32(len(m.Data)))
+	dst = append(dst, b[:]...)
+	return append(dst, m.Data...)
+}
+
+// AppendSnapshot appends the full binary encoding of sn to dst. With
+// dst capacity of at least SnapshotSize(sn) it performs no allocation.
+func AppendSnapshot(dst []byte, sn *Snapshot) []byte {
+	return AppendSnapshotDelta(dst, sn, nil)
+}
+
+// AppendSnapshotDelta appends the binary encoding of sn to dst,
+// restricted to the SAVED entries newer than marks: an entry to
+// destination d is included only when its channel seq exceeds marks[d].
+// marks is the SeqTo vector of the last checkpoint the store has acked,
+// so the excluded entries are exactly those the store already holds in
+// that image. A nil marks yields the full encoding.
+func AppendSnapshotDelta(dst []byte, sn *Snapshot, marks map[int]uint64) []byte {
+	dst = append(dst, snapMagic[:]...)
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(sn.Rank))
+	binary.BigEndian.PutUint64(b[4:12], sn.H)
+	dst = append(dst, b[:]...)
+	dst = appendVec(dst, sn.HS)
+	dst = appendVec(dst, sn.HR)
+	dst = appendVec(dst, sn.SeqTo)
+	dst = appendVec(dst, sn.SeqIn)
+	n := 0
+	for i := range sn.Saved {
+		if m := &sn.Saved[i]; m.Seq > marks[m.To] {
+			n++
+		}
+	}
+	binary.BigEndian.PutUint32(b[0:4], uint32(n))
+	dst = append(dst, b[0:4]...)
+	for i := range sn.Saved {
+		if m := &sn.Saved[i]; m.Seq > marks[m.To] {
+			dst = appendSaved(dst, m)
+		}
+	}
+	return dst
+}
+
+// Encode serializes the snapshot for transfer to the checkpoint server.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	return AppendSnapshot(make([]byte, 0, SnapshotSize(sn)), sn), nil
+}
+
+func decodeVec(b []byte, off int) (map[int]uint64, int, error) {
+	if off+4 > len(b) {
+		return nil, 0, fmt.Errorf("core: snapshot vector header truncated")
+	}
+	n := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if off+12*n > len(b) {
+		return nil, 0, fmt.Errorf("core: snapshot vector of %d entries truncated", n)
+	}
+	m := make(map[int]uint64, n)
+	for i := 0; i < n; i++ {
+		m[int(binary.BigEndian.Uint32(b[off:]))] = binary.BigEndian.Uint64(b[off+4:])
+		off += 12
+	}
+	return m, off, nil
+}
+
+func decodeSnapshotBinary(b []byte) (*Snapshot, error) {
+	off := 4
+	if off+12 > len(b) {
+		return nil, fmt.Errorf("core: snapshot header truncated")
+	}
+	sn := &Snapshot{
+		Rank: int(binary.BigEndian.Uint32(b[off:])),
+		H:    binary.BigEndian.Uint64(b[off+4:]),
+	}
+	off += 12
+	var err error
+	for _, dst := range []*map[int]uint64{&sn.HS, &sn.HR, &sn.SeqTo, &sn.SeqIn} {
+		if *dst, off, err = decodeVec(b, off); err != nil {
+			return nil, err
+		}
+	}
+	if off+4 > len(b) {
+		return nil, fmt.Errorf("core: snapshot saved-log header truncated")
+	}
+	n := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if n < 0 || n > (len(b)-off)/25 {
+		return nil, fmt.Errorf("core: snapshot claims %d saved entries in %d bytes", n, len(b)-off)
+	}
+	sn.Saved = make([]SavedMsg, n)
+	for i := 0; i < n; i++ {
+		// The count sanity check above bounds n, but data bytes consumed
+		// by earlier entries can still leave less than a header here.
+		if off+25 > len(b) {
+			return nil, fmt.Errorf("core: snapshot saved entry %d header truncated", i)
+		}
+		m := &sn.Saved[i]
+		m.To = int(binary.BigEndian.Uint32(b[off:]))
+		m.Clock = binary.BigEndian.Uint64(b[off+4:])
+		m.Seq = binary.BigEndian.Uint64(b[off+12:])
+		m.Kind = b[off+20]
+		dl := int(binary.BigEndian.Uint32(b[off+21:]))
+		off += 25
+		if dl < 0 || off+dl > len(b) {
+			return nil, fmt.Errorf("core: snapshot saved entry %d data truncated", i)
+		}
+		m.Data = append([]byte(nil), b[off:off+dl]...)
+		off += dl
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("core: snapshot has %d trailing bytes", len(b)-off)
+	}
+	return sn, nil
+}
+
+// DecodeSnapshot parses a snapshot produced by Encode or the Append
+// functions. Bodies written by previous releases' gob encoder are still
+// accepted (the "MVS1" magic discriminates).
 func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) >= 4 && bytes.Equal(b[:4], snapMagic[:]) {
+		return decodeSnapshotBinary(b)
+	}
 	var sn Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sn); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	return &sn, nil
+}
+
+// MergeSnapshots materializes a full snapshot from a base image and a
+// delta taken against it. The delta's clocks and vectors supersede the
+// base's (they were captured later); the SAVED log is the ordered
+// concatenation — every delta entry carries a channel seq beyond the
+// base's SeqTo mark for its destination, and sender clocks only grow, so
+// appending preserves both the per-channel seq order and the global
+// clock order the replay path relies on. The result shares no memory
+// with either input's mutable state except the Saved entries' Data
+// slices, which are immutable once logged.
+func MergeSnapshots(base, delta *Snapshot) *Snapshot {
+	sn := &Snapshot{
+		Rank:  delta.Rank,
+		H:     delta.H,
+		HS:    delta.HS,
+		HR:    delta.HR,
+		SeqTo: delta.SeqTo,
+		SeqIn: delta.SeqIn,
+		Saved: make([]SavedMsg, 0, len(base.Saved)+len(delta.Saved)),
+	}
+	sn.Saved = append(sn.Saved, base.Saved...)
+	sn.Saved = append(sn.Saved, delta.Saved...)
+	return sn
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// sampleSnapshot builds a snapshot with populated vectors and a SAVED
+// log whose entries straddle the marks boundary used by the delta
+// tests: entries up to the marks' seqs belong to the "base", later ones
+// to the delta.
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Rank:  3,
+		H:     41,
+		HS:    map[int]uint64{0: 5, 1: 9, 2: 1},
+		HR:    map[int]uint64{0: 4, 2: 7},
+		SeqTo: map[int]uint64{0: 3, 1: 2},
+		SeqIn: map[int]uint64{0: 6, 2: 2},
+		Saved: []SavedMsg{
+			{To: 0, Clock: 10, Seq: 1, Kind: 1, Data: []byte("alpha")},
+			{To: 1, Clock: 11, Seq: 1, Kind: 1, Data: []byte("bravo")},
+			{To: 0, Clock: 12, Seq: 2, Kind: 2, Data: nil},
+			{To: 0, Clock: 14, Seq: 3, Kind: 1, Data: []byte("charlie")},
+			{To: 1, Clock: 15, Seq: 2, Kind: 1, Data: []byte("delta!")},
+		},
+	}
+}
+
+func TestSnapshotBinaryRoundTripAndSize(t *testing.T) {
+	sn := sampleSnapshot()
+	b, err := sn.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != SnapshotSize(sn) {
+		t.Errorf("encoded %d bytes, SnapshotSize promises %d", len(b), SnapshotSize(sn))
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(sn), normalize(got)) {
+		t.Errorf("round trip mutated snapshot:\n got %+v\nwant %+v", got, sn)
+	}
+}
+
+// normalize maps nil Data to empty so DeepEqual compares content.
+func normalize(sn *Snapshot) *Snapshot {
+	cp := *sn
+	cp.Saved = append([]SavedMsg(nil), sn.Saved...)
+	for i := range cp.Saved {
+		if cp.Saved[i].Data == nil {
+			cp.Saved[i].Data = []byte{}
+		}
+	}
+	return &cp
+}
+
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	// The store materializes full images independently on each replica
+	// and anti-entropy compares them byte for byte, so two encodings of
+	// equal snapshots (rebuilt so map iteration order differs) must be
+	// identical.
+	a, _ := sampleSnapshot().Encode()
+	for i := 0; i < 10; i++ {
+		b, _ := sampleSnapshot().Encode()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+}
+
+func TestSnapshotGobFallbackDecodes(t *testing.T) {
+	// Images written by the previous release carry gob bodies; the
+	// decoder must still read them.
+	sn := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != sn.Rank || got.H != sn.H || len(got.Saved) != len(sn.Saved) {
+		t.Errorf("gob fallback decoded %+v", got)
+	}
+}
+
+func TestDecodeSnapshotRejectsTruncation(t *testing.T) {
+	b, _ := sampleSnapshot().Encode()
+	for cut := 4; cut < len(b); cut += 3 {
+		if _, err := DecodeSnapshot(b[:cut]); err == nil {
+			t.Fatalf("snapshot truncated to %d of %d bytes decoded", cut, len(b))
+		}
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), b...), 0xFF)); err == nil {
+		t.Error("snapshot with a trailing byte decoded")
+	}
+}
+
+func TestSnapshotDeltaMergeEqualsFull(t *testing.T) {
+	// The delta correctness argument, pinned: base = entries at or below
+	// marks, delta = the rest; merging base and delta must re-encode to
+	// the exact bytes of the full snapshot.
+	full := sampleSnapshot()
+	marks := map[int]uint64{0: 2, 1: 1} // base holds alpha, bravo, seq-2-to-0
+	base := &Snapshot{
+		Rank: full.Rank, H: 12,
+		HS: map[int]uint64{0: 2}, HR: map[int]uint64{0: 1},
+		SeqTo: map[int]uint64{0: 2, 1: 1}, SeqIn: map[int]uint64{0: 3},
+		Saved: full.Saved[:3],
+	}
+
+	enc := AppendSnapshotDelta(nil, full, marks)
+	if want := SnapshotDeltaSize(full, marks); len(enc) != want {
+		t.Errorf("delta encoded %d bytes, SnapshotDeltaSize promises %d", len(enc), want)
+	}
+	delta, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Saved) != 2 {
+		t.Fatalf("delta carries %d saved entries, want 2", len(delta.Saved))
+	}
+
+	merged := MergeSnapshots(base, delta)
+	mb, _ := merged.Encode()
+	fb, _ := full.Encode()
+	if !bytes.Equal(mb, fb) {
+		t.Error("merge(base, delta) does not re-encode to the full snapshot's bytes")
+	}
+}
+
+func TestSnapshotDeltaNilMarksIsFull(t *testing.T) {
+	sn := sampleSnapshot()
+	a := AppendSnapshot(nil, sn)
+	b := AppendSnapshotDelta(nil, sn, nil)
+	if !bytes.Equal(a, b) {
+		t.Error("nil marks should yield the full encoding")
+	}
+}
+
+// The encode path runs on every checkpoint; with a preallocated
+// destination it must not allocate (the sorted-key scratch comes from a
+// pool, warmed by the first call).
+func TestAppendSnapshotZeroAlloc(t *testing.T) {
+	sn := sampleSnapshot()
+	marks := map[int]uint64{0: 2, 1: 1}
+	full := make([]byte, 0, SnapshotSize(sn))
+	delta := make([]byte, 0, SnapshotDeltaSize(sn, marks))
+	AppendSnapshot(full, sn) // warm the scratch pool
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AppendSnapshot", func() { AppendSnapshot(full[:0], sn) }},
+		{"AppendSnapshotDelta", func() { AppendSnapshotDelta(delta[:0], sn, marks) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+}

@@ -174,6 +174,19 @@ type Config struct {
 	// guarantee replay after a crash. Used by the ablation benchmarks
 	// to price the pessimistic gating on the critical path.
 	NoSendGating bool
+
+	// CkptChunkSize is the chunk size (bytes) of the chunked checkpoint
+	// transfer: images stream to the checkpoint servers as individually
+	// CRC-framed chunks with per-chunk acks, and only missing chunks are
+	// retransmitted. Zero selects the default (16 KiB); negative
+	// disables chunking and ships each checkpoint as one monolithic
+	// KCkptSave — the pre-chunking behavior, kept for ablations.
+	CkptChunkSize int
+
+	// CkptNoDelta disables delta checkpoint images (ablation): every
+	// checkpoint ships its full SAVED log even when the previous acked
+	// checkpoint already made most of it durable.
+	CkptNoDelta bool
 }
 
 // rank → daemon request plumbing ("the Unix socket").
@@ -314,4 +327,9 @@ type Stats struct {
 	DegradedReads   int64 // restart fetches that settled below the read quorum
 	CorruptImages   int64 // fetched checkpoint images rejected by integrity checks
 	ReplayDropped   int64 // replay events truncated at a channel-sequence gap
+
+	// Incremental chunked checkpointing counters.
+	DeltaCkpts       int64 // checkpoints shipped as deltas against an acked base
+	ChunkRetransmits int64 // individual checkpoint chunks re-sent after a timeout
+	ManifestFetches  int64 // restart-time manifest gathers (chunked fast path)
 }

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"hash/crc32"
 	"math/bits"
 	"sort"
 	"sync/atomic"
@@ -39,10 +40,16 @@ type V2 struct {
 	appState []byte
 	restored bool
 
-	ckptFlag    atomic.Bool
-	ckptSeq     uint64
-	ckptDone    uint64                    // highest acked checkpoint seq
-	ckptVectors map[uint64]map[int]uint64 // seq → HR vector captured at snapshot
+	ckptFlag atomic.Bool
+	ckptSeq  uint64
+	ckptDone uint64 // highest retired (durably acked) checkpoint seq
+
+	// Delta checkpointing base: the seq of the last retired checkpoint
+	// and the SeqTo marks of its snapshot. The next checkpoint ships
+	// only SAVED entries beyond those marks — the store holds the rest
+	// inside the base image, so re-shipping them buys nothing.
+	ckptBase  uint64
+	ckptMarks map[int]uint64
 
 	finished bool
 	finAcked bool
@@ -89,17 +96,18 @@ type V2 struct {
 	elQ    int
 	elBits map[int]uint
 
-	// Checkpoint push state, mirroring the event-logger machinery.
-	csTargets    []int
-	csIdx        int
-	csStrikes    int
-	ckptPending  map[uint64][]byte // seq → encoded KCkptSave payload
-	ckptSent     map[uint64]time.Duration
-	ckptAttempts map[uint64]int
-	ckptTimer    uint64
-	csQ          int
-	ckptAcks     map[uint64]uint64 // seq → replica ack bitmask (quorum mode)
-	csBits       map[int]uint
+	// Checkpoint push state, mirroring the event-logger ring: in-flight
+	// checkpoints live in ckptRing ascending by seq, each streaming as
+	// individually acked chunks, and retire strictly from the front so
+	// ckptDone, the delta base and the KCkptNote GC horizons advance in
+	// submission order exactly as the stop-and-wait path did.
+	csTargets []int
+	csIdx     int
+	csStrikes int
+	ckptRing  []ckptXfer
+	ckptTimer uint64
+	csQ       int
+	csBits    map[int]uint
 
 	// Pull recovery: when the daemon starves waiting for a deliverable
 	// message on a lossy fabric, it re-announces its delivered horizon
@@ -118,15 +126,10 @@ type V2 struct {
 // actors, and returns the Device for the MPI process.
 func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	d := &V2{
-		rt:           rt,
-		cfg:          cfg,
-		st:           core.NewState(cfg.Rank),
-		ckptVectors:  make(map[uint64]map[int]uint64),
-		timers:       make(map[uint64]func()),
-		ckptPending:  make(map[uint64][]byte),
-		ckptSent:     make(map[uint64]time.Duration),
-		ckptAttempts: make(map[uint64]int),
-		ckptAcks:     make(map[uint64]uint64),
+		rt:     rt,
+		cfg:    cfg,
+		st:     core.NewState(cfg.Rank),
+		timers: make(map[uint64]func()),
 	}
 	d.elSeq = cfg.Incarnation << 32
 	d.ckptSeq = cfg.Incarnation << 32
@@ -312,7 +315,19 @@ func (d *V2) recover() {
 		}
 		return true
 	}
+	// Fast path first: fetch the image manifest from a read quorum, then
+	// pull the chunks in parallel across the replicas serving
+	// byte-identical copies, re-fetching only damaged chunks. Any
+	// failure falls back to the whole-image paths below.
+	fetched := false
+	if len(d.csTargets) > 0 && d.ckptChunkSize() > 0 {
+		if im := d.fetchImageChunked(); im != nil {
+			d.restoreImage(im)
+			fetched = true
+		}
+	}
 	switch {
+	case fetched:
 	case d.csQ > 0:
 		// Read quorum: R−Q+1 replies intersect every write quorum, so
 		// at least one carries the newest durable image; take the
@@ -463,6 +478,140 @@ func (d *V2) restoreImage(im *ckpt.Image) {
 		d.ckptSeq = im.Seq
 		d.ckptDone = im.Seq
 	}
+	// The restored image is the store's materialized latest: it is a
+	// valid base for this incarnation's first delta, and its SeqTo
+	// vector bounds what that delta may omit.
+	d.ckptBase = im.Seq
+	d.ckptMarks = sn.SeqTo
+}
+
+// fetchImageChunked is the restart fast path: gather image manifests
+// from a read quorum, group the replicas by (seq, image CRC) so chunks
+// are only mixed across byte-identical copies, then pull the chunks of
+// the best group in parallel. Returns nil when anything falls short —
+// the caller falls back to the whole-image fetch.
+func (d *V2) fetchImageChunked() *ckpt.Image {
+	cs := d.ckptChunkSize()
+	need := 1
+	if d.csQ > 0 {
+		need = len(d.csTargets) - d.csQ + 1
+	}
+	d.stats.ManifestFetches++
+	req := wire.EncodeU32(uint32(cs))
+	valid := func(resp []byte) bool {
+		_, err := wire.DecodeCkptManifest(resp)
+		return err == nil
+	}
+	replies := d.gatherQuorum(d.csTargets, need, wire.KCkptManifestReq, req, wire.KCkptManifest, valid)
+
+	type group struct {
+		seq uint64
+		crc uint32
+	}
+	servers := make(map[group][]int)
+	manifests := make(map[group]wire.CkptManifest)
+	for from, resp := range replies {
+		m, err := wire.DecodeCkptManifest(resp)
+		if err != nil || !m.Present || m.ChunkSize != uint32(cs) {
+			continue
+		}
+		g := group{m.Seq, m.ImageCRC}
+		servers[g] = append(servers[g], from)
+		manifests[g] = m
+	}
+	var best group
+	found := false
+	for g := range servers {
+		if !found || g.seq > best.seq ||
+			(g.seq == best.seq && len(servers[g]) > len(servers[best])) {
+			best, found = g, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	m := manifests[best]
+	from := servers[best]
+	sort.Ints(from) // deterministic chunk→replica assignment
+	img := d.fetchChunks(m, from)
+	if img == nil {
+		return nil
+	}
+	im, err := ckpt.DecodeImage(img)
+	if err != nil || im.BaseSeq != 0 {
+		d.stats.CorruptImages++
+		return nil
+	}
+	return im
+}
+
+// fetchChunks pulls every chunk the manifest describes, spreading the
+// requests round-robin across the group's replicas — all holding
+// byte-identical images, so any replica can serve any chunk — and
+// validating each against its manifest CRC. Each retry round rotates
+// the assignment and re-requests only the chunks still missing or
+// received damaged.
+func (d *V2) fetchChunks(m wire.CkptManifest, from []int) []byte {
+	n := m.Chunks()
+	parts := make([][]byte, n)
+	got := 0
+	to := d.fetchTimeout()
+	if to <= 0 {
+		to = defFetchTimeout // the bounded fast path cannot block forever
+	}
+	bo := d.backoff(to)
+	for attempt := 0; got < n; attempt++ {
+		if attempt > d.restartRetries() {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if parts[i] != nil {
+				continue
+			}
+			if attempt > 0 {
+				d.stats.Retransmits++
+			}
+			t := from[(i+attempt)%len(from)]
+			d.ep.Send(t, wire.KCkptChunkFetch,
+				wire.AppendCkptChunkFetch(wire.GetBuf(wire.CkptChunkFetchLen), m.Seq, uint32(i), m.ChunkSize))
+		}
+		deadline := d.rt.Now() + bo.Delay(attempt)
+		for d.rt.Now() < deadline && got < n {
+			f, ok := d.awaitAnyFrame(deadline - d.rt.Now())
+			if !ok {
+				break
+			}
+			if f.Kind != wire.KCkptChunkData {
+				d.recoverPending = append(d.recoverPending, f)
+				continue
+			}
+			seq, idx, count, body, err := wire.DecodeCkptChunk(f.Data)
+			if err != nil || seq != m.Seq || int(count) != n || int(idx) >= n {
+				d.stats.Malformed++
+				continue
+			}
+			if parts[idx] != nil {
+				continue // duplicate
+			}
+			if crc32.ChecksumIEEE(body) != m.ChunkCRCs[idx] {
+				// Damaged past the frame CRC, or a different image's
+				// bytes: drop it and re-fetch just this chunk.
+				d.stats.CorruptImages++
+				continue
+			}
+			parts[idx] = append([]byte(nil), body...)
+			got++
+		}
+	}
+	img := make([]byte, 0, int(m.Size))
+	for _, p := range parts {
+		img = append(img, p...)
+	}
+	if uint64(len(img)) != m.Size || crc32.ChecksumIEEE(img) != m.ImageCRC {
+		d.stats.CorruptImages++
+		return nil
+	}
+	return img
 }
 
 // isTarget reports whether node is one of the configured targets — a
@@ -749,53 +898,46 @@ func (d *V2) handleFrame(f transport.Frame) {
 		}
 
 	case wire.KCkptSaveAck:
+		// A save ack means the server verified and stored a FULL image
+		// for this seq — either a legacy monolithic save or an escalated
+		// transfer — so the replica holds the checkpoint regardless of
+		// which chunks it acked.
 		seq, err := wire.DecodeU64(f.Data)
 		if err != nil {
 			d.stats.Malformed++
 			return
 		}
 		wire.PutBuf(f.Data) // seq is copied out; the frame is dead
-		if _, ok := d.ckptPending[seq]; !ok {
-			return // duplicate ack, or ack of a dead incarnation's save
+		bit, inGroup := d.csBits[f.From]
+		if !inGroup {
+			return // acks from nodes outside the replica group cannot count
 		}
-		if d.csQ > 0 {
-			// The checkpoint is durable only once the write quorum holds
-			// a verified copy; servers never ack a damaged image, so each
-			// ack below counts a replica with an intact one. Acks from
-			// nodes outside the replica group cannot count.
-			bit, inGroup := d.csBits[f.From]
-			if !inGroup {
-				return
-			}
-			acks := d.ckptAcks[seq] | 1<<bit
-			d.ckptAcks[seq] = acks
-			if bits.OnesCount64(acks) < d.csQ {
-				return
-			}
-			d.stats.QuorumAcks++
-			delete(d.ckptAcks, seq)
+		if x := d.findXfer(seq); x != nil && x.fullAcked&(1<<bit) == 0 {
+			x.fullAcked |= 1 << bit
+			d.csStrikes = 0
+			d.completeCkpt(x)
 		}
-		delete(d.ckptPending, seq)
-		delete(d.ckptSent, seq)
-		delete(d.ckptAttempts, seq)
-		d.csStrikes = 0
-		if seq <= d.ckptDone {
+
+	case wire.KCkptChunkAck:
+		seq, idx, err := wire.DecodeCkptChunkAck(f.Data)
+		if err != nil {
+			d.stats.Malformed++
 			return
 		}
-		d.ckptDone = seq
-		vec := d.ckptVectors[seq]
-		for s := range d.ckptVectors {
-			if s <= seq {
-				delete(d.ckptVectors, s)
-			}
+		wire.PutBuf(f.Data) // fields are copied out; the frame is dead
+		bit, inGroup := d.csBits[f.From]
+		if !inGroup {
+			return
 		}
-		// §4.6.1: notify every peer of the checkpointed horizon so
-		// they can garbage-collect their SAVED copies.
-		for q := 0; q < d.cfg.Size; q++ {
-			if q == d.cfg.Rank {
-				continue
-			}
-			d.ep.Send(q, wire.KCkptNote, wire.EncodeU64(vec[q]))
+		// Chunk acks suppress retransmission of that chunk to that
+		// replica; they never complete a transfer. Completion rides only
+		// on KCkptSaveAck: the store sends it once the assembled image
+		// verified and materialized, so per-chunk acks left behind by a
+		// replica that died mid-transfer cannot fake durability.
+		if x := d.findXfer(seq); x != nil && int(idx) < len(x.chunks) &&
+			x.chunks[idx].acked&(1<<bit) == 0 {
+			x.chunks[idx].acked |= 1 << bit
+			d.csStrikes = 0
 		}
 
 	case wire.KFinalizeAck:
@@ -1284,6 +1426,75 @@ func (d *V2) doProbe() {
 	d.reply(rankResp{flag: false})
 }
 
+// --- Checkpoint transfer ring ---------------------------------------------
+
+// defCkptChunk is the default chunk size of the chunked transfer.
+const defCkptChunk = 16 << 10
+
+func (d *V2) ckptChunkSize() int {
+	if d.cfg.CkptChunkSize == 0 {
+		return defCkptChunk
+	}
+	return d.cfg.CkptChunkSize // negative: monolithic saves
+}
+
+// ckptChunk is one retained chunk frame of an in-flight transfer. The
+// frame buffer is shared with every (re)transmission of the chunk and
+// is therefore never recycled — the same ownership rule the monolithic
+// KCkptSave payload had.
+type ckptChunk struct {
+	frame []byte
+	acked uint64 // replica ack bitmask (csBits)
+}
+
+// ckptXfer is one in-flight checkpoint in the ring. The full protocol
+// snapshot is retained for three jobs that outlive the delta encoding:
+// the KCkptNote GC horizons and the next delta's base marks at
+// retirement, and the escalation path — after repeated silence the
+// daemon abandons the chunked delta and ships a monolithic full image,
+// so liveness never depends on a replica holding the delta's base.
+type ckptXfer struct {
+	seq       uint64
+	sn        *core.Snapshot
+	appState  []byte
+	chunks    []ckptChunk
+	fullAcked uint64 // replicas that acked a FULL image (KCkptSaveAck)
+	full      []byte // encoded monolithic KCkptSave payload, lazily built
+	sent      time.Duration
+	attempts  int
+	escalated bool
+	isDelta   bool
+	done      bool // complete, waiting for older transfers to retire
+}
+
+// heldBy reports whether the replica behind bit holds the full image:
+// it sent a KCkptSaveAck — after a monolithic save, or after its store
+// verified and materialized a completed chunk assembly. Per-chunk acks
+// deliberately do NOT count: a replica respawned empty mid-transfer
+// still looks all-chunks-acked to us, but holds nothing.
+func (x *ckptXfer) heldBy(bit uint) bool {
+	return x.fullAcked&(1<<bit) != 0
+}
+
+// holders is the bitmask of replicas holding the full image.
+func (x *ckptXfer) holders() uint64 { return x.fullAcked }
+
+// findXfer locates an in-flight transfer by seq; the ring is ascending,
+// so the scan stops early. nil means a duplicate ack or a dead
+// incarnation's.
+func (d *V2) findXfer(seq uint64) *ckptXfer {
+	for i := range d.ckptRing {
+		x := &d.ckptRing[i]
+		if x.seq > seq {
+			return nil
+		}
+		if x.seq == seq && !x.done {
+			return x
+		}
+	}
+	return nil
+}
+
 func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptFlag.Store(false)
 	if len(d.csTargets) == 0 {
@@ -1293,55 +1504,155 @@ func (d *V2) doCheckpoint(appState []byte) {
 	d.ckptSeq++
 	seq := d.ckptSeq
 	sn := d.st.Snapshot()
-	proto, err := sn.Encode()
-	if err != nil {
-		panic(fmt.Sprintf("daemon: rank %d: snapshot encode: %v", d.cfg.Rank, err))
-	}
-	im := &ckpt.Image{Rank: d.cfg.Rank, Seq: seq, AppState: appState, Proto: proto}
-	img, err := im.Encode()
-	if err != nil {
-		panic(fmt.Sprintf("daemon: rank %d: image encode: %v", d.cfg.Rank, err))
-	}
-	vec := make(map[int]uint64, len(sn.HR))
-	for k, v := range sn.HR {
-		vec[k] = v
-	}
-	d.ckptVectors[seq] = vec
 	d.schedSent, d.schedRecv = 0, 0
-	// The transfer is asynchronous: execution continues while the
-	// image streams to the checkpoint server (the paper's fork trick),
-	// and unacknowledged saves are retransmitted like event batches.
-	payload := wire.EncodeCkptSave(seq, img)
-	d.ckptPending[seq] = payload
-	d.ckptSent[seq] = d.rt.Now()
-	d.ckptAttempts[seq] = 0
-	if d.csQ > 0 {
-		for _, t := range d.csTargets {
-			d.ep.Send(t, wire.KCkptSave, payload)
+
+	// Delta capture: once a checkpoint has been retired, its SeqTo
+	// marks bound what the store already holds — entries at or below a
+	// mark live inside the base image and need not travel again.
+	var marks map[int]uint64
+	var baseSeq uint64
+	if !d.cfg.CkptNoDelta && d.ckptBase != 0 && d.ckptMarks != nil {
+		marks, baseSeq = d.ckptMarks, d.ckptBase
+	}
+	var protoSize int
+	if marks != nil {
+		protoSize = core.SnapshotDeltaSize(sn, marks)
+	} else {
+		protoSize = core.SnapshotSize(sn)
+	}
+	proto := core.AppendSnapshotDelta(wire.GetBuf(protoSize), sn, marks)
+	im := &ckpt.Image{Rank: d.cfg.Rank, Seq: seq, BaseSeq: baseSeq, AppState: appState, Proto: proto}
+	img := ckpt.AppendImage(wire.GetBuf(ckpt.ImageSize(im)), im)
+	wire.PutBuf(proto) // copied into img
+
+	x := ckptXfer{seq: seq, sn: sn, appState: appState, isDelta: baseSeq != 0, sent: d.rt.Now()}
+	if cs := d.ckptChunkSize(); cs > 0 {
+		n := (len(img) + cs - 1) / cs
+		x.chunks = make([]ckptChunk, n)
+		for i := range x.chunks {
+			lo := i * cs
+			hi := min(lo+cs, len(img))
+			body := img[lo:hi]
+			x.chunks[i].frame = wire.AppendCkptChunk(
+				wire.GetBuf(wire.CkptChunkSize(len(body))), seq, uint32(i), uint32(n), body)
 		}
 	} else {
-		d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, payload)
+		// Monolithic mode: the whole image as one legacy KCkptSave.
+		x.escalated = true
+		x.full = wire.EncodeCkptSave(seq, img)
 	}
 	d.stats.Checkpoints++
 	d.stats.CkptBytes += int64(len(img))
+	if x.isDelta {
+		d.stats.DeltaCkpts++
+	}
+	wire.PutBuf(img) // copied into the chunk frames / the full payload
+
+	// The transfer is asynchronous: execution continues while the image
+	// streams to the checkpoint servers (the paper's fork trick), and
+	// unacknowledged chunks are retransmitted like event batches.
+	d.ckptRing = append(d.ckptRing, x)
+	xp := &d.ckptRing[len(d.ckptRing)-1]
+	if d.csQ > 0 {
+		for _, t := range d.csTargets {
+			d.sendXfer(xp, t)
+		}
+	} else {
+		d.sendXfer(xp, d.csTargets[d.csIdx])
+	}
 	d.armCkpt()
 	d.reply(rankResp{})
 }
 
-// armCkpt mirrors armEL for checkpoint saves.
+// sendXfer ships a transfer to one server: nothing if it already holds
+// the image, the monolithic payload when escalated, else every chunk
+// the server has not acked, in ascending chunk order.
+func (d *V2) sendXfer(x *ckptXfer, t int) {
+	bit := d.csBits[t]
+	if x.fullAcked&(1<<bit) != 0 {
+		return
+	}
+	if x.escalated {
+		d.ep.Send(t, wire.KCkptSave, x.full)
+		return
+	}
+	for i := range x.chunks {
+		if x.chunks[i].acked&(1<<bit) == 0 {
+			d.ep.Send(t, wire.KCkptChunk, x.chunks[i].frame)
+		}
+	}
+}
+
+// completeCkpt marks a transfer done once enough replicas hold the full
+// image — one in legacy mode, the write quorum in quorum mode — and
+// retires the ring front.
+func (d *V2) completeCkpt(x *ckptXfer) {
+	h := x.holders()
+	if d.csQ > 0 {
+		if bits.OnesCount64(h) < d.csQ {
+			return
+		}
+		d.stats.QuorumAcks++
+	} else if h == 0 {
+		return
+	}
+	x.done = true
+	d.retireCkpt()
+}
+
+// retireCkpt pops completed transfers off the front of the ring in
+// submission order: each advances ckptDone, installs itself as the next
+// delta base, and broadcasts the §4.6.1 KCkptNote GC horizons — exactly
+// the effects the stop-and-wait ack handler had, still strictly
+// in-order.
+func (d *V2) retireCkpt() {
+	n := 0
+	for n < len(d.ckptRing) && d.ckptRing[n].done {
+		x := &d.ckptRing[n]
+		n++
+		if x.seq <= d.ckptDone {
+			continue
+		}
+		d.ckptDone = x.seq
+		d.ckptBase = x.seq
+		d.ckptMarks = x.sn.SeqTo
+		for q := 0; q < d.cfg.Size; q++ {
+			if q == d.cfg.Rank {
+				continue
+			}
+			d.ep.Send(q, wire.KCkptNote, wire.EncodeU64(x.sn.HR[q]))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	d.ckptRing = append(d.ckptRing[:0], d.ckptRing[n:]...)
+	if len(d.ckptRing) == 0 {
+		d.ckptRing = nil
+	}
+}
+
+// armCkpt mirrors armEL: one timer for the earliest deadline among
+// in-flight transfers.
 func (d *V2) armCkpt() {
 	to := d.ckptAckTimeout()
-	if d.ckptTimer != 0 || to <= 0 || len(d.ckptPending) == 0 {
+	if d.ckptTimer != 0 || to <= 0 {
 		return
 	}
 	bo := d.backoff(to)
 	var min time.Duration
 	first := true
-	for seq := range d.ckptPending {
-		dl := d.ckptSent[seq] + bo.Delay(d.ckptAttempts[seq])
-		if first || dl < min {
+	for i := range d.ckptRing {
+		x := &d.ckptRing[i]
+		if x.done {
+			continue
+		}
+		if dl := x.sent + bo.Delay(x.attempts); first || dl < min {
 			min, first = dl, false
 		}
+	}
+	if first {
+		return // nothing awaiting acks
 	}
 	delay := min - d.rt.Now()
 	if delay < 0 {
@@ -1350,6 +1661,12 @@ func (d *V2) armCkpt() {
 	d.ckptTimer = d.after(delay, d.ckptExpired)
 }
 
+// ckptExpired walks the ring front to back (ascending seq — no
+// sort.Slice over a map needed) and retransmits only what is missing:
+// per replica, the chunks it has not acked. After failoverAfter silent
+// rounds a transfer escalates to a monolithic full image, which cannot
+// chain-break at the store; legacy mode additionally rotates to a
+// backup server, whereupon all chunks are missing there by definition.
 func (d *V2) ckptExpired() {
 	d.ckptTimer = 0
 	to := d.ckptAckTimeout()
@@ -1358,21 +1675,20 @@ func (d *V2) ckptExpired() {
 	}
 	bo := d.backoff(to)
 	now := d.rt.Now()
-	seqs := make([]uint64, 0, len(d.ckptPending))
-	for seq := range d.ckptPending {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		if d.ckptSent[seq]+bo.Delay(d.ckptAttempts[seq]) > now {
+	for i := range d.ckptRing {
+		x := &d.ckptRing[i]
+		if x.done || x.sent+bo.Delay(x.attempts) > now {
 			continue
 		}
-		d.ckptAttempts[seq]++
-		d.ckptSent[seq] = now
+		x.attempts++
+		x.sent = now
+		if !x.escalated && x.attempts >= d.failoverAfter() {
+			d.escalateCkpt(x)
+		}
 		if d.csQ > 0 {
 			for _, t := range d.csTargets {
-				if d.ckptAcks[seq]&(1<<d.csBits[t]) == 0 {
-					d.ep.Send(t, wire.KCkptSave, d.ckptPending[seq])
+				if !x.heldBy(d.csBits[t]) {
+					d.resendXfer(x, t)
 				}
 			}
 			d.stats.Retransmits++
@@ -1384,8 +1700,46 @@ func (d *V2) ckptExpired() {
 			d.csStrikes = 0
 			d.stats.Failovers++
 		}
-		d.ep.Send(d.csTargets[d.csIdx], wire.KCkptSave, d.ckptPending[seq])
+		d.resendXfer(x, d.csTargets[d.csIdx])
 		d.stats.Retransmits++
 	}
 	d.armCkpt()
+}
+
+// resendXfer is sendXfer plus the retransmit accounting.
+func (d *V2) resendXfer(x *ckptXfer, t int) {
+	bit := d.csBits[t]
+	if x.fullAcked&(1<<bit) != 0 {
+		return
+	}
+	if x.escalated {
+		d.ep.Send(t, wire.KCkptSave, x.full)
+		return
+	}
+	for i := range x.chunks {
+		if x.chunks[i].acked&(1<<bit) == 0 {
+			d.ep.Send(t, wire.KCkptChunk, x.chunks[i].frame)
+			d.stats.ChunkRetransmits++
+		}
+	}
+}
+
+// escalateCkpt abandons the chunked delta for a transfer the servers
+// will not complete — a replica missing the delta's base, or chunks
+// vanishing faster than selective retransmit can replace them — and
+// encodes the retained full snapshot as one monolithic KCkptSave. The
+// store accepts it unconditionally (no chain to follow), restoring the
+// pre-delta liveness guarantee.
+func (d *V2) escalateCkpt(x *ckptXfer) {
+	x.escalated = true
+	if x.full != nil {
+		return
+	}
+	proto := core.AppendSnapshot(wire.GetBuf(core.SnapshotSize(x.sn)), x.sn)
+	im := &ckpt.Image{Rank: d.cfg.Rank, Seq: x.seq, AppState: x.appState, Proto: proto}
+	img := ckpt.AppendImage(wire.GetBuf(ckpt.ImageSize(im)), im)
+	wire.PutBuf(proto)
+	x.full = wire.EncodeCkptSave(x.seq, img)
+	d.stats.CkptBytes += int64(len(img)) // the full image ships after all
+	wire.PutBuf(img)
 }

@@ -30,6 +30,9 @@ func TestAppendCodecsZeroAlloc(t *testing.T) {
 	ackBuf := make([]byte, 0, eventAckLen)
 	evBuf := make([]byte, 0, EventLogSize(len(evs)))
 	plBuf := make([]byte, 0, PayloadSize(len(body)))
+	chBuf := make([]byte, 0, CkptChunkSize(len(body)))
+	caBuf := make([]byte, 0, CkptChunkAckLen)
+	cfBuf := make([]byte, 0, CkptChunkFetchLen)
 
 	cases := []struct {
 		name string
@@ -39,6 +42,9 @@ func TestAppendCodecsZeroAlloc(t *testing.T) {
 		{"AppendEvents", func() { evBuf = AppendEvents(evBuf[:0], evs) }},
 		{"AppendEventLog", func() { evBuf = AppendEventLog(evBuf[:0], 42, evs) }},
 		{"AppendEventAck", func() { ackBuf = AppendEventAck(ackBuf[:0], 42, 41) }},
+		{"AppendCkptChunk", func() { chBuf = AppendCkptChunk(chBuf[:0], 42, 3, 9, body) }},
+		{"AppendCkptChunkAck", func() { caBuf = AppendCkptChunkAck(caBuf[:0], 42, 3) }},
+		{"AppendCkptChunkFetch", func() { cfBuf = AppendCkptChunkFetch(cfBuf[:0], 42, 3, 4096) }},
 	}
 	for _, c := range cases {
 		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {

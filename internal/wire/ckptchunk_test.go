@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCkptChunkRoundTrip(t *testing.T) {
+	body := bytes.Repeat([]byte{0xAB, 1, 2}, 100)
+	frame := AppendCkptChunk(nil, 77, 3, 9, body)
+	if len(frame) != CkptChunkSize(len(body)) {
+		t.Errorf("frame is %d bytes, CkptChunkSize promises %d", len(frame), CkptChunkSize(len(body)))
+	}
+	seq, idx, count, got, err := DecodeCkptChunk(frame)
+	if err != nil || seq != 77 || idx != 3 || count != 9 || !bytes.Equal(got, body) {
+		t.Fatalf("round trip = (%d, %d, %d, %v)", seq, idx, count, err)
+	}
+	// Empty body (the last chunk of an image that divides evenly never
+	// is, but the frame must still be well-formed).
+	if _, _, _, got, err = DecodeCkptChunk(AppendCkptChunk(nil, 1, 0, 1, nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty-body chunk: %v", err)
+	}
+}
+
+func TestDecodeCkptChunkRejectsDamage(t *testing.T) {
+	frame := AppendCkptChunk(nil, 77, 3, 9, bytes.Repeat([]byte{5}, 64))
+	for cut := 0; cut < len(frame); cut += 5 {
+		if _, _, _, _, err := DecodeCkptChunk(frame[:cut]); err == nil {
+			t.Fatalf("chunk truncated to %d of %d bytes decoded", cut, len(frame))
+		}
+	}
+	for _, pos := range []int{0, 10, 30, len(frame) - 1} {
+		flipped := append([]byte(nil), frame...)
+		flipped[pos] ^= 0x04
+		if _, _, _, _, err := DecodeCkptChunk(flipped); err == nil {
+			t.Fatalf("chunk with bit flip at %d decoded", pos)
+		}
+	}
+	// Geometry: idx must be below count, and count must be nonzero.
+	if _, _, _, _, err := DecodeCkptChunk(AppendCkptChunk(nil, 1, 9, 9, []byte("x"))); err == nil {
+		t.Error("chunk with idx == count decoded")
+	}
+	if _, _, _, _, err := DecodeCkptChunk(AppendCkptChunk(nil, 1, 0, 0, []byte("x"))); err == nil {
+		t.Error("chunk with zero count decoded")
+	}
+}
+
+func TestCkptChunkAckAndFetchRoundTrip(t *testing.T) {
+	seq, idx, err := DecodeCkptChunkAck(AppendCkptChunkAck(nil, 42, 7))
+	if err != nil || seq != 42 || idx != 7 {
+		t.Fatalf("ack round trip = (%d, %d, %v)", seq, idx, err)
+	}
+	if _, _, err := DecodeCkptChunkAck(make([]byte, CkptChunkAckLen-1)); err == nil {
+		t.Error("short chunk ack decoded")
+	}
+	seq, idx, cs, err := DecodeCkptChunkFetch(AppendCkptChunkFetch(nil, 42, 7, 4096))
+	if err != nil || seq != 42 || idx != 7 || cs != 4096 {
+		t.Fatalf("fetch round trip = (%d, %d, %d, %v)", seq, idx, cs, err)
+	}
+	if _, _, _, err := DecodeCkptChunkFetch(make([]byte, CkptChunkFetchLen+1)); err == nil {
+		t.Error("long chunk fetch decoded")
+	}
+}
+
+func TestCkptManifestRoundTrip(t *testing.T) {
+	m := CkptManifest{
+		Present: true, Seq: 9, Size: 1000, ChunkSize: 256,
+		ImageCRC:  0xDEADBEEF,
+		ChunkCRCs: []uint32{1, 2, 3, 4},
+	}
+	got, err := DecodeCkptManifest(EncodeCkptManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Present || got.Seq != 9 || got.Size != 1000 || got.ChunkSize != 256 ||
+		got.ImageCRC != 0xDEADBEEF || len(got.ChunkCRCs) != 4 || got.ChunkCRCs[3] != 4 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.Chunks() != 4 {
+		t.Errorf("Chunks() = %d, want 4", got.Chunks())
+	}
+	// Absent manifest (empty replica) round-trips too.
+	got, err = DecodeCkptManifest(EncodeCkptManifest(CkptManifest{}))
+	if err != nil || got.Present {
+		t.Errorf("absent manifest = (%+v, %v)", got, err)
+	}
+}
+
+func TestDecodeCkptManifestRejectsBadGeometry(t *testing.T) {
+	enc := func(m CkptManifest) []byte { return EncodeCkptManifest(m) }
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", enc(CkptManifest{Present: true, Seq: 1, Size: 10, ChunkSize: 4, ChunkCRCs: []uint32{1, 2, 3}})[:9]},
+		{"zero chunk size", enc(CkptManifest{Present: true, Seq: 1, Size: 10, ChunkSize: 0, ChunkCRCs: []uint32{1, 2, 3}})},
+		{"too few chunks", enc(CkptManifest{Present: true, Seq: 1, Size: 100, ChunkSize: 4, ChunkCRCs: []uint32{1, 2}})},
+		{"too many chunks", enc(CkptManifest{Present: true, Seq: 1, Size: 10, ChunkSize: 8, ChunkCRCs: []uint32{1, 2, 3, 4}})},
+		{"no chunks", enc(CkptManifest{Present: true, Seq: 1, Size: 10, ChunkSize: 8})},
+	}
+	for _, c := range cases {
+		if _, err := DecodeCkptManifest(c.data); err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+		}
+	}
+}

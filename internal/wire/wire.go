@@ -8,6 +8,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -62,6 +63,18 @@ const (
 	KELSyncResp // data: per-node event batches above the marks
 	KCSSyncReq  // data: sync marks (rank → checkpoint seq high-water)
 	KCSSyncResp // data: checkpoint entries above the marks
+
+	// Chunked checkpoint transfer (appended after KCSSyncResp, same
+	// numbering-stability reason). The save path streams an image as
+	// fixed-size chunks, each acked individually; the restart fast path
+	// fetches a manifest first and then pulls chunks across the read
+	// quorum.
+	KCkptChunk       // data: chunk frame (magic + seq/idx/count + len + CRC + body)
+	KCkptChunkAck    // data: u64 seq + u32 chunk index
+	KCkptManifestReq // data: u32 desired chunk size
+	KCkptManifest    // data: CkptManifest (present, seq, size, per-chunk CRCs)
+	KCkptChunkFetch  // data: u64 seq + u32 index + u32 chunk size
+	KCkptChunkData   // data: chunk frame, same encoding as KCkptChunk
 )
 
 // KindName returns a short human-readable name for diagnostics.
@@ -77,6 +90,9 @@ func KindName(k uint8) string {
 		KCMPut: "cm-put", KCMGet: "cm-get", KCMMsg: "cm-msg",
 		KELSyncReq: "el-sync-req", KELSyncResp: "el-sync-resp",
 		KCSSyncReq: "cs-sync-req", KCSSyncResp: "cs-sync-resp",
+		KCkptChunk: "ckpt-chunk", KCkptChunkAck: "ckpt-chunk-ack",
+		KCkptManifestReq: "ckpt-manifest-req", KCkptManifest: "ckpt-manifest",
+		KCkptChunkFetch: "ckpt-chunk-fetch", KCkptChunkData: "ckpt-chunk-data",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -515,4 +531,180 @@ func DecodeCkptEntries(data []byte) ([]CkptEntry, error) {
 		return nil, fmt.Errorf("wire: ckpt entries have %d trailing bytes", len(data)-off)
 	}
 	return entries, nil
+}
+
+// --- Chunked checkpoint transfer ------------------------------------------
+
+// chunkMagic brands every checkpoint chunk frame: a chunk is
+// independently verifiable (magic, length, CRC-32) so a damaged chunk is
+// rejected — and left unacked, hence retransmitted — without waiting for
+// the whole image to assemble.
+var chunkMagic = [4]byte{'M', 'V', 'C', 'H'}
+
+// chunkHeaderLen is magic + seq + idx + count + body length + CRC-32.
+const chunkHeaderLen = 4 + 8 + 4 + 4 + 4 + 4
+
+// CkptChunkSize is the encoded size of a chunk frame with an n-byte body.
+func CkptChunkSize(n int) int { return chunkHeaderLen + n }
+
+// AppendCkptChunk appends one checkpoint chunk frame to dst: chunk idx
+// of count for checkpoint seq, carrying body bytes under their own
+// magic/length/CRC-32 framing. The checksum covers the routing fields
+// (seq, idx, count, body length) as well as the body: a bit flip that
+// would steer an intact body into the wrong assembly slot is rejected
+// at decode, not discovered after a whole image assembles corrupt. With
+// dst capacity of at least CkptChunkSize(len(body)) — e.g. a GetBuf
+// buffer — it performs no allocation. The same encoding serves the save
+// path (KCkptChunk) and the restart fetch path (KCkptChunkData).
+func AppendCkptChunk(dst []byte, seq uint64, idx, count uint32, body []byte) []byte {
+	start := len(dst)
+	var hdr [chunkHeaderLen]byte
+	copy(hdr[0:4], chunkMagic[:])
+	binary.BigEndian.PutUint64(hdr[4:12], seq)
+	binary.BigEndian.PutUint32(hdr[12:16], idx)
+	binary.BigEndian.PutUint32(hdr[16:20], count)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(len(body)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, body...)
+	// Checksum in place over dst (not over the stack header, which would
+	// escape through crc32's indirect call and cost an allocation).
+	sum := crc32.Update(crc32.ChecksumIEEE(dst[start+4:start+24]), crc32.IEEETable, dst[start+chunkHeaderLen:])
+	binary.BigEndian.PutUint32(dst[start+24:start+28], sum)
+	return dst
+}
+
+// DecodeCkptChunk parses a chunk frame, verifying magic, length framing
+// and the checksum over both routing fields and body. The body aliases
+// data.
+func DecodeCkptChunk(data []byte) (seq uint64, idx, count uint32, body []byte, err error) {
+	if len(data) < chunkHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("wire: chunk frame of %d bytes shorter than its header", len(data))
+	}
+	if !bytes.Equal(data[0:4], chunkMagic[:]) {
+		return 0, 0, 0, nil, fmt.Errorf("wire: bad chunk magic %x", data[0:4])
+	}
+	body = data[chunkHeaderLen:]
+	if n := binary.BigEndian.Uint32(data[20:24]); int(n) != len(body) {
+		return 0, 0, 0, nil, fmt.Errorf("wire: chunk body of %d bytes, framed as %d", len(body), n)
+	}
+	sum := crc32.Update(crc32.ChecksumIEEE(data[4:24]), crc32.IEEETable, body)
+	if sum != binary.BigEndian.Uint32(data[24:28]) {
+		return 0, 0, 0, nil, fmt.Errorf("wire: chunk checksum mismatch")
+	}
+	seq = binary.BigEndian.Uint64(data[4:12])
+	idx = binary.BigEndian.Uint32(data[12:16])
+	count = binary.BigEndian.Uint32(data[16:20])
+	if idx >= count || count == 0 {
+		return 0, 0, 0, nil, fmt.Errorf("wire: chunk index %d outside count %d", idx, count)
+	}
+	return seq, idx, count, body, nil
+}
+
+// CkptChunkAckLen is the encoded size of a KCkptChunkAck.
+const CkptChunkAckLen = 12
+
+// AppendCkptChunkAck appends a per-chunk receipt: the checkpoint seq and
+// the chunk index the server holds.
+func AppendCkptChunkAck(dst []byte, seq uint64, idx uint32) []byte {
+	var b [CkptChunkAckLen]byte
+	binary.BigEndian.PutUint64(b[0:8], seq)
+	binary.BigEndian.PutUint32(b[8:12], idx)
+	return append(dst, b[:]...)
+}
+
+// DecodeCkptChunkAck parses a KCkptChunkAck.
+func DecodeCkptChunkAck(data []byte) (seq uint64, idx uint32, err error) {
+	if len(data) != CkptChunkAckLen {
+		return 0, 0, fmt.Errorf("wire: chunk ack of %d bytes, want %d", len(data), CkptChunkAckLen)
+	}
+	return binary.BigEndian.Uint64(data), binary.BigEndian.Uint32(data[8:]), nil
+}
+
+// CkptChunkFetchLen is the encoded size of a KCkptChunkFetch.
+const CkptChunkFetchLen = 16
+
+// AppendCkptChunkFetch appends a restart-time chunk request: chunk idx
+// of the stored image at seq, cut at chunkSize bytes per chunk.
+func AppendCkptChunkFetch(dst []byte, seq uint64, idx, chunkSize uint32) []byte {
+	var b [CkptChunkFetchLen]byte
+	binary.BigEndian.PutUint64(b[0:8], seq)
+	binary.BigEndian.PutUint32(b[8:12], idx)
+	binary.BigEndian.PutUint32(b[12:16], chunkSize)
+	return append(dst, b[:]...)
+}
+
+// DecodeCkptChunkFetch parses a KCkptChunkFetch.
+func DecodeCkptChunkFetch(data []byte) (seq uint64, idx, chunkSize uint32, err error) {
+	if len(data) != CkptChunkFetchLen {
+		return 0, 0, 0, fmt.Errorf("wire: chunk fetch of %d bytes, want %d", len(data), CkptChunkFetchLen)
+	}
+	return binary.BigEndian.Uint64(data), binary.BigEndian.Uint32(data[8:]),
+		binary.BigEndian.Uint32(data[12:]), nil
+}
+
+// CkptManifest describes a stored checkpoint image so a restarting
+// daemon can pull it chunk by chunk: the image seq and total size, the
+// chunk size the per-chunk CRCs were computed at, a CRC over the whole
+// encoded image (used to group replicas serving byte-identical copies),
+// and one CRC-32 per chunk so each pulled chunk validates independently
+// and only damaged chunks are re-fetched.
+type CkptManifest struct {
+	Present   bool
+	Seq       uint64
+	Size      uint64
+	ChunkSize uint32
+	ImageCRC  uint32
+	ChunkCRCs []uint32
+}
+
+// Chunks returns the number of chunks the manifest describes.
+func (m CkptManifest) Chunks() int { return len(m.ChunkCRCs) }
+
+// EncodeCkptManifest serializes a manifest reply.
+func EncodeCkptManifest(m CkptManifest) []byte {
+	out := make([]byte, 1+8+8+4+4+4+4*len(m.ChunkCRCs))
+	if m.Present {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint64(out[1:9], m.Seq)
+	binary.BigEndian.PutUint64(out[9:17], m.Size)
+	binary.BigEndian.PutUint32(out[17:21], m.ChunkSize)
+	binary.BigEndian.PutUint32(out[21:25], m.ImageCRC)
+	binary.BigEndian.PutUint32(out[25:29], uint32(len(m.ChunkCRCs)))
+	off := 29
+	for _, c := range m.ChunkCRCs {
+		binary.BigEndian.PutUint32(out[off:], c)
+		off += 4
+	}
+	return out
+}
+
+// DecodeCkptManifest parses a manifest reply.
+func DecodeCkptManifest(data []byte) (CkptManifest, error) {
+	if len(data) < 29 {
+		return CkptManifest{}, fmt.Errorf("wire: manifest of %d bytes too short", len(data))
+	}
+	m := CkptManifest{
+		Present:   data[0] == 1,
+		Seq:       binary.BigEndian.Uint64(data[1:9]),
+		Size:      binary.BigEndian.Uint64(data[9:17]),
+		ChunkSize: binary.BigEndian.Uint32(data[17:21]),
+		ImageCRC:  binary.BigEndian.Uint32(data[21:25]),
+	}
+	n := int(binary.BigEndian.Uint32(data[25:29]))
+	if len(data) != 29+4*n {
+		return CkptManifest{}, fmt.Errorf("wire: manifest of %d bytes does not hold %d chunk CRCs", len(data), n)
+	}
+	if m.Present {
+		if n == 0 || m.ChunkSize == 0 || uint64(n-1)*uint64(m.ChunkSize) >= m.Size || uint64(n)*uint64(m.ChunkSize) < m.Size {
+			return CkptManifest{}, fmt.Errorf("wire: manifest geometry %d chunks × %d bytes cannot cover %d", n, m.ChunkSize, m.Size)
+		}
+	}
+	m.ChunkCRCs = make([]uint32, n)
+	off := 29
+	for i := range m.ChunkCRCs {
+		m.ChunkCRCs[i] = binary.BigEndian.Uint32(data[off:])
+		off += 4
+	}
+	return m, nil
 }
