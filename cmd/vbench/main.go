@@ -8,6 +8,8 @@
 //	vbench -exp all          # regenerate everything (slow)
 //	vbench -exp fig7 -quick  # trimmed sweeps
 //	vbench -exp perf -json   # write BENCH_perf.json instead of the table
+//	vbench -exp trace -json  # causal-tracing overhead, HB audit verdict and
+//	                         # critical-path breakdown (BENCH_trace.json)
 package main
 
 import (

@@ -52,6 +52,8 @@ func Experiments() []Experiment {
 			Data: func(q bool) (any, error) { return PerfData(q), nil }},
 		{ID: "ckpt", Title: "Ckpt: incremental chunked checkpointing, log × chunk × delta × drop", Run: CkptBench,
 			Data: func(q bool) (any, error) { return CkptBenchData(q), nil }},
+		{ID: "trace", Title: "Trace: causal tracing overhead, HB audit and critical-path breakdown", Run: TraceBench,
+			Data: func(q bool) (any, error) { return TraceData(q) }},
 	}
 }
 

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/mpi"
+	"mpichv/internal/trace"
+	"mpichv/internal/transport"
+)
+
+// Trace experiment: the observability subsystem turned on itself. One
+// seeded chaos scenario (quorum logging, chunked checkpointing, a
+// mid-run kill) runs twice — untraced and traced — pricing the tracing
+// overhead, then the traced run's causal record is fed through the
+// happens-before auditor and the critical-path extractor to report
+// where the virtual time of the slowest rank actually went: compute,
+// EL ack stalls, recovery, or transfer.
+
+// TracePathRow is one rank's critical-path decomposition, in
+// microseconds for stable JSON.
+type TracePathRow struct {
+	Rank       int
+	ComputeUS  int64
+	CommUS     int64
+	ELWaitUS   int64
+	RecoveryUS int64
+	TransferUS int64
+	TotalUS    int64
+}
+
+// TraceReport is the structured result (BENCH_trace.json).
+type TraceReport struct {
+	// Overhead: same scenario with tracing off and on. The traced run
+	// carries span ids on the wire, so a small virtual-time delta is
+	// expected; OverheadPct prices it.
+	UntracedUS  int64
+	TracedUS    int64
+	OverheadPct float64
+
+	// Trace volume.
+	Events  int
+	Dropped int64
+
+	// Happens-before audit verdict over the traced run.
+	AuditOK      bool
+	AuditSummary string
+
+	// Protocol transition counts.
+	Sends      int
+	Deliveries int
+	Durables   int
+	Replays    int
+	Restarts   int
+
+	// Critical path: per-rank decomposition plus the slowest rank and
+	// the share of its time spent waiting on event-logger acks.
+	CriticalPath []TracePathRow
+	CriticalRank int
+	ELWaitShare  float64
+
+	// The run's uniform metrics registry.
+	Metrics trace.Snapshot
+}
+
+// traceScenario is the workload both runs share: a token ring under
+// seeded link chaos with quorum event logging, continuous chunked
+// checkpointing and one mid-run kill, so the trace exercises every
+// recorded transition (send, deliver, durable, waitlogged, ckpt,
+// gc-note, replay, restart).
+func traceScenario(rounds int, traced bool) (cluster.Result, []uint64) {
+	finals := make([]uint64, 4)
+	res := cluster.Run(cluster.Config{
+		Impl: cluster.V2, N: 4,
+		ELReplicas:     3,
+		Checkpointing:  true,
+		SchedPeriod:    2 * time.Millisecond,
+		CkptChunk:      64,
+		DetectionDelay: 2 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 41, Drop: 0.01, Delay: 0.02, MaxDelay: 200 * time.Microsecond},
+		Faults:         []dispatcher.Fault{{Time: 12 * time.Millisecond, Rank: 2}},
+		Trace:          traced,
+	}, traceRing(rounds, finals))
+	return res, finals
+}
+
+// traceRing is a checkpointable token ring: each round passes the
+// accumulating token and burns some compute so the critical-path
+// extractor has a nonzero Compute bucket to decompose against.
+func traceRing(rounds int, finals []uint64) cluster.Program {
+	return func(p *mpi.Proc) {
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		state := struct {
+			Round int
+			Token uint64
+		}{}
+		p.SetStateProvider(func() []byte {
+			buf := make([]byte, 16)
+			binary.BigEndian.PutUint64(buf, uint64(state.Round))
+			binary.BigEndian.PutUint64(buf[8:], state.Token)
+			return buf
+		})
+		if blob, restarted := p.Restarted(); restarted && blob != nil {
+			state.Round = int(binary.BigEndian.Uint64(blob))
+			state.Token = binary.BigEndian.Uint64(blob[8:])
+		}
+		buf := make([]byte, 8)
+		for ; state.Round < rounds; state.Round++ {
+			p.CheckpointPoint()
+			p.Compute(5e4)
+			if p.Rank() == 0 {
+				binary.BigEndian.PutUint64(buf, state.Token+1)
+				p.Send(right, 1, buf)
+				b, _ := p.Recv(left, 1)
+				state.Token = binary.BigEndian.Uint64(b)
+			} else {
+				b, _ := p.Recv(left, 1)
+				state.Token = binary.BigEndian.Uint64(b) + 1
+				binary.BigEndian.PutUint64(buf, state.Token)
+				p.Send(right, 1, buf)
+			}
+		}
+		finals[p.Rank()] = state.Token
+	}
+}
+
+// TraceData runs the experiment and returns the structured report.
+func TraceData(quick bool) (TraceReport, error) {
+	rounds := 40
+	if quick {
+		rounds = 15
+	}
+	plain, pf := traceScenario(rounds, false)
+	traced, tf := traceScenario(rounds, true)
+	for r := range pf {
+		if pf[r] != tf[r] {
+			return TraceReport{}, fmt.Errorf("tracing changed the computation: rank %d %d vs %d", r, tf[r], pf[r])
+		}
+	}
+
+	hb := trace.AuditHB(traced.Trace)
+	rows := trace.ExtractCriticalPath(traced.Trace, traced.PerRank)
+	crit := trace.CriticalRank(rows)
+
+	rep := TraceReport{
+		UntracedUS:   plain.Elapsed.Microseconds(),
+		TracedUS:     traced.Elapsed.Microseconds(),
+		OverheadPct:  100 * (float64(traced.Elapsed) - float64(plain.Elapsed)) / float64(plain.Elapsed),
+		Events:       len(traced.Trace.Evs),
+		Dropped:      traced.Trace.Dropped,
+		AuditOK:      hb.OK(),
+		AuditSummary: hb.Summary(),
+		Sends:        hb.Sends,
+		Deliveries:   hb.Deliveries,
+		Durables:     hb.Durables,
+		Replays:      hb.Replays,
+		Restarts:     traced.Restarts,
+		CriticalRank: crit,
+		Metrics:      traced.Metrics.Snapshot(),
+	}
+	for _, row := range rows {
+		rep.CriticalPath = append(rep.CriticalPath, TracePathRow{
+			Rank:       row.Rank,
+			ComputeUS:  row.Compute.Microseconds(),
+			CommUS:     row.Comm.Microseconds(),
+			ELWaitUS:   row.ELWait.Microseconds(),
+			RecoveryUS: row.Recovery.Microseconds(),
+			TransferUS: row.Transfer.Microseconds(),
+			TotalUS:    row.Total().Microseconds(),
+		})
+	}
+	if total := rows[crit].Total(); total > 0 {
+		rep.ELWaitShare = float64(rows[crit].ELWait) / float64(total)
+	}
+	return rep, nil
+}
+
+// TraceBench regenerates the observability experiment as a table.
+func TraceBench(w io.Writer, quick bool) error {
+	rep, err := TraceData(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "untraced %dus, traced %dus (overhead %.2f%%), %d events (%d dropped)\n",
+		rep.UntracedUS, rep.TracedUS, rep.OverheadPct, rep.Events, rep.Dropped)
+	fmt.Fprintf(w, "%s\n", rep.AuditSummary)
+	t := newTable(w)
+	t.row("rank", "compute", "comm", "el-wait", "recovery", "transfer", "total")
+	for _, r := range rep.CriticalPath {
+		mark := ""
+		if r.Rank == rep.CriticalRank {
+			mark = " *"
+		}
+		t.row(fmt.Sprintf("%d%s", r.Rank, mark),
+			fmt.Sprintf("%dus", r.ComputeUS), fmt.Sprintf("%dus", r.CommUS),
+			fmt.Sprintf("%dus", r.ELWaitUS), fmt.Sprintf("%dus", r.RecoveryUS),
+			fmt.Sprintf("%dus", r.TransferUS), fmt.Sprintf("%dus", r.TotalUS))
+	}
+	t.flush()
+	fmt.Fprintf(w, "* critical rank; %.1f%% of its time is EL ack wait\n", 100*rep.ELWaitShare)
+	return nil
+}

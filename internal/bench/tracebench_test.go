@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceExperimentReport pins the acceptance claims of the trace
+// experiment: the traced run audits green, the report carries a full
+// critical-path breakdown, and the structure survives the JSON
+// marshalling vbench -json applies.
+func TestTraceExperimentReport(t *testing.T) {
+	rep, err := TraceData(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AuditOK {
+		t.Errorf("hb-audit failed: %s", rep.AuditSummary)
+	}
+	if rep.Events == 0 || rep.Dropped != 0 {
+		t.Errorf("trace volume: %d events, %d dropped", rep.Events, rep.Dropped)
+	}
+	if rep.Restarts == 0 || rep.Replays == 0 {
+		t.Errorf("scenario exercised no recovery: restarts=%d replays=%d", rep.Restarts, rep.Replays)
+	}
+	if len(rep.CriticalPath) != 4 {
+		t.Fatalf("critical path rows = %d, want 4", len(rep.CriticalPath))
+	}
+	for _, r := range rep.CriticalPath {
+		if r.TotalUS != r.ComputeUS+r.CommUS {
+			t.Errorf("rank %d: total %dus != compute %dus + comm %dus", r.Rank, r.TotalUS, r.ComputeUS, r.CommUS)
+		}
+		if r.ComputeUS == 0 || r.CommUS == 0 {
+			t.Errorf("rank %d: empty decomposition %+v", r.Rank, r)
+		}
+	}
+	var elWait int64
+	for _, r := range rep.CriticalPath {
+		elWait += r.ELWaitUS
+	}
+	if elWait == 0 {
+		t.Error("no rank ever waited on EL acks; the scenario lost its point")
+	}
+	if rep.ELWaitShare < 0 || rep.ELWaitShare >= 1 {
+		t.Errorf("ELWaitShare = %g", rep.ELWaitShare)
+	}
+	if rep.Metrics.Counters["daemon.sent_msgs"] == 0 {
+		t.Error("metrics snapshot missing daemon counters")
+	}
+
+	// The JSON twin (what vbench -json writes as BENCH_trace.json) must
+	// include the breakdown fields by name.
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"CriticalPath", "ELWaitUS", "RecoveryUS", "TransferUS", "AuditSummary", "OverheadPct", "Metrics"} {
+		if !bytes.Contains(enc, []byte(field)) {
+			t.Errorf("BENCH_trace.json misses %q", field)
+		}
+	}
+}
+
+// TestTraceBenchTable smoke-tests the human-readable twin.
+func TestTraceBenchTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TraceBench(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hb-audit", "el-wait", "recovery", "critical rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,7 +5,19 @@ import (
 	"sort"
 
 	"mpichv/internal/core"
+	"mpichv/internal/trace"
 )
+
+// AuditTrace runs the happens-before auditor over the run's causal
+// trace. It complements Audit: Audit cross-checks the event loggers'
+// merged view of deliveries, while AuditTrace checks the ordering the
+// daemons actually executed — determinant durability before any
+// dependent send, replay in original receiver-clock order, GC only
+// behind announced checkpoint horizons. The run must have been made
+// with Config.Trace set; a run without a trace audits vacuously green.
+func AuditTrace(res Result) trace.HBReport {
+	return trace.AuditHB(res.Trace)
+}
 
 // AuditReport is the verdict of the post-run recovery auditor: a
 // machine-checkable statement that the piecewise-determinism invariants

@@ -130,6 +130,7 @@ func TestAuditSeededQuorumChaosRuns(t *testing.T) {
 			Chaos:          pol,
 			Faults:         faults,
 			DetectionDelay: 2 * time.Millisecond,
+			Trace:          true,
 		}
 		switch seed % 3 {
 		case 1:
@@ -156,6 +157,9 @@ func TestAuditSeededQuorumChaosRuns(t *testing.T) {
 				t.Logf("seed %d: %s", seed, v)
 			}
 		}
+		if hb := AuditTrace(res); !hb.OK() {
+			t.Errorf("seed %d: %s", seed, hb.Summary())
+		}
 		t.Logf("seed %d: kills=%d svc=%d resyncs=%d synced=%d superseded=%d dropped=%d trunc=%d",
 			seed, res.Kills, res.ServiceKills, res.Resyncs, res.SyncedEvents,
 			rep.Superseded, res.ChaosDropped, res.ChaosTruncated)
@@ -181,6 +185,7 @@ func TestDoubleFaultMidRestart(t *testing.T) {
 			// 2 dies right in the middle of answering it.
 			{Time: 8200 * time.Microsecond, Rank: 2},
 		},
+		Trace: true,
 	}, ringProgram(rounds, finals))
 	if res.Restarts != 2 {
 		t.Fatalf("restarts = %d, want 2", res.Restarts)
@@ -193,6 +198,9 @@ func TestDoubleFaultMidRestart(t *testing.T) {
 	}
 	if rep := Audit(res); !rep.OK() {
 		t.Errorf("%s", rep.Summary())
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 }
 
@@ -266,6 +274,8 @@ func TestQuorumBTAcceptance(t *testing.T) {
 			{Time: 2050 * time.Millisecond, Rank: 2}, // lands mid-recovery
 			{Time: 5 * time.Second, Rank: ELBase + 1},
 		},
+		Trace:    true,
+		TraceCap: 1 << 18, // BT.A is chatty; keep the audit total
 	})
 
 	for r := 0; r < n; r++ {
@@ -300,6 +310,11 @@ func TestQuorumBTAcceptance(t *testing.T) {
 		for _, v := range append(append(rep.Orphans, rep.ClockViolations...), rep.FIFOViolations...) {
 			t.Log(v)
 		}
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
+	} else if hb.Incomplete {
+		t.Error("trace wrapped; raise TraceCap so the audit is total")
 	}
 	t.Logf("%s; trunc=%d resyncs=%d synced=%d stale=%d corrupt=%d replaydrop=%d",
 		rep.Summary(), res.ChaosTruncated, res.Resyncs, res.SyncedEvents,

@@ -93,6 +93,7 @@ func TestChaosTokenRingProperty(t *testing.T) {
 			Chaos:          pol,
 			Faults:         faults,
 			DetectionDelay: 2 * time.Millisecond,
+			Trace:          true,
 		}, rounds)
 
 		if res.ChaosDropped+res.ChaosPartitioned == 0 {
@@ -114,6 +115,9 @@ func TestChaosTokenRingProperty(t *testing.T) {
 					break
 				}
 			}
+		}
+		if hb := AuditTrace(res); !hb.OK() {
+			t.Errorf("seed %d: %s", seed, hb.Summary())
 		}
 		t.Logf("seed %d: kills=%d dropped=%d dup=%d delayed=%d part=%d retrans=%d pulls=%d",
 			seed, res.Kills, res.ChaosDropped, res.ChaosDuplicated, res.ChaosDelayed,
@@ -157,6 +161,7 @@ func TestChaosCrashDuringCheckpoint(t *testing.T) {
 		DetectionDelay: 3 * time.Millisecond,
 		Chaos:          transport.ChaosPolicy{Seed: 11, Drop: 0.01, Delay: 0.03, MaxDelay: 300 * time.Microsecond},
 		Faults:         faults,
+		Trace:          true,
 	}, ckptProgram(iters, finals))
 	if res.Restarts != len(faults) {
 		t.Fatalf("restarts = %d, want %d", res.Restarts, len(faults))
@@ -169,6 +174,9 @@ func TestChaosCrashDuringCheckpoint(t *testing.T) {
 		if v != want {
 			t.Errorf("rank %d acc = %v, want %v", r, v, want)
 		}
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 }
 
@@ -187,12 +195,16 @@ func TestChaosCrashDuringReplay(t *testing.T) {
 			{Time: 5 * time.Millisecond, Rank: 2},
 			{Time: 9 * time.Millisecond, Rank: 2}, // during recovery/replay
 		},
+		Trace: true,
 	}, ringProgram(rounds, finals))
 	if res.Restarts != 2 {
 		t.Fatalf("restarts = %d, want 2", res.Restarts)
 	}
 	if finals[0] != ringExpect(n, rounds) {
 		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 }
 
@@ -207,6 +219,7 @@ func TestEventLoggerFailover(t *testing.T) {
 		EventLoggers:   2,
 		DetectionDelay: 2 * time.Millisecond,
 		Faults:         []dispatcher.Fault{{Time: 3 * time.Millisecond, Rank: ELBase, Permanent: true}},
+		Trace:          true,
 	}, ringProgram(rounds, finals))
 	if res.ServiceKills != 1 {
 		t.Fatalf("service kills = %d, want 1", res.ServiceKills)
@@ -219,6 +232,9 @@ func TestEventLoggerFailover(t *testing.T) {
 	}
 	if finals[0] != ringExpect(n, rounds) {
 		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 	t.Logf("failovers=%d retransmits=%d logged=%d", res.Failovers, res.Retransmits, res.ELLogged)
 }
@@ -240,6 +256,7 @@ func TestEventLoggerRespawn(t *testing.T) {
 			{Time: 3 * time.Millisecond, Rank: ELNode},
 			{Time: 12 * time.Millisecond, Rank: 3},
 		},
+		Trace: true,
 	}, ringProgram(rounds, finals))
 	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
 		t.Fatalf("service kills/restarts = %d/%d, want 1/1", res.ServiceKills, res.ServiceRestarts)
@@ -252,6 +269,9 @@ func TestEventLoggerRespawn(t *testing.T) {
 	}
 	if finals[0] != ringExpect(n, rounds) {
 		t.Errorf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 }
 
@@ -269,6 +289,7 @@ func TestCheckpointServerRespawn(t *testing.T) {
 			{Time: 10 * time.Millisecond, Rank: CSNode},
 			{Time: 30 * time.Millisecond, Rank: 2},
 		},
+		Trace: true,
 	}, ckptProgram(iters, finals))
 	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
 		t.Fatalf("service kills/restarts = %d/%d, want 1/1", res.ServiceKills, res.ServiceRestarts)
@@ -281,6 +302,9 @@ func TestCheckpointServerRespawn(t *testing.T) {
 		if v != want {
 			t.Errorf("rank %d acc = %v, want %v", r, v, want)
 		}
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 }
 
@@ -324,6 +348,8 @@ func TestChaosBTAcceptance(t *testing.T) {
 			{Time: 100 * time.Millisecond, Rank: 2},
 			{Time: 106 * time.Millisecond, Rank: 2}, // lands mid-replay
 		},
+		Trace:    true,
+		TraceCap: 1 << 18, // BT.A is chatty; keep the audit total
 	})
 
 	for r := 0; r < n; r++ {
@@ -346,6 +372,11 @@ func TestChaosBTAcceptance(t *testing.T) {
 	attempted := res.NetMessages + res.ChaosDropped
 	if res.ChaosDropped*100 < attempted {
 		t.Errorf("dropped %d of %d frames, want ≥ 1%%", res.ChaosDropped, attempted)
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
+	} else if hb.Incomplete {
+		t.Error("trace wrapped; raise TraceCap so the audit is total")
 	}
 
 	// Delivery sequences: BT's receives are directed, so each channel
@@ -407,6 +438,7 @@ func TestChaosCSReplicaKilledMidChunkedTransfer(t *testing.T) {
 			{Time: 10 * time.Millisecond, Rank: CSBase + 1},
 			{Time: 30 * time.Millisecond, Rank: 2},
 		},
+		Trace: true,
 	}, ckptProgram(iters, finals))
 
 	if res.ServiceKills != 1 || res.ServiceRestarts != 1 {
@@ -436,6 +468,9 @@ func TestChaosCSReplicaKilledMidChunkedTransfer(t *testing.T) {
 	if rep := Audit(res); !rep.OK() {
 		t.Errorf("%s", rep.Summary())
 	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
+	}
 	t.Logf("saves=%d deltas=%d shipped=%dB retrans=%d manifests=%d compactions=%d breaks=%d resyncs=%d",
 		res.CkptSaves, res.DeltaCkpts, res.CkptShippedBytes, res.ChunkRetransmits,
 		res.ManifestFetches, res.ChainCompactions, res.ChainBreaks, res.Resyncs)
@@ -464,6 +499,7 @@ func TestChaosBrokenDeltaChainFallsBackToFullImage(t *testing.T) {
 			{Time: 14 * time.Millisecond, Rank: CSBase},
 			{Time: 28 * time.Millisecond, Rank: 1},
 		},
+		Trace: true,
 	}, ckptProgram(iters, finals))
 
 	if res.ServiceKills != 2 || res.ServiceRestarts != 2 {
@@ -489,6 +525,9 @@ func TestChaosBrokenDeltaChainFallsBackToFullImage(t *testing.T) {
 	}
 	if rep := Audit(res); !rep.OK() {
 		t.Errorf("%s", rep.Summary())
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
 	}
 	t.Logf("deltas=%d breaks=%d compactions=%d resyncs=%d synced=%d saves=%d",
 		res.DeltaCkpts, res.ChainBreaks, res.ChainCompactions,

@@ -168,6 +168,18 @@ type Config struct {
 	// CkptNoDelta ships full images on every checkpoint (ablation);
 	// see daemon.Config.CkptNoDelta.
 	CkptNoDelta bool
+
+	// Trace enables causal tracing: every V2 daemon records its
+	// protocol transitions into a per-rank ring (shared across that
+	// rank's incarnations) and Result.Trace carries the merged,
+	// time-ordered trace for the happens-before auditor and the
+	// critical-path extractor. Payload frames grow by a span-id field
+	// while tracing; disabled (the default), the wire format and the
+	// send path are byte-for-byte identical to an untraced build.
+	Trace bool
+	// TraceCap overrides the per-rank ring capacity
+	// (trace.DefaultRecorderCap when zero).
+	TraceCap int
 }
 
 // Result carries everything the experiments measure.
@@ -240,6 +252,17 @@ type Result struct {
 	// delivery log (quorum mode only) — the raw per-store view the
 	// recovery auditor cross-checks for quorum-survivable divergence.
 	ELReplicaDeliveries [][][]core.Event
+
+	// Trace is the merged causal trace of the run (Config.Trace only):
+	// the input of trace.AuditHB and trace.ExtractCriticalPath.
+	Trace *trace.Trace
+
+	// Metrics is the run's uniform metrics registry: every subsystem's
+	// counters under a stable namespace (daemon.*, el.*, ckpt.*,
+	// chaos.*, run.*), plus trace-derived histograms (waitlogged stall
+	// durations, payload sizes, restart durations) when tracing was
+	// enabled. This is what vbench -json exports.
+	Metrics *trace.Registry
 }
 
 // Run executes the program on a fresh simulated system and returns the
@@ -312,6 +335,15 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	h.daemons = make([]daemon.Stats, cfg.N)
 	h.v2ds = make([]*daemon.V2, cfg.N)
 	h.spawns = make([]uint64, cfg.N)
+	if cfg.Trace {
+		// One recorder per rank for the life of the run: respawned
+		// incarnations append to their predecessor's ring, so the
+		// auditor sees the rank's whole history across crashes.
+		h.recorders = make([]*trace.Recorder, cfg.N)
+		for r := range h.recorders {
+			h.recorders[r] = trace.NewRecorder(r, cfg.TraceCap)
+		}
+	}
 
 	// Services. In the legacy (partitioned / failover) configurations
 	// every frontend of a kind shares one stable store, so a respawned
@@ -489,6 +521,63 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.ChaosTruncated = chaos.Truncated
 		res.ChaosPartitioned = chaos.Partitioned
 	}
+	if h.recorders != nil {
+		res.Trace = trace.Merge(h.recorders...)
+	}
+
+	// Uniform metrics export: every subsystem folds its counters into
+	// one registry under its namespace, plus run-level gauges and the
+	// trace-derived histograms.
+	reg := trace.NewRegistry()
+	for _, st := range res.Daemons {
+		st.AddTo(reg)
+	}
+	switch {
+	case h.elStores != nil:
+		for _, n := range h.elNodes {
+			h.elStores[n].Stats().AddTo(reg)
+		}
+	case h.elStore != nil:
+		h.elStore.Stats().AddTo(reg)
+	}
+	switch {
+	case h.csStores != nil:
+		for _, n := range h.csNodes {
+			h.csStores[n].Stats().AddTo(reg)
+		}
+	case h.csStore != nil:
+		h.csStore.Stats().AddTo(reg)
+	}
+	if chaos != nil {
+		chaos.AddTo(reg)
+	}
+	reg.Gauge("run.elapsed_us").Set(float64(res.Elapsed) / float64(time.Microsecond))
+	reg.Gauge("run.ranks").Set(float64(cfg.N))
+	reg.Counter("run.kills").Add(int64(res.Kills))
+	reg.Counter("run.restarts").Add(int64(res.Restarts))
+	reg.Counter("run.service_kills").Add(int64(res.ServiceKills))
+	reg.Counter("run.service_restarts").Add(int64(res.ServiceRestarts))
+	reg.Counter("net.messages").Add(res.NetMessages)
+	reg.Counter("net.bytes").Add(res.NetBytes)
+	if res.Trace != nil {
+		wait := reg.Histogram("daemon.waitlogged_us")
+		payload := reg.Histogram("daemon.payload_bytes")
+		restart := reg.Histogram("daemon.restart_us")
+		for i := range res.Trace.Evs {
+			ev := &res.Trace.Evs[i]
+			switch ev.Kind {
+			case trace.EvWaitLogged:
+				wait.Observe(float64(ev.A) / float64(time.Microsecond))
+			case trace.EvSend:
+				payload.Observe(float64(ev.B))
+			case trace.EvRestartEnd:
+				restart.Observe(float64(ev.B) / float64(time.Microsecond))
+			}
+		}
+		reg.Counter("trace.events").Add(int64(len(res.Trace.Evs)))
+		reg.Counter("trace.dropped").Add(res.Trace.Dropped)
+	}
+	res.Metrics = reg
 	return res
 }
 
@@ -515,10 +604,11 @@ type harness struct {
 	elQ, csQ int // write quorums; > 0 selects quorum mode
 	disp     *dispatcher.Dispatcher
 
-	perRank []*trace.Stats
-	daemons []daemon.Stats
-	v2ds    []*daemon.V2
-	spawns  []uint64 // per-rank incarnation counters
+	perRank   []*trace.Stats
+	daemons   []daemon.Stats
+	v2ds      []*daemon.V2
+	spawns    []uint64          // per-rank incarnation counters
+	recorders []*trace.Recorder // per-rank trace rings (Config.Trace only)
 }
 
 // startEL / startCS attach one service frontend: over the shared store
@@ -719,6 +809,9 @@ func (h *harness) spawn(rank int, restarted bool) {
 		dcfg.DiskCopyPerByte = cfg.Params.DiskCopyPerByte
 		dcfg.LogMemLimit = cfg.Params.LogMemLimit
 		dcfg.LogHardLimit = cfg.Params.LogHardLimit
+		if h.recorders != nil {
+			dcfg.Tracer = h.recorders[rank]
+		}
 		var d2 *daemon.V2
 		dev, d2 = daemon.StartV2(h.sim, h.fab, dcfg)
 		h.v2ds[rank] = d2

@@ -38,6 +38,7 @@ func TestELWindowDeterminismUnderChaos(t *testing.T) {
 			EventBatching: true,
 			ELWindow:      window,
 			Chaos:         pol,
+			Trace:         true,
 		}, rounds)
 		return run{res, finals, seqs}
 	}
@@ -52,6 +53,9 @@ func TestELWindowDeterminismUnderChaos(t *testing.T) {
 		}
 		if rep := Audit(r.run.res); !rep.OK() {
 			t.Errorf("%s: audit failed: %s", r.name, rep.Summary())
+		}
+		if hb := AuditTrace(r.run.res); !hb.OK() {
+			t.Errorf("%s: hb-audit failed: %s", r.name, hb.Summary())
 		}
 	}
 	if !reflect.DeepEqual(sw.finals, pipe.finals) {
@@ -96,6 +100,7 @@ func TestCkptChunkingDeterminism(t *testing.T) {
 			DetectionDelay: 3 * time.Millisecond,
 			Chaos:          transport.ChaosPolicy{Seed: 31, Drop: 0.01, Delay: 0.02, MaxDelay: 200 * time.Microsecond},
 			Faults:         []dispatcher.Fault{{Time: 25 * time.Millisecond, Rank: 2}},
+			Trace:          true,
 		}, ckptProgram(iters, finals))
 
 		if res.Restarts != 1 {
@@ -123,6 +128,9 @@ func TestCkptChunkingDeterminism(t *testing.T) {
 		}
 		if rep := Audit(res); !rep.OK() {
 			t.Errorf("%s: %s", c.name, rep.Summary())
+		}
+		if hb := AuditTrace(res); !hb.OK() {
+			t.Errorf("%s: %s", c.name, hb.Summary())
 		}
 		t.Logf("%s: saves=%d deltas=%d shipped=%dB retrans=%d manifests=%d",
 			c.name, res.CkptSaves, res.DeltaCkpts, res.CkptShippedBytes,

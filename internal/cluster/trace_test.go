@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpichv/internal/dispatcher"
+	"mpichv/internal/trace"
+	"mpichv/internal/transport"
+)
+
+// TestTracedRunProducesCausalTrace checks the plumbing: a traced run
+// yields a merged trace whose counts line up with what the daemons did,
+// with parent links carried across the wire.
+func TestTracedRunProducesCausalTrace(t *testing.T) {
+	const n, rounds = 4, 10
+	finals := make([]uint64, n)
+	res := Run(Config{Impl: V2, N: n, Trace: true}, ringProgram(rounds, finals))
+	if finals[0] != ringExpect(n, rounds) {
+		t.Fatalf("token = %d, want %d", finals[0], ringExpect(n, rounds))
+	}
+	tr := res.Trace
+	if tr == nil || len(tr.Evs) == 0 {
+		t.Fatal("traced run produced no trace")
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("ring wrapped on a tiny run: %d dropped", tr.Dropped)
+	}
+	sends, delivers := tr.Count(trace.EvSend), tr.Count(trace.EvDeliver)
+	if sends < n*rounds || delivers < n*rounds {
+		t.Errorf("trace too sparse: %d sends, %d delivers (want >= %d)", sends, delivers, n*rounds)
+	}
+	// Every determinant retires except possibly the last per rank: a
+	// delivery with no later send never has to wait for its ack before
+	// finalize.
+	if got := tr.Count(trace.EvDetDurable); got < delivers-n || got > delivers {
+		t.Errorf("durables = %d, delivers = %d — at most one in flight per rank at exit", got, delivers)
+	}
+	// Causality on the wire: every delivery names its sender's span.
+	withParent := 0
+	for _, ev := range tr.Evs {
+		if ev.Kind == trace.EvDeliver && ev.Parent != 0 {
+			withParent++
+			pr, _ := trace.UnpackSpan(ev.Parent)
+			if pr < 0 || pr >= n {
+				t.Fatalf("delivery parent names rank %d", pr)
+			}
+		}
+	}
+	if withParent != delivers {
+		t.Errorf("%d/%d deliveries carry a parent span", withParent, delivers)
+	}
+	// Timestamps are ordered after Merge.
+	for i := 1; i < len(tr.Evs); i++ {
+		if tr.Evs[i].T < tr.Evs[i-1].T {
+			t.Fatal("merged trace out of time order")
+		}
+	}
+	if hb := AuditTrace(res); !hb.OK() {
+		t.Errorf("%s", hb.Summary())
+	}
+}
+
+// TestTracedChaosRecoveryAuditsGreen is the positive end-to-end check:
+// a seeded chaos run with node kills, quorum event logging and chunked
+// checkpointing upholds all three happens-before invariants, and the
+// trace shows the recovery machinery actually ran (restarts, replays,
+// checkpoint durability, GC notes).
+func TestTracedChaosRecoveryAuditsGreen(t *testing.T) {
+	const n, iters = 4, 60
+	finals := make([]float64, n)
+	res := Run(Config{
+		Impl: V2, N: n,
+		Checkpointing:  true,
+		ELReplicas:     3,
+		SchedPeriod:    2 * time.Millisecond,
+		DetectionDelay: 3 * time.Millisecond,
+		Chaos:          transport.ChaosPolicy{Seed: 7, Drop: 0.01, Delay: 0.03, MaxDelay: 300 * time.Microsecond},
+		Faults: []dispatcher.Fault{
+			{Time: 20 * time.Millisecond, Rank: 1},
+			{Time: 45 * time.Millisecond, Rank: 3},
+		},
+		Trace: true,
+	}, ckptProgram(iters, finals))
+
+	want := ckptExpect(n, iters)
+	for r, v := range finals {
+		if v != want {
+			t.Errorf("rank %d final = %g, want %g", r, v, want)
+		}
+	}
+	if res.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", res.Restarts)
+	}
+	hb := AuditTrace(res)
+	if !hb.OK() {
+		t.Fatalf("%s", hb.Summary())
+	}
+	if hb.Incomplete {
+		t.Fatal("trace incomplete — raise TraceCap so the audit is total")
+	}
+	tr := res.Trace
+	for _, k := range []trace.Kind{
+		trace.EvRestartBegin, trace.EvRestartEnd, trace.EvDetSubmit,
+		trace.EvCkptChunk, trace.EvCkptDurable, trace.EvGCNote, trace.EvGCApply,
+	} {
+		if tr.Count(k) == 0 {
+			t.Errorf("no %v events — scenario did not exercise that path", k)
+		}
+	}
+	if tr.Count(trace.EvRestartBegin) < res.Restarts {
+		t.Errorf("restart-begin events = %d, restarts = %d", tr.Count(trace.EvRestartBegin), res.Restarts)
+	}
+}
+
+// TestAuditorCatchesNoSendGating is the required negative test: with
+// the WAITLOGGED barrier ablated, payloads leave while determinants are
+// still at the event loggers, and the happens-before auditor must see
+// it. The same workload with the gate on audits green — the violation
+// comes from the injected bug, not from the auditor's disposition.
+func TestAuditorCatchesNoSendGating(t *testing.T) {
+	const n, rounds = 3, 15
+	run := func(noGate bool) trace.HBReport {
+		finals := make([]uint64, n)
+		res := Run(Config{
+			Impl: V2, N: n,
+			ELReplicas:   3,
+			NoSendGating: noGate,
+			Trace:        true,
+		}, ringProgram(rounds, finals))
+		if finals[0] != ringExpect(n, rounds) {
+			t.Fatalf("noGate=%v: token = %d, want %d", noGate, finals[0], ringExpect(n, rounds))
+		}
+		return AuditTrace(res)
+	}
+	if hb := run(false); !hb.OK() {
+		t.Fatalf("gated control run flagged: %s", hb.Summary())
+	}
+	hb := run(true)
+	if hb.OK() || len(hb.EarlySends) == 0 {
+		t.Fatalf("ablated gate not caught: %s", hb.Summary())
+	}
+	if !strings.Contains(hb.Summary(), "early sends") {
+		t.Errorf("summary: %s", hb.Summary())
+	}
+	if len(hb.ReplayViolations) != 0 || len(hb.GCViolations) != 0 {
+		t.Errorf("ablation bled into unrelated invariants: %s", hb.Summary())
+	}
+}
+
+// TestTraceRingWrapReportsIncomplete: a deliberately tiny ring forces
+// wrap; the auditor must flag the trace incomplete instead of claiming
+// violations over missing evidence.
+func TestTraceRingWrapReportsIncomplete(t *testing.T) {
+	const n, rounds = 4, 20
+	finals := make([]uint64, n)
+	res := Run(Config{Impl: V2, N: n, Trace: true, TraceCap: 16}, ringProgram(rounds, finals))
+	if res.Trace.Dropped == 0 {
+		t.Fatal("tiny ring did not wrap")
+	}
+	hb := AuditTrace(res)
+	if !hb.Incomplete {
+		t.Fatal("wrapped trace not marked incomplete")
+	}
+	if !hb.OK() {
+		t.Errorf("incomplete trace produced violations: %s", hb.Summary())
+	}
+}
+
+// TestUntracedRunHasNoTraceButFullMetrics: tracing off leaves the
+// trace nil (and the wire untouched) while the metrics registry still
+// exports every subsystem's counters.
+func TestUntracedRunHasNoTraceButFullMetrics(t *testing.T) {
+	const n, rounds = 3, 8
+	finals := make([]uint64, n)
+	res := Run(Config{Impl: V2, N: n}, ringProgram(rounds, finals))
+	if res.Trace != nil {
+		t.Error("untraced run carries a trace")
+	}
+	if res.Metrics == nil {
+		t.Fatal("run has no metrics registry")
+	}
+	snap := res.Metrics.Snapshot()
+	for _, name := range []string{
+		"daemon.sent_msgs", "daemon.recv_msgs", "daemon.events_logged",
+		"el.logged", "net.messages", "run.kills",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metric %s missing from snapshot", name)
+		}
+	}
+	if snap.Counters["daemon.sent_msgs"] == 0 || snap.Counters["el.logged"] == 0 {
+		t.Errorf("core counters are zero: sent=%d logged=%d",
+			snap.Counters["daemon.sent_msgs"], snap.Counters["el.logged"])
+	}
+	if snap.Gauges["run.ranks"] != n {
+		t.Errorf("run.ranks = %g", snap.Gauges["run.ranks"])
+	}
+	if _, ok := snap.Histograms["daemon.waitlogged_us"]; ok {
+		t.Error("trace-derived histogram present without tracing")
+	}
+}
+
+// TestTracedRunMetricsIncludeHistograms: with tracing on, the registry
+// gains the trace-derived distributions.
+func TestTracedRunMetricsIncludeHistograms(t *testing.T) {
+	const n, rounds = 3, 8
+	finals := make([]uint64, n)
+	res := Run(Config{Impl: V2, N: n, ELReplicas: 3, Trace: true}, ringProgram(rounds, finals))
+	snap := res.Metrics.Snapshot()
+	h, ok := snap.Histograms["daemon.payload_bytes"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("daemon.payload_bytes: %+v (present=%v)", h, ok)
+	}
+	if h.Min < 8 || h.Max > 64 {
+		t.Errorf("payload sizes out of range: %+v", h)
+	}
+	if w, ok := snap.Histograms["daemon.waitlogged_us"]; !ok || w.Count == 0 {
+		t.Errorf("daemon.waitlogged_us: %+v (present=%v) — the EL round trip must stall someone", w, ok)
+	}
+	if snap.Counters["trace.events"] == 0 {
+		t.Error("trace.events counter is zero")
+	}
+}
+
+// TestCriticalPathFromTracedRun: the extractor decomposes each rank's
+// virtual time and the decomposition is self-consistent — ELWait fits
+// inside Comm, and a run dominated by blocking receives puts the
+// critical rank's time mostly in communication.
+func TestCriticalPathFromTracedRun(t *testing.T) {
+	const n, rounds = 4, 12
+	finals := make([]uint64, n)
+	res := Run(Config{Impl: V2, N: n, ELReplicas: 3, Trace: true}, ringProgram(rounds, finals))
+	rows := trace.ExtractCriticalPath(res.Trace, res.PerRank)
+	if len(rows) != n {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Comm <= 0 {
+			t.Errorf("rank %d: Comm = %v", row.Rank, row.Comm)
+		}
+		if row.ELWait < 0 || row.ELWait > row.Comm {
+			t.Errorf("rank %d: ELWait %v outside Comm %v", row.Rank, row.ELWait, row.Comm)
+		}
+		if row.Transfer != row.Comm-row.ELWait-row.Recovery {
+			t.Errorf("rank %d: Transfer %v != Comm-ELWait-Recovery", row.Rank, row.Transfer)
+		}
+	}
+	crit := rows[trace.CriticalRank(rows)]
+	if crit.Total() == 0 {
+		t.Error("critical rank accounted no time")
+	}
+}
+
+// TestTraceDeterminism: tracing must not perturb the simulation, and
+// the trace itself is a deterministic function of the config.
+func TestTraceDeterminism(t *testing.T) {
+	cfg := Config{
+		Impl: V2, N: 4,
+		ELReplicas:     3,
+		Chaos:          transport.ChaosPolicy{Seed: 5, Drop: 0.02, Duplicate: 0.01, Delay: 0.05},
+		Faults:         []dispatcher.Fault{{Time: 5 * time.Millisecond, Rank: 2}},
+		DetectionDelay: 2 * time.Millisecond,
+		Trace:          true,
+	}
+	r1, f1, _ := chaosRing(cfg, 15)
+	r2, f2, _ := chaosRing(cfg, 15)
+	if r1.Elapsed != r2.Elapsed || f1[0] != f2[0] {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", r1.Elapsed, f1[0], r2.Elapsed, f2[0])
+	}
+	if len(r1.Trace.Evs) != len(r2.Trace.Evs) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Trace.Evs), len(r2.Trace.Evs))
+	}
+	for i := range r1.Trace.Evs {
+		if r1.Trace.Evs[i] != r2.Trace.Evs[i] {
+			t.Fatalf("trace diverges at event %d: %+v vs %+v", i, r1.Trace.Evs[i], r2.Trace.Evs[i])
+		}
+	}
+	// And against the untraced baseline: identical virtual outcome.
+	cfg2 := cfg
+	cfg2.Trace = false
+	r3, f3, _ := chaosRing(cfg2, 15)
+	if f3[0] != f1[0] {
+		t.Errorf("tracing changed the computation: %d vs %d", f3[0], f1[0])
+	}
+	_ = r3
+}

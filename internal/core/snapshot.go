@@ -131,7 +131,7 @@ func SnapshotDeltaSize(sn *Snapshot, marks map[int]uint64) int {
 		vecSize(sn.SeqIn) + 4
 	for i := range sn.Saved {
 		m := &sn.Saved[i]
-		if m.Seq > marks[m.To] {
+		if marks == nil || m.Seq > marks[m.To] {
 			n += 4 + 8 + 8 + 1 + 4 + len(m.Data)
 		}
 	}
@@ -191,16 +191,20 @@ func AppendSnapshotDelta(dst []byte, sn *Snapshot, marks map[int]uint64) []byte 
 	dst = appendVec(dst, sn.HR)
 	dst = appendVec(dst, sn.SeqTo)
 	dst = appendVec(dst, sn.SeqIn)
+	// marks==nil must mean "everything", not "Seq > 0": channel seqs
+	// start at 1 in live states, but the decoder accepts Seq 0, and a
+	// full encoding that silently drops such an entry breaks the
+	// decode∘encode identity the store replicas depend on.
 	n := 0
 	for i := range sn.Saved {
-		if m := &sn.Saved[i]; m.Seq > marks[m.To] {
+		if m := &sn.Saved[i]; marks == nil || m.Seq > marks[m.To] {
 			n++
 		}
 	}
 	binary.BigEndian.PutUint32(b[0:4], uint32(n))
 	dst = append(dst, b[0:4]...)
 	for i := range sn.Saved {
-		if m := &sn.Saved[i]; m.Seq > marks[m.To] {
+		if m := &sn.Saved[i]; marks == nil || m.Seq > marks[m.To] {
 			dst = appendSaved(dst, m)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
 )
@@ -187,6 +188,16 @@ type Config struct {
 	// checkpoint ships its full SAVED log even when the previous acked
 	// checkpoint already made most of it durable.
 	CkptNoDelta bool
+
+	// Tracer, when non-nil, receives a causal trace of the daemon's
+	// protocol transitions (sends, deliveries, determinant durability,
+	// WAITLOGGED stalls, checkpoint/GC progress, restarts) stamped
+	// with virtual time. The recorder is owned by the rank, not the
+	// incarnation: a respawned daemon inherits its predecessor's ring
+	// so the happens-before auditor sees the whole history. Nil (the
+	// default) records nothing and adds zero wire bytes, zero
+	// allocations and zero virtual time to the run.
+	Tracer *trace.Recorder
 }
 
 // rank → daemon request plumbing ("the Unix socket").
@@ -332,4 +343,35 @@ type Stats struct {
 	DeltaCkpts       int64 // checkpoints shipped as deltas against an acked base
 	ChunkRetransmits int64 // individual checkpoint chunks re-sent after a timeout
 	ManifestFetches  int64 // restart-time manifest gathers (chunked fast path)
+}
+
+// AddTo exports the counters into a metrics registry under the
+// "daemon." namespace — the uniform surface the vbench -json artifacts
+// read. Hot paths keep bumping the plain struct fields (free under the
+// sim's actor serialization); the registry is the observation layer
+// they fold into at run teardown.
+func (s Stats) AddTo(r *trace.Registry) {
+	r.Counter("daemon.sent_msgs").Add(s.SentMsgs)
+	r.Counter("daemon.sent_bytes").Add(s.SentBytes)
+	r.Counter("daemon.recv_msgs").Add(s.RecvMsgs)
+	r.Counter("daemon.recv_bytes").Add(s.RecvBytes)
+	r.Counter("daemon.events_logged").Add(s.EventsLogged)
+	r.Counter("daemon.el_waits").Add(s.ELWaits)
+	r.Counter("daemon.checkpoints").Add(s.Checkpoints)
+	r.Counter("daemon.ckpt_bytes").Add(s.CkptBytes)
+	r.Counter("daemon.replayed").Add(s.Replayed)
+	r.Counter("daemon.resent").Add(s.Resent)
+	r.Counter("daemon.gc_freed_bytes").Add(s.GCFreedBytes)
+	r.Counter("daemon.retransmits").Add(s.Retransmits)
+	r.Counter("daemon.pulls").Add(s.Pulls)
+	r.Counter("daemon.failovers").Add(s.Failovers)
+	r.Counter("daemon.malformed").Add(s.Malformed)
+	r.Counter("daemon.quorum_acks").Add(s.QuorumAcks)
+	r.Counter("daemon.below_quorum_acks").Add(s.BelowQuorumAcks)
+	r.Counter("daemon.degraded_reads").Add(s.DegradedReads)
+	r.Counter("daemon.corrupt_images").Add(s.CorruptImages)
+	r.Counter("daemon.replay_dropped").Add(s.ReplayDropped)
+	r.Counter("daemon.delta_ckpts").Add(s.DeltaCkpts)
+	r.Counter("daemon.chunk_retransmits").Add(s.ChunkRetransmits)
+	r.Counter("daemon.manifest_fetches").Add(s.ManifestFetches)
 }

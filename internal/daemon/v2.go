@@ -10,6 +10,7 @@ import (
 
 	"mpichv/internal/ckpt"
 	"mpichv/internal/core"
+	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
 	"mpichv/internal/wire"
@@ -55,6 +56,10 @@ type V2 struct {
 	finAcked bool
 	finTimer uint64
 	stats    Stats
+
+	// tr mirrors cfg.Tracer; nil disables tracing (every Record call
+	// is a nil-receiver no-op).
+	tr *trace.Recorder
 
 	// Scheduler status counters, reset at each checkpoint so the
 	// adaptive policy sees traffic since the last checkpoint.
@@ -131,6 +136,8 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 		st:     core.NewState(cfg.Rank),
 		timers: make(map[uint64]func()),
 	}
+	d.tr = cfg.Tracer
+	d.tr.SetIncarnation(int(cfg.Incarnation))
 	d.elSeq = cfg.Incarnation << 32
 	d.ckptSeq = cfg.Incarnation << 32
 	d.ckptDone = d.ckptSeq
@@ -293,6 +300,8 @@ func (d *V2) next() dEvent {
 func (d *V2) recover() {
 	d.recovering = true
 	d.restored = false
+	recoverFrom := d.rt.Now()
+	d.tr.Record(recoverFrom, trace.EvRestartBegin, 0, 0, d.cfg.Incarnation, 0)
 
 	// Phase A1: fetch the latest checkpoint image, if any. On a lossy
 	// fabric the request or the reply can vanish, so the fetch runs
@@ -448,6 +457,9 @@ func (d *V2) recover() {
 			break
 		}
 	}
+
+	d.tr.Record(d.rt.Now(), trace.EvRestartEnd, 0, 0,
+		d.cfg.Incarnation, uint64(d.rt.Now()-recoverFrom))
 
 	// Frames and rank requests that raced with recovery now go through
 	// the normal path (the new MPI process's Init is typically among
@@ -839,6 +851,7 @@ func (d *V2) handleFrame(f transport.Frame) {
 			d.stats.Malformed++
 			return
 		}
+		d.tr.Record(d.rt.Now(), trace.EvRecvWire, hdr.Span, 0, uint64(f.From), uint64(len(body)))
 		if d.st.Offer(f.From, hdr.SenderClock, hdr.PairSeq, hdr.DevKind, body) == core.OfferQueue {
 			d.arrived = append(d.arrived, core.StashedMsg{From: f.From, Clock: hdr.SenderClock, Seq: hdr.PairSeq, Kind: hdr.DevKind, Data: body})
 			// A newly admitted message may release successors that
@@ -882,6 +895,7 @@ func (d *V2) handleFrame(f transport.Frame) {
 			d.stats.Malformed++
 			return
 		}
+		d.tr.Record(d.rt.Now(), trace.EvGCApply, 0, 0, uint64(f.From), upTo)
 		d.stats.GCFreedBytes += d.st.CollectGarbage(f.From, upTo)
 
 	case wire.KSchedPoll:
@@ -950,10 +964,16 @@ func (d *V2) handleFrame(f transport.Frame) {
 }
 
 // transmitSaved re-sends saved payload copies after a peer restart.
+// Retransmissions reuse the original message's span id: they re-emit a
+// message whose first transmission already passed the WAITLOGGED gate.
 func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
 	for _, m := range msgs {
 		hdr := wire.PayloadHeader{SenderClock: m.Clock, PairSeq: m.Seq, DevKind: m.Kind}
-		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSize(len(m.Data))), hdr, m.Data))
+		if d.tr != nil {
+			hdr.Span = trace.PackSpan(d.cfg.Rank, m.Clock)
+		}
+		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSizeH(hdr, len(m.Data))), hdr, m.Data))
+		d.tr.Record(d.rt.Now(), trace.EvResend, hdr.Span, 0, uint64(to), uint64(len(m.Data)))
 		d.stats.Resent++
 	}
 }
@@ -1011,6 +1031,7 @@ func (d *V2) pumpEL() {
 func (d *V2) sendEvents(evs []core.Event) {
 	d.elSeq++
 	seq := d.elSeq
+	d.tr.Record(d.rt.Now(), trace.EvDetSubmit, 0, 0, seq, uint64(len(evs)))
 	d.elRing = append(d.elRing, elBatch{seq: seq, evs: evs, sent: d.rt.Now()})
 	if d.elQ > 0 {
 		for _, t := range d.elTargets {
@@ -1091,7 +1112,18 @@ func (d *V2) elAck(from int, seq, cum uint64) {
 func (d *V2) retireEL() {
 	n := 0
 	for n < len(d.elRing) && d.elRing[n].done {
-		d.st.EventsAcked(len(d.elRing[n].evs))
+		b := &d.elRing[n]
+		if d.tr != nil {
+			// Each determinant of the batch is quorum-durable the
+			// instant its batch retires in order — this, not the raw
+			// ack arrival, is the durability point WAITLOGGED waits on.
+			now := d.rt.Now()
+			for _, ev := range b.evs {
+				d.tr.Record(now, trace.EvDetDurable,
+					trace.PackSpan(d.cfg.Rank, ev.RecvClock), 0, b.seq, 0)
+			}
+		}
+		d.st.EventsAcked(len(b.evs))
 		n++
 	}
 	if n == 0 {
@@ -1303,6 +1335,8 @@ func (d *V2) doSend(to int, data []byte) {
 	// acknowledged every reception event submitted so far.
 	if d.st.SendBlocked() && !d.cfg.NoSendGating {
 		d.stats.ELWaits++
+		waitFrom := d.rt.Now()
+		unacked := uint64(d.st.UnackedEvents())
 		for d.st.SendBlocked() {
 			e := d.next()
 			if e.isFrame {
@@ -1313,6 +1347,7 @@ func (d *V2) doSend(to int, data []byte) {
 				panic(fmt.Sprintf("daemon: rank %d: concurrent rank request during send", d.cfg.Rank))
 			}
 		}
+		d.tr.Record(d.rt.Now(), trace.EvWaitLogged, 0, 0, uint64(d.rt.Now()-waitFrom), unacked)
 	}
 
 	if transmit {
@@ -1324,7 +1359,11 @@ func (d *V2) doSend(to int, data []byte) {
 			d.stats.BelowQuorumAcks++
 		}
 		hdr := wire.PayloadHeader{SenderClock: id.Clock, PairSeq: seq}
-		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSize(len(data))), hdr, data))
+		if d.tr != nil {
+			hdr.Span = trace.PackSpan(d.cfg.Rank, id.Clock)
+		}
+		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSizeH(hdr, len(data))), hdr, data))
+		d.tr.Record(d.rt.Now(), trace.EvSend, hdr.Span, 0, uint64(to), uint64(len(data)))
 		d.stats.SentMsgs++
 		d.stats.SentBytes += int64(len(data))
 		d.schedSent += uint64(len(data))
@@ -1335,9 +1374,12 @@ func (d *V2) doSend(to int, data []byte) {
 func (d *V2) doRecv() {
 	if d.st.Replaying() {
 		for {
-			if m, _, ok := d.st.TakeStashed(); ok {
+			if m, rev, ok := d.st.TakeStashed(); ok {
 				d.endStarve()
 				d.stats.Replayed++
+				d.tr.Record(d.rt.Now(), trace.EvReplay,
+					trace.PackSpan(d.cfg.Rank, rev.RecvClock),
+					trace.PackSpan(m.From, m.Clock), uint64(m.From), m.Seq)
 				if !d.st.Replaying() {
 					d.arrived = append(d.arrived, d.st.DrainStash()...)
 				}
@@ -1366,6 +1408,15 @@ func (d *V2) doRecv() {
 	m := d.arrived[0]
 	d.arrived = d.arrived[1:]
 	ev := d.st.Commit(m.From, m.Clock, m.Seq)
+	if d.tr != nil {
+		gated := uint64(0)
+		if len(d.elTargets) > 0 {
+			gated = 1 // the determinant joins the WAITLOGGED gate
+		}
+		d.tr.Record(d.rt.Now(), trace.EvDeliver,
+			trace.PackSpan(d.cfg.Rank, ev.RecvClock),
+			trace.PackSpan(m.From, m.Clock), m.Seq, gated)
+	}
 	d.submitEvent(ev)
 	d.replyPayload(m.From, m.Data)
 }
@@ -1578,6 +1629,7 @@ func (d *V2) sendXfer(x *ckptXfer, t int) {
 	}
 	for i := range x.chunks {
 		if x.chunks[i].acked&(1<<bit) == 0 {
+			d.tr.Record(d.rt.Now(), trace.EvCkptChunk, 0, 0, x.seq, uint64(i))
 			d.ep.Send(t, wire.KCkptChunk, x.chunks[i].frame)
 		}
 	}
@@ -1616,10 +1668,16 @@ func (d *V2) retireCkpt() {
 		d.ckptDone = x.seq
 		d.ckptBase = x.seq
 		d.ckptMarks = x.sn.SeqTo
+		d.tr.Record(d.rt.Now(), trace.EvCkptDurable, 0, 0, x.seq, uint64(len(x.chunks)))
 		for q := 0; q < d.cfg.Size; q++ {
 			if q == d.cfg.Rank {
 				continue
 			}
+			// The §4.6.1 GC horizon: deliveries from q up to HR[q] are
+			// inside a durable checkpoint, so q may reclaim the SAVED
+			// copies. Recorded before the send so the note always
+			// happens-before the peer's EvGCApply.
+			d.tr.Record(d.rt.Now(), trace.EvGCNote, 0, 0, uint64(q), x.sn.HR[q])
 			d.ep.Send(q, wire.KCkptNote, wire.EncodeU64(x.sn.HR[q]))
 		}
 	}

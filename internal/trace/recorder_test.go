@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPackSpanRoundTrip(t *testing.T) {
+	cases := []struct {
+		rank  int
+		clock uint64
+	}{
+		{0, 0}, {0, 1}, {3, 12345}, {255, 1<<48 - 1}, {1, 1 << 47},
+	}
+	for _, c := range cases {
+		span := PackSpan(c.rank, c.clock)
+		if span == 0 {
+			t.Errorf("PackSpan(%d,%d) = 0, collides with the absent-span sentinel", c.rank, c.clock)
+		}
+		r, cl := UnpackSpan(span)
+		if r != c.rank || cl != c.clock {
+			t.Errorf("UnpackSpan(PackSpan(%d,%d)) = (%d,%d)", c.rank, c.clock, r, cl)
+		}
+	}
+	if r, cl := UnpackSpan(0); r != -1 || cl != 0 {
+		t.Errorf("UnpackSpan(0) = (%d,%d), want (-1,0)", r, cl)
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(3, 8)
+	r.SetIncarnation(2)
+	r.Record(10, EvSend, 0x42, 0, 1, 100)
+	r.Record(20, EvDeliver, 0x43, 0x42, 7, 1)
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	want := Ev{T: 10, Span: 0x42, A: 1, B: 100, Rank: 3, Inc: 2, Kind: EvSend}
+	if evs[0] != want {
+		t.Errorf("ev[0] = %+v, want %+v", evs[0], want)
+	}
+	if evs[1].Parent != 0x42 || evs[1].Kind != EvDeliver {
+		t.Errorf("ev[1] = %+v", evs[1])
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.SetIncarnation(1)
+	r.Record(1, EvSend, 0, 0, 0, 0)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Error("nil recorder is not a no-op")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	const capacity = 4
+	r := NewRecorder(0, capacity)
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i), EvSend, uint64(i), 0, 0, 0)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("len = %d, want %d", r.Len(), capacity)
+	}
+	if r.Dropped() != 10-capacity {
+		t.Errorf("dropped = %d, want %d", r.Dropped(), 10-capacity)
+	}
+	evs := r.Events()
+	// Oldest surviving record first: spans 6,7,8,9.
+	for i, ev := range evs {
+		if ev.Span != uint64(6+i) {
+			t.Errorf("ev[%d].Span = %d, want %d", i, ev.Span, 6+i)
+		}
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	r := NewRecorder(0, 0)
+	if cap(r.evs) != DefaultRecorderCap {
+		t.Errorf("cap = %d, want %d", cap(r.evs), DefaultRecorderCap)
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(1, EvSend, 1, 0, 0, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestMergeStableOrder(t *testing.T) {
+	a := NewRecorder(0, 8)
+	b := NewRecorder(1, 8)
+	// Rank 0 records two events at the same virtual instant: program
+	// order (deliver, then durable) must survive the merge.
+	a.Record(5, EvDeliver, 0x10, 0, 0, 1)
+	a.Record(5, EvDetDurable, 0x10, 0, 0, 0)
+	b.Record(3, EvSend, 0x20, 0, 0, 0)
+	tr := Merge(a, b)
+	if len(tr.Evs) != 3 || tr.Dropped != 0 {
+		t.Fatalf("merged: %d events, %d dropped", len(tr.Evs), tr.Dropped)
+	}
+	if tr.Evs[0].Kind != EvSend {
+		t.Errorf("earliest event is %v, want send", tr.Evs[0].Kind)
+	}
+	if tr.Evs[1].Kind != EvDeliver || tr.Evs[2].Kind != EvDetDurable {
+		t.Errorf("same-instant program order broken: %v then %v", tr.Evs[1].Kind, tr.Evs[2].Kind)
+	}
+	if tr.Count(EvSend) != 1 || tr.Count(EvDeliver) != 1 || tr.Count(EvReplay) != 0 {
+		t.Error("Count miscounts")
+	}
+}
+
+func TestMergePropagatesDropped(t *testing.T) {
+	r := NewRecorder(0, 2)
+	for i := 0; i < 5; i++ {
+		r.Record(time.Duration(i), EvSend, 0, 0, 0, 0)
+	}
+	if tr := Merge(r); tr.Dropped != 3 {
+		t.Errorf("merged dropped = %d, want 3", tr.Dropped)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{EvSend, EvResend, EvRecvWire, EvDeliver, EvDetSubmit,
+		EvDetDurable, EvWaitLogged, EvCkptChunk, EvCkptDurable, EvGCNote,
+		EvGCApply, EvReplay, EvRestartBegin, EvRestartEnd}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || seen[s] {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "?" {
+		t.Error("unknown kind should stringify as ?")
+	}
+}
+
+func TestStatsBuckets(t *testing.T) {
+	s := New()
+	s.Add(Compute, 10*time.Millisecond)
+	s.Add("Send", 2*time.Millisecond)
+	s.Add("Send", 3*time.Millisecond)
+	s.Add("Recv", 5*time.Millisecond)
+	if b := s.Get("Send"); b.Calls != 2 || b.Time != 5*time.Millisecond {
+		t.Errorf("Send bucket: %+v", b)
+	}
+	if got := s.CommTime(); got != 10*time.Millisecond {
+		t.Errorf("CommTime = %v", got)
+	}
+	if got := s.ComputeTime(); got != 10*time.Millisecond {
+		t.Errorf("ComputeTime = %v", got)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != Compute {
+		t.Errorf("Names = %v", names)
+	}
+	other := New()
+	other.Add("Send", time.Millisecond)
+	s.Merge(other)
+	if b := s.Get("Send"); b.Calls != 3 || b.Time != 6*time.Millisecond {
+		t.Errorf("merged Send bucket: %+v", b)
+	}
+	if b := s.Get("absent"); b.Calls != 0 {
+		t.Errorf("absent bucket: %+v", b)
+	}
+}

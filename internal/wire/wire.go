@@ -114,32 +114,66 @@ type PayloadHeader struct {
 	SenderClock uint64
 	PairSeq     uint64
 	DevKind     uint8
+	// Span is an optional trace span id (causal parent link for the
+	// receiver's trace). Zero means absent: the frame encodes exactly
+	// as it did before spans existed, so runs with tracing disabled
+	// put byte-identical frames on the (simulated) wire and pay zero
+	// virtual-time or allocation overhead. A nonzero span is appended
+	// after the fixed header, signaled by the top bit of the DevKind
+	// byte (device kinds are small; bit 7 is never a real kind).
+	Span uint64
 }
 
 // PayloadHeaderLen is the encoded size of a PayloadHeader plus the body
 // length and checksum framing.
 const PayloadHeaderLen = 17 + 8
 
-// PayloadSize is the encoded size of a payload frame with an n-byte body.
+// PayloadSpanLen is the extra encoded size of a nonzero trace span id.
+const PayloadSpanLen = 8
+
+// payloadSpanFlag marks, on the encoded DevKind byte, that a span id
+// follows the fixed header.
+const payloadSpanFlag = 0x80
+
+// PayloadSize is the encoded size of a payload frame with an n-byte
+// body and no span id.
 func PayloadSize(n int) int { return PayloadHeaderLen + n }
 
+// PayloadSizeH is the encoded size of a payload frame with an n-byte
+// body under header h (accounts for an optional span id).
+func PayloadSizeH(h PayloadHeader, n int) int {
+	if h.Span != 0 {
+		return PayloadHeaderLen + PayloadSpanLen + n
+	}
+	return PayloadHeaderLen + n
+}
+
 // AppendPayload appends the encoded frame to dst and returns the
-// extended slice. With dst capacity of at least PayloadSize(len(body))
+// extended slice. With dst capacity of at least PayloadSizeH(h, len(body))
 // — e.g. a GetBuf buffer — it performs no allocation.
 func AppendPayload(dst []byte, h PayloadHeader, body []byte) []byte {
-	var hdr [PayloadHeaderLen]byte
+	if h.DevKind&payloadSpanFlag != 0 {
+		panic(fmt.Sprintf("wire: DevKind %#x uses reserved bit 7 (the span-id flag)", h.DevKind))
+	}
+	var hdr [PayloadHeaderLen + PayloadSpanLen]byte
 	binary.BigEndian.PutUint64(hdr[0:8], h.SenderClock)
 	binary.BigEndian.PutUint64(hdr[8:16], h.PairSeq)
 	hdr[16] = h.DevKind
 	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(body)))
 	binary.BigEndian.PutUint32(hdr[21:25], crc32.ChecksumIEEE(body))
-	dst = append(dst, hdr[:]...)
+	n := PayloadHeaderLen
+	if h.Span != 0 {
+		hdr[16] |= payloadSpanFlag
+		binary.BigEndian.PutUint64(hdr[PayloadHeaderLen:], h.Span)
+		n += PayloadSpanLen
+	}
+	dst = append(dst, hdr[:n]...)
 	return append(dst, body...)
 }
 
 // EncodePayload prepends the header and the body's length/CRC framing.
 func EncodePayload(h PayloadHeader, body []byte) []byte {
-	return AppendPayload(make([]byte, 0, PayloadSize(len(body))), h, body)
+	return AppendPayload(make([]byte, 0, PayloadSizeH(h, len(body))), h, body)
 }
 
 // DecodePayload splits a payload frame into header and body, verifying
@@ -148,7 +182,16 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	if len(data) < PayloadHeaderLen {
 		return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short", len(data))
 	}
-	body := data[PayloadHeaderLen:]
+	hlen := PayloadHeaderLen
+	var span uint64
+	if data[16]&payloadSpanFlag != 0 {
+		hlen += PayloadSpanLen
+		if len(data) < hlen {
+			return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short for span id", len(data))
+		}
+		span = binary.BigEndian.Uint64(data[PayloadHeaderLen:hlen])
+	}
+	body := data[hlen:]
 	if n := binary.BigEndian.Uint32(data[17:21]); int(n) != len(body) {
 		return PayloadHeader{}, nil, fmt.Errorf("wire: payload body of %d bytes, framed as %d", len(body), n)
 	}
@@ -158,7 +201,8 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	return PayloadHeader{
 		SenderClock: binary.BigEndian.Uint64(data[0:8]),
 		PairSeq:     binary.BigEndian.Uint64(data[8:16]),
-		DevKind:     data[16],
+		DevKind:     data[16] &^ payloadSpanFlag,
+		Span:        span,
 	}, body, nil
 }
 

@@ -32,13 +32,49 @@ func TestPayloadTooShort(t *testing.T) {
 }
 
 func TestPropertyPayloadRoundTrip(t *testing.T) {
-	f := func(clock uint64, kind uint8, body []byte) bool {
-		h, b, err := DecodePayload(EncodePayload(PayloadHeader{SenderClock: clock, DevKind: kind}, body))
-		return err == nil && h.SenderClock == clock && h.DevKind == kind && bytes.Equal(b, body)
+	// Bit 7 of DevKind is reserved for the span-id flag, so the valid
+	// device-kind domain is 7 bits.
+	f := func(clock uint64, kind uint8, span uint64, body []byte) bool {
+		in := PayloadHeader{SenderClock: clock, DevKind: kind & 0x7f, Span: span}
+		h, b, err := DecodePayload(EncodePayload(in, body))
+		return err == nil && h == in && bytes.Equal(b, body)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestPayloadSpanRoundTrip(t *testing.T) {
+	h := PayloadHeader{SenderClock: 99, PairSeq: 7, DevKind: 3, Span: 0xdeadbeef}
+	enc := EncodePayload(h, []byte("body"))
+	if len(enc) != PayloadHeaderLen+PayloadSpanLen+4 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	h2, b, err := DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || string(b) != "body" {
+		t.Errorf("round trip: %+v %q", h2, b)
+	}
+	// A spanless frame must be byte-identical to the pre-span format:
+	// tracing off means zero wire delta.
+	h.Span = 0
+	if n := len(EncodePayload(h, []byte("body"))); n != PayloadSize(4) {
+		t.Errorf("spanless frame is %d bytes, want %d", n, PayloadSize(4))
+	}
+	// A flagged frame cut off before the span id must fail decode, not
+	// overread.
+	if _, _, err := DecodePayload(enc[:PayloadHeaderLen+2]); err == nil {
+		t.Error("truncated span frame accepted")
+	}
+	// Reserved bit 7 in DevKind is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Error("DevKind with bit 7 set did not panic")
+		}
+	}()
+	EncodePayload(PayloadHeader{DevKind: 0x80}, nil)
 }
 
 func TestEventsRoundTrip(t *testing.T) {

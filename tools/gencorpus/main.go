@@ -1,0 +1,111 @@
+// Command gencorpus regenerates the committed seed corpora for the
+// wire/core/ckpt fuzz targets. Each seed is a well-formed frame from
+// the real encoders (plus a few deliberately truncated ones), written
+// in the "go test fuzz v1" format the fuzzing engine loads from
+// testdata/fuzz/<FuzzName>/. Run from the repo root:
+//
+//	go run ./tools/gencorpus
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mpichv/internal/ckpt"
+	"mpichv/internal/core"
+	"mpichv/internal/wire"
+)
+
+func writeSeed(dir string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	name := fmt.Sprintf("seed-%x", sha256.Sum256([]byte(body)))[:21]
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	seeds := map[string][][]byte{}
+	add := func(target string, frames ...[]byte) {
+		seeds[target] = append(seeds[target], frames...)
+	}
+
+	// Payload frames: legacy, spanned, empty body, truncated header.
+	add("internal/wire/testdata/fuzz/FuzzDecodePayload",
+		wire.EncodePayload(wire.PayloadHeader{SenderClock: 7, PairSeq: 2, DevKind: 3}, []byte("ring token")),
+		wire.EncodePayload(wire.PayloadHeader{SenderClock: 41, PairSeq: 9, Span: 0x0003_0000_0000_0029}, []byte("traced payload")),
+		wire.EncodePayload(wire.PayloadHeader{}, nil),
+		wire.EncodePayload(wire.PayloadHeader{SenderClock: 1}, []byte("x"))[:12],
+	)
+
+	evs := []core.Event{
+		{Sender: 0, SenderClock: 1, RecvClock: 2, Probes: 1, Seq: 1},
+		{Sender: 3, SenderClock: 1 << 33, RecvClock: 1<<33 + 1, Seq: 2},
+	}
+	add("internal/wire/testdata/fuzz/FuzzDecodeEvents",
+		wire.EncodeEvents(nil),
+		wire.EncodeEvents(evs),
+		wire.EncodeEvents(evs)[:9],
+	)
+	add("internal/wire/testdata/fuzz/FuzzDecodeEventLog",
+		wire.EncodeEventLog(12, evs),
+		wire.EncodeEventLog(0, nil),
+	)
+	add("internal/wire/testdata/fuzz/FuzzDecodeEventAck",
+		wire.EncodeEventAck(12, 11),
+		wire.EncodeEventAck(0, 0),
+		wire.EncodeEventAck(1, 1)[:5],
+	)
+	add("internal/wire/testdata/fuzz/FuzzDecodeCkptChunk",
+		wire.AppendCkptChunk(nil, 4, 0, 3, []byte("chunk zero")),
+		wire.AppendCkptChunk(nil, 4, 2, 3, nil),
+		wire.AppendCkptChunk(nil, 1, 0, 1, []byte("whole image"))[:10],
+	)
+	add("internal/wire/testdata/fuzz/FuzzDecodeCkptManifest",
+		wire.EncodeCkptManifest(wire.CkptManifest{Present: true, Seq: 6, Size: 130, ChunkSize: 64, ImageCRC: 0xdead, ChunkCRCs: []uint32{1, 2, 3}}),
+		wire.EncodeCkptManifest(wire.CkptManifest{}),
+	)
+
+	sn := &core.Snapshot{
+		Rank:  2,
+		H:     29,
+		HS:    map[int]uint64{0: 3, 1: 9},
+		HR:    map[int]uint64{3: 7},
+		SeqTo: map[int]uint64{0: 2},
+		SeqIn: map[int]uint64{3: 5},
+		Saved: []core.SavedMsg{{To: 0, Clock: 11, Seq: 2, Kind: 1, Data: []byte("saved payload")}},
+	}
+	snb, err := sn.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	emptySn, err := (&core.Snapshot{}).Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("internal/core/testdata/fuzz/FuzzDecodeSnapshot", snb, emptySn, snb[:17])
+
+	im := &ckpt.Image{Rank: 1, Seq: 4, BaseSeq: 3, AppState: []byte("app bytes"), Proto: snb}
+	imb, err := im.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	emptyIm, err := (&ckpt.Image{}).Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("internal/ckpt/testdata/fuzz/FuzzDecodeImage", imb, emptyIm, imb[:8])
+
+	for dir, frames := range seeds {
+		for _, frame := range frames {
+			writeSeed(dir, frame)
+		}
+		fmt.Printf("%-55s %d seeds\n", dir, len(frames))
+	}
+}
