@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test staticcheck cover race bench bench-paper ci
+.PHONY: verify build vet test staticcheck cover race bench bench-paper soak-smoke ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -40,6 +40,14 @@ bench: ## Go microbenchmarks with allocation counts (wire codec, vtime actors)
 
 bench-paper: ## quick pass over every paper experiment
 	$(GO) run ./cmd/vbench -exp all -quick
+
+# soak-smoke exits non-zero unless every audit is green, the kill quota
+# was met, and teardown leaked zero goroutines.
+soak-smoke: ## ~60s real-socket soak: OS processes + chaos proxies + seeded kills/stalls/torn writes
+	$(GO) run ./cmd/soak -seed 42 -cns 3 -laps 700 -hold 30 \
+		-kills 4 -stalls 2 -minafter 5s -over 40s -stallfor 1s \
+		-drop 0.02 -dup 0.01 -delay 0.1 -maxdelay 2ms -disk 9 \
+		-timeout 3m -out BENCH_soak.json
 
 ci: ## the full gate: build + vet + staticcheck + tests + coverage floor + race core
 	$(GO) build ./...

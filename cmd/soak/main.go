@@ -1,0 +1,131 @@
+// Command soak runs the long-running real-socket chaos harness: a full
+// MPICH-V2 deployment as OS processes over loopback TCP, every
+// computing node fronted by a fault-injecting proxy, with a seeded
+// schedule of process kills and freezes. After the run it re-fetches
+// the event logger's determinant store and the crash-surviving trace
+// snapshots and audits them (no orphans, happens-before invariants),
+// then writes the goodput/loss/recovery series to BENCH_soak.json.
+//
+// Usage:
+//
+//	soak -seed 42 -cns 3 -laps 60 -kills 2 -drop 0.02
+//
+// The same seed reproduces the same kill schedule and the same chaos
+// variates. Exit status 1 means an audit failed or the run timed out.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpichv/internal/apps"
+	"mpichv/internal/deploy"
+	"mpichv/internal/transport"
+)
+
+func main() {
+	// This binary doubles as its own worker executable: when the
+	// supervisor re-execs it with MPICHV_SERVE set, MaybeServe takes
+	// over and never returns.
+	deploy.MaybeServe(func(name string) (deploy.App, bool) {
+		a, ok := apps.Get(name)
+		return deploy.App(a), ok
+	})
+
+	var (
+		seed     = flag.Uint64("seed", 42, "seed for the fault plan, chaos variates and disk faults")
+		cns      = flag.Int("cns", 3, "computing nodes")
+		laps     = flag.Int("laps", 60, "soak ring laps per rank")
+		holdMS   = flag.Int("hold", 25, "per-rank token hold (ms)")
+		payload  = flag.Int("payload", 256, "token payload bytes")
+		kills    = flag.Int("kills", 2, "process SIGKILLs to inject")
+		stalls   = flag.Int("stalls", 0, "process SIGSTOP freezes to inject")
+		minAfter = flag.Duration("minafter", 2*time.Second, "earliest fault")
+		over     = flag.Duration("over", 6*time.Second, "fault window width")
+		stallFor = flag.Duration("stallfor", time.Second, "freeze length")
+		drop     = flag.Float64("drop", 0, "proxy frame drop probability")
+		dup      = flag.Float64("dup", 0, "proxy frame duplication probability")
+		delay    = flag.Float64("delay", 0, "proxy frame delay probability")
+		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "proxy max injected delay")
+		reset    = flag.Float64("reset", 0, "proxy mid-stream connection reset probability")
+		stallP   = flag.Float64("stallp", 0, "proxy half-open stall probability")
+		bw       = flag.Int64("bw", 0, "proxy bandwidth cap (bytes/s, 0 = unlimited)")
+		disk     = flag.Int("disk", 0, "torn-write injection: tear every Nth WAL append")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "wall-clock safety limit")
+		outPath  = flag.String("out", "BENCH_soak.json", "report path (empty = stdout only)")
+		verbose  = flag.Bool("v", false, "stream supervision log to stderr")
+	)
+	flag.Parse()
+
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := deploy.SoakConfig{
+		Exe:     exe,
+		CNs:     *cns,
+		Laps:    *laps,
+		HoldMS:  *holdMS,
+		Payload: *payload,
+		Seed:    *seed,
+		Kills:   *kills,
+		Stalls:  *stalls,
+
+		MinAfter: *minAfter,
+		Over:     *over,
+		StallFor: *stallFor,
+		Proxy: transport.ProxyPolicy{
+			ChaosPolicy: transport.ChaosPolicy{
+				Seed:      *seed,
+				Drop:      *drop,
+				Duplicate: *dup,
+				Delay:     *delay,
+				MaxDelay:  *maxDelay,
+			},
+			Reset:     *reset,
+			Stall:     *stallP,
+			Bandwidth: *bw,
+		},
+		DiskFaultEvery: *disk,
+		Timeout:        *timeout,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	rep, err := deploy.RunSoak(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(enc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("soak: report → %s\n", *outPath)
+	} else {
+		fmt.Println(string(enc))
+	}
+	fmt.Printf("soak: seed=%d laps=%d/%d kills=%d stalls=%d respawns=%d duration=%dms\n",
+		rep.Seed, rep.LapsDone, rep.CNs*rep.LapsPerRank, rep.Kills, rep.Stalls, rep.Respawns, rep.DurationMS)
+	fmt.Printf("soak: %s\n", rep.AuditSummary)
+	fmt.Printf("soak: %s\n", rep.HBSummary)
+	if !rep.OK {
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "soak: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("soak: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soak:", err)
+	os.Exit(1)
+}

@@ -19,10 +19,18 @@ import (
 	"os"
 	"time"
 
+	"mpichv/internal/apps"
 	"mpichv/internal/bench"
+	"mpichv/internal/deploy"
 )
 
 func main() {
+	// The soak experiment deploys real worker processes; when vbench is
+	// used as the worker executable, MaybeServe takes over.
+	deploy.MaybeServe(func(name string) (deploy.App, bool) {
+		a, ok := apps.Get(name)
+		return deploy.App(a), ok
+	})
 	var (
 		exp        = flag.String("exp", "", "experiment id, or \"all\"")
 		quick      = flag.Bool("quick", false, "trim sweeps for a fast run")

@@ -33,6 +33,13 @@ import (
 )
 
 func main() {
+	// Supervisor-spawned workers re-exec this binary with MPICHV_SERVE
+	// set; MaybeServe takes over and never returns.
+	deploy.MaybeServe(func(name string) (deploy.App, bool) {
+		a, ok := apps.Get(name)
+		return deploy.App(a), ok
+	})
+
 	var (
 		pgPath    = flag.String("pg", "", "program file (required)")
 		appName   = flag.String("app", "tokenring", "registered MPI program to run")

@@ -1,0 +1,97 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"mpichv/internal/mpi"
+)
+
+// Soak app knobs, passed through the environment so the soak driver can
+// size a run without recompiling. The app must not branch on wall-clock
+// time: a fixed lap count keeps a killed rank's replay piecewise
+// deterministic regardless of how long the outage lasted.
+const (
+	envSoakLaps    = "MPICHV_SOAK_LAPS"
+	envSoakHoldMS  = "MPICHV_SOAK_HOLD_MS"
+	envSoakPayload = "MPICHV_SOAK_PAYLOAD"
+)
+
+func envIntDefault(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func init() {
+	Register("soakring", SoakRing)
+}
+
+// SoakRing is the long-running soak workload: a token circulates the
+// ring for a configured number of laps, each rank holding it briefly
+// and incrementing it, with a checkpoint opportunity every lap. Every
+// completed lap is announced as a "VRUN-LAP n" stdout line (the
+// deploy.LapMarker protocol) so the supervisor can chart goodput and
+// recovery latency. The token's arithmetic is verified at the end: a
+// lost, duplicated, or reordered delivery anywhere in the run makes
+// the final value wrong.
+func SoakRing(p *mpi.Proc) {
+	laps := envIntDefault(envSoakLaps, 20)
+	hold := time.Duration(envIntDefault(envSoakHoldMS, 25)) * time.Millisecond
+	payload := envIntDefault(envSoakPayload, 256)
+	if payload < 8 {
+		payload = 8
+	}
+	n := p.Size()
+	right := (p.Rank() + 1) % n
+	left := (p.Rank() - 1 + n) % n
+
+	state := struct {
+		Lap   int
+		Token uint64
+	}{}
+	p.SetStateProvider(func() []byte {
+		buf := make([]byte, 16)
+		binary.BigEndian.PutUint64(buf, uint64(state.Lap))
+		binary.BigEndian.PutUint64(buf[8:], state.Token)
+		return buf
+	})
+	if blob, restarted := p.Restarted(); restarted && len(blob) >= 16 {
+		state.Lap = int(binary.BigEndian.Uint64(blob))
+		state.Token = binary.BigEndian.Uint64(blob[8:])
+		fmt.Printf("rank %d: resuming soak from lap %d\n", p.Rank(), state.Lap)
+	}
+
+	buf := make([]byte, payload)
+	for ; state.Lap < laps; state.Lap++ {
+		p.CheckpointPoint()
+		if p.Rank() == 0 {
+			binary.BigEndian.PutUint64(buf, state.Token+1)
+			p.Send(right, 1, buf)
+			b, _ := p.Recv(left, 1)
+			state.Token = binary.BigEndian.Uint64(b)
+		} else {
+			b, _ := p.Recv(left, 1)
+			tok := binary.BigEndian.Uint64(b) + 1
+			p.Clock().Sleep(hold)
+			binary.BigEndian.PutUint64(buf, tok)
+			p.Send(right, 1, buf)
+			state.Token = tok
+		}
+		// Matches deploy.LapMarker; apps stays a pure-MPI package, so
+		// the literal is repeated here rather than imported.
+		fmt.Printf("VRUN-LAP %d\n", state.Lap+1)
+	}
+	if p.Rank() == 0 && state.Token != uint64(n*laps) {
+		p.Abortf("soakring: token = %d, want %d", state.Token, n*laps)
+	}
+	if p.Rank() == 0 {
+		fmt.Printf("soakring: verified token=%d after %d laps\n", state.Token, laps)
+	}
+}

@@ -54,6 +54,8 @@ func Experiments() []Experiment {
 			Data: func(q bool) (any, error) { return CkptBenchData(q), nil }},
 		{ID: "trace", Title: "Trace: causal tracing overhead, HB audit and critical-path breakdown", Run: TraceBench,
 			Data: func(q bool) (any, error) { return TraceData(q) }},
+		{ID: "soak", Title: "Soak: real-socket deployment under process kills and live chaos", Run: SoakBench,
+			Data: SoakData},
 	}
 }
 

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"mpichv/internal/deploy"
+	"mpichv/internal/transport"
+)
+
+// soakWorkerExe resolves the worker executable for the soak harness.
+// MPICHV_SOAK_EXE overrides (CI points it at a prebuilt binary);
+// otherwise cmd/soak is built into a temp dir. Never os.Executable():
+// inside `go test` that is the test binary, and spawning it as a
+// worker would recurse into the whole suite.
+func soakWorkerExe() (string, func(), error) {
+	if exe := os.Getenv("MPICHV_SOAK_EXE"); exe != "" {
+		return exe, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "mpichv-soak-exe-*")
+	if err != nil {
+		return "", nil, err
+	}
+	bin := filepath.Join(dir, "soak")
+	cmd := exec.Command("go", "build", "-o", bin, "mpichv/cmd/soak")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("bench: building soak worker: %v\n%s", err, out)
+	}
+	return bin, func() { os.RemoveAll(dir) }, nil
+}
+
+func soakConfig(quick bool, exe string) deploy.SoakConfig {
+	cfg := deploy.SoakConfig{
+		Exe:    exe,
+		Seed:   42,
+		CNs:    3,
+		Laps:   40,
+		HoldMS: 20,
+		Kills:  2,
+
+		MinAfter: 1 * time.Second,
+		Over:     2 * time.Second,
+		Proxy: transport.ProxyPolicy{
+			ChaosPolicy: transport.ChaosPolicy{
+				Seed:     42,
+				Drop:     0.01,
+				Delay:    0.05,
+				MaxDelay: 2 * time.Millisecond,
+			},
+		},
+		Timeout: 90 * time.Second,
+	}
+	if !quick {
+		cfg.CNs = 4
+		cfg.Laps = 120
+		cfg.HoldMS = 25
+		cfg.Kills = 3
+		cfg.Stalls = 1
+		cfg.StallFor = time.Second
+		cfg.MinAfter = 2 * time.Second
+		cfg.Over = 8 * time.Second
+		cfg.Proxy.Duplicate = 0.01
+		cfg.Proxy.Delay = 0.1
+		cfg.DiskFaultEvery = 9
+		cfg.Timeout = 4 * time.Minute
+	}
+	return cfg
+}
+
+// SoakBench runs the real-socket soak: a deployed multi-process system
+// under seeded process kills and live socket chaos, audited after every
+// recovery and again after quiescence.
+func SoakBench(w io.Writer, quick bool) error {
+	exe, cleanup, err := soakWorkerExe()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	rep, err := deploy.RunSoak(soakConfig(quick, exe))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "seed=%d cns=%d laps=%d/%d kills=%d stalls=%d respawns=%d duration=%dms\n",
+		rep.Seed, rep.CNs, rep.LapsDone, rep.CNs*rep.LapsPerRank, rep.Kills, rep.Stalls, rep.Respawns, rep.DurationMS)
+	for _, r := range rep.Recoveries {
+		fmt.Fprintf(w, "recovery: rank %d inc %d respawn %dms back-to-work %dms\n",
+			r.ID, r.Inc, r.RespawnMS, r.BackToWorkMS)
+	}
+	fmt.Fprintf(w, "%s\n%s\n", rep.AuditSummary, rep.HBSummary)
+	fmt.Fprintf(w, "tcp: dials=%d redials=%d retransmits=%d dropped=%d\n",
+		rep.TCP.Dials, rep.TCP.Redials, rep.TCP.Retransmits, rep.TCP.DroppedFrames)
+	fmt.Fprintf(w, "proxy: dropped=%d delayed=%d duplicated=%d resets=%d\n",
+		rep.Metrics["proxy.dropped"], rep.Metrics["proxy.delayed"],
+		rep.Metrics["proxy.duplicated"], rep.Metrics["proxy.resets"])
+	if !rep.OK {
+		return fmt.Errorf("soak failed: %v", rep.Failures)
+	}
+	fmt.Fprintln(w, "soak OK")
+	return nil
+}
+
+// SoakData regenerates the soak as a structured report (BENCH_soak.json).
+func SoakData(quick bool) (any, error) {
+	exe, cleanup, err := soakWorkerExe()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	rep, err := deploy.RunSoak(soakConfig(quick, exe))
+	if err != nil {
+		return nil, err
+	}
+	if !rep.OK {
+		return rep, fmt.Errorf("soak failed: %v", rep.Failures)
+	}
+	return rep, nil
+}

@@ -43,6 +43,7 @@ import (
 	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
+	"mpichv/internal/walog"
 	"mpichv/internal/wire"
 )
 
@@ -234,6 +235,12 @@ type Store struct {
 	latest   map[int]uint64                // rank → highest stored seq
 	partials map[int]map[uint64]*partialImage
 
+	// wal, when set (deployed workers), receives every materialized
+	// full image so a SIGKILLed checkpoint server rejoins with its
+	// durable prefix. Deltas are materialized *before* the append, so
+	// recovery never depends on a base image surviving.
+	wal *walog.Writer
+
 	stats Stats
 }
 
@@ -251,6 +258,50 @@ func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.stats
+}
+
+// OpenWAL replays the image log at path into the store and then arms
+// it: every subsequently stored image is appended. Records that fail
+// the image's own CRC frame are skipped — the daemon's replication and
+// anti-entropy supply what the disk lost. torn configures the
+// deterministic disk-fault injector (zero value: faults off).
+func (st *Store) OpenWAL(path string, torn walog.TornConfig) (walog.LoadResult, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, res, err := walog.ReplayInto(path, torn, func(body []byte) {
+		if len(body) < 16 {
+			return
+		}
+		rank := int(binary.BigEndian.Uint64(body))
+		seq := binary.BigEndian.Uint64(body[8:])
+		image := body[16:]
+		if im, err := DecodeImage(image); err != nil || im.Seq != seq || im.Rank != rank {
+			return // damage the record CRC missed, or a mismatched frame
+		}
+		if img := st.images[rank]; img != nil {
+			if _, dup := img[seq]; dup {
+				return
+			}
+		}
+		st.storeLocked(rank, seq, append([]byte(nil), image...))
+	})
+	if err != nil {
+		return res, err
+	}
+	st.wal = w
+	return res, nil
+}
+
+// CloseWAL detaches and closes the write-ahead log, if armed.
+func (st *Store) CloseWAL() error {
+	st.mu.Lock()
+	w := st.wal
+	st.wal = nil
+	st.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
 }
 
 // Accept verifies and stores an image for a rank unless an image with
@@ -365,6 +416,14 @@ func (st *Store) storeLocked(rank int, seq uint64, image []byte) {
 		st.images[rank] = m
 	}
 	m[seq] = image
+	if st.wal != nil {
+		rec := make([]byte, 16, 16+len(image))
+		binary.BigEndian.PutUint64(rec, uint64(rank))
+		binary.BigEndian.PutUint64(rec[8:], seq)
+		// A failed (or injection-torn) append is silent, as a real torn
+		// write would be; the loader's resync absorbs the damage.
+		st.wal.Append(append(rec, image...))
+	}
 	if seq > st.latest[rank] {
 		st.latest[rank] = seq
 	}

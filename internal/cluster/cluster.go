@@ -551,6 +551,15 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	if chaos != nil {
 		chaos.AddTo(reg)
 	}
+	// Fold the fabric's own counters when it exports any (the TCP
+	// fabric's redials, retransmits, dropped frames — "tcp.*"). The
+	// chaos wrapper was folded above, so skip it to avoid a double
+	// count when the fabric and the wrapper are the same object.
+	if am, ok := h.fab.(interface{ AddTo(*trace.Registry) }); ok {
+		if chaos == nil || h.fab != transport.Fabric(chaos) {
+			am.AddTo(reg)
+		}
+	}
 	reg.Gauge("run.elapsed_us").Set(float64(res.Elapsed) / float64(time.Microsecond))
 	reg.Gauge("run.ranks").Set(float64(cfg.N))
 	reg.Counter("run.kills").Add(int64(res.Kills))

@@ -169,6 +169,20 @@ type Config struct {
 	// still holds sends until every submitted batch is acked.
 	ELWindow int
 
+	// ELHighWater, when positive, bounds the daemon's memory while its
+	// event-logger quorum is unreachable. Determinants that cannot
+	// reach quorum pile up (in-flight batches plus the submission
+	// queue); at ELHighWater pending determinants the daemon stops
+	// committing new receptions — the application stalls in recv, so it
+	// also stops producing — and resumes once retransmissions drain the
+	// backlog to ELLowWater (default ELHighWater/2). The WAITLOGGED
+	// gate already stalls *senders* under a dead logger; the watermark
+	// extends the same pressure to receive-heavy ranks, whose resend
+	// queues would otherwise grow without bound for the whole outage.
+	// Zero disables the gate (simulated runs keep legacy behavior).
+	ELHighWater int
+	ELLowWater  int
+
 	// NoSendGating disables the WAITLOGGED barrier (ablation only):
 	// sends leave before reception events are acknowledged, turning
 	// the protocol into an optimistic-style logger that can no longer
@@ -343,6 +357,10 @@ type Stats struct {
 	DeltaCkpts       int64 // checkpoints shipped as deltas against an acked base
 	ChunkRetransmits int64 // individual checkpoint chunks re-sent after a timeout
 	ManifestFetches  int64 // restart-time manifest gathers (chunked fast path)
+
+	// Degraded-mode (EL watermark) counters.
+	DegradedStalls  int64 // times the daemon crossed ELHighWater and froze delivery
+	DegradedResumes int64 // times the backlog drained to ELLowWater and delivery resumed
 }
 
 // AddTo exports the counters into a metrics registry under the
@@ -374,4 +392,6 @@ func (s Stats) AddTo(r *trace.Registry) {
 	r.Counter("daemon.delta_ckpts").Add(s.DeltaCkpts)
 	r.Counter("daemon.chunk_retransmits").Add(s.ChunkRetransmits)
 	r.Counter("daemon.manifest_fetches").Add(s.ManifestFetches)
+	r.Counter("daemon.degraded_stalls").Add(s.DegradedStalls)
+	r.Counter("daemon.degraded_resumes").Add(s.DegradedResumes)
 }

@@ -120,6 +120,11 @@ type V2 struct {
 	pullTimer    uint64
 	pullAttempts int
 
+	// elDegraded latches the bounded-memory stall while pending
+	// determinants sit between the ELLowWater/ELHighWater hysteresis
+	// band (see Config.ELHighWater).
+	elDegraded bool
+
 	// recovery buffering: frames that arrive while we fetch our image
 	// and event list are replayed into the normal handler afterwards.
 	recovering     bool
@@ -1205,6 +1210,43 @@ func (d *V2) elExpired() {
 	d.armEL()
 }
 
+// pendingEL counts determinants not yet quorum-durable: events queued
+// for submission plus events inside unretired in-flight batches.
+func (d *V2) pendingEL() int {
+	n := len(d.elQueue)
+	for i := range d.elRing {
+		if !d.elRing[i].done {
+			n += len(d.elRing[i].evs)
+		}
+	}
+	return n
+}
+
+// elStalled evaluates the ELHighWater/ELLowWater hysteresis band and
+// latches the degraded state across the threshold crossings, counting
+// each transition once.
+func (d *V2) elStalled() bool {
+	hi := d.cfg.ELHighWater
+	if hi <= 0 {
+		return false
+	}
+	lo := d.cfg.ELLowWater
+	if lo <= 0 || lo >= hi {
+		lo = hi / 2
+	}
+	n := d.pendingEL()
+	if d.elDegraded {
+		if n <= lo {
+			d.elDegraded = false
+			d.stats.DegradedResumes++
+		}
+	} else if n >= hi {
+		d.elDegraded = true
+		d.stats.DegradedStalls++
+	}
+	return d.elDegraded
+}
+
 func (d *V2) submitEvent(ev core.Event) {
 	if len(d.elTargets) == 0 {
 		return
@@ -1395,7 +1437,12 @@ func (d *V2) doRecv() {
 			}
 		}
 	}
-	for len(d.arrived) == 0 {
+	// elStalled is the degraded-mode gate: with the EL quorum
+	// unreachable the daemon refuses to commit further receptions, so
+	// the application blocks here and stops feeding the resend queues.
+	// Retransmission timers keep the loop turning, and the first acks
+	// from a healed logger drain the backlog and lift the gate.
+	for len(d.arrived) == 0 || d.elStalled() {
 		d.beginStarve()
 		e := d.next()
 		if e.isFrame {

@@ -18,13 +18,7 @@ import (
 	"sync"
 	"time"
 
-	"mpichv/internal/ckpt"
-	"mpichv/internal/daemon"
-	"mpichv/internal/eventlog"
 	"mpichv/internal/mpi"
-	"mpichv/internal/sched"
-	"mpichv/internal/transport"
-	"mpichv/internal/vtime"
 )
 
 // Role is a node's function in the system.
@@ -49,7 +43,13 @@ const (
 type Node struct {
 	ID   int
 	Role Role
+	// Addr is the advertised address peers dial.
 	Addr string
+	// Bind, when non-empty, is the address the node actually listens
+	// on. The split exists for fault injection: a ChaosProxy owns the
+	// advertised address and forwards to the bind address, so every
+	// inbound byte crosses the injector. Empty means listen on Addr.
+	Bind string
 }
 
 // Program is a parsed program file.
@@ -57,9 +57,11 @@ type Program struct {
 	Nodes []Node
 }
 
-// Parse reads a program file: one "role address" pair per line, '#'
-// comments allowed. Computing nodes get ranks in order of appearance;
-// service nodes get their fixed ids.
+// Parse reads a program file: one "role address [bind]" line per node,
+// '#' comments allowed. Computing nodes get ranks in order of
+// appearance; service nodes get their fixed ids. The optional third
+// field is a listen address differing from the advertised one (see
+// Node.Bind — the proxy-interposition hook).
 func Parse(r io.Reader) (*Program, error) {
 	p := &Program{}
 	sc := bufio.NewScanner(r)
@@ -72,10 +74,13 @@ func Parse(r io.Reader) (*Program, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("deploy: line %d: want \"role address\", got %q", line, text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("deploy: line %d: want \"role address [bind]\", got %q", line, text)
 		}
 		n := Node{Role: Role(fields[0]), Addr: fields[1]}
+		if len(fields) == 3 {
+			n.Bind = fields[2]
+		}
 		switch n.Role {
 		case RoleCN:
 			n.ID = rank
@@ -154,64 +159,16 @@ type App func(p *mpi.Proc)
 // Serve runs one node of the program in this process. Computing nodes
 // run the app, print DoneMarker, and then keep serving (their message
 // logs may be needed by recovering peers) until the launcher kills
-// them. Service nodes serve forever.
+// them. Service nodes serve forever. Serve is the legacy entry point;
+// it is ServeWith with every fault-injection knob off.
 func Serve(pg *Program, id int, app App, restarted bool, out io.Writer) error {
-	rt := vtime.NewReal()
-	fab := transport.NewTCPFabric(rt, pg.AddrMap())
-
-	var node *Node
-	for i := range pg.Nodes {
-		if pg.Nodes[i].ID == id {
-			node = &pg.Nodes[i]
-		}
-	}
-	if node == nil {
-		return fmt.Errorf("deploy: node id %d not in program file", id)
-	}
-
-	switch node.Role {
-	case RoleEL:
-		eventlog.NewServer(rt, fab.Attach(ELID, "event-logger"), 0).Start()
-		select {}
-	case RoleCS:
-		ckpt.NewServer(rt, fab.Attach(CSID, "ckpt-server")).Start()
-		select {}
-	case RoleSched:
-		var ranks []int
-		for _, n := range pg.CNs() {
-			ranks = append(ranks, n.ID)
-		}
-		sched.Start(rt, fab, sched.Config{
-			Node:   SchedID,
-			Ranks:  ranks,
-			Policy: &sched.RoundRobin{},
-			Period: 2 * time.Second,
-		})
-		select {}
-	case RoleCN:
-		cfg := daemon.Config{
-			Rank:        id,
-			Size:        len(pg.CNs()),
-			EventLogger: ELID,
-			CkptServer:  -1,
-			Scheduler:   -1,
-			Dispatcher:  -1,
-			Restarted:   restarted,
-		}
-		if _, ok := pg.Find(RoleCS); ok {
-			cfg.CkptServer = CSID
-		}
-		if _, ok := pg.Find(RoleSched); ok {
-			cfg.Scheduler = SchedID
-		}
-		dev, _ := daemon.StartV2(rt, fab, cfg)
-		p := mpi.Start(dev, rt, mpi.Options{})
-		app(p)
-		p.Finalize()
-		fmt.Fprintln(out, DoneMarker)
-		select {}
-	}
-	return fmt.Errorf("deploy: unhandled role %q", node.Role)
+	return ServeWith(ServeOpts{
+		Program:   pg,
+		ID:        id,
+		App:       app,
+		Restarted: restarted,
+		Out:       out,
+	})
 }
 
 // Launcher spawns and supervises the worker processes of one run.

@@ -46,10 +46,10 @@ cn 127.0.0.1:9101
 
 func TestParseRejectsBadFiles(t *testing.T) {
 	cases := []string{
-		"cn 127.0.0.1:9100",             // no event logger
-		"el 127.0.0.1:9000",             // no computing node
-		"xx 127.0.0.1:9000\ncn a\nel b", // unknown role
-		"cn 127.0.0.1:9100 extra\nel b", // wrong field count
+		"cn 127.0.0.1:9100",               // no event logger
+		"el 127.0.0.1:9000",               // no computing node
+		"xx 127.0.0.1:9000\ncn a\nel b",   // unknown role
+		"cn 127.0.0.1:9100 a b c\nel b",   // wrong field count
 	}
 	for _, src := range cases {
 		if _, err := Parse(strings.NewReader(src)); err == nil {

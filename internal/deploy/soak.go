@@ -1,0 +1,523 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/core"
+	"mpichv/internal/trace"
+	"mpichv/internal/transport"
+	"mpichv/internal/vtime"
+	"mpichv/internal/wire"
+)
+
+// FreePorts reserves n distinct loopback addresses by briefly listening
+// on ephemeral ports. All listeners are held open simultaneously, so
+// the addresses are pairwise distinct; the usual reuse race is harmless
+// on a loopback-only test box.
+func FreePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// SoakConfig sizes one soak run: a real multi-process deployment over
+// loopback TCP, every computing node fronted by a fault-injecting
+// proxy, with a seeded schedule of process kills and freezes.
+type SoakConfig struct {
+	// Exe is the worker executable; it must call deploy.MaybeServe at
+	// the top of main.
+	Exe     string
+	AppName string // default "soakring"
+	CNs     int    // computing nodes (default 3)
+
+	// Soak app sizing (exported to workers through the environment).
+	Laps    int // laps per rank (default 20)
+	HoldMS  int // per-rank token hold (default 25)
+	Payload int // token payload bytes (default 256)
+
+	// Seed drives the fault plan, the proxies' chaos variates, and the
+	// disk-fault injector: one number reproduces the whole run.
+	Seed uint64
+
+	// Process fault schedule.
+	Kills    int           // SIGKILLs (default 2)
+	Stalls   int           // SIGSTOP freezes
+	MinAfter time.Duration // earliest fault (default 2s)
+	Over     time.Duration // fault window width (default 6s)
+	StallFor time.Duration // freeze length (default 1s)
+
+	// Proxy is the socket-level chaos applied to every CN's inbound
+	// traffic. The zero value proxies bytes through unmodified.
+	Proxy transport.ProxyPolicy
+
+	// DiskFaultEvery arms torn-write injection on the EL/CS WALs.
+	DiskFaultEvery int
+
+	Heartbeat time.Duration // worker heartbeat cadence (default 100ms)
+	Timeout   time.Duration // wall-clock safety limit (default 2m)
+	MaxSpawn  int           // restart budget per node (default 10)
+	Dir       string        // scratch dir (default: a fresh temp dir)
+	Log       io.Writer     // driver log (default io.Discard)
+}
+
+// Recovery is one crash→recovery episode of a computing node.
+type Recovery struct {
+	ID           int   `json:"id"`
+	Inc          uint64 `json:"incarnation"` // incarnation that died
+	RespawnMS    int64 `json:"respawn_ms"`      // exit → replacement spawned
+	BackToWorkMS int64 `json:"back_to_work_ms"` // exit → first lap of any later incarnation (-1: none)
+}
+
+// SoakReport is the JSON-serializable outcome of a soak run.
+type SoakReport struct {
+	Seed       uint64   `json:"seed"`
+	OK         bool     `json:"ok"`
+	Failures   []string `json:"failures,omitempty"`
+	DurationMS int64    `json:"duration_ms"`
+
+	CNs         int   `json:"cns"`
+	LapsPerRank int   `json:"laps_per_rank"`
+	LapsDone    int   `json:"laps_done"` // lap completions observed (all ranks)
+	Goodput     []int `json:"goodput"`   // lap completions per 1s bucket
+
+	Kills      int        `json:"kills"`
+	Stalls     int        `json:"stalls"`
+	Respawns   int        `json:"respawns"`
+	Recoveries []Recovery `json:"recoveries,omitempty"`
+	Plan       []string   `json:"plan,omitempty"` // human-readable fault schedule
+
+	MidAudits      int    `json:"mid_audits"`       // post-recovery audit passes
+	AuditEvents    int    `json:"audit_events"`     // determinants in the final audit
+	AuditSummary   string `json:"audit"`            // final no-orphans verdict
+	HBSummary      string `json:"hb_audit"`         // final happens-before verdict
+	LeakGoroutines int    `json:"leak_goroutines"`  // residual goroutines after teardown
+
+	TCP     TCPSample        `json:"tcp"`              // Σ last sample per (node, incarnation)
+	Metrics map[string]int64 `json:"metrics,omitempty"` // proxy counters etc.
+}
+
+func (c *SoakConfig) defaults() {
+	if c.AppName == "" {
+		c.AppName = "soakring"
+	}
+	if c.CNs <= 0 {
+		c.CNs = 3
+	}
+	if c.Laps <= 0 {
+		c.Laps = 20
+	}
+	if c.HoldMS <= 0 {
+		c.HoldMS = 25
+	}
+	if c.Payload <= 0 {
+		c.Payload = 256
+	}
+	if c.Kills < 0 {
+		c.Kills = 0
+	}
+	if c.MinAfter <= 0 {
+		c.MinAfter = 2 * time.Second
+	}
+	if c.Over <= 0 {
+		c.Over = 6 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.MaxSpawn <= 0 {
+		c.MaxSpawn = 10
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+}
+
+// fetchELEvents pulls the event logger's whole determinant store over a
+// throwaway TCP endpoint (the EL itself is not proxied, so this read is
+// chaos-free) and returns the per-rank delivery view.
+func fetchELEvents(elAddr string, cns int, timeout time.Duration) ([][]core.Event, int, error) {
+	const auditorID = 1900
+	rt := vtime.NewReal()
+	fab := transport.NewTCPFabric(rt, map[int]string{
+		ELID:      elAddr,
+		auditorID: "127.0.0.1:0",
+	})
+	ep := fab.Attach(auditorID, "soak-audit")
+	defer ep.Close()
+
+	frames := make(chan transport.Frame, 16)
+	go func() {
+		for {
+			f, ok := ep.Inbox().Recv()
+			if !ok {
+				close(frames)
+				return
+			}
+			frames <- f
+		}
+	}()
+
+	req := wire.EncodeSyncMarks(map[int]uint64{})
+	deadline := time.After(timeout)
+	var m map[int][]core.Event
+	for m == nil {
+		ep.Send(ELID, wire.KELSyncReq, req)
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return nil, 0, fmt.Errorf("soak: audit endpoint closed")
+			}
+			if f.Kind != wire.KELSyncResp {
+				continue
+			}
+			dec, err := wire.DecodeNodeEvents(f.Data)
+			if err != nil {
+				return nil, 0, fmt.Errorf("soak: bad sync response: %w", err)
+			}
+			m = dec
+		case <-time.After(500 * time.Millisecond):
+			// re-send the request
+		case <-deadline:
+			return nil, 0, fmt.Errorf("soak: event-logger fetch timed out after %v", timeout)
+		}
+	}
+
+	dels := make([][]core.Event, cns)
+	total := 0
+	for node, evs := range m {
+		if node < 0 || node >= cns {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].RecvClock < evs[j].RecvClock })
+		dels[node] = evs
+		total += len(evs)
+	}
+	return dels, total, nil
+}
+
+// knownCommits maps the fetched determinants to trace span ids: a
+// determinant in the EL *is* a durable commit, so it anchors replays
+// whose local EvDetDurable record died with a crashed incarnation.
+func knownCommits(dels [][]core.Event) map[uint64]bool {
+	known := make(map[uint64]bool)
+	for rank, evs := range dels {
+		for _, ev := range evs {
+			known[trace.PackSpan(rank, ev.RecvClock)] = true
+		}
+	}
+	return known
+}
+
+// auditOnce runs both post-run checks — the no-orphans audit over the
+// event logger's determinant store and the happens-before audit over
+// the merged crash-surviving trace snapshots — and reports the verdicts.
+func auditOnce(elAddr, traceDir string, cns int) (cluster.AuditReport, trace.HBReport, int, error) {
+	dels, total, err := fetchELEvents(elAddr, cns, 5*time.Second)
+	if err != nil {
+		return cluster.AuditReport{}, trace.HBReport{}, 0, err
+	}
+	rep := cluster.Audit(cluster.Result{Deliveries: dels})
+	tr, err := trace.BuildTrace(filepath.Join(traceDir, "trace-*.mvtr"))
+	if err != nil {
+		return rep, trace.HBReport{}, total, err
+	}
+	hb := trace.AuditHBWith(tr, trace.AuditHBOpts{
+		KnownCommits: knownCommits(dels),
+		CrashTail:    true,
+	})
+	return rep, hb, total, nil
+}
+
+// RunSoak deploys the program as real OS processes over loopback TCP —
+// every computing node behind a fault-injecting proxy — executes the
+// seeded kill/stall schedule, and audits the survivors: the same seed
+// reproduces the same fault schedule and the same chaos variates.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	cfg.defaults()
+	rep := &SoakReport{Seed: cfg.Seed, CNs: cfg.CNs, LapsPerRank: cfg.Laps}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mpichv-soak-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	traceDir := filepath.Join(dir, "trace")
+	walDir := filepath.Join(dir, "wal")
+	for _, d := range []string{traceDir, walDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// Address plan: per CN an advertised (proxy front) and a bind
+	// address, plus one each for EL, CS and the checkpoint scheduler.
+	addrs, err := FreePorts(2*cfg.CNs + 3)
+	if err != nil {
+		return nil, err
+	}
+	elAddr, csAddr, scAddr := addrs[0], addrs[1], addrs[2]
+	var pg strings.Builder
+	fmt.Fprintf(&pg, "el %s\ncs %s\nsc %s\n", elAddr, csAddr, scAddr)
+	for i := 0; i < cfg.CNs; i++ {
+		fmt.Fprintf(&pg, "cn %s %s\n", addrs[3+2*i], addrs[3+2*i+1])
+	}
+	pgPath := filepath.Join(dir, "soak.pg")
+	if err := os.WriteFile(pgPath, []byte(pg.String()), 0o644); err != nil {
+		return nil, err
+	}
+
+	// The shared epoch: every worker's virtual clock and the proxies'
+	// partition windows count from here.
+	epoch := time.Now()
+	rt := vtime.NewRealAt(epoch)
+
+	// One chaos proxy per computing node, owning the advertised
+	// address and forwarding to the bind address. Distinct sub-seeds
+	// keep the proxies' variate streams independent but reproducible.
+	proxies := make([]*transport.ChaosProxy, 0, cfg.CNs)
+	defer func() {
+		for _, px := range proxies {
+			px.Close()
+		}
+	}()
+	for i := 0; i < cfg.CNs; i++ {
+		pol := cfg.Proxy
+		pol.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		px, err := transport.NewChaosProxy(rt, i, addrs[3+2*i], addrs[3+2*i+1], pol)
+		if err != nil {
+			return nil, fmt.Errorf("soak: proxy for rank %d: %w", i, err)
+		}
+		proxies = append(proxies, px)
+	}
+
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: pgPath,
+		Exe:         cfg.Exe,
+		AppName:     cfg.AppName,
+		Template: ServeOpts{
+			Epoch:          epoch,
+			TraceDir:       traceDir,
+			WALDir:         walDir,
+			DiskFaultEvery: cfg.DiskFaultEvery,
+			DiskFaultSeed:  cfg.Seed,
+			Heartbeat:      cfg.Heartbeat,
+			ELHighWater:    512,
+			PullTimeout:    250 * time.Millisecond,
+		},
+		MaxSpawn: cfg.MaxSpawn,
+		ExtraEnv: []string{
+			"MPICHV_SOAK_LAPS=" + strconv.Itoa(cfg.Laps),
+			"MPICHV_SOAK_HOLD_MS=" + strconv.Itoa(cfg.HoldMS),
+			"MPICHV_SOAK_PAYLOAD=" + strconv.Itoa(cfg.Payload),
+		},
+		Log: cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sup.Stop()
+	start := time.Now()
+
+	var targets []int
+	for i := 0; i < cfg.CNs; i++ {
+		targets = append(targets, i)
+	}
+	plan := PlanFaults(FaultPlanConfig{
+		Seed:     cfg.Seed,
+		Targets:  targets,
+		Kills:    cfg.Kills,
+		Stalls:   cfg.Stalls,
+		MinAfter: cfg.MinAfter,
+		Over:     cfg.Over,
+		StallFor: cfg.StallFor,
+	})
+	for _, f := range plan {
+		rep.Plan = append(rep.Plan, fmt.Sprintf("%s %d @%dms", f.Kind, f.Target, f.After.Milliseconds()))
+	}
+	stopInject := sup.Inject(plan)
+	defer stopInject()
+
+	// Wait for completion, re-running both audits after every observed
+	// recovery (a respawn with incarnation > 0). Mid-run audits may see
+	// transient holes while retransmissions drain, so each retries
+	// until green; only never-converging audits count as failures. The
+	// post-quiesce final audit below stays authoritative.
+	audited := make(map[string]bool)
+	timeout := time.After(cfg.Timeout)
+	poll := time.NewTicker(time.Second)
+	timedOut := false
+waitLoop:
+	for {
+		select {
+		case <-sup.Done():
+			break waitLoop
+		case <-timeout:
+			timedOut = true
+			fail("soak timed out after %v", cfg.Timeout)
+			break waitLoop
+		case <-poll.C:
+			for _, ev := range sup.Events() {
+				if ev.Kind != "spawn" || ev.Inc == 0 {
+					continue
+				}
+				key := fmt.Sprintf("%d/%d", ev.ID, ev.Inc)
+				if audited[key] {
+					continue
+				}
+				audited[key] = true
+				green := false
+				var last string
+				for attempt := 0; attempt < 10; attempt++ {
+					a, hb, _, err := auditOnce(elAddr, traceDir, cfg.CNs)
+					if err == nil && a.OK() && hb.OK() {
+						green = true
+						break
+					}
+					last = fmt.Sprintf("audit=%v hb=%v err=%v", a.Summary(), hb.Summary(), err)
+					time.Sleep(300 * time.Millisecond)
+				}
+				rep.MidAudits++
+				if !green {
+					fail("post-recovery audit for node %s never converged: %s", key, last)
+				}
+			}
+		}
+	}
+	poll.Stop()
+	rep.DurationMS = time.Since(start).Milliseconds()
+	stopInject()
+
+	// Quiesce: let in-flight retransmissions and the last heartbeat
+	// land, plus one trace-snapshot flush interval.
+	time.Sleep(2*cfg.Heartbeat + 500*time.Millisecond)
+
+	// Authoritative final audits.
+	audit, hb, total, err := auditOnce(elAddr, traceDir, cfg.CNs)
+	rep.AuditEvents = total
+	if err != nil {
+		fail("final audit: %v", err)
+	} else {
+		rep.AuditSummary = audit.Summary()
+		rep.HBSummary = hb.Summary()
+		if !audit.OK() {
+			fail("no-orphans audit failed: %s", audit.Summary())
+			for _, o := range audit.Orphans {
+				fail("orphan: %s", o)
+			}
+		}
+		if !hb.OK() {
+			fail("happens-before audit failed: %s", hb.Summary())
+		}
+	}
+	if err := sup.Err(); err != nil {
+		fail("supervision: %v", err)
+	}
+
+	// Fold the supervision record into the report.
+	events := sup.Events()
+	laps := sup.Laps()
+	rep.LapsDone = len(laps)
+	for _, l := range laps {
+		b := int(l.T.Sub(start) / time.Second)
+		for len(rep.Goodput) <= b {
+			rep.Goodput = append(rep.Goodput, 0)
+		}
+		rep.Goodput[b]++
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case "kill":
+			rep.Kills++
+		case "stall":
+			rep.Stalls++
+		case "spawn":
+			if ev.Inc > 0 {
+				rep.Respawns++
+			}
+		}
+	}
+	for i, ev := range events {
+		if ev.Kind != "exit" || ev.ID >= ELID {
+			continue
+		}
+		r := Recovery{ID: ev.ID, Inc: ev.Inc, RespawnMS: -1, BackToWorkMS: -1}
+		for _, later := range events[i+1:] {
+			if later.ID == ev.ID && later.Kind == "spawn" {
+				r.RespawnMS = later.T.Sub(ev.T).Milliseconds()
+				break
+			}
+		}
+		for _, l := range laps {
+			if l.ID == ev.ID && l.T.After(ev.T) {
+				r.BackToWorkMS = l.T.Sub(ev.T).Milliseconds()
+				break
+			}
+		}
+		rep.Recoveries = append(rep.Recoveries, r)
+	}
+	if !timedOut && cfg.Kills > 0 && rep.Kills < cfg.Kills {
+		fail("only %d of %d planned kills fired", rep.Kills, cfg.Kills)
+	}
+
+	rep.TCP = sup.TCPTotals()
+	reg := trace.NewRegistry()
+	for _, px := range proxies {
+		px.AddTo(reg)
+	}
+	rep.Metrics = reg.Snapshot().Counters
+
+	// Teardown, then verify the driver leaked no goroutines: proxies,
+	// supervisor loops and audit endpoints must all wind down.
+	sup.Stop()
+	for _, px := range proxies {
+		px.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		rep.LeakGoroutines = runtime.NumGoroutine() - goroutinesBefore
+		if rep.LeakGoroutines <= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if rep.LeakGoroutines > 5 {
+		fail("driver leaked %d goroutines", rep.LeakGoroutines)
+	}
+
+	rep.OK = len(rep.Failures) == 0
+	return rep, nil
+}

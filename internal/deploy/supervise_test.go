@@ -1,0 +1,299 @@
+package deploy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpichv/internal/transport"
+)
+
+// TestMain doubles the test binary as a fake worker: the supervisor
+// re-execs it with DEPLOY_TEST_WORKER set and gets a process with a
+// scripted behavior instead of a real MPICH-V2 node. This isolates the
+// supervision machinery (spawn, heartbeat, budget, restart) from the
+// protocol stack.
+func TestMain(m *testing.M) {
+	switch os.Getenv("DEPLOY_TEST_WORKER") {
+	case "":
+		// Normal test run.
+	case "crash":
+		os.Exit(3)
+	case "serve":
+		fmt.Println("VRUN-TCP 1 2 3 4 5 6 7")
+		fmt.Println("VRUN-LAP 1")
+		fmt.Println(DoneMarker)
+		for {
+			fmt.Printf("%s %d\n", HBMarker, time.Now().UnixMilli())
+			time.Sleep(20 * time.Millisecond)
+		}
+	case "mute":
+		// One heartbeat, then silence while staying alive: the
+		// half-dead worker only a staleness detector can catch.
+		fmt.Printf("%s %d\n", HBMarker, time.Now().UnixMilli())
+		select {}
+	}
+	os.Exit(m.Run())
+}
+
+func fakeProgram(t *testing.T, cns int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("el 127.0.0.1:1\n")
+	for i := 0; i < cns; i++ {
+		fmt.Fprintf(&b, "cn 127.0.0.1:%d\n", 2+i)
+	}
+	path := filepath.Join(t.TempDir(), "fake.pg")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testExe(t *testing.T) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// TestSupervisorBudgetExhaustion: a worker that always crashes must be
+// respawned exactly MaxSpawn times under the backoff, then supervision
+// gives up with an error instead of spinning forever.
+func TestSupervisorBudgetExhaustion(t *testing.T) {
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgram(t, 1),
+		Exe:         testExe(t),
+		AppName:     "none",
+		MaxSpawn:    3,
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=crash"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	select {
+	case <-sup.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("supervisor never gave up on the crash-looping worker")
+	}
+	if sup.Err() == nil {
+		t.Fatal("budget exhaustion did not surface as an error")
+	}
+	gaveUp := false
+	for _, ev := range sup.Events() {
+		if ev.Kind == "give-up" {
+			gaveUp = true
+		}
+	}
+	if !gaveUp {
+		t.Fatalf("no give-up event in %+v", sup.Events())
+	}
+}
+
+// TestSupervisorDoneAndCounters: healthy workers drive the run to Done;
+// the lap and TCP counter lines fold into the supervisor's record, an
+// injected kill triggers exactly one respawn, and teardown leaks no
+// goroutines.
+func TestSupervisorDoneAndCounters(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgram(t, 2),
+		Exe:         testExe(t),
+		AppName:     "none",
+		Template:    ServeOpts{Heartbeat: 50 * time.Millisecond},
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=serve"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sup.Done():
+	case <-time.After(15 * time.Second):
+		sup.Stop()
+		t.Fatal("healthy workers never reached Done")
+	}
+	if sup.Err() != nil {
+		t.Fatalf("unexpected supervision error: %v", sup.Err())
+	}
+
+	// Inject a kill: rank 0's replacement must come up (restarted).
+	if !sup.Kill(0) {
+		t.Fatal("Kill(0) found no worker")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Spawns(0) < 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := sup.Spawns(0); got != 2 {
+		t.Fatalf("spawns(0) = %d after kill, want 2", got)
+	}
+
+	if laps := sup.Laps(); len(laps) < 2 { // one per initial worker at least
+		t.Fatalf("laps = %v, want one per worker", laps)
+	}
+	tot := sup.TCPTotals()
+	if tot.Dials < 2 || tot.StaleReplaced < 2 {
+		t.Fatalf("TCP totals not folded per incarnation: %+v", tot)
+	}
+
+	sup.Stop()
+	waitGoroutines(t, before)
+}
+
+// TestSupervisorHeartbeatStaleness: a live-but-silent worker is killed
+// by the staleness detector and respawned — §4.7 fault detection when
+// the socket never disconnects.
+func TestSupervisorHeartbeatStaleness(t *testing.T) {
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgram(t, 1),
+		Exe:         testExe(t),
+		AppName:     "none",
+		Template:    ServeOpts{Heartbeat: 40 * time.Millisecond},
+		MaxSpawn:    2,
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=mute"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		stale := false
+		for _, ev := range sup.Events() {
+			if ev.Kind == "hb-stale" {
+				stale = true
+			}
+		}
+		if stale && sup.Spawns(0) >= 2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("staleness detector never fired: %+v", sup.Events())
+}
+
+// TestPlanFaultsDeterministic: the fault schedule is a pure function of
+// the seed.
+func TestPlanFaultsDeterministic(t *testing.T) {
+	cfg := FaultPlanConfig{Seed: 7, Targets: []int{0, 1, 2}, Kills: 3, Stalls: 2}
+	a := PlanFaults(cfg)
+	b := PlanFaults(cfg)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("plan sizes %d/%d, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 8
+	c := PlanFaults(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+	kills := 0
+	for _, f := range a {
+		if f.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills != 3 {
+		t.Fatalf("plan has %d kills, want 3", kills)
+	}
+}
+
+// TestServeOptsEnvRoundTrip: every knob survives the environment
+// encoding the supervisor hands its workers.
+func TestServeOptsEnvRoundTrip(t *testing.T) {
+	o := ServeOpts{
+		ID:             2,
+		AppName:        "soakring",
+		Restarted:      true,
+		Epoch:          time.Unix(0, 1234567890),
+		Incarnation:    3,
+		TraceDir:       "/tmp/tr",
+		WALDir:         "/tmp/wal",
+		DiskFaultEvery: 5,
+		DiskFaultSeed:  99,
+		Heartbeat:      150 * time.Millisecond,
+		ELHighWater:    512,
+		ELLowWater:     128,
+		PullTimeout:    250 * time.Millisecond,
+	}
+	env := o.Env("/tmp/p.pg")
+	want := []string{
+		"MPICHV_SERVE=2", "MPICHV_PG=/tmp/p.pg", "MPICHV_APP=soakring",
+		"MPICHV_RESTARTED=1", "MPICHV_EPOCH=1234567890", "MPICHV_INC=3",
+		"MPICHV_TRACEDIR=/tmp/tr", "MPICHV_WALDIR=/tmp/wal",
+		"MPICHV_DISK_EVERY=5", "MPICHV_DISK_SEED=99",
+		"MPICHV_HB_MS=150", "MPICHV_EL_HIGH=512", "MPICHV_EL_LOW=128",
+		"MPICHV_PULL_MS=250",
+	}
+	got := strings.Join(env, "\n")
+	for _, kv := range want {
+		if !strings.Contains(got, kv) {
+			t.Errorf("env missing %q:\n%s", kv, got)
+		}
+	}
+}
+
+// TestParseBindField: the optional third program-file field becomes the
+// node's bind address (proxy interposition), and the advertised address
+// map is unchanged by it.
+func TestParseBindField(t *testing.T) {
+	src := "el 127.0.0.1:9000\ncn 127.0.0.1:9100 127.0.0.1:9200\ncn 127.0.0.1:9101\n"
+	pg, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cns := pg.CNs()
+	if cns[0].Bind != "127.0.0.1:9200" || cns[1].Bind != "" {
+		t.Fatalf("binds = %q, %q", cns[0].Bind, cns[1].Bind)
+	}
+	if m := pg.AddrMap(); m[0] != "127.0.0.1:9100" {
+		t.Fatalf("advertised addr = %q, want the proxy front", m[0])
+	}
+}
+
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// testWriter routes supervisor logs into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

@@ -31,6 +31,7 @@ import (
 	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
+	"mpichv/internal/walog"
 	"mpichv/internal/wire"
 )
 
@@ -70,6 +71,12 @@ type Store struct {
 	// retransmissions and across incarnations of the node.
 	events map[int]map[uint64]core.Event
 
+	// wal, when set (deployed workers), receives every fresh event as
+	// an append-only record so a SIGKILLed logger rejoins with its
+	// durable prefix instead of an empty store. Volatile in-memory
+	// stores (the simulation) never set it.
+	wal *walog.Writer
+
 	stats Stats
 }
 
@@ -104,6 +111,7 @@ func (st *Store) addLocked(node int, evs []core.Event, countDups bool) int {
 		st.events[node] = m
 	}
 	added := 0
+	var fresh []core.Event
 	for _, ev := range evs {
 		if _, dup := m[ev.RecvClock]; dup {
 			if countDups {
@@ -113,8 +121,51 @@ func (st *Store) addLocked(node int, evs []core.Event, countDups bool) int {
 		}
 		m[ev.RecvClock] = ev
 		added++
+		if st.wal != nil {
+			fresh = append(fresh, ev)
+		}
+	}
+	if len(fresh) > 0 {
+		// A failed (or injection-torn) append is silent, as a real torn
+		// write would be; the loader's resync absorbs the damage.
+		st.wal.Append(wire.EncodeNodeEvents(map[int][]core.Event{node: fresh}))
 	}
 	return added
+}
+
+// OpenWAL replays the write-ahead log at path into the store and then
+// arms it: every subsequently stored event is appended. torn configures
+// the deterministic disk-fault injector (zero value: faults off). Call
+// before the store takes traffic.
+func (st *Store) OpenWAL(path string, torn walog.TornConfig) (walog.LoadResult, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, res, err := walog.ReplayInto(path, torn, func(body []byte) {
+		m, err := wire.DecodeNodeEvents(body)
+		if err != nil {
+			return // an undecodable record is damage the CRC missed: skip it
+		}
+		for node, evs := range m {
+			st.addLocked(node, evs, false)
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	st.wal = w
+	return res, nil
+}
+
+// CloseWAL detaches and closes the write-ahead log, if armed.
+func (st *Store) CloseWAL() error {
+	st.mu.Lock()
+	w := st.wal
+	st.wal = nil
+	st.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
 }
 
 // Events returns a node's stored events with RecvClock > after, sorted

@@ -94,9 +94,32 @@ type rankState struct {
 	lastReplay uint64
 }
 
+// AuditHBOpts adapts the auditor to deployed traces, whose evidence is
+// weaker than a simulated run's: a SIGKILLed worker loses the trace
+// events recorded after its last snapshot flush — a suffix of its
+// timeline — so an absence in the trace no longer proves an absence in
+// the execution.
+type AuditHBOpts struct {
+	// KnownCommits are delivery spans known committed from evidence
+	// outside the trace (the event loggers' durable determinant logs).
+	// A replay anchoring to a known commit is legitimate even when the
+	// crash ate the original EvDeliver record.
+	KnownCommits map[uint64]bool
+	// CrashTail, when set, tells the auditor that trace suffixes may be
+	// missing (workers were SIGKILLed between snapshot flushes). Checks
+	// that rest on the *presence* of a later event — a GC note observed
+	// before its apply — are skipped; order checks over the events that
+	// did survive still run, because snapshots are prefixes: loss never
+	// reorders what remains.
+	CrashTail bool
+}
+
 // AuditHB replays a merged trace and verifies the happens-before
 // invariants. A nil or empty trace audits vacuously green.
-func AuditHB(tr *Trace) HBReport {
+func AuditHB(tr *Trace) HBReport { return AuditHBWith(tr, AuditHBOpts{}) }
+
+// AuditHBWith is AuditHB with deployment options.
+func AuditHBWith(tr *Trace, opts AuditHBOpts) HBReport {
 	rep := HBReport{}
 	if tr == nil {
 		return rep
@@ -154,7 +177,7 @@ func AuditHB(tr *Trace) HBReport {
 					ev.Rank, ev.T, clock, s.lastReplay))
 			}
 			s.lastReplay = clock
-			if !s.committed[ev.Span] && !rep.Incomplete {
+			if !s.committed[ev.Span] && !opts.KnownCommits[ev.Span] && !rep.Incomplete {
 				rep.ReplayViolations = append(rep.ReplayViolations, fmt.Sprintf(
 					"rank %d t=%v: replayed span=%#x (recv-clock %d) with no recorded original commit",
 					ev.Rank, ev.T, ev.Span, clock))
@@ -172,7 +195,10 @@ func AuditHB(tr *Trace) HBReport {
 				noted[k] = ev.B
 			}
 		case EvGCApply:
-			if !rep.Incomplete {
+			// The peer's note lives on the *peer's* timeline; under
+			// CrashTail its record may be in the lost suffix even though
+			// the note was sent, so the anchor check proves nothing.
+			if !rep.Incomplete && !opts.CrashTail {
 				if covered := noted[nkey(ev.A, uint64(ev.Rank))]; ev.B > covered {
 					rep.GCViolations = append(rep.GCViolations, fmt.Sprintf(
 						"rank %d t=%v: reclaimed SAVED entries for peer %d up to clock %d, but peer only announced %d durable",

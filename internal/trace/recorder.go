@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -134,13 +135,16 @@ func UnpackSpan(span uint64) (rank int, clock uint64) {
 //
 // A Recorder is owned by a single simulated rank. The virtual-time
 // scheduler serializes all actors of a run, so successive incarnations
-// of a rank may share one Recorder without locking.
+// of a rank may share one Recorder without locking. A deployed worker
+// runs on real goroutines instead and must call SetShared once before
+// traffic, which arms an internal mutex for Record/Events.
 type Recorder struct {
 	rank    int32
 	inc     uint32
 	evs     []Ev
 	n       int   // total events recorded (monotonic)
 	dropped int64 // events overwritten by ring wrap
+	mu      *sync.Mutex
 }
 
 // DefaultRecorderCap is the per-rank ring capacity used by the cluster
@@ -165,12 +169,36 @@ func (r *Recorder) SetIncarnation(inc int) {
 	}
 }
 
+// SetShared arms a mutex around Record and the read accessors, for
+// deployed workers where a flusher goroutine snapshots the ring while
+// the daemon records. Call once, before concurrent use. Simulated runs
+// never call it and keep the lock-free hot path.
+func (r *Recorder) SetShared() {
+	if r != nil && r.mu == nil {
+		r.mu = &sync.Mutex{}
+	}
+}
+
+func (r *Recorder) lock() {
+	if r.mu != nil {
+		r.mu.Lock()
+	}
+}
+
+func (r *Recorder) unlock() {
+	if r.mu != nil {
+		r.mu.Unlock()
+	}
+}
+
 // Record appends one event. Nil receivers are no-ops so call sites can
 // stay unconditional off the tracing-enabled path.
 func (r *Recorder) Record(t time.Duration, k Kind, span, parent, a, b uint64) {
 	if r == nil {
 		return
 	}
+	r.lock()
+	defer r.unlock()
 	ev := Ev{T: t, Span: span, Parent: parent, A: a, B: b, Rank: r.rank, Inc: r.inc, Kind: k}
 	if len(r.evs) < cap(r.evs) {
 		r.evs = append(r.evs, ev)
@@ -186,6 +214,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.lock()
+	defer r.unlock()
 	return len(r.evs)
 }
 
@@ -194,6 +224,8 @@ func (r *Recorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
+	r.lock()
+	defer r.unlock()
 	return r.dropped
 }
 
@@ -202,6 +234,8 @@ func (r *Recorder) Events() []Ev {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
 	if r.n <= len(r.evs) {
 		out := make([]Ev, len(r.evs))
 		copy(out, r.evs)
@@ -233,8 +267,12 @@ func Merge(recs ...*Recorder) *Trace {
 		tr.Evs = append(tr.Evs, r.Events()...)
 		tr.Dropped += r.Dropped()
 	}
-	sort.SliceStable(tr.Evs, func(i, j int) bool { return tr.Evs[i].T < tr.Evs[j].T })
+	sortTrace(tr)
 	return tr
+}
+
+func sortTrace(tr *Trace) {
+	sort.SliceStable(tr.Evs, func(i, j int) bool { return tr.Evs[i].T < tr.Evs[j].T })
 }
 
 // Count returns how many events of the given kind the trace holds.

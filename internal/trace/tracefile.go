@@ -1,0 +1,116 @@
+// Trace snapshot files: how a deployed worker's in-memory trace ring
+// crosses a process boundary. A simulated run hands its Recorders to
+// the auditor directly; a deployed worker (cmd/vrun, cmd/soak) instead
+// flushes periodic snapshots to disk, and the supervisor merges the
+// files of every incarnation into one Trace after the run.
+//
+// A snapshot is written whole to a temporary file and renamed into
+// place, so a reader never observes a partial file and a SIGKILL
+// mid-flush costs at most the events recorded since the previous
+// snapshot — a suffix. That prefix property is what lets the
+// happens-before auditor treat a crashed worker's trace as truncated
+// evidence rather than contradictory evidence (see AuditHBOpts).
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+var fileMagic = [4]byte{'M', 'V', 'T', 'R'}
+
+const evWire = 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1 // T Span Parent A B Rank Inc Kind
+
+// WriteSnapshot atomically writes the recorder's current contents to
+// path (tmp file + rename). Concurrent Record calls are safe when the
+// recorder is in shared mode.
+func WriteSnapshot(path string, r *Recorder) error {
+	evs := r.Events()
+	dropped := r.Dropped()
+	buf := make([]byte, 0, 4+8+4+4+len(evs)*evWire)
+	buf = append(buf, fileMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(dropped))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(evs)))
+	body := make([]byte, 0, len(evs)*evWire)
+	for i := range evs {
+		e := &evs[i]
+		body = binary.BigEndian.AppendUint64(body, uint64(e.T))
+		body = binary.BigEndian.AppendUint64(body, e.Span)
+		body = binary.BigEndian.AppendUint64(body, e.Parent)
+		body = binary.BigEndian.AppendUint64(body, e.A)
+		body = binary.BigEndian.AppendUint64(body, e.B)
+		body = binary.BigEndian.AppendUint32(body, uint32(e.Rank))
+		body = binary.BigEndian.AppendUint32(body, e.Inc)
+		body = append(body, byte(e.Kind))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = append(buf, body...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (evs []Ev, dropped int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < 4+8+4+4 || [4]byte(data[:4]) != fileMagic {
+		return nil, 0, fmt.Errorf("trace: %s is not a snapshot file", path)
+	}
+	dropped = int64(binary.BigEndian.Uint64(data[4:12]))
+	count := int(binary.BigEndian.Uint32(data[12:16]))
+	want := binary.BigEndian.Uint32(data[16:20])
+	body := data[20:]
+	if len(body) != count*evWire {
+		return nil, 0, fmt.Errorf("trace: %s holds %d bytes for %d records", path, len(body), count)
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, 0, fmt.Errorf("trace: %s fails its checksum", path)
+	}
+	evs = make([]Ev, count)
+	for i := 0; i < count; i++ {
+		b := body[i*evWire:]
+		evs[i] = Ev{
+			T:      time.Duration(binary.BigEndian.Uint64(b)),
+			Span:   binary.BigEndian.Uint64(b[8:]),
+			Parent: binary.BigEndian.Uint64(b[16:]),
+			A:      binary.BigEndian.Uint64(b[24:]),
+			B:      binary.BigEndian.Uint64(b[32:]),
+			Rank:   int32(binary.BigEndian.Uint32(b[40:])),
+			Inc:    binary.BigEndian.Uint32(b[44:]),
+			Kind:   Kind(b[48]),
+		}
+	}
+	return evs, dropped, nil
+}
+
+// BuildTrace merges every snapshot matching glob into one time-sorted
+// Trace. A worker flushes one file per incarnation ("trace-r2-i1.mvtr"
+// style names), so the merged trace spans crashes; files that vanished
+// with their worker are simply absent, which the auditor tolerates as
+// truncated evidence.
+func BuildTrace(glob string) (*Trace, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{}
+	for _, p := range paths {
+		evs, dropped, err := ReadSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		tr.Evs = append(tr.Evs, evs...)
+		tr.Dropped += dropped
+	}
+	sortTrace(tr)
+	return tr, nil
+}

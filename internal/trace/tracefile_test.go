@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRecorder(3, 64)
+	r.SetIncarnation(2)
+	r.SetShared()
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i)*time.Millisecond, EvSend, PackSpan(3, uint64(i+1)), 0, 1, uint64(i))
+	}
+	path := filepath.Join(t.TempDir(), "trace-r3-i2.mvtr")
+	if err := WriteSnapshot(path, r); err != nil {
+		t.Fatal(err)
+	}
+	evs, dropped, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || len(evs) != 10 {
+		t.Fatalf("read %d events, dropped=%d", len(evs), dropped)
+	}
+	for i, e := range evs {
+		if e.Rank != 3 || e.Inc != 2 || e.Kind != EvSend || e.B != uint64(i) {
+			t.Fatalf("event %d mangled: %+v", i, e)
+		}
+	}
+	// Re-snapshot over the same path must stay atomic and readable.
+	r.Record(time.Second, EvDeliver, PackSpan(3, 99), 0, 1, 1)
+	if err := WriteSnapshot(path, r); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err = ReadSnapshot(path)
+	if err != nil || len(evs) != 11 {
+		t.Fatalf("re-snapshot read %d events, err=%v", len(evs), err)
+	}
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	r := NewRecorder(0, 16)
+	r.Record(time.Millisecond, EvSend, 1, 0, 0, 0)
+	path := filepath.Join(t.TempDir(), "t.mvtr")
+	if err := WriteSnapshot(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("corrupt snapshot read back clean")
+	}
+}
+
+func TestBuildTraceMergesIncarnations(t *testing.T) {
+	dir := t.TempDir()
+	r1 := NewRecorder(0, 16)
+	r1.SetIncarnation(0)
+	r1.Record(time.Millisecond, EvDeliver, PackSpan(0, 1), 0, 1, 1)
+	r2 := NewRecorder(0, 16)
+	r2.SetIncarnation(1)
+	r2.Record(2*time.Millisecond, EvReplay, PackSpan(0, 1), 0, 1, 1)
+	for i, r := range []*Recorder{r1, r2} {
+		if err := WriteSnapshot(filepath.Join(dir, "trace-r0-i"+string(rune('0'+i))+".mvtr"), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := BuildTrace(filepath.Join(dir, "trace-*.mvtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Evs) != 2 || tr.Evs[0].Kind != EvDeliver || tr.Evs[1].Kind != EvReplay {
+		t.Fatalf("merged trace wrong: %+v", tr.Evs)
+	}
+	if !AuditHB(tr).OK() {
+		t.Fatal("merged two-incarnation trace fails audit")
+	}
+}
+
+// TestAuditHBWithKnownCommits: a replay whose original commit record
+// died with the crashed incarnation is a violation under the strict
+// audit, but anchors cleanly when the EL's durable log vouches for it.
+func TestAuditHBWithKnownCommits(t *testing.T) {
+	span := PackSpan(1, 7)
+	tr := &Trace{Evs: []Ev{
+		{T: time.Millisecond, Rank: 1, Kind: EvRestartBegin},
+		{T: 2 * time.Millisecond, Rank: 1, Kind: EvReplay, Span: span, A: 0, B: 1},
+	}}
+	if AuditHB(tr).OK() {
+		t.Fatal("strict audit must flag a replay with no recorded commit")
+	}
+	rep := AuditHBWith(tr, AuditHBOpts{KnownCommits: map[uint64]bool{span: true}})
+	if !rep.OK() {
+		t.Fatalf("EL-anchored replay still flagged: %s", rep.Summary())
+	}
+}
+
+// TestAuditHBWithCrashTail: a GC apply whose peer's note record was
+// lost in the crash tail passes only under CrashTail; replay order
+// violations are still caught (prefix loss cannot reorder survivors).
+func TestAuditHBWithCrashTail(t *testing.T) {
+	tr := &Trace{Evs: []Ev{
+		{T: time.Millisecond, Rank: 0, Kind: EvGCApply, A: 1, B: 5},
+	}}
+	if AuditHB(tr).OK() {
+		t.Fatal("strict audit must flag an unanchored GC apply")
+	}
+	if rep := AuditHBWith(tr, AuditHBOpts{CrashTail: true}); !rep.OK() {
+		t.Fatalf("CrashTail audit still flags the tail-lost note: %s", rep.Summary())
+	}
+	bad := &Trace{Evs: []Ev{
+		{T: time.Millisecond, Rank: 0, Kind: EvDeliver, Span: PackSpan(0, 2), B: 0},
+		{T: 2 * time.Millisecond, Rank: 0, Kind: EvDeliver, Span: PackSpan(0, 1), B: 0},
+		{T: 3 * time.Millisecond, Rank: 0, Kind: EvRestartBegin},
+		{T: 4 * time.Millisecond, Rank: 0, Kind: EvReplay, Span: PackSpan(0, 2)},
+		{T: 5 * time.Millisecond, Rank: 0, Kind: EvReplay, Span: PackSpan(0, 1)},
+	}}
+	if rep := AuditHBWith(bad, AuditHBOpts{CrashTail: true}); len(rep.ReplayViolations) == 0 {
+		t.Fatal("CrashTail audit must still catch descending replay order")
+	}
+}

@@ -19,6 +19,13 @@ func NewReal() *Real {
 	return &Real{start: time.Now()}
 }
 
+// NewRealAt returns a wall-clock runtime whose Now()==0 at epoch. A
+// multi-process deployment passes one epoch to every worker so their
+// trace timestamps and partition windows share a comparable time base.
+func NewRealAt(epoch time.Time) *Real {
+	return &Real{start: epoch}
+}
+
 // Now reports wall-clock time elapsed since the runtime was created.
 func (r *Real) Now() time.Duration { return time.Since(r.start) }
 
