@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test staticcheck cover race bench bench-paper soak-smoke ci
+.PHONY: verify build vet test staticcheck cover race bench bench-paper soak-smoke soak-regress ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -41,13 +41,28 @@ bench: ## Go microbenchmarks with allocation counts (wire codec, vtime actors)
 bench-paper: ## quick pass over every paper experiment
 	$(GO) run ./cmd/vbench -exp all -quick
 
-# soak-smoke exits non-zero unless every audit is green, the kill quota
-# was met, and teardown leaked zero goroutines.
-soak-smoke: ## ~60s real-socket soak: OS processes + chaos proxies + seeded kills/stalls/torn writes
-	$(GO) run ./cmd/soak -seed 42 -cns 3 -laps 700 -hold 30 \
-		-kills 4 -stalls 2 -minafter 5s -over 40s -stallfor 1s \
+# soak-smoke exits non-zero unless every audit is green, the per-role
+# kill quota was met (each of cn/el/cs/sc killed at least once per
+# phase — including at least one EL replica and the scheduler), and
+# teardown leaked zero goroutines.
+soak-smoke: ## ~60s rolling-seed soak: replicated service plane + chaos proxies + per-role seeded kills
+	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 \
+		-roles cn,el,cs,sc -phases 2 -proxysvc \
+		-laps 300 -hold 20 -kills 4 -stalls 1 \
+		-minafter 2s -over 5s -stallfor 1s \
 		-drop 0.02 -dup 0.01 -delay 0.1 -maxdelay 2ms -disk 9 \
-		-timeout 3m -out BENCH_soak.json
+		-timeout 2m -out BENCH_soak.json
+
+# soak-regress runs the same soak but gates it on the committed
+# baseline instead of overwriting it: a goodput drop of more than 20%
+# against BENCH_soak.json fails the target.
+soak-regress: ## soak-smoke gated on committed goodput (>20% drop fails)
+	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 \
+		-roles cn,el,cs,sc -phases 2 -proxysvc \
+		-laps 300 -hold 20 -kills 4 -stalls 1 \
+		-minafter 2s -over 5s -stallfor 1s \
+		-drop 0.02 -dup 0.01 -delay 0.1 -maxdelay 2ms -disk 9 \
+		-timeout 2m -out "" -regress BENCH_soak.json -regress-tol 0.2
 
 ci: ## the full gate: build + vet + staticcheck + tests + coverage floor + race core
 	$(GO) build ./...

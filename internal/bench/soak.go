@@ -34,7 +34,11 @@ func soakWorkerExe() (string, func(), error) {
 	return bin, func() { os.RemoveAll(dir) }, nil
 }
 
-func soakConfig(quick bool, exe string) deploy.SoakConfig {
+// soakConfig sizes the soak experiment. quick keeps one phase over a
+// small CN-only kill-set; the full run replicates the service plane
+// (3 EL replicas, 2 CS mirrors), proxies the service links, opens the
+// kill-set to every role, and rolls seeds across two phases.
+func soakConfig(quick bool, exe string) (deploy.SoakConfig, int) {
 	cfg := deploy.SoakConfig{
 		Exe:    exe,
 		Seed:   42,
@@ -55,50 +59,69 @@ func soakConfig(quick bool, exe string) deploy.SoakConfig {
 		},
 		Timeout: 90 * time.Second,
 	}
+	phases := 1
 	if !quick {
 		cfg.CNs = 4
+		cfg.ELs = 3
+		cfg.CSs = 2
 		cfg.Laps = 120
 		cfg.HoldMS = 25
-		cfg.Kills = 3
+		cfg.Kills = 4
 		cfg.Stalls = 1
 		cfg.StallFor = time.Second
+		cfg.KillRoles = []deploy.Role{deploy.RoleCN, deploy.RoleEL, deploy.RoleCS, deploy.RoleSched}
+		cfg.ProxyServices = true
 		cfg.MinAfter = 2 * time.Second
 		cfg.Over = 8 * time.Second
 		cfg.Proxy.Duplicate = 0.01
 		cfg.Proxy.Delay = 0.1
 		cfg.DiskFaultEvery = 9
 		cfg.Timeout = 4 * time.Minute
+		phases = 2
 	}
-	return cfg
+	return cfg, phases
 }
 
 // SoakBench runs the real-socket soak: a deployed multi-process system
-// under seeded process kills and live socket chaos, audited after every
-// recovery and again after quiescence.
+// — service plane included — under seeded per-phase process kills and
+// live socket chaos, audited after every recovery and again after each
+// phase quiesces.
 func SoakBench(w io.Writer, quick bool) error {
 	exe, cleanup, err := soakWorkerExe()
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	rep, err := deploy.RunSoak(soakConfig(quick, exe))
+	cfg, phases := soakConfig(quick, exe)
+	ser, err := deploy.RunSoakSeries(cfg, phases)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "seed=%d cns=%d laps=%d/%d kills=%d stalls=%d respawns=%d duration=%dms\n",
-		rep.Seed, rep.CNs, rep.LapsDone, rep.CNs*rep.LapsPerRank, rep.Kills, rep.Stalls, rep.Respawns, rep.DurationMS)
-	for _, r := range rep.Recoveries {
-		fmt.Fprintf(w, "recovery: rank %d inc %d respawn %dms back-to-work %dms\n",
-			r.ID, r.Inc, r.RespawnMS, r.BackToWorkMS)
+	for i, rep := range ser.Phases {
+		fmt.Fprintf(w, "phase %d: seed=%d cns=%d els=%d css=%d laps=%d/%d kills=%v stalls=%d respawns=%d duration=%dms\n",
+			i+1, rep.Seed, rep.CNs, rep.ELs, rep.CSs, rep.LapsDone, rep.CNs*rep.LapsPerRank,
+			rep.RoleKills, rep.Stalls, rep.Respawns, rep.DurationMS)
+		for _, r := range rep.Recoveries {
+			line := fmt.Sprintf("phase %d: recovery: %s/%d inc %d respawn %dms", i+1, r.Role, r.ID, r.Inc, r.RespawnMS)
+			if r.BackToWorkMS >= 0 {
+				line += fmt.Sprintf(" back-to-work %dms", r.BackToWorkMS)
+			}
+			if r.RejoinMS >= 0 {
+				line += fmt.Sprintf(" outage %dms", r.RejoinMS)
+			}
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintf(w, "phase %d: %s\nphase %d: %s\n", i+1, rep.AuditSummary, i+1, rep.HBSummary)
+		fmt.Fprintf(w, "phase %d: tcp: dials=%d redials=%d retransmits=%d dropped=%d\n",
+			i+1, rep.TCP.Dials, rep.TCP.Redials, rep.TCP.Retransmits, rep.TCP.DroppedFrames)
+		fmt.Fprintf(w, "phase %d: proxy: dropped=%d delayed=%d duplicated=%d resets=%d\n",
+			i+1, rep.Metrics["proxy.dropped"], rep.Metrics["proxy.delayed"],
+			rep.Metrics["proxy.duplicated"], rep.Metrics["proxy.resets"])
 	}
-	fmt.Fprintf(w, "%s\n%s\n", rep.AuditSummary, rep.HBSummary)
-	fmt.Fprintf(w, "tcp: dials=%d redials=%d retransmits=%d dropped=%d\n",
-		rep.TCP.Dials, rep.TCP.Redials, rep.TCP.Retransmits, rep.TCP.DroppedFrames)
-	fmt.Fprintf(w, "proxy: dropped=%d delayed=%d duplicated=%d resets=%d\n",
-		rep.Metrics["proxy.dropped"], rep.Metrics["proxy.delayed"],
-		rep.Metrics["proxy.duplicated"], rep.Metrics["proxy.resets"])
-	if !rep.OK {
-		return fmt.Errorf("soak failed: %v", rep.Failures)
+	fmt.Fprintf(w, "series: %d phases %d laps %.1f laps/s kills per role %v\n",
+		len(ser.Phases), ser.LapsDone, ser.GoodputLPS, ser.RoleKills)
+	if !ser.OK {
+		return fmt.Errorf("soak failed: %v", ser.Failures)
 	}
 	fmt.Fprintln(w, "soak OK")
 	return nil
@@ -111,12 +134,13 @@ func SoakData(quick bool) (any, error) {
 		return nil, err
 	}
 	defer cleanup()
-	rep, err := deploy.RunSoak(soakConfig(quick, exe))
+	cfg, phases := soakConfig(quick, exe)
+	ser, err := deploy.RunSoakSeries(cfg, phases)
 	if err != nil {
 		return nil, err
 	}
-	if !rep.OK {
-		return rep, fmt.Errorf("soak failed: %v", rep.Failures)
+	if !ser.OK {
+		return ser, fmt.Errorf("soak failed: %v", ser.Failures)
 	}
-	return rep, nil
+	return ser, nil
 }

@@ -637,9 +637,17 @@ type Server struct {
 	// Resync makes the server pull its peers' latest images on
 	// startup — set on a replica respawned with an empty store.
 	Resync bool
+	// ResyncAttempts bounds the resync request rounds (default 10);
+	// deployed out-of-process replicas set it higher.
+	ResyncAttempts int
 
 	synced atomic.Bool
 }
+
+// Synced reports whether a rejoining replica has completed at least one
+// anti-entropy merge since Start — the point where its outage window
+// closes.
+func (s *Server) Synced() bool { return s.synced.Load() }
 
 // NewServer creates a checkpoint server with its own private store.
 func NewServer(rt vtime.Runtime, ep transport.Endpoint) *Server {
@@ -669,9 +677,13 @@ func (s *Server) HasImage(rank int) bool { return s.Store.Has(rank) }
 // join time and the request retries with backoff until any peer's
 // response lands (merging is idempotent).
 func (s *Server) resyncLoop() {
+	attempts := s.ResyncAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
 	req := wire.EncodeSyncMarks(s.Store.Marks())
 	bo := transport.Backoff{Base: 5 * time.Millisecond, Seed: uint64(s.ep.ID())}
-	for attempt := 0; attempt < 10 && !s.synced.Load(); attempt++ {
+	for attempt := 0; attempt < attempts && !s.synced.Load(); attempt++ {
 		for _, p := range s.Peers {
 			s.ep.Send(p, wire.KCSSyncReq, req)
 		}

@@ -32,11 +32,20 @@ const (
 	RoleSched Role = "sc"
 )
 
-// Node ids per role (computing nodes use their rank).
+// Node ids per role (computing nodes use their rank). Service roles may
+// be replicated: the i-th node of a role gets the role's base id plus i,
+// so every replica has a distinct id and address-map entry. Computing
+// nodes therefore must number below ELID, and a role's replica count is
+// bounded by the gap to the next base (and by the daemon's 64-bit
+// quorum ack masks).
 const (
-	ELID    = 1000
-	CSID    = 1001
-	SchedID = 1002
+	ELID    = 1000 // event-logger replicas: ELID, ELID+1, ...
+	CSID    = 1100 // checkpoint-server replicas: CSID, CSID+1, ...
+	SchedID = 1200 // checkpoint scheduler (single)
+
+	// MaxReplicas caps a service role's replica group: the daemon
+	// tracks quorum acks in a 64-bit mask.
+	MaxReplicas = 64
 )
 
 // Node is one line of the program file.
@@ -66,6 +75,7 @@ func Parse(r io.Reader) (*Program, error) {
 	p := &Program{}
 	sc := bufio.NewScanner(r)
 	rank := 0
+	els, css, scs := 0, 0, 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -83,14 +93,29 @@ func Parse(r io.Reader) (*Program, error) {
 		}
 		switch n.Role {
 		case RoleCN:
+			if rank >= ELID {
+				return nil, fmt.Errorf("deploy: line %d: more than %d computing nodes", line, ELID)
+			}
 			n.ID = rank
 			rank++
 		case RoleEL:
-			n.ID = ELID
+			if els >= MaxReplicas {
+				return nil, fmt.Errorf("deploy: line %d: more than %d event-logger replicas", line, MaxReplicas)
+			}
+			n.ID = ELID + els
+			els++
 		case RoleCS:
-			n.ID = CSID
+			if css >= MaxReplicas {
+				return nil, fmt.Errorf("deploy: line %d: more than %d checkpoint-server replicas", line, MaxReplicas)
+			}
+			n.ID = CSID + css
+			css++
 		case RoleSched:
+			if scs > 0 {
+				return nil, fmt.Errorf("deploy: line %d: more than one checkpoint scheduler", line)
+			}
 			n.ID = SchedID
+			scs++
 		default:
 			return nil, fmt.Errorf("deploy: line %d: unknown role %q", line, fields[0])
 		}
@@ -137,6 +162,40 @@ func (p *Program) Find(role Role) (Node, bool) {
 		}
 	}
 	return Node{}, false
+}
+
+// OfRole returns every node with the given role, in program-file order
+// (for service roles that is replica-id order).
+func (p *Program) OfRole(role Role) []Node {
+	var out []Node
+	for _, n := range p.Nodes {
+		if n.Role == role {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// IDsOfRole returns the node ids of a role, in replica order.
+func (p *Program) IDsOfRole(role Role) []int {
+	var out []int
+	for _, n := range p.Nodes {
+		if n.Role == role {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// RoleOf maps a node id back to its role ("" when the id is not in the
+// program).
+func (p *Program) RoleOf(id int) Role {
+	for _, n := range p.Nodes {
+		if n.ID == id {
+			return n.Role
+		}
+	}
+	return ""
 }
 
 // AddrMap returns the id → address map for the TCP fabric.
@@ -203,18 +262,43 @@ func (l *Launcher) Run() error {
 
 	var mu sync.Mutex
 	var services []*exec.Cmd
+	stopping := false
 	defer func() {
 		mu.Lock()
-		defer mu.Unlock()
+		stopping = true
 		for _, c := range services {
 			if c.Process != nil {
 				c.Process.Kill()
 			}
 		}
+		mu.Unlock()
 	}()
 
-	spawnService := func(n Node) error {
-		cmd := exec.Command(l.Exe, "-pg", l.Program, "-serve", fmt.Sprint(n.ID), "-app", l.AppName)
+	// Services are supervised like computing nodes: an event logger,
+	// checkpoint server or scheduler that dies mid-run is re-launched
+	// with the recovery flag (it reloads its WAL and, for replicated
+	// roles, resyncs from its surviving peers) under the same restart
+	// budget. The paper assumes these nodes are reliable; the launcher
+	// no longer does.
+	svcSpawns := make(map[int]int)
+	var spawnService func(n Node, restarted bool) error
+	spawnService = func(n Node, restarted bool) error {
+		mu.Lock()
+		if stopping {
+			mu.Unlock()
+			return nil
+		}
+		svcSpawns[n.ID]++
+		if svcSpawns[n.ID] > l.MaxSpawn {
+			mu.Unlock()
+			return fmt.Errorf("deploy: service %s %d exceeded %d restarts", n.Role, n.ID, l.MaxSpawn)
+		}
+		mu.Unlock()
+		args := []string{"-pg", l.Program, "-serve", fmt.Sprint(n.ID), "-app", l.AppName}
+		if restarted {
+			args = append(args, "-restarted")
+		}
+		cmd := exec.Command(l.Exe, args...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return err
@@ -222,12 +306,26 @@ func (l *Launcher) Run() error {
 		mu.Lock()
 		services = append(services, cmd)
 		mu.Unlock()
+		go func() {
+			err := cmd.Wait()
+			mu.Lock()
+			dead := stopping
+			mu.Unlock()
+			if dead {
+				return
+			}
+			fmt.Fprintf(l.Stdout, "vrun: %s %d died (%v); re-launching with recovery\n", n.Role, n.ID, err)
+			time.Sleep(200 * time.Millisecond) // port release
+			if err := spawnService(n, true); err != nil {
+				fmt.Fprintf(l.Stdout, "vrun: %v\n", err)
+			}
+		}()
 		return nil
 	}
 	for _, n := range pg.Nodes {
 		if n.Role != RoleCN {
 			fmt.Fprintf(l.Stdout, "vrun: starting %s on %s\n", n.Role, n.Addr)
-			if err := spawnService(n); err != nil {
+			if err := spawnService(n, false); err != nil {
 				return err
 			}
 		}

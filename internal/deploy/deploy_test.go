@@ -50,11 +50,52 @@ func TestParseRejectsBadFiles(t *testing.T) {
 		"el 127.0.0.1:9000",               // no computing node
 		"xx 127.0.0.1:9000\ncn a\nel b",   // unknown role
 		"cn 127.0.0.1:9100 a b c\nel b",   // wrong field count
+		"el a\nsc b\nsc c\ncn d",          // two schedulers
 	}
 	for _, src := range cases {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
 			t.Errorf("accepted bad program file %q", src)
 		}
+	}
+}
+
+// TestParseReplicaIDs: repeated el/cs lines form replica groups with
+// consecutive ids off the role bases, the role helpers see them, and
+// computing-node ranks stay below the service id space.
+func TestParseReplicaIDs(t *testing.T) {
+	src := `
+el 127.0.0.1:9000
+el 127.0.0.1:9001
+el 127.0.0.1:9002
+cs 127.0.0.1:9010
+cs 127.0.0.1:9011
+sc 127.0.0.1:9020
+cn 127.0.0.1:9100
+cn 127.0.0.1:9101
+`
+	pg, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEL := []int{ELID, ELID + 1, ELID + 2}
+	if got := pg.IDsOfRole(RoleEL); fmt.Sprint(got) != fmt.Sprint(wantEL) {
+		t.Errorf("EL ids = %v, want %v", got, wantEL)
+	}
+	wantCS := []int{CSID, CSID + 1}
+	if got := pg.IDsOfRole(RoleCS); fmt.Sprint(got) != fmt.Sprint(wantCS) {
+		t.Errorf("CS ids = %v, want %v", got, wantCS)
+	}
+	if got := pg.IDsOfRole(RoleSched); len(got) != 1 || got[0] != SchedID {
+		t.Errorf("scheduler ids = %v, want [%d]", got, SchedID)
+	}
+	for id, want := range map[int]Role{0: RoleCN, ELID + 2: RoleEL, CSID + 1: RoleCS, SchedID: RoleSched} {
+		if got := pg.RoleOf(id); got != want {
+			t.Errorf("RoleOf(%d) = %q, want %q", id, got, want)
+		}
+	}
+	m := pg.AddrMap()
+	if m[ELID+1] != "127.0.0.1:9001" || m[CSID+1] != "127.0.0.1:9011" {
+		t.Errorf("replica addr map = %v", m)
 	}
 }
 

@@ -1,0 +1,144 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// PhaseSeeds derives n per-phase seeds from a base seed: the first
+// phase runs under the base seed itself (a one-phase series is exactly
+// the plain soak), later phases roll fresh seeds off it with splitmix64
+// — statistically independent streams, yet the whole series replays
+// from the one base number. Each phase therefore draws its own fault
+// schedule, chaos variates and disk-fault cadence while staying
+// reproducible.
+func PhaseSeeds(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	seeds[0] = base
+	for i := 1; i < n; i++ {
+		z := base + uint64(i)*0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		seeds[i] = z
+	}
+	return seeds
+}
+
+// SoakSeries is the outcome of a rolling-seed soak: several full
+// kill/audit/recover phases back to back, each under a fresh seed (so
+// each phase draws a fresh fault mix), sharing one goodput ledger.
+type SoakSeries struct {
+	BaseSeed   uint64   `json:"base_seed"`
+	Seeds      []uint64 `json:"seeds"`
+	OK         bool     `json:"ok"`
+	Failures   []string `json:"failures,omitempty"`
+	DurationMS int64    `json:"duration_ms"`
+
+	LapsDone   int            `json:"laps_done"`
+	GoodputLPS float64        `json:"goodput_lps"` // laps per second across all phases
+	Kills      int            `json:"kills"`
+	RoleKills  map[string]int `json:"role_kills,omitempty"`
+	Respawns   int            `json:"respawns"`
+
+	Phases []SoakReport `json:"phases"`
+}
+
+// RunSoakSeries executes `phases` consecutive soak runs, rolling the
+// seed between them with PhaseSeeds. Each phase is a complete
+// deployment with its own fault schedule and its own final audits; the
+// series fails if any phase fails. cfg.Seed is the base seed; cfg.Dir,
+// when set, gets one phase-<i> subdirectory per phase.
+func RunSoakSeries(cfg SoakConfig, phases int) (*SoakSeries, error) {
+	if phases <= 0 {
+		phases = 1
+	}
+	ser := &SoakSeries{
+		BaseSeed:  cfg.Seed,
+		Seeds:     PhaseSeeds(cfg.Seed, phases),
+		RoleKills: make(map[string]int),
+	}
+	start := time.Now()
+	for i, seed := range ser.Seeds {
+		pc := cfg
+		pc.Seed = seed
+		if cfg.Dir != "" {
+			pc.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("phase-%d", i))
+			if err := os.MkdirAll(pc.Dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "soak: phase %d/%d seed=%d\n", i+1, phases, seed)
+		}
+		rep, err := RunSoak(pc)
+		if err != nil {
+			return nil, fmt.Errorf("soak: phase %d (seed %d): %w", i, seed, err)
+		}
+		ser.Phases = append(ser.Phases, *rep)
+		ser.LapsDone += rep.LapsDone
+		ser.Kills += rep.Kills
+		ser.Respawns += rep.Respawns
+		for role, n := range rep.RoleKills {
+			ser.RoleKills[role] += n
+		}
+		if !rep.OK {
+			for _, f := range rep.Failures {
+				ser.Failures = append(ser.Failures, fmt.Sprintf("phase %d (seed %d): %s", i, seed, f))
+			}
+		}
+	}
+	ser.DurationMS = time.Since(start).Milliseconds()
+	if ser.DurationMS > 0 {
+		ser.GoodputLPS = float64(ser.LapsDone) / (float64(ser.DurationMS) / 1000)
+	}
+	ser.OK = len(ser.Failures) == 0
+	return ser, nil
+}
+
+// BaselineGoodput extracts the goodput (laps per second) from a
+// committed BENCH_soak.json, accepting both report shapes: the current
+// SoakSeries form and the pre-series single SoakReport form (which has
+// no goodput_lps field — it is recomputed from laps_done/duration_ms).
+func BaselineGoodput(data []byte) (float64, error) {
+	var probe struct {
+		GoodputLPS float64 `json:"goodput_lps"`
+		LapsDone   int     `json:"laps_done"`
+		DurationMS int64   `json:"duration_ms"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	if probe.GoodputLPS > 0 {
+		return probe.GoodputLPS, nil
+	}
+	if probe.LapsDone > 0 && probe.DurationMS > 0 {
+		return float64(probe.LapsDone) / (float64(probe.DurationMS) / 1000), nil
+	}
+	return 0, fmt.Errorf("baseline: no usable goodput (laps_done=%d duration_ms=%d)", probe.LapsDone, probe.DurationMS)
+}
+
+// CheckGoodputRegression compares a fresh run's goodput against the
+// committed baseline and errors when it dropped by more than tol
+// (fractional; 0.2 = 20%). Faster-than-baseline always passes — the
+// gate catches decay, not improvement.
+func CheckGoodputRegression(current float64, baseline []byte, tol float64) error {
+	base, err := BaselineGoodput(baseline)
+	if err != nil {
+		return err
+	}
+	if tol <= 0 {
+		tol = 0.2
+	}
+	floor := base * (1 - tol)
+	if current < floor {
+		return fmt.Errorf("goodput regression: %.1f laps/s vs baseline %.1f (floor %.1f at %.0f%% tolerance)",
+			current, base, floor, tol*100)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPhaseSeeds: phase 0 runs under the base seed itself (a one-phase
+// series is the plain soak), later phases roll distinct seeds, and the
+// whole sequence is a pure function of the base.
+func TestPhaseSeeds(t *testing.T) {
+	a := PhaseSeeds(42, 4)
+	b := PhaseSeeds(42, 4)
+	if a[0] != 42 {
+		t.Fatalf("phase 0 seed = %d, want the base seed", a[0])
+	}
+	seen := make(map[uint64]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d diverged between identical calls", i)
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate phase seed %d", a[i])
+		}
+		seen[a[i]] = true
+	}
+	if c := PhaseSeeds(43, 4); c[1] == a[1] {
+		t.Fatal("different base seeds rolled the same phase seed")
+	}
+}
+
+// TestBaselineGoodputFormats: the regression gate reads both committed
+// report shapes — the rolling-seed series (goodput_lps) and the
+// pre-series single report (recomputed from laps_done/duration_ms).
+func TestBaselineGoodputFormats(t *testing.T) {
+	series := []byte(`{"base_seed":42,"goodput_lps":48.2,"laps_done":1820,"duration_ms":37777}`)
+	if got, err := BaselineGoodput(series); err != nil || got != 48.2 {
+		t.Fatalf("series baseline = %v, %v; want 48.2", got, err)
+	}
+	old := []byte(`{"seed":42,"laps_done":2319,"duration_ms":60191}`)
+	got, err := BaselineGoodput(old)
+	if err != nil || got < 38.4 || got > 38.6 {
+		t.Fatalf("old-format baseline = %v, %v; want ~38.5", got, err)
+	}
+	if _, err := BaselineGoodput([]byte(`{"seed":42}`)); err == nil {
+		t.Fatal("baseline with no goodput accepted")
+	}
+	if _, err := BaselineGoodput([]byte(`not json`)); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// TestCheckGoodputRegression: drops beyond the tolerance fail, drops
+// within it and improvements pass.
+func TestCheckGoodputRegression(t *testing.T) {
+	base := []byte(`{"goodput_lps":50.0}`)
+	if err := CheckGoodputRegression(45, base, 0.2); err != nil {
+		t.Fatalf("10%% drop rejected at 20%% tolerance: %v", err)
+	}
+	if err := CheckGoodputRegression(60, base, 0.2); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+	err := CheckGoodputRegression(39, base, 0.2)
+	if err == nil {
+		t.Fatal("22% drop passed at 20% tolerance")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -34,6 +34,12 @@ const (
 	// long-running apps (see the soakring app); the soak driver turns
 	// the series into a goodput curve.
 	LapMarker = "VRUN-LAP"
+	// RejoinMarker precedes a role name; a *restarted* service worker
+	// prints it once it is back in service — after its WAL replay and,
+	// for replicated roles, after anti-entropy resync pulled the events
+	// or images it missed while dead. The soak driver uses it to close
+	// the replica-outage window that the kill opened.
+	RejoinMarker = "VRUN-REJOIN"
 )
 
 // ServeOpts fully describes one worker process of a deployed run. The
@@ -117,6 +123,33 @@ func (o *ServeOpts) torn() walog.TornConfig {
 	return walog.TornConfig{Seed: o.DiskFaultSeed, Every: o.DiskFaultEvery}
 }
 
+// announceRejoin prints the rejoin marker once ready reports true —
+// immediately when ready is nil (the role has no resync to wait for).
+// Only restarted workers announce: an initial spawn has no outage
+// window to close.
+func (o *ServeOpts) announceRejoin(role Role, ready func() bool) {
+	if !o.Restarted {
+		return
+	}
+	go func() {
+		for ready != nil && !ready() {
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Fprintf(o.Out, "%s %s\n", RejoinMarker, role)
+	}()
+}
+
+// peersOf returns the other replica ids of a service node's role group.
+func peersOf(pg *Program, node *Node) []int {
+	var peers []int
+	for _, n := range pg.OfRole(node.Role) {
+		if n.ID != node.ID {
+			peers = append(peers, n.ID)
+		}
+	}
+	return peers
+}
+
 // ServeWith runs one node of the program in this process, with the full
 // fault-injection surface: bind/advertise address split, shared epoch,
 // durable service stores with torn-write injection, crash-surviving
@@ -149,20 +182,49 @@ func ServeWith(o ServeOpts) error {
 	case RoleEL:
 		st := eventlog.NewStore()
 		if o.WALDir != "" {
-			if _, err := st.OpenWAL(filepath.Join(o.WALDir, "el.wal"), o.torn()); err != nil {
+			// Per-replica WAL: every member of the group keeps its own
+			// durable prefix (independent stores, as in §8's quorum model).
+			if _, err := st.OpenWAL(filepath.Join(o.WALDir, fmt.Sprintf("el-%d.wal", node.ID)), o.torn()); err != nil {
 				return fmt.Errorf("deploy: el wal: %w", err)
 			}
 		}
-		eventlog.NewServerWithStore(rt, fab.Attach(ELID, "event-logger"), 0, st).Start()
+		srv := eventlog.NewServerWithStore(rt, fab.Attach(node.ID, "event-logger"), 0, st)
+		srv.Peers = peersOf(pg, node)
+		if o.Restarted && len(srv.Peers) > 0 {
+			// A respawned replica rejoins its group: the WAL replay gave
+			// it its own durable prefix, anti-entropy pulls everything
+			// the group committed while it was dead. Out-of-process runs
+			// get a longer retry budget than the simulation default —
+			// real dials and peer respawns take wall-clock time.
+			srv.Resync = true
+			srv.ResyncAttempts = 60
+		}
+		srv.Start()
+		if srv.Resync {
+			o.announceRejoin(RoleEL, srv.Synced)
+		} else {
+			o.announceRejoin(RoleEL, nil)
+		}
 		select {}
 	case RoleCS:
 		st := ckpt.NewStore()
 		if o.WALDir != "" {
-			if _, err := st.OpenWAL(filepath.Join(o.WALDir, "cs.wal"), o.torn()); err != nil {
+			if _, err := st.OpenWAL(filepath.Join(o.WALDir, fmt.Sprintf("cs-%d.wal", node.ID)), o.torn()); err != nil {
 				return fmt.Errorf("deploy: cs wal: %w", err)
 			}
 		}
-		ckpt.NewServerWithStore(rt, fab.Attach(CSID, "ckpt-server"), st).Start()
+		srv := ckpt.NewServerWithStore(rt, fab.Attach(node.ID, "ckpt-server"), st)
+		srv.Peers = peersOf(pg, node)
+		if o.Restarted && len(srv.Peers) > 0 {
+			srv.Resync = true
+			srv.ResyncAttempts = 60
+		}
+		srv.Start()
+		if srv.Resync {
+			o.announceRejoin(RoleCS, srv.Synced)
+		} else {
+			o.announceRejoin(RoleCS, nil)
+		}
 		select {}
 	case RoleSched:
 		var ranks []int
@@ -170,17 +232,21 @@ func ServeWith(o ServeOpts) error {
 			ranks = append(ranks, n.ID)
 		}
 		sched.Start(rt, fab, sched.Config{
-			Node:   SchedID,
+			Node:   node.ID,
 			Ranks:  ranks,
 			Policy: &sched.RoundRobin{},
 			Period: 2 * time.Second,
 		})
+		// The scheduler is soft-state by design: its policy position is
+		// rebuilt from the first poll round, so a respawn is back in
+		// service as soon as its endpoint is bound.
+		o.announceRejoin(RoleSched, nil)
 		select {}
 	case RoleCN:
 		cfg := daemon.Config{
 			Rank:        o.ID,
 			Size:        len(pg.CNs()),
-			EventLogger: ELID,
+			EventLogger: -1,
 			CkptServer:  -1,
 			Scheduler:   -1,
 			Dispatcher:  -1,
@@ -190,11 +256,25 @@ func ServeWith(o ServeOpts) error {
 			ELLowWater:  o.ELLowWater,
 			PullTimeout: o.PullTimeout,
 		}
-		if _, ok := pg.Find(RoleCS); ok {
-			cfg.CkptServer = CSID
+		// Replicated service roles: a single node keeps the legacy
+		// primary path, several switch the daemon to quorum replication
+		// (write quorum = majority, restart reads merge the complement).
+		els := pg.IDsOfRole(RoleEL)
+		if len(els) == 1 {
+			cfg.EventLogger = els[0]
+		} else if len(els) > 1 {
+			cfg.ELReplicas = els
+			cfg.ELQuorum = len(els)/2 + 1
 		}
-		if _, ok := pg.Find(RoleSched); ok {
-			cfg.Scheduler = SchedID
+		css := pg.IDsOfRole(RoleCS)
+		if len(css) == 1 {
+			cfg.CkptServer = css[0]
+		} else if len(css) > 1 {
+			cfg.CSReplicas = css
+			cfg.CSQuorum = len(css)/2 + 1
+		}
+		if sc, ok := pg.Find(RoleSched); ok {
+			cfg.Scheduler = sc.ID
 		}
 		if o.TraceDir != "" {
 			rec := trace.NewRecorder(o.ID, 1<<15)

@@ -44,14 +44,18 @@ func FreePorts(n int) ([]string, error) {
 }
 
 // SoakConfig sizes one soak run: a real multi-process deployment over
-// loopback TCP, every computing node fronted by a fault-injecting
-// proxy, with a seeded schedule of process kills and freezes.
+// loopback TCP, every computing node (and, with ProxyServices, every
+// service node) fronted by a fault-injecting proxy, with a seeded
+// schedule of process kills and freezes aimed at a configurable
+// kill-set of roles.
 type SoakConfig struct {
 	// Exe is the worker executable; it must call deploy.MaybeServe at
 	// the top of main.
 	Exe     string
 	AppName string // default "soakring"
 	CNs     int    // computing nodes (default 3)
+	ELs     int    // event-logger replicas (default 1; >1 = write quorum of majority)
+	CSs     int    // checkpoint-server replicas (default 1)
 
 	// Soak app sizing (exported to workers through the environment).
 	Laps    int // laps per rank (default 20)
@@ -69,9 +73,23 @@ type SoakConfig struct {
 	Over     time.Duration // fault window width (default 6s)
 	StallFor time.Duration // freeze length (default 1s)
 
+	// KillRoles is the kill-set: the roles the seeded fault plan may
+	// target (default computing nodes only, the pre-service-plane
+	// behavior). Kills round-robin across the named roles, so with
+	// Kills >= len(KillRoles) every role in the set loses at least one
+	// node; stalls draw from the union. Roles with no nodes in the
+	// program are skipped.
+	KillRoles []Role
+
 	// Proxy is the socket-level chaos applied to every CN's inbound
 	// traffic. The zero value proxies bytes through unmodified.
 	Proxy transport.ProxyPolicy
+	// ProxyServices fronts the EL/CS/scheduler listeners with chaos
+	// proxies too, so service links (determinant submissions, quorum
+	// acks, anti-entropy resync, checkpoint chunks) cross the injector
+	// — not just CN↔CN traffic. Audit reads bypass the proxies via the
+	// bind addresses.
+	ProxyServices bool
 
 	// DiskFaultEvery arms torn-write injection on the EL/CS WALs.
 	DiskFaultEvery int
@@ -83,12 +101,21 @@ type SoakConfig struct {
 	Log       io.Writer     // driver log (default io.Discard)
 }
 
-// Recovery is one crash→recovery episode of a computing node.
+// Recovery is one crash→recovery episode of a node, any role.
 type Recovery struct {
-	ID           int   `json:"id"`
-	Inc          uint64 `json:"incarnation"` // incarnation that died
-	RespawnMS    int64 `json:"respawn_ms"`      // exit → replacement spawned
-	BackToWorkMS int64 `json:"back_to_work_ms"` // exit → first lap of any later incarnation (-1: none)
+	ID   int    `json:"id"`
+	Role string `json:"role"`
+	Inc  uint64 `json:"incarnation"` // incarnation that died
+	// RespawnMS is exit → replacement spawned.
+	RespawnMS int64 `json:"respawn_ms"`
+	// BackToWorkMS is exit → first lap of any later incarnation
+	// (computing nodes; -1 otherwise or when none followed).
+	BackToWorkMS int64 `json:"back_to_work_ms"`
+	// RejoinMS is the replica-outage window of a service node: exit →
+	// rejoin marker of a later incarnation (WAL replayed and, for
+	// replicated roles, anti-entropy resync complete). -1 for computing
+	// nodes or when the window never closed.
+	RejoinMS int64 `json:"rejoin_ms"`
 }
 
 // SoakReport is the JSON-serializable outcome of a soak run.
@@ -99,24 +126,27 @@ type SoakReport struct {
 	DurationMS int64    `json:"duration_ms"`
 
 	CNs         int   `json:"cns"`
+	ELs         int   `json:"els"`
+	CSs         int   `json:"css"`
 	LapsPerRank int   `json:"laps_per_rank"`
 	LapsDone    int   `json:"laps_done"` // lap completions observed (all ranks)
 	Goodput     []int `json:"goodput"`   // lap completions per 1s bucket
 
-	Kills      int        `json:"kills"`
-	Stalls     int        `json:"stalls"`
-	Respawns   int        `json:"respawns"`
-	Recoveries []Recovery `json:"recoveries,omitempty"`
-	Plan       []string   `json:"plan,omitempty"` // human-readable fault schedule
+	Kills      int            `json:"kills"`
+	RoleKills  map[string]int `json:"role_kills,omitempty"` // kills that landed, per role
+	Stalls     int            `json:"stalls"`
+	Respawns   int            `json:"respawns"`
+	Recoveries []Recovery     `json:"recoveries,omitempty"`
+	Plan       []string       `json:"plan,omitempty"` // human-readable fault schedule
 
-	MidAudits      int    `json:"mid_audits"`       // post-recovery audit passes
-	AuditEvents    int    `json:"audit_events"`     // determinants in the final audit
-	AuditSummary   string `json:"audit"`            // final no-orphans verdict
-	HBSummary      string `json:"hb_audit"`         // final happens-before verdict
-	LeakGoroutines int    `json:"leak_goroutines"`  // residual goroutines after teardown
+	MidAudits      int    `json:"mid_audits"`      // post-recovery audit passes
+	AuditEvents    int    `json:"audit_events"`    // determinants in the final audit
+	AuditSummary   string `json:"audit"`           // final no-orphans verdict
+	HBSummary      string `json:"hb_audit"`        // final happens-before verdict
+	LeakGoroutines int    `json:"leak_goroutines"` // residual goroutines after teardown
 
-	TCP     TCPSample        `json:"tcp"`              // Σ last sample per (node, incarnation)
-	Metrics map[string]int64 `json:"metrics,omitempty"` // proxy counters etc.
+	TCP     TCPSample        `json:"tcp"`               // Σ last sample per (node, incarnation)
+	Metrics map[string]int64 `json:"metrics,omitempty"` // proxy counters, per-role latency totals
 }
 
 func (c *SoakConfig) defaults() {
@@ -125,6 +155,12 @@ func (c *SoakConfig) defaults() {
 	}
 	if c.CNs <= 0 {
 		c.CNs = 3
+	}
+	if c.ELs <= 0 {
+		c.ELs = 1
+	}
+	if c.CSs <= 0 {
+		c.CSs = 1
 	}
 	if c.Laps <= 0 {
 		c.Laps = 20
@@ -137,6 +173,9 @@ func (c *SoakConfig) defaults() {
 	}
 	if c.Kills < 0 {
 		c.Kills = 0
+	}
+	if len(c.KillRoles) == 0 {
+		c.KillRoles = []Role{RoleCN}
 	}
 	if c.MinAfter <= 0 {
 		c.MinAfter = 2 * time.Second
@@ -158,16 +197,31 @@ func (c *SoakConfig) defaults() {
 	}
 }
 
-// fetchELEvents pulls the event logger's whole determinant store over a
-// throwaway TCP endpoint (the EL itself is not proxied, so this read is
-// chaos-free) and returns the per-rank delivery view.
-func fetchELEvents(elAddr string, cns int, timeout time.Duration) ([][]core.Event, int, error) {
+// elEndpoint is one event-logger replica as the auditor reaches it: its
+// node id and a proxy-free address (the bind side when the replica's
+// advertised address is a chaos proxy).
+type elEndpoint struct {
+	id   int
+	addr string
+}
+
+// fetchELEvents pulls the determinant stores of the whole event-logger
+// replica group over a throwaway TCP endpoint and unions the replies.
+// The read is quorum-aware: it succeeds once at least `need` distinct
+// replicas (= R−Q+1, the smallest set intersecting every write quorum)
+// have answered, so a killed or still-resyncing replica cannot block
+// the audit — the commit set is re-fetched from the survivors. Replies
+// beyond the minimum only grow the union (merges are idempotent), so
+// the fetch keeps collecting until the group is complete or a short
+// grace expires.
+func fetchELEvents(els []elEndpoint, cns int, need int, timeout time.Duration) ([][]core.Event, int, error) {
 	const auditorID = 1900
+	addrMap := map[int]string{auditorID: "127.0.0.1:0"}
+	for _, el := range els {
+		addrMap[el.id] = el.addr
+	}
 	rt := vtime.NewReal()
-	fab := transport.NewTCPFabric(rt, map[int]string{
-		ELID:      elAddr,
-		auditorID: "127.0.0.1:0",
-	})
+	fab := transport.NewTCPFabric(rt, addrMap)
 	ep := fab.Attach(auditorID, "soak-audit")
 	defer ep.Close()
 
@@ -185,34 +239,72 @@ func fetchELEvents(elAddr string, cns int, timeout time.Duration) ([][]core.Even
 
 	req := wire.EncodeSyncMarks(map[int]uint64{})
 	deadline := time.After(timeout)
-	var m map[int][]core.Event
-	for m == nil {
-		ep.Send(ELID, wire.KELSyncReq, req)
+	responded := make(map[int]bool)
+	union := make(map[int]map[uint64]core.Event)
+	ask := func() {
+		for _, el := range els {
+			if !responded[el.id] {
+				ep.Send(el.id, wire.KELSyncReq, req)
+			}
+		}
+	}
+	ask()
+	grace := time.Duration(0)
+collect:
+	for len(responded) < len(els) {
+		var graceC <-chan time.Time
+		if grace > 0 {
+			graceC = time.After(grace)
+		}
 		select {
 		case f, ok := <-frames:
 			if !ok {
 				return nil, 0, fmt.Errorf("soak: audit endpoint closed")
 			}
-			if f.Kind != wire.KELSyncResp {
+			if f.Kind != wire.KELSyncResp || responded[f.From] {
 				continue
 			}
 			dec, err := wire.DecodeNodeEvents(f.Data)
 			if err != nil {
 				return nil, 0, fmt.Errorf("soak: bad sync response: %w", err)
 			}
-			m = dec
+			responded[f.From] = true
+			for node, evs := range dec {
+				m := union[node]
+				if m == nil {
+					m = make(map[uint64]core.Event)
+					union[node] = m
+				}
+				for _, ev := range evs {
+					m[ev.RecvClock] = ev
+				}
+			}
+			if len(responded) >= need {
+				// Quorum met: give stragglers one short grace, then go.
+				grace = 500 * time.Millisecond
+			}
+		case <-graceC:
+			break collect
 		case <-time.After(500 * time.Millisecond):
-			// re-send the request
+			ask() // re-send to the still-silent replicas
 		case <-deadline:
-			return nil, 0, fmt.Errorf("soak: event-logger fetch timed out after %v", timeout)
+			if len(responded) >= need {
+				break collect
+			}
+			return nil, 0, fmt.Errorf("soak: only %d of %d event-logger replicas answered (read quorum %d) after %v",
+				len(responded), len(els), need, timeout)
 		}
 	}
 
 	dels := make([][]core.Event, cns)
 	total := 0
-	for node, evs := range m {
+	for node, m := range union {
 		if node < 0 || node >= cns {
 			continue
+		}
+		evs := make([]core.Event, 0, len(m))
+		for _, ev := range m {
+			evs = append(evs, ev)
 		}
 		sort.Slice(evs, func(i, j int) bool { return evs[i].RecvClock < evs[j].RecvClock })
 		dels[node] = evs
@@ -235,10 +327,11 @@ func knownCommits(dels [][]core.Event) map[uint64]bool {
 }
 
 // auditOnce runs both post-run checks — the no-orphans audit over the
-// event logger's determinant store and the happens-before audit over
-// the merged crash-surviving trace snapshots — and reports the verdicts.
-func auditOnce(elAddr, traceDir string, cns int) (cluster.AuditReport, trace.HBReport, int, error) {
-	dels, total, err := fetchELEvents(elAddr, cns, 5*time.Second)
+// event-logger group's unioned determinant store (read-quorum-gated)
+// and the happens-before audit over the merged crash-surviving trace
+// snapshots — and reports the verdicts.
+func auditOnce(els []elEndpoint, need int, traceDir string, cns int) (cluster.AuditReport, trace.HBReport, int, error) {
+	dels, total, err := fetchELEvents(els, cns, need, 5*time.Second)
 	if err != nil {
 		return cluster.AuditReport{}, trace.HBReport{}, 0, err
 	}
@@ -255,12 +348,16 @@ func auditOnce(elAddr, traceDir string, cns int) (cluster.AuditReport, trace.HBR
 }
 
 // RunSoak deploys the program as real OS processes over loopback TCP —
-// every computing node behind a fault-injecting proxy — executes the
-// seeded kill/stall schedule, and audits the survivors: the same seed
+// every computing node (and optionally every service) behind a
+// fault-injecting proxy — executes the seeded kill/stall schedule over
+// the configured role kill-set, and audits the survivors: the same seed
 // reproduces the same fault schedule and the same chaos variates.
 func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	cfg.defaults()
-	rep := &SoakReport{Seed: cfg.Seed, CNs: cfg.CNs, LapsPerRank: cfg.Laps}
+	rep := &SoakReport{
+		Seed: cfg.Seed, CNs: cfg.CNs, ELs: cfg.ELs, CSs: cfg.CSs,
+		LapsPerRank: cfg.Laps, RoleKills: make(map[string]int),
+	}
 	fail := func(format string, args ...any) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
@@ -283,43 +380,96 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 
-	// Address plan: per CN an advertised (proxy front) and a bind
-	// address, plus one each for EL, CS and the checkpoint scheduler.
-	addrs, err := FreePorts(2*cfg.CNs + 3)
+	// Address plan: every node gets an advertised (front) and a bind
+	// address; the bind side is written into the program file — and a
+	// proxy spawned — only for the nodes whose links cross the
+	// injector: all CNs, plus the services when ProxyServices is set.
+	services := cfg.ELs + cfg.CSs + 1
+	addrs, err := FreePorts(2 * (cfg.CNs + services))
 	if err != nil {
 		return nil, err
 	}
-	elAddr, csAddr, scAddr := addrs[0], addrs[1], addrs[2]
-	var pg strings.Builder
-	fmt.Fprintf(&pg, "el %s\ncs %s\nsc %s\n", elAddr, csAddr, scAddr)
+	type planned struct {
+		id          int
+		role        Role
+		front, bind string
+		proxied     bool
+	}
+	var nodes []planned
+	next := 0
+	take := func() (string, string) {
+		front, bind := addrs[next], addrs[next+1]
+		next += 2
+		return front, bind
+	}
+	for i := 0; i < cfg.ELs; i++ {
+		front, bind := take()
+		nodes = append(nodes, planned{ELID + i, RoleEL, front, bind, cfg.ProxyServices})
+	}
+	for i := 0; i < cfg.CSs; i++ {
+		front, bind := take()
+		nodes = append(nodes, planned{CSID + i, RoleCS, front, bind, cfg.ProxyServices})
+	}
+	{
+		front, bind := take()
+		nodes = append(nodes, planned{SchedID, RoleSched, front, bind, cfg.ProxyServices})
+	}
 	for i := 0; i < cfg.CNs; i++ {
-		fmt.Fprintf(&pg, "cn %s %s\n", addrs[3+2*i], addrs[3+2*i+1])
+		front, bind := take()
+		nodes = append(nodes, planned{i, RoleCN, front, bind, true})
+	}
+	var pg strings.Builder
+	for _, n := range nodes {
+		if n.proxied {
+			fmt.Fprintf(&pg, "%s %s %s\n", n.role, n.front, n.bind)
+		} else {
+			fmt.Fprintf(&pg, "%s %s\n", n.role, n.front)
+		}
 	}
 	pgPath := filepath.Join(dir, "soak.pg")
 	if err := os.WriteFile(pgPath, []byte(pg.String()), 0o644); err != nil {
 		return nil, err
 	}
 
+	// The audit side-steps the proxies: it reads each EL replica at its
+	// bind address when the front is a chaos proxy.
+	var els []elEndpoint
+	for _, n := range nodes {
+		if n.role != RoleEL {
+			continue
+		}
+		addr := n.front
+		if n.proxied {
+			addr = n.bind
+		}
+		els = append(els, elEndpoint{id: n.id, addr: addr})
+	}
+	elQ := len(els)/2 + 1
+	readNeed := len(els) - elQ + 1
+
 	// The shared epoch: every worker's virtual clock and the proxies'
 	// partition windows count from here.
 	epoch := time.Now()
 	rt := vtime.NewRealAt(epoch)
 
-	// One chaos proxy per computing node, owning the advertised
-	// address and forwarding to the bind address. Distinct sub-seeds
-	// keep the proxies' variate streams independent but reproducible.
-	proxies := make([]*transport.ChaosProxy, 0, cfg.CNs)
+	// One chaos proxy per proxied node, owning the advertised address
+	// and forwarding to the bind address. Distinct sub-seeds keep the
+	// proxies' variate streams independent but reproducible.
+	var proxies []*transport.ChaosProxy
 	defer func() {
 		for _, px := range proxies {
 			px.Close()
 		}
 	}()
-	for i := 0; i < cfg.CNs; i++ {
+	for i, n := range nodes {
+		if !n.proxied {
+			continue
+		}
 		pol := cfg.Proxy
-		pol.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
-		px, err := transport.NewChaosProxy(rt, i, addrs[3+2*i], addrs[3+2*i+1], pol)
+		pol.Seed = cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		px, err := transport.NewChaosProxy(rt, n.id, n.front, n.bind, pol)
 		if err != nil {
-			return nil, fmt.Errorf("soak: proxy for rank %d: %w", i, err)
+			return nil, fmt.Errorf("soak: proxy for node %d: %w", n.id, err)
 		}
 		proxies = append(proxies, px)
 	}
@@ -351,30 +501,40 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	defer sup.Stop()
 	start := time.Now()
+	roleOf := func(id int) string { return string(sup.Program().RoleOf(id)) }
 
-	var targets []int
-	for i := 0; i < cfg.CNs; i++ {
-		targets = append(targets, i)
+	// The kill-set: one target group per configured role, in the order
+	// given, so kills round-robin across roles. Roles with no nodes in
+	// this program drop out of the plan (and out of the coverage check).
+	var roleGroups [][]int
+	var activeKillRoles []Role
+	for _, role := range cfg.KillRoles {
+		ids := sup.Program().IDsOfRole(role)
+		if len(ids) > 0 {
+			roleGroups = append(roleGroups, ids)
+			activeKillRoles = append(activeKillRoles, role)
+		}
 	}
 	plan := PlanFaults(FaultPlanConfig{
-		Seed:     cfg.Seed,
-		Targets:  targets,
-		Kills:    cfg.Kills,
-		Stalls:   cfg.Stalls,
-		MinAfter: cfg.MinAfter,
-		Over:     cfg.Over,
-		StallFor: cfg.StallFor,
+		Seed:        cfg.Seed,
+		RoleTargets: roleGroups,
+		Kills:       cfg.Kills,
+		Stalls:      cfg.Stalls,
+		MinAfter:    cfg.MinAfter,
+		Over:        cfg.Over,
+		StallFor:    cfg.StallFor,
 	})
 	for _, f := range plan {
-		rep.Plan = append(rep.Plan, fmt.Sprintf("%s %d @%dms", f.Kind, f.Target, f.After.Milliseconds()))
+		rep.Plan = append(rep.Plan, fmt.Sprintf("%s %s/%d @%dms", f.Kind, roleOf(f.Target), f.Target, f.After.Milliseconds()))
 	}
 	stopInject := sup.Inject(plan)
 	defer stopInject()
 
 	// Wait for completion, re-running both audits after every observed
-	// recovery (a respawn with incarnation > 0). Mid-run audits may see
-	// transient holes while retransmissions drain, so each retries
-	// until green; only never-converging audits count as failures. The
+	// recovery (a respawn with incarnation > 0) — computing node or
+	// service. Mid-run audits may see transient holes while
+	// retransmissions drain or a replica resyncs, so each retries until
+	// green; only never-converging audits count as failures. The
 	// post-quiesce final audit below stays authoritative.
 	audited := make(map[string]bool)
 	timeout := time.After(cfg.Timeout)
@@ -402,7 +562,7 @@ waitLoop:
 				green := false
 				var last string
 				for attempt := 0; attempt < 10; attempt++ {
-					a, hb, _, err := auditOnce(elAddr, traceDir, cfg.CNs)
+					a, hb, _, err := auditOnce(els, readNeed, traceDir, cfg.CNs)
 					if err == nil && a.OK() && hb.OK() {
 						green = true
 						break
@@ -426,7 +586,7 @@ waitLoop:
 	time.Sleep(2*cfg.Heartbeat + 500*time.Millisecond)
 
 	// Authoritative final audits.
-	audit, hb, total, err := auditOnce(elAddr, traceDir, cfg.CNs)
+	audit, hb, total, err := auditOnce(els, readNeed, traceDir, cfg.CNs)
 	rep.AuditEvents = total
 	if err != nil {
 		fail("final audit: %v", err)
@@ -462,6 +622,7 @@ waitLoop:
 		switch ev.Kind {
 		case "kill":
 			rep.Kills++
+			rep.RoleKills[roleOf(ev.ID)]++
 		case "stall":
 			rep.Stalls++
 		case "spawn":
@@ -471,32 +632,70 @@ waitLoop:
 		}
 	}
 	for i, ev := range events {
-		if ev.Kind != "exit" || ev.ID >= ELID {
+		if ev.Kind != "exit" {
 			continue
 		}
-		r := Recovery{ID: ev.ID, Inc: ev.Inc, RespawnMS: -1, BackToWorkMS: -1}
+		r := Recovery{ID: ev.ID, Role: roleOf(ev.ID), Inc: ev.Inc,
+			RespawnMS: -1, BackToWorkMS: -1, RejoinMS: -1}
 		for _, later := range events[i+1:] {
-			if later.ID == ev.ID && later.Kind == "spawn" {
+			if later.ID != ev.ID {
+				continue
+			}
+			if later.Kind == "spawn" && r.RespawnMS < 0 {
 				r.RespawnMS = later.T.Sub(ev.T).Milliseconds()
-				break
+			}
+			if later.Kind == "rejoin" && r.RejoinMS < 0 {
+				r.RejoinMS = later.T.Sub(ev.T).Milliseconds()
 			}
 		}
-		for _, l := range laps {
-			if l.ID == ev.ID && l.T.After(ev.T) {
-				r.BackToWorkMS = l.T.Sub(ev.T).Milliseconds()
-				break
+		if ev.ID < ELID {
+			for _, l := range laps {
+				if l.ID == ev.ID && l.T.After(ev.T) {
+					r.BackToWorkMS = l.T.Sub(ev.T).Milliseconds()
+					break
+				}
 			}
 		}
-		rep.Recoveries = append(rep.Recoveries, r)
+		// Exits during teardown (no successor spawn) are not recoveries.
+		if r.RespawnMS >= 0 {
+			rep.Recoveries = append(rep.Recoveries, r)
+		}
 	}
 	if !timedOut && cfg.Kills > 0 && rep.Kills < cfg.Kills {
 		fail("only %d of %d planned kills fired", rep.Kills, cfg.Kills)
+	}
+	// Role coverage: the round-robin plan guarantees every active role
+	// at least one kill when the quota allows; a hole means a kill was
+	// planned but never landed (e.g. the target was already dead).
+	if !timedOut && cfg.Kills >= len(activeKillRoles) {
+		for _, role := range activeKillRoles {
+			if rep.RoleKills[string(role)] == 0 {
+				fail("kill-set role %s was never killed", role)
+			}
+		}
 	}
 
 	rep.TCP = sup.TCPTotals()
 	reg := trace.NewRegistry()
 	for _, px := range proxies {
 		px.AddTo(reg)
+	}
+	// Per-role recovery latency and outage-window totals, alongside the
+	// proxy counters: mean respawn latency for role r is
+	// soak.respawn_ms_total.r / soak.respawns.r, and a service role's
+	// replica-outage window (exit → rejoined, resync complete) is
+	// soak.outage_ms_total.r / soak.rejoins.r.
+	for _, r := range rep.Recoveries {
+		reg.Counter("soak.respawns." + r.Role).Add(1)
+		reg.Counter("soak.respawn_ms_total." + r.Role).Add(r.RespawnMS)
+		if r.BackToWorkMS >= 0 {
+			reg.Counter("soak.back_to_work." + r.Role).Add(1)
+			reg.Counter("soak.back_to_work_ms_total." + r.Role).Add(r.BackToWorkMS)
+		}
+		if r.RejoinMS >= 0 {
+			reg.Counter("soak.rejoins." + r.Role).Add(1)
+			reg.Counter("soak.outage_ms_total." + r.Role).Add(r.RejoinMS)
+		}
 	}
 	rep.Metrics = reg.Snapshot().Counters
 

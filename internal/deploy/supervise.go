@@ -23,7 +23,7 @@ type Event struct {
 	T    time.Time
 	ID   int // node id (CN rank or service id)
 	Inc  uint64
-	Kind string // spawn | exit | done | kill | stall | resume | hb-stale | give-up
+	Kind string // spawn | exit | done | kill | stall | resume | hb-stale | rejoin | give-up
 	Info string
 }
 
@@ -238,6 +238,12 @@ func (s *Supervisor) scan(w *supWorker, stdout io.Reader) {
 			s.mu.Lock()
 			w.lastHB = time.Now()
 			s.mu.Unlock()
+		case strings.HasPrefix(line, RejoinMarker+" "):
+			role := strings.TrimSpace(line[len(RejoinMarker)+1:])
+			s.mu.Lock()
+			s.event(id, inc, "rejoin", role)
+			s.mu.Unlock()
+			s.logf("%s %d (incarnation %d) rejoined", role, id, inc)
 		case strings.HasPrefix(line, TCPMarker+" "):
 			f := strings.Fields(line[len(TCPMarker)+1:])
 			if len(f) == 7 {
@@ -302,10 +308,11 @@ func (s *Supervisor) superviseLoop() {
 		// Crash→respawn delay: detection slack plus port release, aged
 		// by the shared bounded exponential backoff.
 		time.Sleep(s.cfg.Restart.Delay(attempt))
-		// Services restart from their WALs; computing nodes restart
-		// with the recovery flag and replay (the launched process
-		// decides what that means from its role).
-		if err := s.spawn(node, node.Role == RoleCN); err != nil {
+		// Every respawn carries the recovery flag; the launched process
+		// decides what it means from its role — computing nodes replay
+		// from their checkpoint and event list, services reload their
+		// WAL and (replicated roles) resync from their surviving peers.
+		if err := s.spawn(node, true); err != nil {
 			s.logf("respawn of node %d failed: %v", ex.id, err)
 		}
 	}
@@ -451,6 +458,23 @@ func (s *Supervisor) Spawns(id int) int {
 	return s.spawns[id]
 }
 
+// PID returns the OS pid of node id's current incarnation (0 when the
+// node has no live worker). Tests use it to inject raw signals —
+// e.g. a SIGSTOP the supervisor did not orchestrate, so its staleness
+// detector has to find the frozen worker on its own.
+func (s *Supervisor) PID(id int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.workers[id]
+	if w == nil || w.cmd.Process == nil {
+		return 0
+	}
+	return w.cmd.Process.Pid
+}
+
+// Program returns the parsed program file under supervision.
+func (s *Supervisor) Program() *Program { return s.pg }
+
 // Stop kills every worker and waits for supervision to wind down.
 // Idempotent.
 func (s *Supervisor) Stop() {
@@ -493,20 +517,36 @@ type Fault struct {
 
 // FaultPlanConfig parameterizes PlanFaults.
 type FaultPlanConfig struct {
-	Seed     uint64
-	Targets  []int // candidate node ids (usually the CN ranks)
-	Kills    int
-	Stalls   int
-	MinAfter time.Duration // earliest fault (let the system warm up)
-	Over     time.Duration // faults spread uniformly in [MinAfter, MinAfter+Over)
-	StallFor time.Duration // freeze length (default 1s)
+	Seed    uint64
+	Targets []int // candidate node ids (usually the CN ranks)
+	// RoleTargets, when non-empty, supersedes Targets for kills: each
+	// inner slice is one role's node ids (the configurable kill-set),
+	// and kill i lands in group i mod len(RoleTargets) — a round-robin
+	// across the groups, so with Kills >= len(RoleTargets) every role
+	// in the kill-set loses at least one node. The target inside the
+	// group and the offsets stay seed-drawn. Stalls draw uniformly from
+	// the union of all groups.
+	RoleTargets [][]int
+	Kills       int
+	Stalls      int
+	MinAfter    time.Duration // earliest fault (let the system warm up)
+	Over        time.Duration // faults spread uniformly in [MinAfter, MinAfter+Over)
+	StallFor    time.Duration // freeze length (default 1s)
 }
 
 // PlanFaults derives a process-fault schedule from a seed: the same
 // seed, targets and counts always produce the same kills and stalls at
 // the same offsets — the knob that makes a soak run reproducible.
 func PlanFaults(cfg FaultPlanConfig) []Fault {
-	if len(cfg.Targets) == 0 || cfg.Kills+cfg.Stalls == 0 {
+	groups := cfg.RoleTargets
+	if len(groups) == 0 && len(cfg.Targets) > 0 {
+		groups = [][]int{cfg.Targets}
+	}
+	var all []int
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	if len(all) == 0 || cfg.Kills+cfg.Stalls == 0 {
 		return nil
 	}
 	if cfg.Over <= 0 {
@@ -523,14 +563,17 @@ func PlanFaults(cfg FaultPlanConfig) []Fault {
 	var out []Fault
 	for i := 0; i < cfg.Kills+cfg.Stalls; i++ {
 		f := Fault{
-			After:  cfg.MinAfter + time.Duration(roll()*float64(cfg.Over)),
-			Target: cfg.Targets[int(roll()*float64(len(cfg.Targets)))%len(cfg.Targets)],
-			Kind:   "kill",
+			After: cfg.MinAfter + time.Duration(roll()*float64(cfg.Over)),
+			Kind:  "kill",
 		}
-		if i >= cfg.Kills {
+		pool := all
+		if i < cfg.Kills {
+			pool = groups[i%len(groups)]
+		} else {
 			f.Kind = "stall"
 			f.StallFor = cfg.StallFor
 		}
+		f.Target = pool[int(roll()*float64(len(pool)))%len(pool)]
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].After < out[j].After })

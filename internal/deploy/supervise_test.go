@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -36,8 +38,72 @@ func TestMain(m *testing.M) {
 		// half-dead worker only a staleness detector can catch.
 		fmt.Printf("%s %d\n", HBMarker, time.Now().UnixMilli())
 		select {}
+	case "mixed":
+		// Role-aware fake: computing nodes finalize immediately,
+		// services idle under heartbeats; a restarted service announces
+		// its rejoin the way a real one does after WAL replay + resync.
+		id, _ := strconv.Atoi(os.Getenv("MPICHV_SERVE"))
+		if id < ELID {
+			fmt.Println("VRUN-TCP 1 2 3 4 5 6 7")
+			fmt.Println("VRUN-LAP 1")
+			fmt.Println(DoneMarker)
+		} else if os.Getenv("MPICHV_RESTARTED") == "1" {
+			role := RoleEL
+			switch {
+			case id >= SchedID:
+				role = RoleSched
+			case id >= CSID:
+				role = RoleCS
+			}
+			fmt.Printf("%s %s\n", RejoinMarker, role)
+		}
+		for {
+			fmt.Printf("%s %d\n", HBMarker, time.Now().UnixMilli())
+			time.Sleep(20 * time.Millisecond)
+		}
+	case "crash-service":
+		// Computing nodes are healthy; every service crash-loops — the
+		// shape that must exhaust a *service* node's restart budget.
+		if id, _ := strconv.Atoi(os.Getenv("MPICHV_SERVE")); id >= ELID {
+			os.Exit(3)
+		}
+		fmt.Println(DoneMarker)
+		for {
+			fmt.Printf("%s %d\n", HBMarker, time.Now().UnixMilli())
+			time.Sleep(20 * time.Millisecond)
+		}
 	}
 	os.Exit(m.Run())
+}
+
+// fakeProgramSvc writes a program file with a configurable service
+// plane: els event-logger replicas, css checkpoint servers, optionally
+// a scheduler, and cns computing nodes.
+func fakeProgramSvc(t *testing.T, els, css int, sched bool, cns int) string {
+	t.Helper()
+	var b strings.Builder
+	port := 1
+	for i := 0; i < els; i++ {
+		fmt.Fprintf(&b, "el 127.0.0.1:%d\n", port)
+		port++
+	}
+	for i := 0; i < css; i++ {
+		fmt.Fprintf(&b, "cs 127.0.0.1:%d\n", port)
+		port++
+	}
+	if sched {
+		fmt.Fprintf(&b, "sc 127.0.0.1:%d\n", port)
+		port++
+	}
+	for i := 0; i < cns; i++ {
+		fmt.Fprintf(&b, "cn 127.0.0.1:%d\n", port)
+		port++
+	}
+	path := filepath.Join(t.TempDir(), "fake.pg")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 func fakeProgram(t *testing.T, cns int) string {
@@ -287,6 +353,184 @@ func waitGoroutines(t *testing.T, before int) {
 			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSupervisorServiceKillRespawnRejoin: killing each service role —
+// an EL replica, a CS mirror, the scheduler — must produce a respawn
+// carrying the recovery flag, and the restarted service must announce
+// its rejoin (the marker a real service emits once its WAL is replayed
+// and, for replicated roles, anti-entropy resync is complete).
+func TestSupervisorServiceKillRespawnRejoin(t *testing.T) {
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgramSvc(t, 1, 1, true, 1),
+		Exe:         testExe(t),
+		AppName:     "none",
+		MaxSpawn:    8,
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=mixed"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	select {
+	case <-sup.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("computing node never finalized")
+	}
+
+	for _, tc := range []struct {
+		id   int
+		role Role
+	}{{ELID, RoleEL}, {CSID, RoleCS}, {SchedID, RoleSched}} {
+		if !sup.Kill(tc.id) {
+			t.Fatalf("Kill(%d) found no worker", tc.id)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		rejoined := false
+		for !rejoined && time.Now().Before(deadline) {
+			for _, ev := range sup.Events() {
+				if ev.Kind == "rejoin" && ev.ID == tc.id {
+					if ev.Info != string(tc.role) {
+						t.Fatalf("rejoin of node %d reports role %q, want %q", tc.id, ev.Info, tc.role)
+					}
+					rejoined = true
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !rejoined {
+			t.Fatalf("%s %d never rejoined after kill: %+v", tc.role, tc.id, sup.Events())
+		}
+		if got := sup.Spawns(tc.id); got < 2 {
+			t.Fatalf("spawns(%d) = %d after kill, want >= 2", tc.id, got)
+		}
+	}
+}
+
+// TestSupervisorServiceBudgetExhaustion: a crash-looping *service* must
+// burn its per-node restart budget and end supervision with an error,
+// exactly like a crash-looping computing node.
+func TestSupervisorServiceBudgetExhaustion(t *testing.T) {
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgramSvc(t, 1, 0, false, 1),
+		Exe:         testExe(t),
+		AppName:     "none",
+		MaxSpawn:    3,
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=crash-service"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ev := range sup.Events() {
+			if ev.Kind == "give-up" {
+				if ev.ID < ELID {
+					t.Fatalf("give-up on node %d, want a service id", ev.ID)
+				}
+				if sup.Err() == nil {
+					t.Fatal("give-up did not surface as a supervision error")
+				}
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("service budget exhaustion never surfaced: %+v", sup.Events())
+}
+
+// TestSupervisorELRawSIGSTOPStaleness: an EL replica frozen by a raw
+// SIGSTOP (not an orchestrated stall, so the supervisor has no advance
+// notice) stops heartbeating; the staleness detector must declare it
+// crashed, kill it and respawn a replacement.
+func TestSupervisorELRawSIGSTOPStaleness(t *testing.T) {
+	sup, err := StartSupervisor(SupervisorConfig{
+		ProgramPath: fakeProgramSvc(t, 1, 0, false, 1),
+		Exe:         testExe(t),
+		AppName:     "none",
+		Template:    ServeOpts{Heartbeat: 40 * time.Millisecond},
+		MaxSpawn:    4,
+		Restart:     transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ExtraEnv:    []string{"DEPLOY_TEST_WORKER=mixed"},
+		Log:         testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	pid := sup.PID(ELID)
+	if pid == 0 {
+		t.Fatal("no live EL worker")
+	}
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		stale := false
+		for _, ev := range sup.Events() {
+			if ev.Kind == "hb-stale" && ev.ID == ELID {
+				stale = true
+			}
+		}
+		if stale && sup.Spawns(ELID) >= 2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("staleness detector never caught the frozen EL: %+v", sup.Events())
+}
+
+// TestPlanFaultsRoleRoundRobin: with a role kill-set, kills round-robin
+// across the groups — Kills >= groups guarantees every role is hit —
+// while stalls draw from the union, and the schedule stays a pure
+// function of the seed.
+func TestPlanFaultsRoleRoundRobin(t *testing.T) {
+	groups := [][]int{{0, 1, 2}, {ELID, ELID + 1, ELID + 2}, {CSID, CSID + 1}, {SchedID}}
+	cfg := FaultPlanConfig{Seed: 11, RoleTargets: groups, Kills: 4, Stalls: 3,
+		MinAfter: time.Second, Over: 4 * time.Second}
+	groupOf := func(id int) int {
+		for gi, g := range groups {
+			for _, t := range g {
+				if t == id {
+					return gi
+				}
+			}
+		}
+		return -1
+	}
+	plan := PlanFaults(cfg)
+	if len(plan) != 7 {
+		t.Fatalf("plan has %d faults, want 7", len(plan))
+	}
+	hit := make(map[int]int)
+	for _, f := range plan {
+		gi := groupOf(f.Target)
+		if gi < 0 {
+			t.Fatalf("fault targets unknown node %d", f.Target)
+		}
+		if f.Kind == "kill" {
+			hit[gi]++
+		}
+	}
+	for gi := range groups {
+		if hit[gi] != 1 {
+			t.Fatalf("group %d got %d kills, want exactly 1 (round-robin): %+v", gi, hit[gi], plan)
+		}
+	}
+	b := PlanFaults(cfg)
+	for i := range plan {
+		if plan[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
 	}
 }
 

@@ -265,6 +265,10 @@ type Server struct {
 	// Resync makes the server pull missing events from Peers on
 	// startup — set on a replica respawned with an empty store.
 	Resync bool
+	// ResyncAttempts bounds the resync request rounds (default 10).
+	// Deployed out-of-process replicas set it higher: real dials and
+	// peer respawns take wall-clock time the simulation never pays.
+	ResyncAttempts int
 
 	synced atomic.Bool
 
@@ -333,15 +337,24 @@ func (s *Server) Start() {
 // EventCount reports the number of events stored for a node.
 func (s *Server) EventCount(rank int) int { return s.Store.Count(rank) }
 
+// Synced reports whether a rejoining replica has completed at least one
+// anti-entropy merge since Start — the point where it is serving the
+// group's committed state again and its outage window closes.
+func (s *Server) Synced() bool { return s.synced.Load() }
+
 // resyncLoop re-requests the missing event ranges from every peer until
 // at least one sync response lands (merges are idempotent, so asking
 // everyone and retrying is safe). The marks are snapshotted once, at
 // join time: recomputing them after a partial merge could advance past
 // holes a stale peer left behind.
 func (s *Server) resyncLoop() {
+	attempts := s.ResyncAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
 	req := wire.EncodeSyncMarks(s.Store.Marks())
 	bo := transport.Backoff{Base: 5 * time.Millisecond, Seed: uint64(s.ep.ID())}
-	for attempt := 0; attempt < 10 && !s.synced.Load(); attempt++ {
+	for attempt := 0; attempt < attempts && !s.synced.Load(); attempt++ {
 		for _, p := range s.Peers {
 			s.ep.Send(p, wire.KELSyncReq, req)
 		}

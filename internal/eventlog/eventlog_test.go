@@ -270,6 +270,53 @@ func TestResyncMarksPullOnlyMissingRange(t *testing.T) {
 	})
 }
 
+// TestResyncedReplicaServesReadQuorumMerge: two surviving replicas hold
+// *divergent* partial stores (each event reached a different write
+// quorum); a replica respawned empty anti-entropies from both peers and
+// must then serve the union — so a read quorum that lands on the
+// rejoined replica still sees every committed determinant.
+func TestResyncedReplicaServesReadQuorumMerge(t *testing.T) {
+	sim := vtime.NewSim()
+	sim.Run(func() {
+		fab := transport.NewSimFabric(sim, netsim.New(sim, netsim.Params2003()), nil)
+		e1 := core.Event{Sender: 2, SenderClock: 1, RecvClock: 1, Seq: 1}
+		e2 := core.Event{Sender: 2, SenderClock: 2, RecvClock: 2, Seq: 2}
+		e3 := core.Event{Sender: 3, SenderClock: 1, RecvClock: 3, Seq: 3}
+		stA := NewStore()
+		stA.Add(1, []core.Event{e1, e2}) // write quorum {A, old-C}
+		stB := NewStore()
+		stB.Add(1, []core.Event{e2, e3}) // write quorum {B, old-C}
+		NewServerWithStore(sim, fab.Attach(100, "el-a"), 0, stA).Start()
+		NewServerWithStore(sim, fab.Attach(101, "el-b"), 0, stB).Start()
+
+		c := NewServer(sim, fab.Attach(102, "el-c"), 0)
+		c.Peers = []int{100, 101}
+		c.Resync = true
+		c.Start()
+		sim.Sleep(100 * time.Millisecond)
+
+		if !c.Synced() {
+			t.Fatal("rejoined replica never reported synced")
+		}
+		client := fab.Attach(1, "client")
+		client.Send(102, wire.KEventFetch, wire.EncodeU64(0))
+		f := recvKind(t, client, wire.KEventFetched)
+		got, err := wire.DecodeEvents(f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []core.Event{e1, e2, e3}
+		if len(got) != len(want) {
+			t.Fatalf("rejoined replica served %d events, want %d (the union): %+v", len(got), len(want), got)
+		}
+		for i, ev := range got {
+			if ev != want[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, ev, want[i])
+			}
+		}
+	})
+}
+
 func TestServersShareStore(t *testing.T) {
 	// Two frontends over one store: events logged through the first are
 	// served by the second — the failover configuration.
