@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test staticcheck cover race bench bench-paper soak-smoke soak-regress ci
+.PHONY: verify build vet test staticcheck cover race bench bench-paper bench-detsupp soak-smoke soak-regress ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -41,12 +41,21 @@ bench: ## Go microbenchmarks with allocation counts (wire codec, vtime actors)
 bench-paper: ## quick pass over every paper experiment
 	$(GO) run ./cmd/vbench -exp all -quick
 
+# bench-detsupp gates the suppression layer: the sweep must emit its
+# JSON artifact, and TestDetSuppShape fails unless adaptive mode logs
+# strictly fewer (>=2x fewer) gated determinants per message than the
+# pessimistic baseline on the deterministic ring, with a measured drop
+# in WAITLOGGED time.
+bench-detsupp: ## determinant-suppression sweep + its acceptance gate
+	$(GO) run ./cmd/vbench -exp detsupp -quick -json && test -f BENCH_detsupp.json
+	$(GO) test ./internal/bench/ -run TestDetSuppShape -v
+
 # soak-smoke exits non-zero unless every audit is green, the per-role
 # kill quota was met (each of cn/el/cs/sc killed at least once per
 # phase — including at least one EL replica and the scheduler), and
 # teardown leaked zero goroutines.
 soak-smoke: ## ~60s rolling-seed soak: replicated service plane + chaos proxies + per-role seeded kills
-	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 \
+	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 -detmode adaptive \
 		-roles cn,el,cs,sc -phases 2 -proxysvc \
 		-laps 300 -hold 20 -kills 4 -stalls 1 \
 		-minafter 2s -over 5s -stallfor 1s \
@@ -57,7 +66,7 @@ soak-smoke: ## ~60s rolling-seed soak: replicated service plane + chaos proxies 
 # baseline instead of overwriting it: a goodput drop of more than 20%
 # against BENCH_soak.json fails the target.
 soak-regress: ## soak-smoke gated on committed goodput (>20% drop fails)
-	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 \
+	$(GO) run ./cmd/soak -seed 42 -cns 3 -els 3 -css 2 -detmode adaptive \
 		-roles cn,el,cs,sc -phases 2 -proxysvc \
 		-laps 300 -hold 20 -kills 4 -stalls 1 \
 		-minafter 2s -over 5s -stallfor 1s \

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mpichv/internal/apps"
+	"mpichv/internal/daemon"
 	"mpichv/internal/deploy"
 	"mpichv/internal/transport"
 )
@@ -83,9 +84,22 @@ func main() {
 		outPath  = flag.String("out", "BENCH_soak.json", "report path (empty = stdout only)")
 		regress  = flag.String("regress", "", "baseline BENCH_soak.json to gate goodput against (empty = no gate)")
 		regTol   = flag.Float64("regress-tol", 0.2, "fractional goodput drop tolerated by -regress")
+		detMode  = flag.String("detmode", "off", "determinant suppression policy on the CN daemons (off, adaptive, aggressive)")
 		verbose  = flag.Bool("v", false, "stream supervision log to stderr")
 	)
 	flag.Parse()
+
+	var det int
+	switch *detMode {
+	case "", "off":
+		det = daemon.DetOff
+	case "adaptive":
+		det = daemon.DetAdaptive
+	case "aggressive":
+		det = daemon.DetAggressive
+	default:
+		fatal(fmt.Errorf("unknown -detmode %q (off, adaptive, aggressive)", *detMode))
+	}
 
 	roles, err := parseRoles(*rolesStr)
 	if err != nil {
@@ -136,6 +150,7 @@ func main() {
 		},
 		ProxyServices:  *proxySvc,
 		DiskFaultEvery: *disk,
+		DetMode:        det,
 		Timeout:        *timeout,
 	}
 	if *verbose {

@@ -50,6 +50,8 @@ func Experiments() []Experiment {
 			Data: func(q bool) (any, error) { return ELRepData(q), nil }},
 		{ID: "perf", Title: "Perf: pipelined determinant logging, window × size × batching", Run: Perf,
 			Data: func(q bool) (any, error) { return PerfData(q), nil }},
+		{ID: "detsupp", Title: "DetSupp: adaptive determinant suppression + piggybacking vs pessimistic", Run: DetSupp,
+			Data: func(q bool) (any, error) { return DetSuppData(q), nil }},
 		{ID: "ckpt", Title: "Ckpt: incremental chunked checkpointing, log × chunk × delta × drop", Run: CkptBench,
 			Data: func(q bool) (any, error) { return CkptBenchData(q), nil }},
 		{ID: "trace", Title: "Trace: causal tracing overhead, HB audit and critical-path breakdown", Run: TraceBench,

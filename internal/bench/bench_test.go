@@ -263,6 +263,47 @@ func TestPerfWindowShape(t *testing.T) {
 	}
 }
 
+func TestDetSuppShape(t *testing.T) {
+	// The suppression acceptance bar: on a deterministic ring the
+	// adaptive classifier must log strictly fewer determinants per
+	// message than the pessimistic baseline — at least a 2× reduction —
+	// and the time spent blocked in WAITLOGGED must drop with it. This
+	// is the CI gate bench-smoke runs.
+	pts := DetSuppData(true)
+	byKey := func(mode string, size int) DetSuppPoint {
+		for _, pt := range pts {
+			if pt.Mode == mode && pt.Size == size {
+				return pt
+			}
+		}
+		t.Fatalf("missing point mode=%s size=%d", mode, size)
+		return DetSuppPoint{}
+	}
+	for _, size := range []int{0, 4 << 10} {
+		off, adaptive := byKey("off", size), byKey("adaptive", size)
+		if off.Forced == 0 {
+			t.Fatalf("size=%d: baseline logged no gated determinants; the workload is broken", size)
+		}
+		if adaptive.ForcedPerMsg >= off.ForcedPerMsg {
+			t.Errorf("size=%d: adaptive forced %.3f determinants/msg, baseline %.3f — no reduction",
+				size, adaptive.ForcedPerMsg, off.ForcedPerMsg)
+		}
+		if adaptive.Forced*2 > off.Forced {
+			t.Errorf("size=%d: adaptive forced %d determinants vs baseline %d, want ≥ 2× reduction",
+				size, adaptive.Forced, off.Forced)
+		}
+		if adaptive.Suppressed == 0 {
+			t.Errorf("size=%d: adaptive suppressed nothing", size)
+		}
+		if adaptive.ELWaitUS >= off.ELWaitUS && off.ELWaitUS > 0 {
+			t.Errorf("size=%d: WAITLOGGED time did not drop (adaptive %dµs vs off %dµs)",
+				size, adaptive.ELWaitUS, off.ELWaitUS)
+		}
+		t.Logf("size=%d: forced/msg %.3f → %.3f, el-wait %dµs → %dµs, speedup %.2fx",
+			size, off.ForcedPerMsg, adaptive.ForcedPerMsg, off.ELWaitUS, adaptive.ELWaitUS, adaptive.Speedup)
+	}
+}
+
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiment sweep still takes a while")

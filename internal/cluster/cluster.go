@@ -122,6 +122,13 @@ type Config struct {
 	// to ELWindow event batches in flight per daemon (1 = explicit
 	// stop-and-wait; 0 = legacy behavior). See daemon.Config.ELWindow.
 	ELWindow int
+	// DetMode selects the determinant-suppression policy of V2 daemons
+	// (daemon.DetOff/DetAdaptive/DetAggressive); see
+	// daemon.Config.DetMode. DetEpoch/DetPiggyMax tune the epoch batch
+	// size and the piggyback backlog cap (0 = daemon defaults).
+	DetMode     int
+	DetEpoch    int
+	DetPiggyMax int
 	// Policy is the checkpoint scheduling policy (default round
 	// robin).
 	Policy sched.Policy
@@ -229,6 +236,15 @@ type Result struct {
 	ManifestFetches  int64 // restart-time manifest gathers (chunked fast path)
 	ChainCompactions int64 // superseded chain images compacted by the stores
 	ChainBreaks      int64 // deltas that arrived at a store missing their base
+
+	// Determinant-suppression accounting (zero with DetMode off),
+	// summed over the last incarnation of every daemon.
+	DetSuppressed  int64 // determinants kept off the WAITLOGGED gate
+	DetForced      int64 // determinants logged on the full pessimistic path
+	DetPiggybacked int64 // suppressed determinants carried on payload frames
+	DetRelayed     int64 // foreign determinants relayed to the EL by receivers
+	DetRegenerated int64 // replay holes filled by regenerating a delivery
+	DetPoisoned    int64 // channels latched back to pessimistic logging
 
 	// Frames touched by the chaos fabric (zero without Chaos).
 	ChaosDropped     int64
@@ -460,6 +476,12 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.DeltaCkpts += st.DeltaCkpts
 		res.ChunkRetransmits += st.ChunkRetransmits
 		res.ManifestFetches += st.ManifestFetches
+		res.DetSuppressed += st.DetSuppressed
+		res.DetForced += st.DetForced
+		res.DetPiggybacked += st.DetPiggybacked
+		res.DetRelayed += st.DetRelayed
+		res.DetRegenerated += st.DetRegenerated
+		res.DetPoisoned += st.DetPoisoned
 	}
 	res.ELReplicaN = cfg.ELReplicas
 	res.ELWriteQuorum = cfg.ELQuorum
@@ -809,6 +831,9 @@ func (h *harness) spawn(rank int, restarted bool) {
 		}
 		dcfg.EventBatching = cfg.EventBatching
 		dcfg.ELWindow = cfg.ELWindow
+		dcfg.DetMode = cfg.DetMode
+		dcfg.DetEpoch = cfg.DetEpoch
+		dcfg.DetPiggyMax = cfg.DetPiggyMax
 		dcfg.NoSendGating = cfg.NoSendGating
 		dcfg.CkptChunkSize = cfg.CkptChunk
 		dcfg.CkptNoDelta = cfg.CkptNoDelta

@@ -300,6 +300,23 @@ func (s *State) Commit(from int, h, seq uint64) Event {
 	if s.Replaying() {
 		panic(fmt.Sprintf("core: rank %d: Commit during replay", s.rank))
 	}
+	return s.commit(from, h, seq, true)
+}
+
+// CommitSuppressed records a delivery whose determinant the daemon
+// classified deterministic: the event is still created (it must reach
+// the event logger eventually — replay and the no-orphans audit need a
+// gap-free channel history) but it does not join the WAITLOGGED gate.
+// The daemon is responsible for shipping it off the critical path
+// (epoch batch + piggyback) and must not credit it via EventsAcked.
+func (s *State) CommitSuppressed(from int, h, seq uint64) Event {
+	if s.Replaying() {
+		panic(fmt.Sprintf("core: rank %d: CommitSuppressed during replay", s.rank))
+	}
+	return s.commit(from, h, seq, false)
+}
+
+func (s *State) commit(from int, h, seq uint64, gate bool) Event {
 	if h <= s.hr[from] {
 		panic(fmt.Sprintf("core: rank %d: Commit of already-delivered message (%d,%d)", s.rank, from, h))
 	}
@@ -310,7 +327,9 @@ func (s *State) Commit(from int, h, seq uint64) Event {
 	if seq > s.seqIn[from] {
 		s.seqIn[from] = seq
 	}
-	s.unacked++
+	if gate {
+		s.unacked++
+	}
 	return ev
 }
 
@@ -332,10 +351,13 @@ func (s *State) ReplayRemaining() int { return len(s.replay) - s.replayPos }
 
 // TakeStashed pops the message for the next replay event if it has
 // already arrived, advancing the replay cursor. The replayed event is
-// already in the event logger and must not be re-submitted.
+// already in the event logger and must not be re-submitted. When the
+// next logged event sits beyond a clock hole (a suppressed determinant
+// that never reached stable storage), TakeStashed refuses — the hole
+// must be filled first by RegenerateReplay.
 func (s *State) TakeStashed() (StashedMsg, Event, bool) {
 	ev, ok := s.NextReplay()
-	if !ok {
+	if !ok || ev.RecvClock != s.h+1 {
 		return StashedMsg{}, Event{}, false
 	}
 	id := MsgID{Sender: ev.Sender, Clock: ev.SenderClock}
@@ -367,6 +389,69 @@ func (s *State) advanceReplay(ev Event) {
 	s.hr[ev.Sender] = ev.SenderClock
 	s.probes = 0
 	s.replayPos++
+}
+
+// ReplayBlockedByHole reports whether the next logged replay event sits
+// beyond a clock hole: its RecvClock is more than one tick ahead, so a
+// delivery between here and there was never logged. That only happens
+// when a suppressed determinant died with the crashed process before its
+// epoch flush or piggyback relay became durable — which in turn proves
+// (causal logging) that no surviving process depends on the lost choice,
+// so the hole may be filled by regenerating the delivery fresh.
+func (s *State) ReplayBlockedByHole() bool {
+	ev, ok := s.NextReplay()
+	return ok && ev.RecvClock > s.h+1
+}
+
+// RegenerateReplay fills one clock hole in the replay: it picks a
+// stashed message that is next in channel order and is not claimed by
+// any remaining logged event, delivers it as a *fresh* commit (clock
+// ticks, a new pessimistically-gated event is returned for submission),
+// and leaves the replay cursor where it is. Candidates are chosen
+// deterministically (lowest sender rank, then clock); under adaptive
+// classification the lost delivery was deterministic, so the candidate
+// is unique in practice and the post-run auditors check the outcome.
+// Returns false when no candidate has arrived yet — the daemon should
+// wait (or pull) exactly as for a missing replay message.
+func (s *State) RegenerateReplay() (StashedMsg, Event, bool) {
+	ev, ok := s.NextReplay()
+	if !ok || ev.RecvClock <= s.h+1 {
+		return StashedMsg{}, Event{}, false
+	}
+	// Messages claimed by the remaining logged suffix must wait for
+	// their logged turn; only unclaimed arrivals can fill the hole.
+	claimed := make(map[MsgID]bool, len(s.replay)-s.replayPos)
+	for _, e := range s.replay[s.replayPos:] {
+		claimed[MsgID{Sender: e.Sender, Clock: e.SenderClock}] = true
+	}
+	var best StashedMsg
+	found := false
+	for id, m := range s.stash {
+		if claimed[id] || m.Clock <= s.hr[m.From] {
+			continue
+		}
+		if m.Seq > 0 && m.Seq != s.seqAcc[m.From]+1 {
+			continue // beyond a channel gap: a predecessor is missing
+		}
+		if !found || m.From < best.From || (m.From == best.From && m.Clock < best.Clock) {
+			best = m
+			found = true
+		}
+	}
+	if !found {
+		return StashedMsg{}, Event{}, false
+	}
+	delete(s.stash, MsgID{Sender: best.From, Clock: best.Clock})
+	if best.Seq > 0 {
+		if best.Seq > s.seqAcc[best.From] {
+			s.seqAcc[best.From] = best.Seq
+		}
+	} else if best.Clock > s.offered[best.From] {
+		s.offered[best.From] = best.Clock
+	}
+	// The regenerated delivery is a fresh nondeterministic-by-default
+	// choice: its event joins the WAITLOGGED gate and must be submitted.
+	return best, s.commit(best.From, best.Clock, best.Seq, true), true
 }
 
 // DrainStash returns (and removes) every stashed message once replay is
@@ -462,6 +547,21 @@ func (s *State) ReplayProbeMiss() bool {
 // suffix and those messages are simply re-delivered fresh. The number
 // of events cut is returned for the daemon's stats.
 func (s *State) StartRecovery(events []Event) (dropped int) {
+	return s.StartRecoveryWith(events, false)
+}
+
+// StartRecoveryWith is StartRecovery with a hole-tolerance switch. A
+// daemon running determinant suppression passes holeTolerant=true: a
+// per-channel sequence gap then no longer truncates the suffix, because
+// the gap is expected — a suppressed determinant lost with the crash —
+// and the replay machinery fills the corresponding clock hole by
+// regenerating the delivery (RegenerateReplay) instead of drifting.
+// The WAITLOGGED truncation argument does not apply to suppressed
+// events (sends are not gated on them), but the piggyback protocol
+// restores it: any send that left after the lost delivery carried its
+// determinant, so a determinant absent from the merged fetch is a
+// determinant nothing alive depends on.
+func (s *State) StartRecoveryWith(events []Event, holeTolerant bool) (dropped int) {
 	var replay []Event
 	for _, ev := range events {
 		if ev.RecvClock > s.h {
@@ -482,7 +582,7 @@ func (s *State) StartRecovery(events []Event) (dropped int) {
 		if want == 0 {
 			want = 1
 		}
-		if ev.Seq != want {
+		if ev.Seq != want && !holeTolerant {
 			cut = i
 			break
 		}

@@ -276,16 +276,37 @@ func TestStartRecoverySkipsPreCheckpointEvents(t *testing.T) {
 	}
 }
 
-func TestReplayClockDriftPanics(t *testing.T) {
+func TestReplayClockHoleRefusedAndRegenerated(t *testing.T) {
+	// The logged event sits at clock 5 while the state is at clock 0:
+	// deliveries in between were never logged (suppressed determinants
+	// lost with the crash). TakeStashed must refuse — delivering the
+	// logged message now would drift the clock — and the hole is
+	// instead filled by regenerating unclaimed arrivals.
 	s := NewState(0)
-	s.StartRecovery([]Event{{Sender: 1, SenderClock: 1, RecvClock: 5}})
-	s.Offer(1, 1, 0, 0, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected drift panic")
-		}
-	}()
-	s.TakeStashed() // would deliver at clock 1, log says 5
+	s.StartRecovery([]Event{{Sender: 1, SenderClock: 3, RecvClock: 5}})
+	s.Offer(1, 3, 0, 0, nil) // the logged message itself: claimed, must wait
+	if _, _, ok := s.TakeStashed(); ok {
+		t.Fatal("TakeStashed crossed a clock hole")
+	}
+	if !s.ReplayBlockedByHole() {
+		t.Fatal("hole not reported")
+	}
+	if _, _, ok := s.RegenerateReplay(); ok {
+		t.Fatal("regenerated a message claimed by the logged suffix")
+	}
+	// An unclaimed arrival from another sender fills the hole as a
+	// fresh, gated delivery.
+	s.Offer(2, 7, 0, 0, nil)
+	m, ev, ok := s.RegenerateReplay()
+	if !ok || m.From != 2 || ev.RecvClock != 1 {
+		t.Fatalf("regeneration: ok=%v m=%+v ev=%+v", ok, m, ev)
+	}
+	if !s.SendBlocked() {
+		t.Fatal("regenerated delivery must join the WAITLOGGED gate")
+	}
+	if !s.Replaying() {
+		t.Fatal("replay cursor must not advance on regeneration")
+	}
 }
 
 func TestSnapshotRoundTrip(t *testing.T) {

@@ -183,6 +183,36 @@ type Config struct {
 	ELHighWater int
 	ELLowWater  int
 
+	// DetMode selects the determinant-suppression policy of the receive
+	// path (DetOff, DetAdaptive, DetAggressive). Off logs every
+	// reception pessimistically (the paper's protocol). Adaptive
+	// classifies each delivery with daemon-observable signals — zero
+	// outstanding probes and no competing undelivered arrival from
+	// another sender — and suppresses the determinant of deterministic
+	// deliveries: the event skips the WAITLOGGED gate, rides outgoing
+	// payloads piggybacked, and reaches the event loggers in a periodic
+	// epoch batch off the critical path. A channel that ever shows a
+	// probe or a competing arrival is poisoned: it falls back to the
+	// full pessimistic path permanently. Aggressive suppresses on the
+	// probe signal alone with no poisoning — deliberately unsafe, kept
+	// for the misclassification negative tests (the happens-before
+	// auditor convicts it).
+	DetMode int
+
+	// DetEpoch is the epoch size of suppressed-determinant batching:
+	// after this many suppressed events the buffer flushes to the event
+	// loggers as one batch (default 16). Flushes also happen whenever
+	// the daemon starves waiting for traffic, and synchronously at
+	// checkpoint and finalize time so no suppressed determinant can be
+	// orphaned below a checkpoint horizon.
+	DetEpoch int
+
+	// DetPiggyMax bounds the suppressed determinants pending durability
+	// (default 64): every outgoing payload carries all of them, so the
+	// bound caps the piggyback block; at the cap the classifier forces
+	// the pessimistic path until the epoch flush drains the backlog.
+	DetPiggyMax int
+
 	// NoSendGating disables the WAITLOGGED barrier (ablation only):
 	// sends leave before reception events are acknowledged, turning
 	// the protocol into an optimistic-style logger that can no longer
@@ -213,6 +243,23 @@ type Config struct {
 	// allocations and zero virtual time to the run.
 	Tracer *trace.Recorder
 }
+
+// Determinant-suppression policies (Config.DetMode).
+const (
+	// DetOff logs every reception pessimistically (the paper's
+	// protocol, unchanged).
+	DetOff = iota
+	// DetAdaptive suppresses determinants of deliveries the daemon can
+	// prove deterministic (no outstanding probe, no competing arrival
+	// from another sender, channel never poisoned); everything else
+	// takes the full pessimistic path.
+	DetAdaptive
+	// DetAggressive suppresses on the probe signal alone, without
+	// channel poisoning or the competing-arrival check. Unsafe by
+	// design: it exists so the negative tests can demonstrate that the
+	// happens-before auditor convicts unsound suppression.
+	DetAggressive
+)
 
 // rank → daemon request plumbing ("the Unix socket").
 
@@ -335,6 +382,7 @@ type Stats struct {
 	RecvBytes     int64
 	EventsLogged  int64
 	ELWaits       int64 // sends that actually blocked on WAITLOGGED
+	ELWaitNS      int64 // virtual nanoseconds spent blocked in WAITLOGGED
 	Checkpoints   int64
 	CkptBytes     int64
 	Replayed      int64
@@ -361,6 +409,16 @@ type Stats struct {
 	// Degraded-mode (EL watermark) counters.
 	DegradedStalls  int64 // times the daemon crossed ELHighWater and froze delivery
 	DegradedResumes int64 // times the backlog drained to ELLowWater and delivery resumed
+
+	// Determinant-suppression counters.
+	DetSuppressed   int64 // deliveries whose determinant skipped the WAITLOGGED gate
+	DetForced       int64 // deliveries logged on the full pessimistic path
+	DetPiggybacked  int64 // suppressed determinants carried on outgoing payload frames
+	DetRelayed      int64 // foreign piggybacked determinants relayed to the EL quorum
+	DetEpochFlushes int64 // suppressed-determinant epoch batches submitted to the EL
+	DetRegenerated  int64 // replay holes filled by regenerating a suppressed delivery
+	DetFlushMerged  int64 // peer-cached determinants merged during restart (KDetFlushResp)
+	DetPoisoned     int64 // channels permanently returned to the pessimistic path
 }
 
 // AddTo exports the counters into a metrics registry under the
@@ -375,6 +433,7 @@ func (s Stats) AddTo(r *trace.Registry) {
 	r.Counter("daemon.recv_bytes").Add(s.RecvBytes)
 	r.Counter("daemon.events_logged").Add(s.EventsLogged)
 	r.Counter("daemon.el_waits").Add(s.ELWaits)
+	r.Counter("daemon.el_wait_ns").Add(s.ELWaitNS)
 	r.Counter("daemon.checkpoints").Add(s.Checkpoints)
 	r.Counter("daemon.ckpt_bytes").Add(s.CkptBytes)
 	r.Counter("daemon.replayed").Add(s.Replayed)
@@ -394,4 +453,12 @@ func (s Stats) AddTo(r *trace.Registry) {
 	r.Counter("daemon.manifest_fetches").Add(s.ManifestFetches)
 	r.Counter("daemon.degraded_stalls").Add(s.DegradedStalls)
 	r.Counter("daemon.degraded_resumes").Add(s.DegradedResumes)
+	r.Counter("daemon.det_suppressed").Add(s.DetSuppressed)
+	r.Counter("daemon.det_forced").Add(s.DetForced)
+	r.Counter("daemon.det_piggybacked").Add(s.DetPiggybacked)
+	r.Counter("daemon.det_relayed").Add(s.DetRelayed)
+	r.Counter("daemon.det_epoch_flushes").Add(s.DetEpochFlushes)
+	r.Counter("daemon.det_regenerated").Add(s.DetRegenerated)
+	r.Counter("daemon.det_flush_merged").Add(s.DetFlushMerged)
+	r.Counter("daemon.det_poisoned").Add(s.DetPoisoned)
 }

@@ -125,6 +125,19 @@ type V2 struct {
 	// band (see Config.ELHighWater).
 	elDegraded bool
 
+	// Determinant suppression (Config.DetMode). detPoisoned holds the
+	// per-channel poison latches of the adaptive classifier. detEpoch
+	// buffers suppressed events awaiting their batch flush to the EL;
+	// detPending is the superset still short of quorum durability
+	// (buffered + in flight), piggybacked on every outgoing payload.
+	// detForeign caches determinants piggybacked by peers, keyed
+	// origin → RecvClock, served back on KDetFlushReq when the origin
+	// restarts.
+	detPoisoned map[int]bool
+	detEpoch    []core.Event
+	detPending  []core.Event
+	detForeign  map[int]map[uint64]core.Event
+
 	// recovery buffering: frames that arrive while we fetch our image
 	// and event list are replayed into the normal handler afterwards.
 	recovering     bool
@@ -136,10 +149,11 @@ type V2 struct {
 // actors, and returns the Device for the MPI process.
 func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	d := &V2{
-		rt:     rt,
-		cfg:    cfg,
-		st:     core.NewState(cfg.Rank),
-		timers: make(map[uint64]func()),
+		rt:          rt,
+		cfg:         cfg,
+		st:          core.NewState(cfg.Rank),
+		timers:      make(map[uint64]func()),
+		detPoisoned: make(map[int]bool),
 	}
 	d.tr = cfg.Tracer
 	d.tr.SetIncarnation(int(cfg.Incarnation))
@@ -229,6 +243,214 @@ func (d *V2) failoverAfter() int {
 		return defFailoverAfter
 	}
 	return d.cfg.FailoverAfter
+}
+
+// --- Determinant suppression ----------------------------------------------
+
+// Defaults for the suppression knobs; see Config.
+const (
+	defDetEpoch    = 16
+	defDetPiggyMax = 64
+	// detCacheMax bounds the per-origin foreign-determinant cache: only
+	// the newest entries matter for a restarting origin (older ones are
+	// below its checkpoint horizon or regenerable), so the cache prunes
+	// its lowest clocks past this size.
+	detCacheMax = 512
+)
+
+// detMode resolves the effective suppression policy: without an event
+// logger nothing is logged and there is nothing to suppress.
+func (d *V2) detMode() int {
+	if len(d.elTargets) == 0 {
+		return DetOff
+	}
+	return d.cfg.DetMode
+}
+
+func (d *V2) detEpochSize() int {
+	if d.cfg.DetEpoch > 0 {
+		return d.cfg.DetEpoch
+	}
+	return defDetEpoch
+}
+
+func (d *V2) detPiggyMax() int {
+	if d.cfg.DetPiggyMax > 0 {
+		return d.cfg.DetPiggyMax
+	}
+	return defDetPiggyMax
+}
+
+// classify decides, before the commit, whether the determinant of the
+// next delivery from "from" may be suppressed. The adaptive policy
+// suppresses only deliveries the daemon can prove deterministic from
+// its own vantage point: no unsuccessful probe since the last delivery
+// (a probe means the application branched on message timing) and no
+// competing undelivered arrival from another sender (the delivery order
+// across senders is a race the determinant would have to pin down).
+// Either signal poisons the channel permanently — a source that raced
+// once may race again, and a wrong suppression is unrecoverable. The
+// aggressive policy skips the competing-arrival check and the poison
+// latch; it exists to prove the auditors catch unsafe classifiers.
+func (d *V2) classify(from int, probes uint32, competing int) bool {
+	switch d.detMode() {
+	case DetAdaptive:
+		if probes > 0 || competing > 0 {
+			if !d.detPoisoned[from] {
+				d.detPoisoned[from] = true
+				d.stats.DetPoisoned++
+			}
+			return false
+		}
+		if d.detPoisoned[from] {
+			return false
+		}
+		if len(d.detPending) >= d.detPiggyMax() {
+			// Backlog cap: flush what is buffered and take the
+			// pessimistic path until durability catches up, so the
+			// piggyback block on every payload stays bounded.
+			d.flushDetEpoch()
+			return false
+		}
+		return true
+	case DetAggressive:
+		return probes == 0
+	}
+	return false
+}
+
+// suppressEvent records a suppressed determinant: it joins the epoch
+// buffer (flushed to the EL as one batch off the critical path) and the
+// pending set piggybacked on every outgoing payload until durable.
+func (d *V2) suppressEvent(ev core.Event) {
+	d.stats.DetSuppressed++
+	d.detEpoch = append(d.detEpoch, ev)
+	d.detPending = append(d.detPending, ev)
+	if len(d.detEpoch) >= d.detEpochSize() {
+		d.flushDetEpoch()
+	}
+}
+
+// flushDetEpoch submits the buffered suppressed determinants as one
+// ungated batch: it rides the same ring, retransmit and cumulative-ack
+// machinery as pessimistic batches, but retiring it credits nothing to
+// WAITLOGGED — the events never blocked anything.
+func (d *V2) flushDetEpoch() {
+	if len(d.detEpoch) == 0 || len(d.elTargets) == 0 {
+		return
+	}
+	evs := d.detEpoch
+	d.detEpoch = nil
+	d.stats.DetEpochFlushes++
+	d.sendEvents(evs, 0, -1)
+}
+
+// detRetire prunes pending suppressed determinants that just became
+// quorum-durable, shrinking the piggyback block.
+func (d *V2) detRetire(evs []core.Event) {
+	if len(d.detPending) == 0 {
+		return
+	}
+	durable := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		durable[ev.RecvClock] = true
+	}
+	kept := d.detPending[:0]
+	for _, ev := range d.detPending {
+		if !durable[ev.RecvClock] {
+			kept = append(kept, ev)
+		}
+	}
+	d.detPending = kept
+	if len(d.detPending) == 0 {
+		d.detPending = nil
+	}
+}
+
+// drainDetPending blocks until every suppressed determinant is
+// quorum-durable — the synchronous closing of the asynchronous path,
+// used where volatile determinants must not survive: before a snapshot
+// is captured (a crash after the checkpoint could otherwise leave
+// permanent holes below its horizon, unreachable by replay
+// regeneration) and before finalize (the post-run audits demand a
+// gap-free logged history). The EL retransmit timers keep the exchange
+// turning while we wait.
+func (d *V2) drainDetPending() {
+	if len(d.elTargets) == 0 {
+		return
+	}
+	for len(d.detPending) > 0 {
+		e := d.next()
+		if e.isFrame {
+			d.handleFrame(e.frame)
+		} else if e.isTimer {
+			d.handleTimer(e.timer)
+		} else {
+			panic(fmt.Sprintf("daemon: rank %d: concurrent rank request during determinant drain", d.cfg.Rank))
+		}
+	}
+}
+
+// absorbDets handles determinants piggybacked on an incoming payload:
+// they are cached for the origin's possible restart (KDetFlushReq) and
+// relayed to the event loggers on our own submission stream — a second,
+// receiver-driven durability path that needs no action from the origin.
+func (d *V2) absorbDets(origin int, dets []core.Event) {
+	cache := d.detForeign[origin]
+	if cache == nil {
+		if d.detForeign == nil {
+			d.detForeign = make(map[int]map[uint64]core.Event)
+		}
+		cache = make(map[uint64]core.Event, len(dets))
+		d.detForeign[origin] = cache
+	}
+	var fresh []core.Event
+	for _, ev := range dets {
+		if _, ok := cache[ev.RecvClock]; ok {
+			continue
+		}
+		cache[ev.RecvClock] = ev
+		fresh = append(fresh, ev)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	if len(cache) > detCacheMax {
+		d.pruneDetCache(cache)
+	}
+	d.stats.DetRelayed += int64(len(fresh))
+	if len(d.elTargets) > 0 {
+		d.sendEvents(fresh, 0, origin)
+	}
+}
+
+// pruneDetCache drops the oldest half of a foreign-determinant cache
+// (lowest RecvClocks — below any horizon a restarting origin will ask
+// about, or regenerable if not).
+func (d *V2) pruneDetCache(cache map[uint64]core.Event) {
+	clocks := make([]uint64, 0, len(cache))
+	for c := range cache {
+		clocks = append(clocks, c)
+	}
+	sort.Slice(clocks, func(i, j int) bool { return clocks[i] < clocks[j] })
+	for _, c := range clocks[:len(clocks)/2] {
+		delete(cache, c)
+	}
+}
+
+// foreignDetsFor returns the cached determinants of a peer in clock
+// order, for a KDetFlushResp.
+func (d *V2) foreignDetsFor(origin int) []core.Event {
+	cache := d.detForeign[origin]
+	if len(cache) == 0 {
+		return nil
+	}
+	out := make([]core.Event, 0, len(cache))
+	for _, ev := range cache {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RecvClock < out[j].RecvClock })
+	return out
 }
 
 // backoff builds the retransmit backoff for this daemon's service
@@ -397,7 +619,18 @@ func (d *V2) recover() {
 			wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid)
 		evs, _ = wire.DecodeEvents(evData)
 	}
-	d.stats.ReplayDropped += int64(d.st.StartRecovery(evs))
+	// Phase A2b (suppression only): merge the determinants our peers
+	// cached off our piggybacks. A suppressed determinant can be relayed
+	// but not yet EL-durable when we fetch — the peer's cache is the
+	// only place it exists, and this bounded best-effort gather closes
+	// that window. Whatever is in neither the EL nor any living cache is
+	// a determinant nothing alive depends on; replay regenerates its
+	// delivery instead.
+	holeTolerant := d.detMode() != DetOff
+	if holeTolerant && d.cfg.Size > 1 {
+		evs = d.mergeDetFlush(evs)
+	}
+	d.stats.ReplayDropped += int64(d.st.StartRecoveryWith(evs, holeTolerant))
 
 	// Phase B: ask every peer to re-send from what we have delivered.
 	// Without a restart timeout this is fire-and-forget, as in the
@@ -699,6 +932,74 @@ func (d *V2) gatherQuorum(targets []int, need int, reqKind uint8, reqData []byte
 	}
 }
 
+// mergeDetFlush broadcasts KDetFlushReq to every peer and merges the
+// cached determinants they return into the EL-fetched replay list,
+// EL events winning any clock collision. Bounded and best-effort: dead
+// peers (or peers simultaneously in recovery, whose replies are
+// buffered behind their own fetch) must not stall our restart.
+func (d *V2) mergeDetFlush(evs []core.Event) []core.Event {
+	peers := make([]int, 0, d.cfg.Size-1)
+	for q := 0; q < d.cfg.Size; q++ {
+		if q != d.cfg.Rank {
+			peers = append(peers, q)
+		}
+	}
+	to := d.fetchTimeout()
+	if to <= 0 {
+		to = defFetchTimeout // a best-effort gather cannot block forever
+	}
+	bo := d.backoff(to)
+	got := make(map[int][]byte, len(peers))
+	for attempt := 0; attempt < 3 && len(got) < len(peers); attempt++ {
+		for _, q := range peers {
+			if _, ok := got[q]; ok {
+				continue
+			}
+			if attempt > 0 {
+				d.stats.Retransmits++
+			}
+			d.ep.Send(q, wire.KDetFlushReq, nil)
+		}
+		deadline := d.rt.Now() + bo.Delay(attempt)
+		for d.rt.Now() < deadline && len(got) < len(peers) {
+			f, ok := d.awaitAnyFrame(deadline - d.rt.Now())
+			if !ok {
+				break
+			}
+			if f.Kind != wire.KDetFlushResp {
+				d.recoverPending = append(d.recoverPending, f)
+				continue
+			}
+			if _, err := wire.DecodeEvents(f.Data); err != nil {
+				d.stats.Malformed++
+				continue
+			}
+			got[f.From] = f.Data
+		}
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		seen[ev.RecvClock] = true
+	}
+	for _, data := range got {
+		flushed, err := wire.DecodeEvents(data)
+		if err != nil {
+			continue
+		}
+		for _, ev := range flushed {
+			// Each RecvClock names exactly one delivery of our history;
+			// below the restored clock it is inside the checkpoint.
+			if ev.RecvClock <= d.st.Clock() || seen[ev.RecvClock] {
+				continue
+			}
+			seen[ev.RecvClock] = true
+			evs = append(evs, ev)
+			d.stats.DetFlushMerged++
+		}
+	}
+	return evs
+}
+
 // mergeEventReplies folds a read quorum of event-list replies into one
 // replay list. Identical events deduplicate; when replicas disagree
 // about a (sender, channel-seq) slot — possible only when a previous
@@ -857,6 +1158,9 @@ func (d *V2) handleFrame(f transport.Frame) {
 			return
 		}
 		d.tr.Record(d.rt.Now(), trace.EvRecvWire, hdr.Span, 0, uint64(f.From), uint64(len(body)))
+		if len(hdr.Dets) > 0 {
+			d.absorbDets(f.From, hdr.Dets)
+		}
 		if d.st.Offer(f.From, hdr.SenderClock, hdr.PairSeq, hdr.DevKind, body) == core.OfferQueue {
 			d.arrived = append(d.arrived, core.StashedMsg{From: f.From, Clock: hdr.SenderClock, Seq: hdr.PairSeq, Kind: hdr.DevKind, Data: body})
 			// A newly admitted message may release successors that
@@ -893,6 +1197,13 @@ func (d *V2) handleFrame(f transport.Frame) {
 			return
 		}
 		d.transmitSaved(f.From, d.st.OnRestart2(f.From, hp))
+
+	case wire.KDetFlushReq:
+		// A restarting peer gathers the determinants the living hold
+		// for it (phase A2b) — the close of the in-flight-relay race:
+		// a determinant we cached but whose relay has not reached the
+		// EL yet would otherwise be invisible to the peer's fetch.
+		d.ep.Send(f.From, wire.KDetFlushResp, wire.EncodeEvents(d.foreignDetsFor(f.From)))
 
 	case wire.KCkptNote:
 		upTo, err := wire.DecodeU64(f.Data)
@@ -977,18 +1288,33 @@ func (d *V2) transmitSaved(to int, msgs []core.SavedMsg) {
 		if d.tr != nil {
 			hdr.Span = trace.PackSpan(d.cfg.Rank, m.Clock)
 		}
+		// Retransmissions carry the pending suppressed determinants
+		// too: a restarting peer is exactly who benefits from the
+		// receiver-side cache being current.
+		if len(d.detPending) > 0 {
+			hdr.Dets = d.detPending
+			d.stats.DetPiggybacked += int64(len(d.detPending))
+		}
 		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSizeH(hdr, len(m.Data))), hdr, m.Data))
-		d.tr.Record(d.rt.Now(), trace.EvResend, hdr.Span, 0, uint64(to), uint64(len(m.Data)))
+		d.tr.Record(d.rt.Now(), trace.EvResend, hdr.Span, uint64(len(hdr.Dets)), uint64(to), uint64(len(m.Data)))
 		d.stats.Resent++
 	}
 }
 
 // --- Event-logger exchange ------------------------------------------------
 
-// elBatch is one in-flight event-log submission.
+// elBatch is one in-flight event-log submission. Three shapes share the
+// ring, the seq stream and the cumulative-ack machinery: pessimistic
+// batches (gated == len(evs), origin < 0) whose retirement credits
+// WAITLOGGED; suppressed epoch batches (gated == 0, origin < 0) whose
+// retirement only prunes the piggyback set; and foreign relay batches
+// (origin >= 0) shipping another node's piggybacked determinants as
+// KDetRelay frames.
 type elBatch struct {
 	seq      uint64
 	evs      []core.Event
+	gated    int           // events to credit against WAITLOGGED on retire
+	origin   int           // -1: our events (KEventLog); else relay origin (KDetRelay)
 	sent     time.Duration // last (re)transmission
 	attempts int
 	acked    uint64 // replica ack bitmask (quorum mode)
@@ -1023,7 +1349,7 @@ func (d *V2) pumpEL() {
 			evs = d.elQueue[:1:1]
 			d.elQueue = d.elQueue[1:]
 		}
-		d.sendEvents(evs)
+		d.sendEvents(evs, len(evs), -1)
 	}
 	if len(d.elQueue) == 0 {
 		d.elQueue = nil
@@ -1032,29 +1358,40 @@ func (d *V2) pumpEL() {
 
 // sendEvents opens a window slot: it ships a batch to the current event
 // logger — or, in quorum mode, to every replica of the group — appends
-// it to the in-flight ring and arms the retransmit timer.
-func (d *V2) sendEvents(evs []core.Event) {
+// it to the in-flight ring and arms the retransmit timer. gated is how
+// many of the events credit WAITLOGGED on retirement (all of them for a
+// pessimistic batch, none for a suppressed epoch or relay batch);
+// origin >= 0 marks a foreign relay batch shipped as KDetRelay.
+func (d *V2) sendEvents(evs []core.Event, gated, origin int) {
 	d.elSeq++
 	seq := d.elSeq
 	d.tr.Record(d.rt.Now(), trace.EvDetSubmit, 0, 0, seq, uint64(len(evs)))
-	d.elRing = append(d.elRing, elBatch{seq: seq, evs: evs, sent: d.rt.Now()})
+	d.elRing = append(d.elRing, elBatch{seq: seq, evs: evs, gated: gated, origin: origin, sent: d.rt.Now()})
+	b := &d.elRing[len(d.elRing)-1]
 	if d.elQ > 0 {
 		for _, t := range d.elTargets {
-			d.sendEventFrame(t, seq, evs)
+			d.sendEventFrame(t, b)
 		}
 	} else {
-		d.sendEventFrame(d.elTargets[d.elIdx], seq, evs)
+		d.sendEventFrame(d.elTargets[d.elIdx], b)
 	}
-	d.stats.EventsLogged += int64(len(evs))
+	if origin < 0 {
+		d.stats.EventsLogged += int64(len(evs))
+	}
 	d.armEL()
 }
 
-// sendEventFrame encodes one KEventLog into a pooled framing buffer and
-// ships it. Every transmission gets a fresh buffer — ownership moves
-// with the frame, and the logger recycles it after decoding — so
-// retransmissions re-encode rather than caching an encoding per batch.
-func (d *V2) sendEventFrame(to int, seq uint64, evs []core.Event) {
-	d.ep.Send(to, wire.KEventLog, wire.AppendEventLog(wire.GetBuf(wire.EventLogSize(len(evs))), seq, evs))
+// sendEventFrame encodes one KEventLog (or KDetRelay, for a foreign
+// relay batch) into a pooled framing buffer and ships it. Every
+// transmission gets a fresh buffer — ownership moves with the frame,
+// and the logger recycles it after decoding — so retransmissions
+// re-encode rather than caching an encoding per batch.
+func (d *V2) sendEventFrame(to int, b *elBatch) {
+	if b.origin >= 0 {
+		d.ep.Send(to, wire.KDetRelay, wire.AppendDetRelay(wire.GetBuf(wire.DetRelaySize(len(b.evs))), b.seq, b.origin, b.evs))
+		return
+	}
+	d.ep.Send(to, wire.KEventLog, wire.AppendEventLog(wire.GetBuf(wire.EventLogSize(len(b.evs))), b.seq, b.evs))
 }
 
 // elAck completes in-flight batches: the batch matching the acked seq,
@@ -1118,17 +1455,22 @@ func (d *V2) retireEL() {
 	n := 0
 	for n < len(d.elRing) && d.elRing[n].done {
 		b := &d.elRing[n]
-		if d.tr != nil {
-			// Each determinant of the batch is quorum-durable the
-			// instant its batch retires in order — this, not the raw
-			// ack arrival, is the durability point WAITLOGGED waits on.
-			now := d.rt.Now()
-			for _, ev := range b.evs {
-				d.tr.Record(now, trace.EvDetDurable,
-					trace.PackSpan(d.cfg.Rank, ev.RecvClock), 0, b.seq, 0)
+		if b.origin < 0 {
+			if d.tr != nil {
+				// Each determinant of the batch is quorum-durable the
+				// instant its batch retires in order — this, not the raw
+				// ack arrival, is the durability point WAITLOGGED waits on.
+				now := d.rt.Now()
+				for _, ev := range b.evs {
+					d.tr.Record(now, trace.EvDetDurable,
+						trace.PackSpan(d.cfg.Rank, ev.RecvClock), 0, b.seq, 0)
+				}
+			}
+			d.st.EventsAcked(b.gated)
+			if b.gated < len(b.evs) {
+				d.detRetire(b.evs)
 			}
 		}
-		d.st.EventsAcked(len(b.evs))
 		n++
 	}
 	if n == 0 {
@@ -1192,7 +1534,7 @@ func (d *V2) elExpired() {
 		if d.elQ > 0 {
 			for _, t := range d.elTargets {
 				if b.acked&(1<<d.elBits[t]) == 0 {
-					d.sendEventFrame(t, b.seq, b.evs)
+					d.sendEventFrame(t, b)
 				}
 			}
 			d.stats.Retransmits++
@@ -1204,7 +1546,7 @@ func (d *V2) elExpired() {
 			d.elStrikes = 0
 			d.stats.Failovers++
 		}
-		d.sendEventFrame(d.elTargets[d.elIdx], b.seq, b.evs)
+		d.sendEventFrame(d.elTargets[d.elIdx], b)
 		d.stats.Retransmits++
 	}
 	d.armEL()
@@ -1312,6 +1654,11 @@ func (d *V2) handleReq(r rankReq) {
 }
 
 func (d *V2) doFinish() {
+	// A finalize with suppressed determinants still volatile would leave
+	// permanent holes in the logged channel history; flush and drain
+	// them first (one epoch tail per run).
+	d.flushDetEpoch()
+	d.drainDetPending()
 	if d.cfg.Dispatcher >= 0 {
 		d.ep.Send(d.cfg.Dispatcher, wire.KFinalize, nil)
 		// Retransmit the finalize until the dispatcher confirms it:
@@ -1389,6 +1736,7 @@ func (d *V2) doSend(to int, data []byte) {
 				panic(fmt.Sprintf("daemon: rank %d: concurrent rank request during send", d.cfg.Rank))
 			}
 		}
+		d.stats.ELWaitNS += int64(d.rt.Now() - waitFrom)
 		d.tr.Record(d.rt.Now(), trace.EvWaitLogged, 0, 0, uint64(d.rt.Now()-waitFrom), unacked)
 	}
 
@@ -1404,8 +1752,16 @@ func (d *V2) doSend(to int, data []byte) {
 		if d.tr != nil {
 			hdr.Span = trace.PackSpan(d.cfg.Rank, id.Clock)
 		}
+		// Every payload carries the suppressed determinants still short
+		// of durability: the receiver caches and relays them, so any
+		// causal successor of a suppressed delivery also carries the
+		// evidence needed to reconstruct it.
+		if len(d.detPending) > 0 {
+			hdr.Dets = d.detPending
+			d.stats.DetPiggybacked += int64(len(d.detPending))
+		}
 		d.ep.Send(to, wire.KPayload, wire.AppendPayload(wire.GetBuf(wire.PayloadSizeH(hdr, len(data))), hdr, data))
-		d.tr.Record(d.rt.Now(), trace.EvSend, hdr.Span, 0, uint64(to), uint64(len(data)))
+		d.tr.Record(d.rt.Now(), trace.EvSend, hdr.Span, uint64(len(hdr.Dets)), uint64(to), uint64(len(data)))
 		d.stats.SentMsgs++
 		d.stats.SentBytes += int64(len(data))
 		d.schedSent += uint64(len(data))
@@ -1428,6 +1784,25 @@ func (d *V2) doRecv() {
 				d.replyPayload(m.From, m.Data)
 				return
 			}
+			// A clock hole in the replay can only be a delivery whose
+			// suppressed determinant died with the crash; fill it by
+			// regenerating the delivery fresh — a new, pessimistically
+			// gated event that must reach the EL like any other.
+			if m, rev, ok := d.st.RegenerateReplay(); ok {
+				d.endStarve()
+				d.stats.DetRegenerated++
+				gated := uint64(0)
+				if len(d.elTargets) > 0 {
+					gated = 1
+					d.stats.DetForced++
+				}
+				d.tr.Record(d.rt.Now(), trace.EvDeliver,
+					trace.PackSpan(d.cfg.Rank, rev.RecvClock),
+					trace.PackSpan(m.From, m.Clock), m.Seq, gated)
+				d.submitEvent(rev)
+				d.replyPayload(m.From, m.Data)
+				return
+			}
 			d.beginStarve()
 			e := d.next()
 			if e.isFrame {
@@ -1436,6 +1811,11 @@ func (d *V2) doRecv() {
 				d.handleTimer(e.timer)
 			}
 		}
+	}
+	if len(d.arrived) == 0 {
+		// Starving: the application is blocked anyway, so ship the
+		// suppressed-determinant epoch early — durability for free.
+		d.flushDetEpoch()
 	}
 	// elStalled is the degraded-mode gate: with the EL quorum
 	// unreachable the daemon refuses to commit further receptions, so
@@ -1454,17 +1834,46 @@ func (d *V2) doRecv() {
 	d.endStarve()
 	m := d.arrived[0]
 	d.arrived = d.arrived[1:]
-	ev := d.st.Commit(m.From, m.Clock, m.Seq)
-	if d.tr != nil {
-		gated := uint64(0)
+	// The nondeterminism signals are captured by the delivery path
+	// itself, before the commit resets the probe count, and recorded
+	// honestly on EvDetSuppressed whatever the classifier decides — the
+	// happens-before auditor convicts a classifier that suppressed a
+	// delivery these signals mark nondeterministic.
+	probes := d.st.ProbeCount()
+	competing := 0
+	for i := range d.arrived {
+		if d.arrived[i].From != m.From {
+			competing++
+		}
+	}
+	suppress := d.classify(m.From, probes, competing)
+	var ev core.Event
+	gated := uint64(0)
+	if suppress {
+		ev = d.st.CommitSuppressed(m.From, m.Clock, m.Seq)
+		gated = 2 // suppressed: epoch-batched + piggybacked, no send gate
+	} else {
+		ev = d.st.Commit(m.From, m.Clock, m.Seq)
 		if len(d.elTargets) > 0 {
 			gated = 1 // the determinant joins the WAITLOGGED gate
 		}
+	}
+	if d.tr != nil {
 		d.tr.Record(d.rt.Now(), trace.EvDeliver,
 			trace.PackSpan(d.cfg.Rank, ev.RecvClock),
 			trace.PackSpan(m.From, m.Clock), m.Seq, gated)
 	}
-	d.submitEvent(ev)
+	if suppress {
+		d.tr.Record(d.rt.Now(), trace.EvDetSuppressed,
+			trace.PackSpan(d.cfg.Rank, ev.RecvClock),
+			trace.PackSpan(m.From, m.Clock), uint64(competing), uint64(probes))
+		d.suppressEvent(ev)
+	} else {
+		if gated == 1 {
+			d.stats.DetForced++
+		}
+		d.submitEvent(ev)
+	}
 	d.replyPayload(m.From, m.Data)
 }
 
@@ -1599,6 +2008,14 @@ func (d *V2) doCheckpoint(appState []byte) {
 		d.reply(rankResp{})
 		return
 	}
+	// Drain suppressed determinants before capturing the snapshot:
+	// replay regeneration only reaches above the restored clock, so a
+	// determinant that stayed volatile below this checkpoint's horizon
+	// would be a permanent hole in the logged channel history. The
+	// drain is synchronous but rare — checkpoint cadence, not message
+	// cadence.
+	d.flushDetEpoch()
+	d.drainDetPending()
 	d.ckptSeq++
 	seq := d.ckptSeq
 	sn := d.st.Snapshot()

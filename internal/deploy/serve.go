@@ -90,6 +90,10 @@ type ServeOpts struct {
 	ELHighWater int
 	ELLowWater  int
 	PullTimeout time.Duration
+
+	// DetMode selects the daemon's determinant-suppression policy
+	// (daemon.DetOff / DetAdaptive / DetAggressive). CN roles only.
+	DetMode int
 }
 
 func (o *ServeOpts) runtime() *vtime.Real {
@@ -255,6 +259,7 @@ func ServeWith(o ServeOpts) error {
 			ELHighWater: o.ELHighWater,
 			ELLowWater:  o.ELLowWater,
 			PullTimeout: o.PullTimeout,
+			DetMode:     o.DetMode,
 		}
 		// Replicated service roles: a single node keeps the legacy
 		// primary path, several switch the daemon to quorum replication
@@ -325,6 +330,7 @@ const (
 	envELHigh    = "MPICHV_EL_HIGH"
 	envELLow     = "MPICHV_EL_LOW"
 	envPull      = "MPICHV_PULL_MS"
+	envDetMode   = "MPICHV_DETMODE"
 )
 
 // Env encodes the opts as environment assignments for a worker spawned
@@ -364,6 +370,9 @@ func (o *ServeOpts) Env(pgPath string) []string {
 	}
 	if o.PullTimeout > 0 {
 		env = append(env, envPull+"="+strconv.FormatInt(o.PullTimeout.Milliseconds(), 10))
+	}
+	if o.DetMode > 0 {
+		env = append(env, envDetMode+"="+strconv.Itoa(o.DetMode))
 	}
 	return env
 }
@@ -409,6 +418,7 @@ func MaybeServe(lookup func(name string) (App, bool)) {
 		ELHighWater:    envInt(envELHigh),
 		ELLowWater:     envInt(envELLow),
 		PullTimeout:    time.Duration(envInt(envPull)) * time.Millisecond,
+		DetMode:        envInt(envDetMode),
 	}
 	if ns, err := strconv.ParseInt(os.Getenv(envEpoch), 10, 64); err == nil && ns > 0 {
 		o.Epoch = time.Unix(0, ns)

@@ -94,6 +94,10 @@ type SoakConfig struct {
 	// DiskFaultEvery arms torn-write injection on the EL/CS WALs.
 	DiskFaultEvery int
 
+	// DetMode selects the CN daemons' determinant-suppression policy
+	// (daemon.DetOff / DetAdaptive / DetAggressive).
+	DetMode int
+
 	Heartbeat time.Duration // worker heartbeat cadence (default 100ms)
 	Timeout   time.Duration // wall-clock safety limit (default 2m)
 	MaxSpawn  int           // restart budget per node (default 10)
@@ -487,6 +491,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			Heartbeat:      cfg.Heartbeat,
 			ELHighWater:    512,
 			PullTimeout:    250 * time.Millisecond,
+			DetMode:        cfg.DetMode,
 		},
 		MaxSpawn: cfg.MaxSpawn,
 		ExtraEnv: []string{

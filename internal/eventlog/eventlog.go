@@ -389,6 +389,27 @@ func (s *Server) run() {
 			s.Store.mu.Unlock()
 			cum := s.ackCum(f.From, seq)
 			s.ep.Send(f.From, wire.KEventAck, wire.AppendEventAck(wire.GetBuf(16), seq, cum))
+		case wire.KDetRelay:
+			// Piggybacked determinants relayed by a receiver on behalf
+			// of their origin node: stored under the origin (so the
+			// origin's restart fetch finds them) but acked to the
+			// relayer on its own seq stream — the same cumulative mark
+			// retires relay and KEventLog batches alike.
+			seq, origin, evs, err := wire.DecodeDetRelay(f.Data)
+			if err != nil {
+				s.countMalformed()
+				continue
+			}
+			if s.service > 0 {
+				s.rt.Sleep(time.Duration(len(evs)) * s.service)
+			}
+			s.Store.Add(origin, evs)
+			wire.PutBuf(f.Data)
+			s.Store.mu.Lock()
+			s.Store.stats.Acks++
+			s.Store.mu.Unlock()
+			cum := s.ackCum(f.From, seq)
+			s.ep.Send(f.From, wire.KEventAck, wire.AppendEventAck(wire.GetBuf(16), seq, cum))
 		case wire.KEventFetch:
 			h, err := wire.DecodeU64(f.Data)
 			if err != nil {

@@ -32,6 +32,10 @@ type HBReport struct {
 	Durables   int
 	Replays    int
 
+	// Suppressed: deliveries whose determinant was suppressed off the
+	// critical path (EvDeliver with B=2).
+	Suppressed int
+
 	// EarlySends: payload released before the determinants of all
 	// prior deliveries were quorum-logged (invariant 1).
 	EarlySends []string
@@ -41,6 +45,14 @@ type HBReport struct {
 	// GCViolations: SAVED entries reclaimed without a covering
 	// checkpoint note from the delivering peer (invariant 3).
 	GCViolations []string
+	// SuppressionViolations: invariant 1 relaxed for suppressed
+	// determinants — a send may leave while they are not yet durable,
+	// but only if the payload carries every one of them piggybacked
+	// (causal logging: any dependent message transports the evidence).
+	// Also convicts the classifier itself: a suppressed delivery that
+	// the delivery path observed as nondeterministic (competing
+	// candidates or outstanding probes at commit) is unsafe.
+	SuppressionViolations []string
 
 	// Incomplete marks a trace whose recorder rings wrapped; the
 	// auditor skips checks it cannot anchor and OK() still reports
@@ -50,7 +62,8 @@ type HBReport struct {
 
 // OK reports whether the audited trace upholds every invariant.
 func (r HBReport) OK() bool {
-	return len(r.EarlySends) == 0 && len(r.ReplayViolations) == 0 && len(r.GCViolations) == 0
+	return len(r.EarlySends) == 0 && len(r.ReplayViolations) == 0 &&
+		len(r.GCViolations) == 0 && len(r.SuppressionViolations) == 0
 }
 
 // Summary renders the report for test output.
@@ -58,6 +71,9 @@ func (r HBReport) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "hb-audit: %d events over %d ranks (%d sends, %d deliveries, %d durable, %d replays)",
 		r.Events, r.Ranks, r.Sends, r.Deliveries, r.Durables, r.Replays)
+	if r.Suppressed > 0 {
+		fmt.Fprintf(&b, " [%d dets suppressed]", r.Suppressed)
+	}
 	if r.Incomplete {
 		b.WriteString(" [INCOMPLETE: recorder ring wrapped]")
 	}
@@ -77,15 +93,20 @@ func (r HBReport) Summary() string {
 	section("early sends", r.EarlySends)
 	section("replay violations", r.ReplayViolations)
 	section("gc violations", r.GCViolations)
+	section("suppression violations", r.SuppressionViolations)
 	return b.String()
 }
 
 // rankState tracks the per-rank auditor passes.
 type rankState struct {
-	// pending: determinants committed but not yet quorum-durable,
-	// keyed by span. A fresh EvSend while this set is non-empty is an
-	// early send.
+	// pending: forced (pessimistically logged) determinants committed
+	// but not yet quorum-durable, keyed by span. A fresh EvSend while
+	// this set is non-empty is an early send.
 	pending map[uint64]Ev
+	// pendingSuppressed: suppressed determinants committed but not yet
+	// quorum-durable. These do not block sends, but every fresh EvSend
+	// must piggyback all of them (EvSend.Parent carries the count).
+	pendingSuppressed map[uint64]Ev
 	// committed: every delivery ever committed on this rank, keyed by
 	// span — the evidence replayed deliveries must anchor to.
 	committed map[uint64]bool
@@ -131,7 +152,7 @@ func AuditHBWith(tr *Trace, opts AuditHBOpts) HBReport {
 	state := func(r int32) *rankState {
 		s, ok := ranks[r]
 		if !ok {
-			s = &rankState{pending: map[uint64]Ev{}, committed: map[uint64]bool{}}
+			s = &rankState{pending: map[uint64]Ev{}, pendingSuppressed: map[uint64]Ev{}, committed: map[uint64]bool{}}
 			ranks[r] = s
 		}
 		return s
@@ -148,12 +169,23 @@ func AuditHBWith(tr *Trace, opts AuditHBOpts) HBReport {
 		case EvDeliver:
 			rep.Deliveries++
 			s.committed[ev.Span] = true
-			if ev.B != 0 { // determinant will be logged: joins the gate
+			switch ev.B {
+			case 1: // determinant logged pessimistically: joins the gate
 				s.pending[ev.Span] = *ev
+			case 2: // determinant suppressed: rides piggybacked instead
+				rep.Suppressed++
+				s.pendingSuppressed[ev.Span] = *ev
+			}
+		case EvDetSuppressed:
+			if (ev.A > 0 || ev.B > 0) && !rep.Incomplete {
+				rep.SuppressionViolations = append(rep.SuppressionViolations, fmt.Sprintf(
+					"rank %d t=%v: suppressed determinant span=%#x for a nondeterministic delivery (%d competing candidate(s), %d outstanding probe(s))",
+					ev.Rank, ev.T, ev.Span, ev.A, ev.B))
 			}
 		case EvDetDurable:
 			rep.Durables++
 			delete(s.pending, ev.Span)
+			delete(s.pendingSuppressed, ev.Span)
 		case EvSend:
 			rep.Sends++
 			if len(s.pending) > 0 && !rep.Incomplete {
@@ -167,6 +199,11 @@ func AuditHBWith(tr *Trace, opts AuditHBOpts) HBReport {
 				rep.EarlySends = append(rep.EarlySends, fmt.Sprintf(
 					"rank %d t=%v: payload span=%#x to rank %d left with %d unlogged determinant(s), e.g. recv-clock %d from rank %d",
 					ev.Rank, ev.T, ev.Span, ev.A, len(s.pending), wc, w.A))
+			}
+			if n := uint64(len(s.pendingSuppressed)); n > 0 && ev.Parent < n && !rep.Incomplete {
+				rep.SuppressionViolations = append(rep.SuppressionViolations, fmt.Sprintf(
+					"rank %d t=%v: payload span=%#x to rank %d left with %d suppressed determinant(s) pending but only %d piggybacked",
+					ev.Rank, ev.T, ev.Span, ev.A, n, ev.Parent))
 			}
 		case EvReplay:
 			rep.Replays++
@@ -188,6 +225,7 @@ func AuditHBWith(tr *Trace, opts AuditHBOpts) HBReport {
 			// gone (they will be re-fetched from the EL), and the
 			// replay cursor restarts from the checkpoint.
 			s.pending = map[uint64]Ev{}
+			s.pendingSuppressed = map[uint64]Ev{}
 			s.lastReplay = 0
 		case EvGCNote:
 			k := nkey(uint64(ev.Rank), ev.A)

@@ -15,7 +15,8 @@ type Kind uint8
 
 const (
 	// EvSend: a fresh payload left the daemon. Span = the message's
-	// span id, A = destination rank, B = body bytes.
+	// span id, Parent = suppressed determinants piggybacked on the
+	// frame, A = destination rank, B = body bytes.
 	EvSend Kind = 1 + iota
 	// EvResend: a SAVED payload was retransmitted during a RESTART1/2
 	// handshake. Same fields as EvSend. Retransmissions re-emit a
@@ -28,9 +29,11 @@ const (
 	EvRecvWire
 	// EvDeliver: a reception was committed (determinant created).
 	// Span = PackSpan(rank, recvClock), Parent = the sender's span id,
-	// A = channel seq, B = 1 if the determinant will be submitted to
-	// event loggers (0 when the run has no EL, exempting the rank from
-	// the durability gate).
+	// A = channel seq, B = 1 if the determinant is submitted
+	// pessimistically (gates the next send until quorum-durable), 2 if
+	// it was suppressed (epoch-batched + piggybacked off the critical
+	// path), 0 when the run has no EL, exempting the rank from the
+	// durability gate.
 	EvDeliver
 	// EvDetSubmit: a determinant batch was handed to the EL pipeline.
 	// A = batch seq, B = event count.
@@ -65,6 +68,16 @@ const (
 	// replay may still be draining). A = incarnation, B = recovery
 	// duration in virtual nanoseconds.
 	EvRestartEnd
+	// EvDetSuppressed: a delivery was classified deterministic and its
+	// determinant suppressed off the critical path (epoch-batched to the
+	// EL instead of gating the next send). Span = the determinant's
+	// PackSpan(rank, recvClock), Parent = the sender's span id,
+	// A = competing undelivered candidates from other senders at commit
+	// time, B = outstanding probes at commit time. A and B are recorded
+	// by the delivery path itself, independent of the classifier's
+	// verdict, so the auditor can convict a broken classifier: a
+	// suppressed delivery with A>0 or B>0 was nondeterministic.
+	EvDetSuppressed
 )
 
 func (k Kind) String() string {
@@ -97,6 +110,8 @@ func (k Kind) String() string {
 		return "restart-begin"
 	case EvRestartEnd:
 		return "restart-end"
+	case EvDetSuppressed:
+		return "det-suppressed"
 	}
 	return "?"
 }

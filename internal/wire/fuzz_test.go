@@ -19,6 +19,15 @@ func FuzzDecodePayload(f *testing.F) {
 	f.Add(EncodePayload(PayloadHeader{SenderClock: 99, PairSeq: 3, Span: 0xbeef}, []byte("traced")))
 	f.Add(EncodePayload(PayloadHeader{}, nil))
 	f.Add([]byte{0x80})
+	// Frames carrying a piggybacked determinant block (flag 0x40), with
+	// and without a span and a body, so the fuzzer starts from the
+	// det-block decode path rather than having to discover the flag.
+	f.Add(EncodePayload(PayloadHeader{SenderClock: 5, Dets: []core.Event{
+		{Sender: 2, SenderClock: 9, RecvClock: 4, Seq: 1}}}, []byte("det")))
+	f.Add(EncodePayload(PayloadHeader{SenderClock: 6, Span: 0xf00d, Dets: []core.Event{
+		{Sender: 0, SenderClock: 1, RecvClock: 1, Probes: 2, Seq: 1},
+		{Sender: 3, SenderClock: 1 << 33, RecvClock: 7, Seq: 2}}}, nil))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, body, err := DecodePayload(data)
 		if err != nil {
@@ -29,8 +38,28 @@ func FuzzDecodePayload(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode of accepted frame rejected: %v", err)
 		}
-		if h2 != h || !bytes.Equal(body, body2) {
+		if !reflect.DeepEqual(h2, h) || !bytes.Equal(body, body2) {
 			t.Fatalf("round trip: %+v %q vs %+v %q", h, body, h2, body2)
+		}
+	})
+}
+
+func FuzzDecodeDetRelay(f *testing.F) {
+	f.Add(AppendDetRelay(nil, 7, 3, []core.Event{{Sender: 1, SenderClock: 2, RecvClock: 3, Seq: 4}}))
+	f.Add(AppendDetRelay(nil, 0, 0, nil))
+	f.Add(AppendDetRelay(nil, 1<<40, 1023, []core.Event{{Sender: -1}, {Sender: 5, Probes: 9}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, origin, evs, err := DecodeDetRelay(data)
+		if err != nil {
+			return
+		}
+		seq2, origin2, evs2, err := DecodeDetRelay(AppendDetRelay(nil, seq, origin, evs))
+		if err != nil {
+			t.Fatalf("re-encode of accepted relay rejected: %v", err)
+		}
+		if seq2 != seq || origin2 != origin || len(evs2) != len(evs) ||
+			(len(evs) > 0 && !reflect.DeepEqual(evs, evs2)) {
+			t.Fatalf("round trip: (%d,%d,%+v) vs (%d,%d,%+v)", seq, origin, evs, seq2, origin2, evs2)
 		}
 	})
 }

@@ -75,6 +75,19 @@ const (
 	KCkptManifest    // data: CkptManifest (present, seq, size, per-chunk CRCs)
 	KCkptChunkFetch  // data: u64 seq + u32 index + u32 chunk size
 	KCkptChunkData   // data: chunk frame, same encoding as KCkptChunk
+
+	// Determinant suppression (appended after KCkptChunkData, same
+	// numbering-stability reason). KDetRelay carries determinants a
+	// daemon received piggybacked on payload frames to the event-logger
+	// replicas on behalf of their origin node; it is acked by the same
+	// KEventAck (seq + cumulative mark) as KEventLog, sharing the
+	// submitter's seq stream. KDetFlushReq/Resp are the recovery-time
+	// direct merge: a restarting node asks every peer for the
+	// piggybacked determinants it holds for it, closing the window where
+	// a relay is still in flight to the loggers.
+	KDetRelay     // data: u64 request seq + u32 origin node + event batch
+	KDetFlushReq  // data: empty — "send me the determinants you hold for me"
+	KDetFlushResp // data: event batch (the requester's own determinants)
 )
 
 // KindName returns a short human-readable name for diagnostics.
@@ -93,6 +106,7 @@ func KindName(k uint8) string {
 		KCkptChunk: "ckpt-chunk", KCkptChunkAck: "ckpt-chunk-ack",
 		KCkptManifestReq: "ckpt-manifest-req", KCkptManifest: "ckpt-manifest",
 		KCkptChunkFetch: "ckpt-chunk-fetch", KCkptChunkData: "ckpt-chunk-data",
+		KDetRelay: "det-relay", KDetFlushReq: "det-flush-req", KDetFlushResp: "det-flush-resp",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -122,6 +136,15 @@ type PayloadHeader struct {
 	// after the fixed header, signaled by the top bit of the DevKind
 	// byte (device kinds are small; bit 7 is never a real kind).
 	Span uint64
+	// Dets are suppressed determinants piggybacked on the frame: the
+	// sender's not-yet-durable reception events riding an app message
+	// they causally precede, so the receiver can relay them to the
+	// event loggers off the sender's critical path. Empty means absent:
+	// the frame encodes byte-identically to a det-free frame. A
+	// non-empty block (u32 count + 32-byte event records, the
+	// AppendEvents format) is appended after the span id, signaled by
+	// bit 6 of the DevKind byte.
+	Dets []core.Event
 }
 
 // PayloadHeaderLen is the encoded size of a PayloadHeader plus the body
@@ -135,25 +158,38 @@ const PayloadSpanLen = 8
 // follows the fixed header.
 const payloadSpanFlag = 0x80
 
+// payloadDetFlag marks, on the encoded DevKind byte, that a piggybacked
+// determinant block follows the (optional) span id. Bit 6 is the second
+// reserved bit: device kinds are small and never reach it.
+const payloadDetFlag = 0x40
+
+// payloadFlags are the DevKind bits reserved for framing.
+const payloadFlags = payloadSpanFlag | payloadDetFlag
+
 // PayloadSize is the encoded size of a payload frame with an n-byte
 // body and no span id.
 func PayloadSize(n int) int { return PayloadHeaderLen + n }
 
 // PayloadSizeH is the encoded size of a payload frame with an n-byte
-// body under header h (accounts for an optional span id).
+// body under header h (accounts for an optional span id and an optional
+// piggybacked determinant block).
 func PayloadSizeH(h PayloadHeader, n int) int {
+	sz := PayloadHeaderLen + n
 	if h.Span != 0 {
-		return PayloadHeaderLen + PayloadSpanLen + n
+		sz += PayloadSpanLen
 	}
-	return PayloadHeaderLen + n
+	if len(h.Dets) > 0 {
+		sz += EventsSize(len(h.Dets))
+	}
+	return sz
 }
 
 // AppendPayload appends the encoded frame to dst and returns the
 // extended slice. With dst capacity of at least PayloadSizeH(h, len(body))
 // — e.g. a GetBuf buffer — it performs no allocation.
 func AppendPayload(dst []byte, h PayloadHeader, body []byte) []byte {
-	if h.DevKind&payloadSpanFlag != 0 {
-		panic(fmt.Sprintf("wire: DevKind %#x uses reserved bit 7 (the span-id flag)", h.DevKind))
+	if h.DevKind&payloadFlags != 0 {
+		panic(fmt.Sprintf("wire: DevKind %#x uses reserved framing bits 6-7", h.DevKind))
 	}
 	var hdr [PayloadHeaderLen + PayloadSpanLen]byte
 	binary.BigEndian.PutUint64(hdr[0:8], h.SenderClock)
@@ -167,7 +203,13 @@ func AppendPayload(dst []byte, h PayloadHeader, body []byte) []byte {
 		binary.BigEndian.PutUint64(hdr[PayloadHeaderLen:], h.Span)
 		n += PayloadSpanLen
 	}
+	if len(h.Dets) > 0 {
+		hdr[16] |= payloadDetFlag
+	}
 	dst = append(dst, hdr[:n]...)
+	if len(h.Dets) > 0 {
+		dst = AppendEvents(dst, h.Dets)
+	}
 	return append(dst, body...)
 }
 
@@ -177,7 +219,8 @@ func EncodePayload(h PayloadHeader, body []byte) []byte {
 }
 
 // DecodePayload splits a payload frame into header and body, verifying
-// the body's length and checksum. The body aliases data.
+// the body's length and checksum. The body aliases data; a piggybacked
+// determinant block is copied out into h.Dets.
 func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	if len(data) < PayloadHeaderLen {
 		return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short", len(data))
@@ -191,6 +234,28 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 		}
 		span = binary.BigEndian.Uint64(data[PayloadHeaderLen:hlen])
 	}
+	var dets []core.Event
+	if data[16]&payloadDetFlag != 0 {
+		if len(data) < hlen+4 {
+			return PayloadHeader{}, nil, fmt.Errorf("wire: payload frame of %d bytes too short for det block", len(data))
+		}
+		n := int(binary.BigEndian.Uint32(data[hlen : hlen+4]))
+		end := hlen + EventsSize(n)
+		if n > len(data) || end > len(data) { // n guard keeps EventsSize from overflowing
+			return PayloadHeader{}, nil, fmt.Errorf("wire: payload det block of %d events truncated", n)
+		}
+		var err error
+		if dets, err = DecodeEvents(data[hlen:end]); err != nil {
+			return PayloadHeader{}, nil, err
+		}
+		if len(dets) == 0 {
+			// Canonical form: encoders omit the flag for an empty block,
+			// so an accepted zero-count block must decode to the same
+			// header the re-encoded frame will.
+			dets = nil
+		}
+		hlen = end
+	}
 	body := data[hlen:]
 	if n := binary.BigEndian.Uint32(data[17:21]); int(n) != len(body) {
 		return PayloadHeader{}, nil, fmt.Errorf("wire: payload body of %d bytes, framed as %d", len(body), n)
@@ -201,8 +266,9 @@ func DecodePayload(data []byte) (PayloadHeader, []byte, error) {
 	return PayloadHeader{
 		SenderClock: binary.BigEndian.Uint64(data[0:8]),
 		PairSeq:     binary.BigEndian.Uint64(data[8:16]),
-		DevKind:     data[16] &^ payloadSpanFlag,
+		DevKind:     data[16] &^ payloadFlags,
 		Span:        span,
+		Dets:        dets,
 	}, body, nil
 }
 
@@ -323,6 +389,36 @@ func DecodeEventAck(data []byte) (seq, cum uint64, err error) {
 		return binary.BigEndian.Uint64(data), 0, nil
 	}
 	return 0, 0, fmt.Errorf("wire: event ack of %d bytes, want 8 or %d", len(data), eventAckLen)
+}
+
+// --- Determinant relay ----------------------------------------------------
+
+// DetRelaySize is the encoded size of a KDetRelay frame holding n events.
+func DetRelaySize(n int) int { return 8 + 4 + EventsSize(n) }
+
+// AppendDetRelay appends a KDetRelay frame to dst: the relaying
+// daemon's request seq (drawn from the same stream as its KEventLog
+// batches, so one cumulative KEventAck mark retires both), the origin
+// node the piggybacked determinants belong to, and the event batch.
+// With sufficient dst capacity it performs no allocation.
+func AppendDetRelay(dst []byte, seq uint64, origin int, evs []core.Event) []byte {
+	dst = AppendU64(dst, seq)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(int32(origin)))
+	dst = append(dst, b[:]...)
+	return AppendEvents(dst, evs)
+}
+
+// DecodeDetRelay splits a KDetRelay payload.
+func DecodeDetRelay(data []byte) (seq uint64, origin int, evs []core.Event, err error) {
+	if len(data) < 12 {
+		return 0, 0, nil, fmt.Errorf("wire: det relay frame of %d bytes too short", len(data))
+	}
+	evs, err = DecodeEvents(data[12:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return binary.BigEndian.Uint64(data), int(int32(binary.BigEndian.Uint32(data[8:12]))), evs, nil
 }
 
 // --- Small scalar payloads ----------------------------------------------

@@ -20,7 +20,7 @@ func TestPayloadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h2 != h || !bytes.Equal(body, body2) {
+	if !reflect.DeepEqual(h2, h) || !bytes.Equal(body, body2) {
 		t.Errorf("round trip: %+v %q", h2, body2)
 	}
 }
@@ -32,12 +32,12 @@ func TestPayloadTooShort(t *testing.T) {
 }
 
 func TestPropertyPayloadRoundTrip(t *testing.T) {
-	// Bit 7 of DevKind is reserved for the span-id flag, so the valid
-	// device-kind domain is 7 bits.
+	// Bits 6-7 of DevKind are reserved for the determinant-block and
+	// span-id flags, so the valid device-kind domain is 6 bits.
 	f := func(clock uint64, kind uint8, span uint64, body []byte) bool {
-		in := PayloadHeader{SenderClock: clock, DevKind: kind & 0x7f, Span: span}
+		in := PayloadHeader{SenderClock: clock, DevKind: kind & 0x3f, Span: span}
 		h, b, err := DecodePayload(EncodePayload(in, body))
-		return err == nil && h == in && bytes.Equal(b, body)
+		return err == nil && reflect.DeepEqual(h, in) && bytes.Equal(b, body)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestPayloadSpanRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h2 != h || string(b) != "body" {
+	if !reflect.DeepEqual(h2, h) || string(b) != "body" {
 		t.Errorf("round trip: %+v %q", h2, b)
 	}
 	// A spanless frame must be byte-identical to the pre-span format:

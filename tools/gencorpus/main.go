@@ -36,12 +36,23 @@ func main() {
 		seeds[target] = append(seeds[target], frames...)
 	}
 
-	// Payload frames: legacy, spanned, empty body, truncated header.
+	// Payload frames: legacy, spanned, empty body, truncated header,
+	// piggybacked determinant blocks (alone and combined with a span).
 	add("internal/wire/testdata/fuzz/FuzzDecodePayload",
 		wire.EncodePayload(wire.PayloadHeader{SenderClock: 7, PairSeq: 2, DevKind: 3}, []byte("ring token")),
 		wire.EncodePayload(wire.PayloadHeader{SenderClock: 41, PairSeq: 9, Span: 0x0003_0000_0000_0029}, []byte("traced payload")),
 		wire.EncodePayload(wire.PayloadHeader{}, nil),
 		wire.EncodePayload(wire.PayloadHeader{SenderClock: 1}, []byte("x"))[:12],
+		wire.EncodePayload(wire.PayloadHeader{SenderClock: 5, Dets: []core.Event{{Sender: 2, SenderClock: 9, RecvClock: 4, Seq: 1}}}, []byte("det")),
+		wire.EncodePayload(wire.PayloadHeader{SenderClock: 6, Span: 0x0001_0000_0000_0002, Dets: []core.Event{
+			{Sender: 0, SenderClock: 1, RecvClock: 2, Probes: 3, Seq: 1},
+			{Sender: 7, SenderClock: 1 << 40, RecvClock: 1<<40 + 1, Seq: 2},
+		}}, nil),
+	)
+	add("internal/wire/testdata/fuzz/FuzzDecodeDetRelay",
+		wire.AppendDetRelay(nil, 7, 3, []core.Event{{Sender: 1, SenderClock: 2, RecvClock: 3, Seq: 4}}),
+		wire.AppendDetRelay(nil, 0, 0, nil),
+		wire.AppendDetRelay(nil, 12, 2, []core.Event{{Sender: 5, Probes: 9, Seq: 1}})[:11],
 	)
 
 	evs := []core.Event{
