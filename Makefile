@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test staticcheck cover race bench bench-paper bench-detsupp soak-smoke soak-regress ci
+.PHONY: verify build vet test staticcheck cover race bench bench-paper bench-detsupp bench-fleet soak-smoke soak-regress ci
 
 verify: ## build + vet + full test suite (tier-1 gate)
 	$(GO) build ./...
@@ -49,6 +49,15 @@ bench-paper: ## quick pass over every paper experiment
 bench-detsupp: ## determinant-suppression sweep + its acceptance gate
 	$(GO) run ./cmd/vbench -exp detsupp -quick -json && test -f BENCH_detsupp.json
 	$(GO) test ./internal/bench/ -run TestDetSuppShape -v
+
+# bench-fleet gates the sharded fleet + parallel core: the sweep must
+# emit its JSON artifact, 4 EL shards must log determinants at >=2x the
+# 1-shard rate on the quick workload with every audit green, and the
+# serial and parallel vtime cores must produce byte-identical schedules
+# (hash equality) across three workload shapes.
+bench-fleet: ## sharded-fleet scaling sweep + its acceptance gate
+	$(GO) run ./cmd/vbench -exp fleet -quick -json && test -f BENCH_fleet.json
+	$(GO) test ./internal/bench/ -run 'TestFleetShape|TestFleetParSchedulesIdentical' -v
 
 # soak-smoke exits non-zero unless every audit is green, the per-role
 # kill quota was met (each of cn/el/cs/sc killed at least once per

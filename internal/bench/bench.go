@@ -58,6 +58,8 @@ func Experiments() []Experiment {
 			Data: func(q bool) (any, error) { return TraceData(q) }},
 		{ID: "soak", Title: "Soak: real-socket deployment under process kills and live chaos", Run: SoakBench,
 			Data: SoakData},
+		{ID: "fleet", Title: "Fleet: sharded event loggers + parallel vtime core at 1000 ranks", Run: Fleet,
+			Data: func(q bool) (any, error) { return FleetData(q), nil }},
 	}
 }
 

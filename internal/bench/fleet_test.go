@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+// TestFleetShape is the bench-fleet smoke gate: sharding the event-logger
+// fleet must buy real determinant throughput (≥2× at 4 shards vs 1 on the
+// quick workload), with every row audit-green.
+func TestFleetShape(t *testing.T) {
+	const ranks, fan, rounds = 16, 8, 6
+	base := fleetRun(1, ranks, fan, rounds)
+	four := fleetRun(4, ranks, fan, rounds)
+	for _, pt := range []FleetPoint{base, four} {
+		if !pt.AuditOK {
+			t.Fatalf("%d shards: audits failed", pt.Shards)
+		}
+		if pt.Events == 0 {
+			t.Fatalf("%d shards: no determinants logged", pt.Shards)
+		}
+	}
+	if four.DetPerSec < 2*base.DetPerSec {
+		t.Errorf("4-shard determinant throughput %.0f/s < 2× the 1-shard %.0f/s",
+			four.DetPerSec, base.DetPerSec)
+	}
+	t.Logf("dets/s: 1 shard %.0f, 4 shards %.0f (%.2fx)",
+		base.DetPerSec, four.DetPerSec, four.DetPerSec/base.DetPerSec)
+}
+
+// TestFleetParSchedulesIdentical is the determinism half of the gate: the
+// serial and parallel vtime cores must produce byte-identical schedules
+// (equal FNV-1a hashes over the (at, seq, lane) stream) across several
+// workload shapes, and both delivery logs must pass the auditor.
+func TestFleetParSchedulesIdentical(t *testing.T) {
+	shapes := []struct {
+		lanes, steps, fan int
+	}{
+		{64, 6, 2},
+		{96, 5, 3},
+		{128, 4, 4},
+	}
+	for _, sh := range shapes {
+		serial := fleetParRun(sh.lanes, 1, sh.steps, sh.fan)
+		par := fleetParRun(sh.lanes, 4, sh.steps, sh.fan)
+		if serial.ScheduleHash != par.ScheduleHash {
+			t.Errorf("lanes=%d: schedule diverged: serial %s, parallel %s",
+				sh.lanes, serial.ScheduleHash, par.ScheduleHash)
+		}
+		if serial.Events != par.Events {
+			t.Errorf("lanes=%d: event counts diverged: %d vs %d",
+				sh.lanes, serial.Events, par.Events)
+		}
+		if !serial.AuditOK || !par.AuditOK {
+			t.Errorf("lanes=%d: delivery audit failed (serial %v, parallel %v)",
+				sh.lanes, serial.AuditOK, par.AuditOK)
+		}
+	}
+}

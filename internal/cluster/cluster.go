@@ -18,6 +18,7 @@ import (
 	"mpichv/internal/mpi"
 	"mpichv/internal/netsim"
 	"mpichv/internal/sched"
+	"mpichv/internal/shard"
 	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
@@ -107,6 +108,28 @@ type Config struct {
 	// ELReplicas so one knob turns on full replication).
 	CSReplicas int
 	CSQuorum   int
+
+	// ELShards splits the event-logger service into that many replica
+	// groups (shards). Each shard is its own ELReplicas/ELQuorum quorum
+	// group; the daemons place every channel (sender, receiver) on a
+	// shard through the deterministic consistent-hash ring seeded by
+	// ShardSeed, gate WAITLOGGED per shard, and union the shards' logs
+	// at restart. When a shard loses its write quorum the dispatcher
+	// broadcasts the outage and its key range rides on the ring
+	// successor until the respawns bring it back (ELReplicas defaults
+	// to 1 per shard). 0 or 1 means the unsharded layouts above.
+	ELShards int
+	// CSShards mirrors the split for the checkpoint service: each rank
+	// checkpoints to the replica group its rank hashes to.
+	CSShards int
+	// ShardSeed seeds the placement ring (any value; runs with equal
+	// seeds place identically).
+	ShardSeed uint64
+	// ShardRespawnDelay is the extra time a killed service replica
+	// takes to re-provision beyond fault detection. Zero keeps respawn
+	// at the detection instant, which heals a shard before its outage
+	// broadcast fires.
+	ShardRespawnDelay time.Duration
 
 	// Checkpointing runs the checkpoint server and scheduler.
 	Checkpointing bool
@@ -215,6 +238,14 @@ type Result struct {
 	Malformed    int64 // undecodable frames seen by daemons and services
 	ELDuplicates int64 // re-submitted events deduplicated by the loggers
 
+	// Sharded-fleet accounting (zero outside ELShards > 1).
+	ELShardN        int   // configured EL shard count
+	ShardDowns      int   // dispatcher shard-outage broadcasts
+	ShardUps        int   // dispatcher shard-recovery broadcasts
+	ShardRebalances int64 // daemon reroutes of a dead shard's key range
+	ShardRejoins    int64 // daemon route-home transitions on shard recovery
+	ShardBackfilled int64 // history determinants re-logged to successors/rejoiners
+
 	// Quorum replication accounting (zero outside quorum mode).
 	ELReplicaN      int   // configured replica count R
 	ELWriteQuorum   int   // configured write quorum Q
@@ -312,6 +343,12 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	if cfg.Policy == nil {
 		cfg.Policy = &sched.RoundRobin{}
 	}
+	if cfg.ELShards > 1 && cfg.ELReplicas <= 0 {
+		cfg.ELReplicas = 1
+	}
+	if cfg.CSShards > 1 && cfg.Checkpointing && cfg.CSReplicas <= 0 {
+		cfg.CSReplicas = 1
+	}
 	if cfg.ELReplicas > 0 {
 		if cfg.ELQuorum <= 0 {
 			cfg.ELQuorum = cfg.ELReplicas/2 + 1
@@ -370,7 +407,27 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	// comes back empty and anti-entropy resyncs from its peers.
 	switch cfg.Impl {
 	case V2:
-		if cfg.ELReplicas > 0 {
+		if cfg.ELShards > 1 {
+			// Sharded fleet: shard k's replica group lives at
+			// ELBase + k*stride + i, each group an independent quorum.
+			stride := cfg.ELReplicas
+			if cfg.ELShards*stride > CSBase-ELBase {
+				panic(fmt.Sprintf("cluster: %d EL shards × %d replicas exceed the %d-node service range",
+					cfg.ELShards, stride, CSBase-ELBase))
+			}
+			h.elQ = cfg.ELQuorum
+			h.elStores = make(map[int]*eventlog.Store)
+			h.elShardGroups = make([][]int, cfg.ELShards)
+			h.elShardOf = make(map[int]int)
+			for k := 0; k < cfg.ELShards; k++ {
+				for i := 0; i < stride; i++ {
+					n := ELBase + k*stride + i
+					h.elShardGroups[k] = append(h.elShardGroups[k], n)
+					h.elShardOf[n] = k
+					h.elNodes = append(h.elNodes, n)
+				}
+			}
+		} else if cfg.ELReplicas > 0 {
 			h.elQ = cfg.ELQuorum
 			h.elStores = make(map[int]*eventlog.Store)
 			for i := 0; i < cfg.ELReplicas; i++ {
@@ -390,7 +447,24 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 			h.startEL(n, false)
 		}
 		if cfg.Checkpointing {
-			if cfg.CSReplicas > 0 {
+			if cfg.CSShards > 1 {
+				stride := cfg.CSReplicas
+				if cfg.CSShards*stride > CMBase-CSBase {
+					panic(fmt.Sprintf("cluster: %d CS shards × %d replicas exceed the %d-node service range",
+						cfg.CSShards, stride, CMBase-CSBase))
+				}
+				h.csQ = cfg.CSQuorum
+				h.csStores = make(map[int]*ckpt.Store)
+				h.csShardGroups = make([][]int, cfg.CSShards)
+				h.csRing = shard.New(cfg.CSShards, cfg.ShardSeed+1)
+				for k := 0; k < cfg.CSShards; k++ {
+					for i := 0; i < stride; i++ {
+						n := CSBase + k*stride + i
+						h.csShardGroups[k] = append(h.csShardGroups[k], n)
+						h.csNodes = append(h.csNodes, n)
+					}
+				}
+			} else if cfg.CSReplicas > 0 {
 				h.csQ = cfg.CSQuorum
 				h.csStores = make(map[int]*ckpt.Store)
 				for i := 0; i < cfg.CSReplicas; i++ {
@@ -425,7 +499,7 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 
 	// Dispatcher with the fault plan; it also monitors the service
 	// frontends and respawns crashed ones over their stores.
-	h.disp = dispatcher.Start(sim, fab, dispatcher.Config{
+	dpcfg := dispatcher.Config{
 		Node:           DispNode,
 		Ranks:          cfg.N,
 		Faults:         cfg.Faults,
@@ -434,7 +508,13 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		Respawn:        func(rank int) { h.spawn(rank, true) },
 		Services:       append(append([]int{}, h.elNodes...), h.csNodes...),
 		RespawnService: h.respawnService,
-	})
+	}
+	if len(h.elShardGroups) > 1 {
+		dpcfg.ELShardOf = h.elShardOf
+		dpcfg.ELShardQuorum = cfg.ELQuorum
+		dpcfg.ServiceRespawnDelay = cfg.ShardRespawnDelay
+	}
+	h.disp = dispatcher.Start(sim, fab, dpcfg)
 
 	start := sim.Now()
 	for r := 0; r < cfg.N; r++ {
@@ -482,7 +562,13 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 		res.DetRelayed += st.DetRelayed
 		res.DetRegenerated += st.DetRegenerated
 		res.DetPoisoned += st.DetPoisoned
+		res.ShardRebalances += st.ShardRebalances
+		res.ShardRejoins += st.ShardRejoins
+		res.ShardBackfilled += st.ShardBackfilled
 	}
+	res.ELShardN = len(h.elShardGroups)
+	res.ShardDowns = h.disp.ShardDowns
+	res.ShardUps = h.disp.ShardUps
 	res.ELReplicaN = cfg.ELReplicas
 	res.ELWriteQuorum = cfg.ELQuorum
 	switch {
@@ -588,6 +674,8 @@ func runInSim(sim *vtime.Sim, cfg Config, prog Program) Result {
 	reg.Counter("run.restarts").Add(int64(res.Restarts))
 	reg.Counter("run.service_kills").Add(int64(res.ServiceKills))
 	reg.Counter("run.service_restarts").Add(int64(res.ServiceRestarts))
+	reg.Counter("run.shard_downs").Add(int64(res.ShardDowns))
+	reg.Counter("run.shard_ups").Add(int64(res.ShardUps))
 	reg.Counter("net.messages").Add(res.NetMessages)
 	reg.Counter("net.bytes").Add(res.NetBytes)
 	if res.Trace != nil {
@@ -635,6 +723,12 @@ type harness struct {
 	elQ, csQ int // write quorums; > 0 selects quorum mode
 	disp     *dispatcher.Dispatcher
 
+	// Sharded-fleet layout (Config.ELShards / CSShards > 1).
+	elShardGroups [][]int     // shard → its replica node ids
+	csShardGroups [][]int
+	elShardOf     map[int]int // EL node → shard index (dispatcher liveness tracking)
+	csRing        *shard.Ring // rank → CS shard placement
+
 	perRank   []*trace.Stats
 	daemons   []daemon.Stats
 	v2ds      []*daemon.V2
@@ -651,7 +745,10 @@ func (h *harness) startEL(node int, resync bool) {
 		st := eventlog.NewStore()
 		h.elStores[node] = st
 		srv := eventlog.NewServerWithStore(h.sim, ep, h.cfg.Params.ELService, st)
-		srv.Peers = othersOf(node, h.elNodes)
+		// Anti-entropy stays within the replica group: in a sharded
+		// fleet a replica's peers are its shard siblings, not the whole
+		// fleet — shards never talk to each other.
+		srv.Peers = othersOf(node, groupOf(node, h.elShardGroups, h.elNodes))
 		srv.Resync = resync
 		srv.Start()
 		return
@@ -665,12 +762,25 @@ func (h *harness) startCS(node int, resync bool) {
 		st := ckpt.NewStore()
 		h.csStores[node] = st
 		srv := ckpt.NewServerWithStore(h.sim, ep, st)
-		srv.Peers = othersOf(node, h.csNodes)
+		srv.Peers = othersOf(node, groupOf(node, h.csShardGroups, h.csNodes))
 		srv.Resync = resync
 		srv.Start()
 		return
 	}
 	ckpt.NewServerWithStore(h.sim, ep, h.csStore).Start()
+}
+
+// groupOf returns the shard replica group containing node, or all (the
+// unsharded fleet) when no groups are configured.
+func groupOf(node int, groups [][]int, all []int) []int {
+	for _, g := range groups {
+		for _, n := range g {
+			if n == node {
+				return g
+			}
+		}
+	}
+	return all
 }
 
 // respawnService restarts a crashed service frontend on its node id. In
@@ -790,7 +900,11 @@ func (h *harness) spawn(rank int, restarted bool) {
 	var dev daemon.Device
 	switch cfg.Impl {
 	case V2:
-		if cfg.ELReplicas > 0 {
+		if len(h.elShardGroups) > 0 {
+			dcfg.ELShardGroups = h.elShardGroups
+			dcfg.ELShardSeed = cfg.ShardSeed
+			dcfg.ELQuorum = cfg.ELQuorum
+		} else if cfg.ELReplicas > 0 {
 			dcfg.ELReplicas = append([]int(nil), h.elNodes...)
 			dcfg.ELQuorum = cfg.ELQuorum
 		} else {
@@ -803,7 +917,14 @@ func (h *harness) spawn(rank int, restarted bool) {
 		}
 		dcfg.Scheduler = SchedNode
 		if cfg.Checkpointing {
-			if cfg.CSReplicas > 0 {
+			if h.csRing != nil {
+				// Each rank checkpoints to the one CS shard its rank
+				// hashes to — checkpoint load spreads across shards
+				// without any cross-shard protocol, since an image
+				// belongs to exactly one rank.
+				dcfg.CSReplicas = h.csShardGroups[h.csRing.Owner(rank, rank)]
+				dcfg.CSQuorum = cfg.CSQuorum
+			} else if cfg.CSReplicas > 0 {
 				dcfg.CSReplicas = append([]int(nil), h.csNodes...)
 				dcfg.CSQuorum = cfg.CSQuorum
 			} else {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled gates allocation-count assertions: the race
+// detector instruments sync.Pool (randomly dropping puts to widen the
+// search space), so allocs/op is not meaningful under -race.
+const raceDetectorEnabled = true

@@ -121,6 +121,20 @@ type Config struct {
 	CSReplicas []int
 	CSQuorum   int
 
+	// ELShardGroups shards the event-logger fleet (DESIGN.md §15): each
+	// group is one ELReplicas/ELQuorum replica set, and every channel
+	// (sender, receiver) maps to a shard through the deterministic
+	// consistent-hash ring seeded by ELShardSeed. Submissions,
+	// WAITLOGGED gating, retransmission and cumulative acks run
+	// independently per shard, restart fetches union determinants across
+	// all shards, and KELShardDown/KELShardUp notices from the
+	// dispatcher move a dead shard's key range to its ring successor
+	// (with a history backfill) until it rejoins. When set, ELReplicas
+	// and EventLogger/ELBackups are ignored; a single group behaves
+	// exactly like ELReplicas. ELQuorum applies per group.
+	ELShardGroups [][]int
+	ELShardSeed   uint64
+
 	// Timeouts for the retry machinery on the blocking protocol paths.
 	// Each names the base of a bounded exponential backoff
 	// (transport.Backoff). Zero selects the default; negative disables
@@ -410,6 +424,11 @@ type Stats struct {
 	DegradedStalls  int64 // times the daemon crossed ELHighWater and froze delivery
 	DegradedResumes int64 // times the backlog drained to ELLowWater and delivery resumed
 
+	// Event-logger fleet (sharding) counters.
+	ShardRebalances int64 // KELShardDown notices applied (key range moved to successor)
+	ShardRejoins    int64 // KELShardUp notices applied (key range moved back)
+	ShardBackfilled int64 // retained determinants re-submitted to rebuild a shard
+
 	// Determinant-suppression counters.
 	DetSuppressed   int64 // deliveries whose determinant skipped the WAITLOGGED gate
 	DetForced       int64 // deliveries logged on the full pessimistic path
@@ -453,6 +472,9 @@ func (s Stats) AddTo(r *trace.Registry) {
 	r.Counter("daemon.manifest_fetches").Add(s.ManifestFetches)
 	r.Counter("daemon.degraded_stalls").Add(s.DegradedStalls)
 	r.Counter("daemon.degraded_resumes").Add(s.DegradedResumes)
+	r.Counter("daemon.shard_rebalances").Add(s.ShardRebalances)
+	r.Counter("daemon.shard_rejoins").Add(s.ShardRejoins)
+	r.Counter("daemon.shard_backfilled").Add(s.ShardBackfilled)
 	r.Counter("daemon.det_suppressed").Add(s.DetSuppressed)
 	r.Counter("daemon.det_forced").Add(s.DetForced)
 	r.Counter("daemon.det_piggybacked").Add(s.DetPiggybacked)

@@ -10,6 +10,7 @@ import (
 
 	"mpichv/internal/ckpt"
 	"mpichv/internal/core"
+	"mpichv/internal/shard"
 	"mpichv/internal/trace"
 	"mpichv/internal/transport"
 	"mpichv/internal/vtime"
@@ -70,36 +71,21 @@ type V2 struct {
 	timers   map[uint64]func()
 	timerSeq uint64
 
-	// Event-logger exchange state. Requests are numbered (namespaced by
-	// incarnation) so acks can be matched to in-flight batches across
-	// loss, duplication and reordering, and unacknowledged batches are
-	// retransmitted with exponential backoff, failing over to a backup
-	// logger after repeated silence.
-	//
-	// In-flight batches live in elRing, ordered ascending by seq — the
-	// submission order. The ring is the sliding window of pipelined
-	// determinant logging: up to elWindow() batches may be outstanding,
-	// further events wait in elQueue for a free slot, and completed
-	// batches retire strictly from the front (see retireEL) so
-	// EventsAcked credits events in submission order exactly as
-	// stop-and-wait did. Walking the ring replaces the per-fire
-	// sort.Slice + map scans the old map-keyed state needed.
-	elTargets []int
-	elIdx     int
-	elStrikes int
-	elSeq     uint64
-	elRing    []elBatch
-	elTimer   uint64
-	elQueue   []core.Event // events awaiting a free window slot
-
-	// Quorum replication (Config.ELReplicas/ELQuorum): elQ > 0 makes
-	// every batch go to all elTargets and complete only once elQ
-	// distinct replicas acked it; each batch's acked bitmask tracks
-	// which replicas have, with elBits assigning each replica its bit.
-	// Failover rotation is meaningless here — every replica is already
-	// a target — so retransmissions go to the still-silent ones.
-	elQ    int
-	elBits map[int]uint
+	// Event-logger exchange state, one elShard per replica group. The
+	// non-sharded configurations (ELReplicas or legacy
+	// EventLogger+ELBackups) are the single-shard special case; with
+	// ELShardGroups the elMap ring routes each channel (sender,
+	// receiver) to its shard, elDead tracks groups the dispatcher
+	// declared below quorum (their key ranges reroute to the ring
+	// successor), elNodeShard resolves an ack's sender to its shard, and
+	// elHistory retains this rank's committed determinants per sender
+	// channel so a rebuilt or rerouted shard can be backfilled
+	// (DESIGN.md §15).
+	elShards    []*elShard
+	elMap       *shard.Ring
+	elDead      map[int]bool
+	elNodeShard map[int]*elShard
+	elHistory   map[int][]core.Event
 
 	// Checkpoint push state, mirroring the event-logger ring: in-flight
 	// checkpoints live in ckptRing ascending by seq, each streaming as
@@ -157,18 +143,47 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	}
 	d.tr = cfg.Tracer
 	d.tr.SetIncarnation(int(cfg.Incarnation))
-	d.elSeq = cfg.Incarnation << 32
 	d.ckptSeq = cfg.Incarnation << 32
 	d.ckptDone = d.ckptSeq
-	switch {
-	case len(cfg.ELReplicas) > 0 && cfg.ELQuorum > 0:
-		d.elTargets = append([]int(nil), cfg.ELReplicas...)
-		d.elQ = cfg.ELQuorum
-		if d.elQ > len(d.elTargets) {
-			d.elQ = len(d.elTargets)
+	// Each shard is an independent submission stream: its own seq space
+	// (contiguous per shard, so the servers' cumulative-ack trackers keep
+	// working), ring, window queue and retransmit timer.
+	newShard := func(id int, targets []int, q int) *elShard {
+		if q > len(targets) {
+			q = len(targets)
 		}
+		return &elShard{
+			id:      id,
+			targets: append([]int(nil), targets...),
+			q:       q,
+			seq:     cfg.Incarnation << 32,
+			bits:    replicaBits(cfg.Rank, targets),
+		}
+	}
+	switch {
+	case len(cfg.ELShardGroups) > 0:
+		q := cfg.ELQuorum
+		if q <= 0 {
+			q = 1
+		}
+		for i, grp := range cfg.ELShardGroups {
+			d.elShards = append(d.elShards, newShard(i, grp, q))
+		}
+		if len(d.elShards) > 1 {
+			d.elMap = shard.New(len(d.elShards), cfg.ELShardSeed)
+			d.elDead = make(map[int]bool)
+			d.elHistory = make(map[int][]core.Event)
+		}
+	case len(cfg.ELReplicas) > 0 && cfg.ELQuorum > 0:
+		d.elShards = []*elShard{newShard(0, cfg.ELReplicas, cfg.ELQuorum)}
 	case cfg.EventLogger >= 0:
-		d.elTargets = append([]int{cfg.EventLogger}, cfg.ELBackups...)
+		d.elShards = []*elShard{newShard(0, append([]int{cfg.EventLogger}, cfg.ELBackups...), 0)}
+	}
+	d.elNodeShard = make(map[int]*elShard)
+	for _, sh := range d.elShards {
+		for _, t := range sh.targets {
+			d.elNodeShard[t] = sh
+		}
 	}
 	switch {
 	case len(cfg.CSReplicas) > 0 && cfg.CSQuorum > 0:
@@ -180,7 +195,6 @@ func StartV2(rt vtime.Runtime, fab transport.Fabric, cfg Config) (Device, *V2) {
 	case cfg.CkptServer >= 0:
 		d.csTargets = append([]int{cfg.CkptServer}, cfg.CSBackups...)
 	}
-	d.elBits = replicaBits(cfg.Rank, d.elTargets)
 	d.csBits = replicaBits(cfg.Rank, d.csTargets)
 	d.ep = fab.Attach(cfg.Rank, fmt.Sprintf("cn%d", cfg.Rank))
 	d.in = vtime.NewMailbox[dEvent](rt, fmt.Sprintf("v2d%d", cfg.Rank))
@@ -261,7 +275,7 @@ const (
 // detMode resolves the effective suppression policy: without an event
 // logger nothing is logged and there is nothing to suppress.
 func (d *V2) detMode() int {
-	if len(d.elTargets) == 0 {
+	if !d.hasEL() {
 		return DetOff
 	}
 	return d.cfg.DetMode
@@ -336,13 +350,29 @@ func (d *V2) suppressEvent(ev core.Event) {
 // machinery as pessimistic batches, but retiring it credits nothing to
 // WAITLOGGED — the events never blocked anything.
 func (d *V2) flushDetEpoch() {
-	if len(d.detEpoch) == 0 || len(d.elTargets) == 0 {
+	if len(d.detEpoch) == 0 || !d.hasEL() {
 		return
 	}
 	evs := d.detEpoch
 	d.detEpoch = nil
 	d.stats.DetEpochFlushes++
-	d.sendEvents(evs, 0, -1)
+	if len(d.elShards) == 1 {
+		d.sendEvents(d.elShards[0], evs, 0, originOwn)
+		return
+	}
+	// Sharded: the epoch spans channels owned by different shards; split
+	// it along the placement so each determinant lands where a restart
+	// fetch will look for it.
+	groups := make(map[*elShard][]core.Event)
+	for _, ev := range evs {
+		sh := d.elShardFor(ev.Sender, d.cfg.Rank)
+		groups[sh] = append(groups[sh], ev)
+	}
+	for _, sh := range d.elShards {
+		if g := groups[sh]; len(g) > 0 {
+			d.sendEvents(sh, g, 0, originOwn)
+		}
+	}
 }
 
 // detRetire prunes pending suppressed determinants that just became
@@ -376,7 +406,7 @@ func (d *V2) detRetire(evs []core.Event) {
 // gap-free logged history). The EL retransmit timers keep the exchange
 // turning while we wait.
 func (d *V2) drainDetPending() {
-	if len(d.elTargets) == 0 {
+	if !d.hasEL() {
 		return
 	}
 	for len(d.detPending) > 0 {
@@ -419,8 +449,25 @@ func (d *V2) absorbDets(origin int, dets []core.Event) {
 		d.pruneDetCache(cache)
 	}
 	d.stats.DetRelayed += int64(len(fresh))
-	if len(d.elTargets) > 0 {
-		d.sendEvents(fresh, 0, origin)
+	if !d.hasEL() {
+		return
+	}
+	if len(d.elShards) == 1 {
+		d.sendEvents(d.elShards[0], fresh, 0, origin)
+		return
+	}
+	// Relayed determinants describe the origin's reception channels:
+	// route each by (sender, origin) so they share the shard its own
+	// submissions and its restart fetch use.
+	groups := make(map[*elShard][]core.Event)
+	for _, ev := range fresh {
+		sh := d.elShardFor(ev.Sender, origin)
+		groups[sh] = append(groups[sh], ev)
+	}
+	for _, sh := range d.elShards {
+		if g := groups[sh]; len(g) > 0 {
+			d.sendEvents(sh, g, 0, origin)
+		}
 	}
 }
 
@@ -569,7 +616,7 @@ func (d *V2) recover() {
 		// at least one carries the newest durable image; take the
 		// highest sequence among the verified replies.
 		need := len(d.csTargets) - d.csQ + 1
-		replies := d.gatherQuorum(d.csTargets, need, wire.KCkptFetch, nil, wire.KCkptImage, ckptValid)
+		replies := d.gatherQuorum(d.csTargets, need, wire.KCkptFetch, nil, wire.KCkptImage, ckptValid, false)
 		var best *ckpt.Image
 		for _, resp := range replies {
 			present, img, _ := wire.DecodeCkptImage(resp)
@@ -609,13 +656,28 @@ func (d *V2) recover() {
 	}
 	evs := []core.Event(nil)
 	switch {
-	case d.elQ > 0:
-		need := len(d.elTargets) - d.elQ + 1
-		replies := d.gatherQuorum(d.elTargets, need, wire.KEventFetch,
-			wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid)
-		evs = mergeEventReplies(replies)
-	case len(d.elTargets) > 0:
-		evData := d.fetchLoop("event list", d.elTargets, wire.KEventFetch,
+	case d.elQuorumMode():
+		// Shard-aware union: every shard contributes a read quorum of
+		// replies and the merge spans all of them — a determinant is
+		// fetchable wherever its channel was logged, including a
+		// successor shard that absorbed a rebalanced range. A shard that
+		// is entirely dead may answer with nothing (allowEmpty): its
+		// surviving data, if any, lives on its successor or comes back
+		// through the daemons' history backfill, and one dead group must
+		// not wedge every restart in the system.
+		all := make(map[int][]byte)
+		allowEmpty := len(d.elShards) > 1
+		for _, sh := range d.elShards {
+			need := len(sh.targets) - sh.q + 1
+			replies := d.gatherQuorum(sh.targets, need, wire.KEventFetch,
+				wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid, allowEmpty)
+			for from, data := range replies {
+				all[from] = data
+			}
+		}
+		evs = mergeEventReplies(all)
+	case d.hasEL():
+		evData := d.fetchLoop("event list", d.elShards[0].targets, wire.KEventFetch,
 			wire.EncodeU64(d.st.Clock()), wire.KEventFetched, evsValid)
 		evs, _ = wire.DecodeEvents(evData)
 	}
@@ -629,6 +691,12 @@ func (d *V2) recover() {
 	holeTolerant := d.detMode() != DetOff
 	if holeTolerant && d.cfg.Size > 1 {
 		evs = d.mergeDetFlush(evs)
+	}
+	// The fetched determinants re-seed the rebalancing history: after a
+	// restart this daemon must again be able to backfill a successor
+	// shard with everything it has committed since its checkpoint.
+	for _, ev := range evs {
+		d.noteHistory(ev)
 	}
 	d.stats.ReplayDropped += int64(d.st.StartRecoveryWith(evs, holeTolerant))
 
@@ -752,7 +820,7 @@ func (d *V2) fetchImageChunked() *ckpt.Image {
 		_, err := wire.DecodeCkptManifest(resp)
 		return err == nil
 	}
-	replies := d.gatherQuorum(d.csTargets, need, wire.KCkptManifestReq, req, wire.KCkptManifest, valid)
+	replies := d.gatherQuorum(d.csTargets, need, wire.KCkptManifestReq, req, wire.KCkptManifest, valid, false)
 
 	type group struct {
 		seq uint64
@@ -882,8 +950,10 @@ func isTarget(targets []int, node int) bool {
 // retries the fetch degrades to whatever non-empty reply set arrived —
 // a restarting daemon that waited forever on crashed replicas would
 // stall the whole run — and the degradation is counted so experiments
-// can report when the intersection guarantee was forfeited.
-func (d *V2) gatherQuorum(targets []int, need int, reqKind uint8, reqData []byte, respKind uint8, valid func([]byte) bool) map[int][]byte {
+// can report when the intersection guarantee was forfeited. allowEmpty
+// additionally lets the degrade return an empty set (a whole replica
+// group down), which only a multi-shard fetch may tolerate.
+func (d *V2) gatherQuorum(targets []int, need int, reqKind uint8, reqData []byte, respKind uint8, valid func([]byte) bool, allowEmpty bool) map[int][]byte {
 	if need > len(targets) {
 		need = len(targets)
 	}
@@ -925,7 +995,7 @@ func (d *V2) gatherQuorum(targets []int, need int, reqKind uint8, reqData []byte
 		if len(got) >= need {
 			return got
 		}
-		if attempt >= d.restartRetries() && len(got) > 0 {
+		if attempt >= d.restartRetries() && (len(got) > 0 || allowEmpty) {
 			d.stats.DegradedReads++
 			return got
 		}
@@ -1205,6 +1275,22 @@ func (d *V2) handleFrame(f transport.Frame) {
 		// EL yet would otherwise be invisible to the peer's fetch.
 		d.ep.Send(f.From, wire.KDetFlushResp, wire.EncodeEvents(d.foreignDetsFor(f.From)))
 
+	case wire.KELShardDown:
+		k, err := wire.DecodeU32(f.Data)
+		if err != nil {
+			d.stats.Malformed++
+			return
+		}
+		d.elShardDown(int(k))
+
+	case wire.KELShardUp:
+		k, err := wire.DecodeU32(f.Data)
+		if err != nil {
+			d.stats.Malformed++
+			return
+		}
+		d.elShardUp(int(k))
+
 	case wire.KCkptNote:
 		upTo, err := wire.DecodeU64(f.Data)
 		if err != nil {
@@ -1314,11 +1400,69 @@ type elBatch struct {
 	seq      uint64
 	evs      []core.Event
 	gated    int           // events to credit against WAITLOGGED on retire
-	origin   int           // -1: our events (KEventLog); else relay origin (KDetRelay)
+	origin   int           // <0: our events (KEventLog); else relay origin (KDetRelay)
 	sent     time.Duration // last (re)transmission
 	attempts int
 	acked    uint64 // replica ack bitmask (quorum mode)
 	done     bool   // complete, waiting for older batches to retire
+}
+
+// Batch origins below 0 both ship as KEventLog and credit gated events
+// on retirement; backfill marks re-submissions of already-counted
+// determinants (shard rebuilds) so EventsLogged is not inflated.
+const (
+	originOwn      = -1
+	originBackfill = -2
+)
+
+// elShard is one event-logger replica group of the fleet: the complete
+// exchange state the daemon used to keep globally, now per shard.
+// Requests are numbered (namespaced by incarnation) per shard, so each
+// group's replicas observe one contiguous seq stream and their
+// cumulative-ack trackers work unchanged; acks are matched back through
+// elNodeShard, so identical seqs on different shards cannot collide.
+//
+// In-flight batches live in ring, ordered ascending by seq — the
+// submission order. The ring is the sliding window of pipelined
+// determinant logging: up to elWindow() batches may be outstanding per
+// shard, further events wait in queue for a free slot, and completed
+// batches retire strictly from the front (see retireEL) so EventsAcked
+// credits events in submission order exactly as stop-and-wait did.
+//
+// Quorum replication (q > 0) submits every batch to all targets and
+// completes it only once q distinct replicas acked, with bits assigning
+// each replica its bit in the acked bitmask. q == 0 is the legacy
+// primary+failover exchange (single shard only): idx/strikes rotate to
+// the next backup after repeated silence.
+type elShard struct {
+	id      int
+	targets []int
+	bits    map[int]uint
+	q       int
+	idx     int
+	strikes int
+	seq     uint64
+	ring    []elBatch
+	timer   uint64
+	queue   []core.Event // events awaiting a free window slot
+}
+
+// hasEL reports whether any event-logger group is configured; without
+// one nothing is logged and nothing gates.
+func (d *V2) hasEL() bool { return len(d.elShards) > 0 }
+
+// elQuorumMode reports whether the exchange runs quorum replication
+// (uniform across shards; legacy failover mode is single-shard only).
+func (d *V2) elQuorumMode() bool { return len(d.elShards) > 0 && d.elShards[0].q > 0 }
+
+// elShardFor routes a channel (sender → receiver) to the shard serving
+// it under the current dead set: the ring owner, or its successor while
+// the owner is rebalanced away.
+func (d *V2) elShardFor(sender, receiver int) *elShard {
+	if len(d.elShards) == 1 {
+		return d.elShards[0]
+	}
+	return d.elShards[d.elMap.OwnerLive(sender, receiver, d.elDead)]
 }
 
 // elWindow is the bound on in-flight batches: ELWindow when configured,
@@ -1334,51 +1478,55 @@ func (d *V2) elWindow() int {
 	return 0
 }
 
-// pumpEL flushes queued events into new batches while the window has
-// free slots — the adaptive close of the pipeline: under batching the
-// whole queue becomes one batch, so batch size adapts to however many
-// events accumulated while the window was full.
-func (d *V2) pumpEL() {
+// pumpEL flushes a shard's queued events into new batches while its
+// window has free slots — the adaptive close of the pipeline: under
+// batching the whole queue becomes one batch, so batch size adapts to
+// however many events accumulated while the window was full.
+func (d *V2) pumpEL(sh *elShard) {
 	w := d.elWindow()
-	for len(d.elQueue) > 0 && (w == 0 || len(d.elRing) < w) {
+	for len(sh.queue) > 0 && (w == 0 || len(sh.ring) < w) {
 		var evs []core.Event
 		if d.cfg.EventBatching {
-			evs = d.elQueue
-			d.elQueue = nil
+			evs = sh.queue
+			sh.queue = nil
 		} else {
-			evs = d.elQueue[:1:1]
-			d.elQueue = d.elQueue[1:]
+			evs = sh.queue[:1:1]
+			sh.queue = sh.queue[1:]
 		}
-		d.sendEvents(evs, len(evs), -1)
+		d.sendEvents(sh, evs, len(evs), originOwn)
 	}
-	if len(d.elQueue) == 0 {
-		d.elQueue = nil
+	if len(sh.queue) == 0 {
+		sh.queue = nil
 	}
 }
 
-// sendEvents opens a window slot: it ships a batch to the current event
-// logger — or, in quorum mode, to every replica of the group — appends
-// it to the in-flight ring and arms the retransmit timer. gated is how
-// many of the events credit WAITLOGGED on retirement (all of them for a
-// pessimistic batch, none for a suppressed epoch or relay batch);
-// origin >= 0 marks a foreign relay batch shipped as KDetRelay.
-func (d *V2) sendEvents(evs []core.Event, gated, origin int) {
-	d.elSeq++
-	seq := d.elSeq
+// sendEvents opens a window slot on one shard: it ships a batch to the
+// shard's current event logger — or, in quorum mode, to every replica
+// of the group — appends it to the shard's in-flight ring and arms its
+// retransmit timer. gated is how many of the events credit WAITLOGGED
+// on retirement (all of them for a pessimistic batch, none for a
+// suppressed epoch, relay or backfill batch); origin >= 0 marks a
+// foreign relay batch shipped as KDetRelay.
+func (d *V2) sendEvents(sh *elShard, evs []core.Event, gated, origin int) {
+	sh.seq++
+	seq := sh.seq
 	d.tr.Record(d.rt.Now(), trace.EvDetSubmit, 0, 0, seq, uint64(len(evs)))
-	d.elRing = append(d.elRing, elBatch{seq: seq, evs: evs, gated: gated, origin: origin, sent: d.rt.Now()})
-	b := &d.elRing[len(d.elRing)-1]
-	if d.elQ > 0 {
-		for _, t := range d.elTargets {
+	sh.ring = append(sh.ring, elBatch{seq: seq, evs: evs, gated: gated, origin: origin, sent: d.rt.Now()})
+	b := &sh.ring[len(sh.ring)-1]
+	if sh.q > 0 {
+		for _, t := range sh.targets {
 			d.sendEventFrame(t, b)
 		}
 	} else {
-		d.sendEventFrame(d.elTargets[d.elIdx], b)
+		d.sendEventFrame(sh.targets[sh.idx], b)
 	}
-	if origin < 0 {
+	switch origin {
+	case originOwn:
 		d.stats.EventsLogged += int64(len(evs))
+	case originBackfill:
+		d.stats.ShardBackfilled += int64(len(evs))
 	}
-	d.armEL()
+	d.armEL(sh)
 }
 
 // sendEventFrame encodes one KEventLog (or KDetRelay, for a foreign
@@ -1394,45 +1542,47 @@ func (d *V2) sendEventFrame(to int, b *elBatch) {
 	d.ep.Send(to, wire.KEventLog, wire.AppendEventLog(wire.GetBuf(wire.EventLogSize(len(b.evs))), b.seq, b.evs))
 }
 
-// elAck completes in-flight batches: the batch matching the acked seq,
-// plus — via the server's cumulative mark — every older batch the
-// server has stored whose own ack was lost on the wire. Completed
-// batches retire strictly from the front of the ring (retireEL), so
-// events are credited against WAITLOGGED in submission order and
-// unacked reaches zero at exactly the moment stop-and-wait would have
-// reached it: when every submitted batch is complete.
+// elAck completes in-flight batches on the acking replica's shard: the
+// batch matching the acked seq, plus — via the server's cumulative
+// mark — every older batch the server has stored whose own ack was lost
+// on the wire. Completed batches retire strictly from the front of the
+// shard's ring (retireEL), so events are credited against WAITLOGGED in
+// submission order and unacked reaches zero at exactly the moment
+// stop-and-wait would have reached it: when every submitted batch is
+// complete. Shards gate independently: the WAITLOGGED counter in
+// core.State is a plain count, so per-shard retirement order cannot
+// misattribute credits.
 func (d *V2) elAck(from int, seq, cum uint64) {
+	sh := d.elNodeShard[from]
+	if sh == nil {
+		return // acks from nodes outside every replica group cannot count
+	}
 	var mask uint64
-	if d.elQ > 0 {
+	if sh.q > 0 {
 		// WAITLOGGED is released only once the write quorum acked:
-		// record this replica and keep waiting below quorum. Acks from
-		// nodes outside the replica group cannot count.
-		bit, inGroup := d.elBits[from]
-		if !inGroup {
-			return
-		}
-		mask = 1 << bit
+		// record this replica and keep waiting below quorum.
+		mask = 1 << sh.bits[from]
 	}
 	hi := seq
 	if cum > hi {
 		hi = cum
 	}
 	progressed := false
-	for i := range d.elRing {
-		b := &d.elRing[i]
+	for i := range sh.ring {
+		b := &sh.ring[i]
 		if b.seq > hi {
 			break // the ring is ascending; nothing further can match
 		}
 		if b.done || (b.seq != seq && b.seq > cum) {
 			continue
 		}
-		if d.elQ > 0 {
+		if sh.q > 0 {
 			if b.acked&mask != 0 {
 				continue
 			}
 			b.acked |= mask
 			progressed = true
-			if bits.OnesCount64(b.acked) < d.elQ {
+			if bits.OnesCount64(b.acked) < sh.q {
 				continue
 			}
 			d.stats.QuorumAcks++
@@ -1444,17 +1594,17 @@ func (d *V2) elAck(from int, seq, cum uint64) {
 	if !progressed {
 		return // duplicate ack, or ack of a dead incarnation's batch
 	}
-	d.elStrikes = 0
-	d.retireEL()
-	d.pumpEL()
+	sh.strikes = 0
+	d.retireEL(sh)
+	d.pumpEL(sh)
 }
 
-// retireEL pops completed batches off the front of the ring, crediting
-// their events in submission order.
-func (d *V2) retireEL() {
+// retireEL pops completed batches off the front of a shard's ring,
+// crediting their events in submission order.
+func (d *V2) retireEL(sh *elShard) {
 	n := 0
-	for n < len(d.elRing) && d.elRing[n].done {
-		b := &d.elRing[n]
+	for n < len(sh.ring) && sh.ring[n].done {
+		b := &sh.ring[n]
 		if b.origin < 0 {
 			if d.tr != nil {
 				// Each determinant of the batch is quorum-durable the
@@ -1476,24 +1626,24 @@ func (d *V2) retireEL() {
 	if n == 0 {
 		return
 	}
-	d.elRing = append(d.elRing[:0], d.elRing[n:]...)
-	if len(d.elRing) == 0 {
-		d.elRing = nil
+	sh.ring = append(sh.ring[:0], sh.ring[n:]...)
+	if len(sh.ring) == 0 {
+		sh.ring = nil
 	}
 }
 
-// armEL (re)arms the single event-logger retransmit timer for the
-// earliest deadline among in-flight batches.
-func (d *V2) armEL() {
+// armEL (re)arms a shard's retransmit timer for the earliest deadline
+// among its in-flight batches.
+func (d *V2) armEL(sh *elShard) {
 	to := d.elAckTimeout()
-	if d.elTimer != 0 || to <= 0 {
+	if sh.timer != 0 || to <= 0 {
 		return
 	}
 	bo := d.backoff(to)
 	var min time.Duration
 	first := true
-	for i := range d.elRing {
-		b := &d.elRing[i]
+	for i := range sh.ring {
+		b := &sh.ring[i]
 		if b.done {
 			continue
 		}
@@ -1508,57 +1658,62 @@ func (d *V2) armEL() {
 	if delay < 0 {
 		delay = 0
 	}
-	d.elTimer = d.after(delay, d.elExpired)
+	sh.timer = d.after(delay, func() { d.elExpired(sh) })
 }
 
-// elExpired retransmits every in-flight batch whose deadline has
-// passed, walking the ring front to back so retransmissions go out in
-// ascending seq order. Legacy mode fails over to a backup logger after
-// repeated silence; in quorum mode every replica is already a target,
-// so the batch is re-sent only to the replicas that have not acked it.
-func (d *V2) elExpired() {
-	d.elTimer = 0
+// elExpired retransmits every in-flight batch of one shard whose
+// deadline has passed, walking the ring front to back so
+// retransmissions go out in ascending seq order. Legacy mode fails over
+// to a backup logger after repeated silence; in quorum mode every
+// replica is already a target, so the batch is re-sent only to the
+// replicas that have not acked it.
+func (d *V2) elExpired(sh *elShard) {
+	sh.timer = 0
 	to := d.elAckTimeout()
 	if to <= 0 {
 		return
 	}
 	bo := d.backoff(to)
 	now := d.rt.Now()
-	for i := range d.elRing {
-		b := &d.elRing[i]
+	for i := range sh.ring {
+		b := &sh.ring[i]
 		if b.done || b.sent+bo.Delay(b.attempts) > now {
 			continue
 		}
 		b.attempts++
 		b.sent = now
-		if d.elQ > 0 {
-			for _, t := range d.elTargets {
-				if b.acked&(1<<d.elBits[t]) == 0 {
+		if sh.q > 0 {
+			for _, t := range sh.targets {
+				if b.acked&(1<<sh.bits[t]) == 0 {
 					d.sendEventFrame(t, b)
 				}
 			}
 			d.stats.Retransmits++
 			continue
 		}
-		d.elStrikes++
-		if d.elStrikes >= d.failoverAfter() && len(d.elTargets) > 1 {
-			d.elIdx = (d.elIdx + 1) % len(d.elTargets)
-			d.elStrikes = 0
+		sh.strikes++
+		if sh.strikes >= d.failoverAfter() && len(sh.targets) > 1 {
+			sh.idx = (sh.idx + 1) % len(sh.targets)
+			sh.strikes = 0
 			d.stats.Failovers++
 		}
-		d.sendEventFrame(d.elTargets[d.elIdx], b)
+		d.sendEventFrame(sh.targets[sh.idx], b)
 		d.stats.Retransmits++
 	}
-	d.armEL()
+	d.armEL(sh)
 }
 
-// pendingEL counts determinants not yet quorum-durable: events queued
-// for submission plus events inside unretired in-flight batches.
+// pendingEL counts determinants not yet quorum-durable across every
+// shard: events queued for submission plus events inside unretired
+// in-flight batches.
 func (d *V2) pendingEL() int {
-	n := len(d.elQueue)
-	for i := range d.elRing {
-		if !d.elRing[i].done {
-			n += len(d.elRing[i].evs)
+	n := 0
+	for _, sh := range d.elShards {
+		n += len(sh.queue)
+		for i := range sh.ring {
+			if !sh.ring[i].done {
+				n += len(sh.ring[i].evs)
+			}
 		}
 	}
 	return n
@@ -1590,11 +1745,155 @@ func (d *V2) elStalled() bool {
 }
 
 func (d *V2) submitEvent(ev core.Event) {
-	if len(d.elTargets) == 0 {
+	if !d.hasEL() {
 		return
 	}
-	d.elQueue = append(d.elQueue, ev)
-	d.pumpEL()
+	sh := d.elShardFor(ev.Sender, d.cfg.Rank)
+	sh.queue = append(sh.queue, ev)
+	d.pumpEL(sh)
+}
+
+// noteHistory retains a committed determinant for shard rebuilds: when
+// a shard loses its quorum or rejoins empty, the daemon — the
+// authoritative producer of its own reception history — re-submits the
+// retained events of the moved channels (gated already satisfied, so as
+// ungated backfill batches). Only kept in sharded mode; pruned at
+// checkpoint retirement, below whose horizon no restart fetch reaches.
+func (d *V2) noteHistory(ev core.Event) {
+	if d.elHistory == nil {
+		return
+	}
+	d.elHistory[ev.Sender] = append(d.elHistory[ev.Sender], ev)
+}
+
+// pruneHistory drops retained determinants at or below a durable
+// checkpoint's clock horizon: a restart restores at least that clock
+// and fetches only events above it.
+func (d *V2) pruneHistory(clock uint64) {
+	for p, hist := range d.elHistory {
+		kept := hist[:0]
+		for _, ev := range hist {
+			if ev.RecvClock > clock {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) == 0 {
+			delete(d.elHistory, p)
+		} else {
+			d.elHistory[p] = kept
+		}
+	}
+}
+
+// --- Fleet rebalancing (KELShardDown / KELShardUp) ------------------------
+
+// elShardDown applies a dispatcher notice that shard k lost its write
+// quorum: the shard's key range reroutes to its ring successor for new
+// submissions, everything queued or in flight on the shard re-submits
+// through the new owners (an unretired batch may have died below quorum
+// with the group), and the retained history of the moved channels is
+// backfilled so determinants the dead group alone held stay fetchable.
+func (d *V2) elShardDown(k int) {
+	if d.elMap == nil || k < 0 || k >= len(d.elShards) || d.elDead[k] {
+		return
+	}
+	// Live owners before the failure, to identify the moved channels.
+	before := make(map[int]int, len(d.elHistory))
+	for p := range d.elHistory {
+		before[p] = d.elMap.OwnerLive(p, d.cfg.Rank, d.elDead)
+	}
+	d.elDead[k] = true
+	d.stats.ShardRebalances++
+	sh := d.elShards[k]
+	if sh.timer != 0 {
+		d.cancel(sh.timer)
+		sh.timer = 0
+	}
+	sh.strikes = 0
+	queue, ring := sh.queue, sh.ring
+	sh.queue, sh.ring = nil, nil
+	for _, ev := range queue {
+		nsh := d.elShardFor(ev.Sender, d.cfg.Rank)
+		nsh.queue = append(nsh.queue, ev)
+	}
+	for i := range ring {
+		b := &ring[i]
+		d.resubmitBatch(b)
+	}
+	for p, hist := range d.elHistory {
+		if before[p] != k || len(hist) == 0 {
+			continue
+		}
+		nsh := d.elShardFor(p, d.cfg.Rank)
+		if nsh == sh {
+			continue // whole fleet down; submissions would land nowhere new
+		}
+		d.sendEvents(nsh, append([]core.Event(nil), hist...), 0, originBackfill)
+	}
+	for _, nsh := range d.elShards {
+		d.pumpEL(nsh)
+	}
+}
+
+// resubmitBatch re-routes one displaced batch's events to their current
+// owners, preserving the gating semantics: a pessimistic batch's events
+// stay uncredited until the re-submission retires, so the WAITLOGGED
+// accounting carries over exactly; ungated and relay batches re-submit
+// ungated. Own events re-count as backfill, not as fresh logging.
+func (d *V2) resubmitBatch(b *elBatch) {
+	receiver := d.cfg.Rank
+	if b.origin >= 0 {
+		receiver = b.origin
+	}
+	groups := make(map[*elShard][]core.Event)
+	for _, ev := range b.evs {
+		nsh := d.elShardFor(ev.Sender, receiver)
+		groups[nsh] = append(groups[nsh], ev)
+	}
+	for _, nsh := range d.elShards {
+		evs := groups[nsh]
+		if len(evs) == 0 {
+			continue
+		}
+		gated := 0
+		if b.gated > 0 {
+			gated = len(evs)
+		}
+		origin := b.origin
+		if origin == originOwn {
+			origin = originBackfill
+		}
+		d.sendEvents(nsh, evs, gated, origin)
+	}
+}
+
+// elShardUp applies a dispatcher notice that shard k regained its
+// quorum: its key range routes back, and the retained history of the
+// returning channels is backfilled — the respawned group may hold
+// nothing, and its own anti-entropy resync can only copy what some
+// replica still has.
+func (d *V2) elShardUp(k int) {
+	if d.elMap == nil || !d.elDead[k] {
+		return
+	}
+	// Owners while k was out, to identify the channels coming back.
+	before := make(map[int]int, len(d.elHistory))
+	for p := range d.elHistory {
+		before[p] = d.elMap.OwnerLive(p, d.cfg.Rank, d.elDead)
+	}
+	delete(d.elDead, k)
+	d.stats.ShardRejoins++
+	sh := d.elShards[k]
+	sh.strikes = 0
+	for p, hist := range d.elHistory {
+		if len(hist) == 0 {
+			continue
+		}
+		if d.elMap.OwnerLive(p, d.cfg.Rank, d.elDead) != k || before[p] == k {
+			continue
+		}
+		d.sendEvents(sh, append([]core.Event(nil), hist...), 0, originBackfill)
+	}
 }
 
 // --- Pull recovery --------------------------------------------------------
@@ -1741,7 +2040,7 @@ func (d *V2) doSend(to int, data []byte) {
 	}
 
 	if transmit {
-		if d.elQ > 0 && d.st.SendBlocked() {
+		if d.elQuorumMode() && d.st.SendBlocked() {
 			// A payload is leaving while reception events are still
 			// below their write quorum — every path that can do this
 			// (only the NoSendGating ablation today) is counted so the
@@ -1792,13 +2091,14 @@ func (d *V2) doRecv() {
 				d.endStarve()
 				d.stats.DetRegenerated++
 				gated := uint64(0)
-				if len(d.elTargets) > 0 {
+				if d.hasEL() {
 					gated = 1
 					d.stats.DetForced++
 				}
 				d.tr.Record(d.rt.Now(), trace.EvDeliver,
 					trace.PackSpan(d.cfg.Rank, rev.RecvClock),
 					trace.PackSpan(m.From, m.Clock), m.Seq, gated)
+				d.noteHistory(rev)
 				d.submitEvent(rev)
 				d.replyPayload(m.From, m.Data)
 				return
@@ -1854,10 +2154,11 @@ func (d *V2) doRecv() {
 		gated = 2 // suppressed: epoch-batched + piggybacked, no send gate
 	} else {
 		ev = d.st.Commit(m.From, m.Clock, m.Seq)
-		if len(d.elTargets) > 0 {
+		if d.hasEL() {
 			gated = 1 // the determinant joins the WAITLOGGED gate
 		}
 	}
+	d.noteHistory(ev)
 	if d.tr != nil {
 		d.tr.Record(d.rt.Now(), trace.EvDeliver,
 			trace.PackSpan(d.cfg.Rank, ev.RecvClock),
@@ -1963,6 +2264,7 @@ type ckptChunk struct {
 type ckptXfer struct {
 	seq       uint64
 	sn        *core.Snapshot
+	clock     uint64 // receive clock at capture: the rebalancing-history prune horizon
 	appState  []byte
 	chunks    []ckptChunk
 	fullAcked uint64 // replicas that acked a FULL image (KCkptSaveAck)
@@ -2040,7 +2342,7 @@ func (d *V2) doCheckpoint(appState []byte) {
 	img := ckpt.AppendImage(wire.GetBuf(ckpt.ImageSize(im)), im)
 	wire.PutBuf(proto) // copied into img
 
-	x := ckptXfer{seq: seq, sn: sn, appState: appState, isDelta: baseSeq != 0, sent: d.rt.Now()}
+	x := ckptXfer{seq: seq, sn: sn, clock: d.st.Clock(), appState: appState, isDelta: baseSeq != 0, sent: d.rt.Now()}
 	if cs := d.ckptChunkSize(); cs > 0 {
 		n := (len(img) + cs - 1) / cs
 		x.chunks = make([]ckptChunk, n)
@@ -2132,6 +2434,10 @@ func (d *V2) retireCkpt() {
 		d.ckptDone = x.seq
 		d.ckptBase = x.seq
 		d.ckptMarks = x.sn.SeqTo
+		// Events below a durable checkpoint's clock horizon are replayed
+		// from the image, never from the EL — the rebalancing history can
+		// drop them.
+		d.pruneHistory(x.clock)
 		d.tr.Record(d.rt.Now(), trace.EvCkptDurable, 0, 0, x.seq, uint64(len(x.chunks)))
 		for q := 0; q < d.cfg.Size; q++ {
 			if q == d.cfg.Rank {

@@ -56,6 +56,22 @@ type Config struct {
 	// RespawnService restarts a crashed service frontend over its
 	// surviving stable store.
 	RespawnService func(node int)
+
+	// ELShardOf maps an event-logger node id to its fleet shard index.
+	// When set, the dispatcher tracks per-shard replica liveness: the
+	// moment a shard's live count drops below ELShardQuorum it
+	// broadcasts KELShardDown to every computing node (the daemons
+	// reroute the shard's channel range to its ring successor), and
+	// when respawns bring the count back it broadcasts KELShardUp (the
+	// daemons route the range home and backfill the rejoined shard).
+	// Respawned computing nodes are brought up to date with the current
+	// down-set, since the broadcast they missed died with them.
+	ELShardOf     map[int]int
+	ELShardQuorum int // live replicas a shard needs to hold its write quorum
+	// ServiceRespawnDelay is the extra time a service respawn takes
+	// beyond fault detection (provisioning a replacement node). Zero
+	// keeps the legacy timing: respawn right at detection.
+	ServiceRespawnDelay time.Duration
 }
 
 // Dispatcher monitors one run.
@@ -69,10 +85,15 @@ type Dispatcher struct {
 	finalized map[int]bool
 	done      *vtime.Mailbox[struct{}]
 
+	shardAlive map[int]int  // shard → live replica count
+	shardDown  map[int]bool // shards currently broadcast as down
+
 	Restarts        int
 	Kills           int
 	ServiceKills    int
 	ServiceRestarts int
+	ShardDowns      int
+	ShardUps        int
 }
 
 type event struct {
@@ -81,6 +102,8 @@ type event struct {
 	fault     int // rank to kill now
 	respawn   int // rank to respawn now
 	permanent bool
+	isNotice  bool // detection fired: re-evaluate shard quorum state
+	notice    int  // shard index under evaluation
 }
 
 // Start attaches and runs the dispatcher. Done() signals when every rank
@@ -97,6 +120,13 @@ func Start(rt vtime.Runtime, fab transport.Fabric, cfg Config) *Dispatcher {
 	}
 	for _, s := range cfg.Services {
 		d.services[s] = true
+	}
+	if len(cfg.ELShardOf) > 0 {
+		d.shardAlive = make(map[int]int)
+		d.shardDown = make(map[int]bool)
+		for _, k := range cfg.ELShardOf {
+			d.shardAlive[k]++
+		}
 	}
 	rt.Go("dispatcher-pump", func() {
 		for {
@@ -140,22 +170,52 @@ func (d *Dispatcher) run() {
 				// first ack.
 				d.ep.Send(e.frame.From, wire.KFinalizeAck, nil)
 			}
+		case e.isNotice:
+			// Detection fired for a shard replica death: if the losses
+			// leave the shard short of its write quorum, tell every
+			// computing node to reroute the shard's channel range.
+			if d.shardAlive[e.notice] < d.cfg.ELShardQuorum && !d.shardDown[e.notice] {
+				d.shardDown[e.notice] = true
+				d.ShardDowns++
+				d.bcastShard(wire.KELShardDown, e.notice)
+			}
 		case e.respawn >= 0:
 			if d.services[e.respawn] {
 				d.ServiceRestarts++
 				if d.cfg.RespawnService != nil {
 					d.cfg.RespawnService(e.respawn)
 				}
+				if k, ok := d.shardIdx(e.respawn); ok {
+					d.shardAlive[k]++
+					// The shard regained its quorum: route its range home.
+					// The daemons' history backfill restores what the dead
+					// replicas lost.
+					if d.shardAlive[k] >= d.cfg.ELShardQuorum && d.shardDown[k] {
+						delete(d.shardDown, k)
+						d.ShardUps++
+						d.bcastShard(wire.KELShardUp, k)
+					}
+				}
 				continue
 			}
 			d.Restarts++
 			d.cfg.Respawn(e.respawn)
+			// The respawned daemon missed any shard-down broadcast that
+			// predates it; replay the current down-set so it routes
+			// around dead shards from its first submission.
+			for k := range d.shardDown {
+				d.ep.Send(e.respawn, wire.KELShardDown, wire.EncodeU32(uint32(k)))
+			}
 		default:
 			if d.services[e.fault] {
 				d.ServiceKills++
 				d.cfg.Kill(e.fault)
+				if k, ok := d.shardIdx(e.fault); ok {
+					d.shardAlive[k]--
+					d.in.SendAfter(d.cfg.DetectionDelay, event{isNotice: true, notice: k, fault: -1, respawn: -1})
+				}
 				if !e.permanent {
-					d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
+					d.in.SendAfter(d.cfg.DetectionDelay+d.cfg.ServiceRespawnDelay, event{respawn: e.fault, fault: -1})
 				}
 				continue
 			}
@@ -175,6 +235,23 @@ func (d *Dispatcher) run() {
 				d.in.SendAfter(d.cfg.DetectionDelay, event{respawn: e.fault, fault: -1})
 			}
 		}
+	}
+}
+
+// shardIdx maps a service node to its EL fleet shard, if it is one.
+func (d *Dispatcher) shardIdx(node int) (int, bool) {
+	if d.shardAlive == nil {
+		return 0, false
+	}
+	k, ok := d.cfg.ELShardOf[node]
+	return k, ok
+}
+
+// bcastShard announces a shard liveness transition to every computing
+// node.
+func (d *Dispatcher) bcastShard(kind uint8, k int) {
+	for r := 0; r < d.cfg.Ranks; r++ {
+		d.ep.Send(r, kind, wire.EncodeU32(uint32(k)))
 	}
 }
 

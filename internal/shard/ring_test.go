@@ -1,0 +1,117 @@
+package shard
+
+import "testing"
+
+// TestRingDeterminism: the mapping is a pure function of (shards, seed)
+// — two independently constructed rings agree on every channel, and a
+// different seed produces a different permutation.
+func TestRingDeterminism(t *testing.T) {
+	a := New(8, 42)
+	b := New(8, 42)
+	c := New(8, 43)
+	same, diff := 0, 0
+	for s := 0; s < 32; s++ {
+		for r := 0; r < 32; r++ {
+			if a.Owner(s, r) != b.Owner(s, r) {
+				t.Fatalf("(%d,%d): ring not deterministic: %d vs %d", s, r, a.Owner(s, r), b.Owner(s, r))
+			}
+			if a.Owner(s, r) == c.Owner(s, r) {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("seed has no effect: %d/%d placements identical across seeds", same, same+diff)
+	}
+}
+
+// TestRingBalance: at 64 channels (an 8×8 rank grid) over 8 shards the
+// max/min shard load ratio must stay ≤ 1.3. The affine slot map makes
+// grid channels equidistribute, so the ratio is in fact 1.0 here; the
+// 1.3 bound is the contract the fleet layer relies on.
+func TestRingBalance(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1 << 40} {
+		r := New(8, seed)
+		load := make([]int, 8)
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				load[r.Owner(s, d)]++
+			}
+		}
+		min, max := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 1.3 {
+			t.Fatalf("seed %d: shard loads %v, max/min %d/%d exceeds 1.3", seed, load, max, min)
+		}
+	}
+}
+
+// TestRingPathSpread: nearest-neighbor channel sets {(r, r+1)} — ring
+// and stencil exchanges — must cycle through every shard rather than
+// aliasing onto a subset, which is what the even-b parity buys.
+func TestRingPathSpread(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 11, 42} {
+		for _, shards := range []int{2, 4, 8} {
+			r := New(shards, seed)
+			hit := make(map[int]bool)
+			for i := 0; i < 4*shards; i++ {
+				hit[r.Owner(i, i+1)] = true
+			}
+			if len(hit) != shards {
+				t.Errorf("seed %d, %d shards: ring channels hit only %d shards", seed, shards, len(hit))
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one shard moves exactly that shard's
+// keys (to its successor) and no others; restoring it moves them back.
+func TestRingMinimalMovement(t *testing.T) {
+	r := New(8, 42)
+	dead := map[int]bool{3: true}
+	moved := 0
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			base := r.Owner(s, d)
+			live := r.OwnerLive(s, d, dead)
+			if base != 3 {
+				if live != base {
+					t.Fatalf("(%d,%d): key moved from live shard %d to %d", s, d, base, live)
+				}
+				continue
+			}
+			moved++
+			if want := r.Successor(3, dead); live != want {
+				t.Fatalf("(%d,%d): dead shard's key went to %d, want successor %d", s, d, live, want)
+			}
+			if back := r.OwnerLive(s, d, nil); back != base {
+				t.Fatalf("(%d,%d): key did not return on rejoin: %d vs %d", s, d, back, base)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shard 3 owned no keys in a 16×16 grid")
+	}
+}
+
+// TestRingSuccessorSkipsDead: successor walk skips consecutive dead
+// shards and degrades to identity when the whole fleet is down.
+func TestRingSuccessorSkipsDead(t *testing.T) {
+	r := New(4, 1)
+	if got := r.Successor(1, map[int]bool{1: true, 2: true}); got != 3 {
+		t.Fatalf("successor(1) with {1,2} dead = %d, want 3", got)
+	}
+	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if got := r.Successor(2, all); got != 2 {
+		t.Fatalf("successor with all dead = %d, want identity 2", got)
+	}
+}

@@ -1,6 +1,10 @@
 package vtime
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+	"time"
+)
 
 // BenchmarkMailboxHandoff prices one round-trip between two simulator
 // actors — a request/response pair over two mailboxes, the pattern of
@@ -45,4 +49,60 @@ func BenchmarkMailboxSendRecv(b *testing.B) {
 		}
 		b.StopTimer()
 	})
+}
+
+// BenchmarkHeap4PushPop prices one push/pop pair on the scheduler's
+// event heap against a standing population of pending events — the hot
+// path of every Schedule/timer operation. The events are pre-allocated
+// and the backing array pre-grown, so the measured loop shows the heap's
+// own cost: 0 allocs/op (the container/heap predecessor paid one
+// interface-boxing allocation per Push).
+func BenchmarkHeap4PushPop(b *testing.B) {
+	const standing = 1024
+	var h heap4[*event]
+	evs := make([]*event, standing+1)
+	for i := range evs {
+		evs[i] = &event{}
+	}
+	seq := uint64(0)
+	for i := 0; i < standing; i++ {
+		ev := evs[i]
+		seq++
+		ev.at, ev.seq = time.Duration(seq%257), seq
+		h.Push(ev)
+	}
+	spare := evs[standing]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		spare.at, spare.seq = time.Duration(seq%257), seq
+		h.Push(spare)
+		spare = h.Pop()
+	}
+}
+
+// BenchmarkParEpoch prices the parallel core end to end: lanes each
+// reposting an event per epoch, measured per executed event.
+func BenchmarkParEpoch(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(map[bool]string{true: "serial", false: "parallel"}[workers == 1], func(b *testing.B) {
+			const lanes = 256
+			p := NewPar(lanes, workers)
+			rounds := b.N/lanes + 1
+			var step Handler
+			step = func(c *ParCtx) {
+				if c.Now() < time.Duration(rounds)*time.Microsecond {
+					c.Post(c.Lane(), time.Microsecond, step)
+				}
+			}
+			for l := 0; l < lanes; l++ {
+				p.Post(l, 0, step)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			p.Run()
+			b.StopTimer()
+		})
+	}
 }

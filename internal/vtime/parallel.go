@@ -1,0 +1,290 @@
+package vtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Par is a deterministic parallel discrete-event engine. It trades the
+// token-passing generality of Sim (arbitrary blocking actors) for
+// throughput: events are partitioned into per-lane streams (one lane per
+// simulated rank or service), and all events that share the minimal
+// pending virtual time form an epoch that executes across real cores.
+//
+// Determinism argument (asserted by TestParEquivalence): the schedule a
+// run produces is the sequence of executed (at, seq, lane) triples.
+//
+//  1. Epoch membership is decided before any handler runs: the engine
+//     pops every pending event whose time equals the heap minimum, in
+//     (at, seq) order — a pure function of prior state.
+//  2. Handlers run concurrently but each lane's events run in order on
+//     one worker, and a handler may only touch lane-local state plus its
+//     private emission buffer (Post). Nothing a handler can observe
+//     depends on how lanes interleave across cores.
+//  3. At the epoch barrier the emission buffers are merged in lane
+//     order, then in per-lane emission order, and global sequence
+//     numbers are assigned during that merge. Worker completion order
+//     never influences seq assignment.
+//
+// Hence the recorded schedule is byte-identical for any worker count,
+// including workers=1 (the serial core): parallelism changes wall-clock
+// time only. Lane counts of 1000+ are practical because the engine costs
+// O(log n) heap work per event and no goroutine handoff per event,
+// unlike Sim's one-token-transfer-per-block model.
+type Par struct {
+	lanes   int
+	workers int
+
+	now  time.Duration
+	seq  uint64
+	heap heap4[*parEvent]
+
+	// emits[l] is the private emission buffer of lane l, written only by
+	// the worker executing lane l during an epoch, drained single-threaded
+	// at the barrier.
+	emits [][]*parEvent
+
+	executed uint64
+	record   bool
+	sched    []byte
+	hash     uint64 // running FNV-1a over the schedule triples
+
+	// scratch reused across epochs
+	epoch     []*parEvent
+	active    []int // lanes with events this epoch, in first-appearance order
+	laneQ     [][]*parEvent
+	laneDirty []bool
+
+	running bool
+}
+
+// Handler is a lane event callback. It runs with no engine lock: it may
+// touch only state owned by its lane and the ParCtx it is given.
+type Handler func(*ParCtx)
+
+// parEvent is one scheduled lane callback. seq is assigned when the
+// event enters the heap (at post or at the merge barrier), never during
+// parallel execution.
+type parEvent struct {
+	at   time.Duration
+	seq  uint64
+	lane int
+	fn   Handler
+}
+
+// Less orders events by (at, seq), mirroring Sim's event ordering.
+func (e *parEvent) Less(o *parEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// ParCtx is the view a handler gets of the engine: the clock, its own
+// lane, and the only legal side-channel — posting future events.
+type ParCtx struct {
+	p    *Par
+	lane int
+	at   time.Duration
+}
+
+// Lane reports the lane this handler runs on.
+func (c *ParCtx) Lane() int { return c.lane }
+
+// Now reports the virtual time of the current epoch.
+func (c *ParCtx) Now() time.Duration { return c.at }
+
+// Post schedules fn on lane after delay (clamped to 0) of virtual time.
+// A zero delay lands in a later epoch at the same virtual instant, so a
+// handler never races its own emissions.
+func (c *ParCtx) Post(lane int, delay time.Duration, fn Handler) {
+	if delay < 0 {
+		delay = 0
+	}
+	if lane < 0 || lane >= c.p.lanes {
+		panic(fmt.Sprintf("vtime: Post to lane %d of %d", lane, c.p.lanes))
+	}
+	c.p.emits[c.lane] = append(c.p.emits[c.lane], &parEvent{at: c.at + delay, lane: lane, fn: fn})
+}
+
+// NewPar returns an engine with the given lane count. workers <= 0 means
+// GOMAXPROCS; workers == 1 is the serial reference core.
+func NewPar(lanes, workers int) *Par {
+	if lanes <= 0 {
+		panic("vtime: NewPar needs at least one lane")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Par{
+		lanes:     lanes,
+		workers:   workers,
+		emits:     make([][]*parEvent, lanes),
+		laneQ:     make([][]*parEvent, lanes),
+		laneDirty: make([]bool, lanes),
+		hash:      1469598103934665603, // FNV-1a offset basis
+	}
+}
+
+// Record enables schedule recording: every executed (at, seq, lane)
+// triple is appended to the byte log returned by Schedule. The running
+// ScheduleHash is maintained regardless.
+func (p *Par) Record(on bool) { p.record = on }
+
+// Post seeds an event before Run. Events posted here receive their
+// sequence numbers in call order, so seeding is part of the
+// deterministic input.
+func (p *Par) Post(lane int, at time.Duration, fn Handler) {
+	if p.running {
+		panic("vtime: Par.Post during Run; use ParCtx.Post from handlers")
+	}
+	if lane < 0 || lane >= p.lanes {
+		panic(fmt.Sprintf("vtime: Post to lane %d of %d", lane, p.lanes))
+	}
+	if at < 0 {
+		at = 0
+	}
+	p.seq++
+	p.heap.Push(&parEvent{at: at, seq: p.seq, lane: lane, fn: fn})
+}
+
+// Run drains the event heap epoch by epoch and returns when no events
+// remain. The final virtual time is available via Now.
+func (p *Par) Run() {
+	p.running = true
+	for p.heap.Len() > 0 {
+		p.runEpoch()
+	}
+	p.running = false
+}
+
+func (p *Par) runEpoch() {
+	t := p.heap.Min().at
+	if t > p.now {
+		p.now = t
+	}
+
+	// Collect the epoch: every pending event at exactly t, in (at, seq)
+	// order. Partition into per-lane queues preserving that order.
+	p.epoch = p.epoch[:0]
+	p.active = p.active[:0]
+	for p.heap.Len() > 0 && p.heap.Min().at == t {
+		ev := p.heap.Pop()
+		p.epoch = append(p.epoch, ev)
+		if !p.laneDirty[ev.lane] {
+			p.laneDirty[ev.lane] = true
+			p.active = append(p.active, ev.lane)
+		}
+		p.laneQ[ev.lane] = append(p.laneQ[ev.lane], ev)
+	}
+
+	// Record before executing: the schedule is fixed the moment the
+	// epoch is popped, whatever the workers do with it.
+	p.executed += uint64(len(p.epoch))
+	for _, ev := range p.epoch {
+		p.note(ev)
+	}
+
+	// Execute: each active lane's events run in order on one worker.
+	if p.workers == 1 || len(p.active) == 1 {
+		ctx := ParCtx{p: p, at: t}
+		for _, lane := range p.active {
+			ctx.lane = lane
+			for _, ev := range p.laneQ[lane] {
+				ev.fn(&ctx)
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		nw := p.workers
+		if nw > len(p.active) {
+			nw = len(p.active)
+		}
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				ctx := ParCtx{p: p, at: t}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(p.active) {
+						return
+					}
+					lane := p.active[i]
+					ctx.lane = lane
+					for _, ev := range p.laneQ[lane] {
+						ev.fn(&ctx)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Barrier merge: drain emission buffers in lane order, then emission
+	// order, assigning global seqs. This ordering — not worker completion
+	// order — is what makes the next epoch's pop order deterministic.
+	for _, lane := range p.active {
+		p.laneDirty[lane] = false
+		q := p.laneQ[lane]
+		for i := range q {
+			q[i] = nil
+		}
+		p.laneQ[lane] = q[:0]
+	}
+	for lane := 0; lane < p.lanes; lane++ {
+		buf := p.emits[lane]
+		if len(buf) == 0 {
+			continue
+		}
+		for i, ev := range buf {
+			p.seq++
+			ev.seq = p.seq
+			p.heap.Push(ev)
+			buf[i] = nil
+		}
+		p.emits[lane] = buf[:0]
+	}
+}
+
+// note folds one executed event into the schedule hash and, when
+// recording, the byte log.
+func (p *Par) note(ev *parEvent) {
+	var b [20]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(ev.at))
+	binary.LittleEndian.PutUint64(b[8:], ev.seq)
+	binary.LittleEndian.PutUint32(b[16:], uint32(ev.lane))
+	h := p.hash
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	p.hash = h
+	if p.record {
+		p.sched = append(p.sched, b[:]...)
+	}
+}
+
+// Now reports the current virtual time.
+func (p *Par) Now() time.Duration { return p.now }
+
+// Executed reports how many events have run.
+func (p *Par) Executed() uint64 { return p.executed }
+
+// Lanes reports the lane count.
+func (p *Par) Lanes() int { return p.lanes }
+
+// Schedule returns the recorded schedule bytes (empty unless Record(true)
+// was set before Run): 20 bytes per executed event, little-endian
+// (at:8, seq:8, lane:4), in execution order.
+func (p *Par) Schedule() []byte { return p.sched }
+
+// ScheduleHash returns the FNV-1a hash of the schedule triples executed
+// so far. Equal hashes across worker counts certify an identical
+// schedule without retaining the byte log.
+func (p *Par) ScheduleHash() uint64 { return p.hash }

@@ -1,0 +1,184 @@
+package vtime
+
+import (
+	"bytes"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// xorshift is the deterministic per-lane RNG used by the workload
+// generators. Lane-local by construction: each lane owns one state word.
+func xorshift(s uint64) uint64 {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s
+}
+
+// seedChaosWorkload posts an initial step event on every lane. Each step
+// sends a few messages to pseudo-random lanes with pseudo-random delays,
+// message handlers bounce a reply with decreasing hops, and every
+// handler mutates only lane-local state — the contract Par requires.
+func seedChaosWorkload(p *Par, seed uint64, lanes, steps int, counts []uint64) {
+	rngs := make([]uint64, lanes)
+	left := make([]int, lanes)
+	for l := 0; l < lanes; l++ {
+		rngs[l] = seed*2654435761 + uint64(l)*0x9e3779b97f4a7c15 + 1
+		left[l] = steps
+	}
+	var bounce func(hops int) Handler
+	bounce = func(hops int) Handler {
+		return func(c *ParCtx) {
+			l := c.Lane()
+			counts[l]++
+			if hops <= 0 {
+				return
+			}
+			rngs[l] = xorshift(rngs[l])
+			r := rngs[l]
+			c.Post(int(r%uint64(lanes)), time.Duration(r>>32%97)*time.Microsecond, bounce(hops-1))
+		}
+	}
+	var step Handler
+	step = func(c *ParCtx) {
+		l := c.Lane()
+		counts[l]++
+		rngs[l] = xorshift(rngs[l])
+		r := rngs[l]
+		for i := 0; i < int(r%3)+1; i++ {
+			rngs[l] = xorshift(rngs[l])
+			m := rngs[l]
+			c.Post(int(m%uint64(lanes)), time.Duration(m>>32%53)*time.Microsecond, bounce(2))
+		}
+		left[l]--
+		if left[l] > 0 {
+			c.Post(l, time.Duration(r>>48%31+1)*time.Microsecond, step)
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		p.Post(l, time.Duration(l%7)*time.Microsecond, step)
+	}
+}
+
+// TestParEquivalence is the schedule-recording equivalence gate from
+// DESIGN.md §15: for seeded chaotic workloads, the parallel core must
+// produce a byte-identical (at, seq, lane) schedule to the serial core.
+// Worker count may change wall-clock time only.
+func TestParEquivalence(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 4
+	}
+	const lanes, steps = 37, 40
+	for _, seed := range []uint64{1, 12345, 987654321} {
+		ser := NewPar(lanes, 1)
+		ser.Record(true)
+		serCounts := make([]uint64, lanes)
+		seedChaosWorkload(ser, seed, lanes, steps, serCounts)
+		ser.Run()
+
+		par := NewPar(lanes, workers)
+		par.Record(true)
+		parCounts := make([]uint64, lanes)
+		seedChaosWorkload(par, seed, lanes, steps, parCounts)
+		par.Run()
+
+		if ser.Executed() == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		if ser.Executed() != par.Executed() {
+			t.Fatalf("seed %d: executed %d serial vs %d parallel", seed, ser.Executed(), par.Executed())
+		}
+		if !bytes.Equal(ser.Schedule(), par.Schedule()) {
+			t.Fatalf("seed %d: schedules differ (serial %d bytes, parallel %d bytes)", seed, len(ser.Schedule()), len(par.Schedule()))
+		}
+		if ser.ScheduleHash() != par.ScheduleHash() {
+			t.Fatalf("seed %d: schedule hashes differ", seed)
+		}
+		for l := range serCounts {
+			if serCounts[l] != parCounts[l] {
+				t.Fatalf("seed %d lane %d: count %d serial vs %d parallel", seed, l, serCounts[l], parCounts[l])
+			}
+		}
+		if ser.Now() != par.Now() {
+			t.Fatalf("seed %d: final time %v serial vs %v parallel", seed, ser.Now(), par.Now())
+		}
+	}
+}
+
+// TestParLaneOrder checks the two ordering guarantees handlers rely on:
+// events on one lane run in (at, seq) order, and a zero-delay Post lands
+// in a later epoch at the same instant.
+func TestParLaneOrder(t *testing.T) {
+	p := NewPar(2, 2)
+	var got []int
+	p.Post(0, 2*time.Microsecond, func(c *ParCtx) { got = append(got, 2) })
+	p.Post(0, time.Microsecond, func(c *ParCtx) {
+		got = append(got, 1)
+		c.Post(0, 0, func(c *ParCtx) {
+			if c.Now() != time.Microsecond {
+				t.Errorf("zero-delay post at %v, want 1µs", c.Now())
+			}
+			got = append(got, 10)
+		})
+	})
+	p.Run()
+	want := []int{1, 10, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestHeap4Order drains pseudo-random events and checks the pop sequence
+// matches a reference sort by (at, seq).
+func TestHeap4Order(t *testing.T) {
+	var h heap4[*event]
+	r := uint64(42)
+	var ref []*event
+	for i := 0; i < 2000; i++ {
+		r = xorshift(r)
+		ev := &event{at: time.Duration(r % 127), seq: uint64(i)}
+		ref = append(ref, ev)
+		h.Push(ev)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i].Less(ref[j]) })
+	for i, want := range ref {
+		if got := h.Pop(); got != want {
+			t.Fatalf("pop %d: got (%v,%d) want (%v,%d)", i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}
+
+// TestHeap4ZeroAllocs proves the satellite claim: push/pop on the event
+// heap allocates nothing once the backing array has grown.
+func TestHeap4ZeroAllocs(t *testing.T) {
+	var h heap4[*event]
+	evs := make([]*event, 513)
+	for i := range evs {
+		evs[i] = &event{at: time.Duration(i * 31 % 257), seq: uint64(i)}
+	}
+	for _, ev := range evs[:512] {
+		h.Push(ev)
+	}
+	spare := evs[512]
+	seq := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		spare.at, spare.seq = time.Duration(seq%257), seq
+		h.Push(spare)
+		spare = h.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop hot path allocates %v/op, want 0", allocs)
+	}
+}

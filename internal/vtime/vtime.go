@@ -15,7 +15,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,18 +67,14 @@ type event struct {
 	fn  func() // runs with sim lock held; must not block
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Less orders events by (at, seq): virtual deadline first, scheduling
+// order as the deterministic tie-break.
+func (e *event) Less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Sim is a deterministic discrete-event scheduler. Create with NewSim,
 // drive with Run. All actors must block only through Sim primitives
@@ -89,7 +84,7 @@ type Sim struct {
 	mu      sync.Mutex
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	events  heap4[*event]
 	readyQ  []*waiter
 	blocked map[*waiter]struct{}
 	current *actorInfo
@@ -120,7 +115,7 @@ func (s *Sim) schedule(at time.Duration, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
-	heap.Push(&s.events, &event{at: at, seq: s.nextSeq(), fn: fn})
+	s.events.Push(&event{at: at, seq: s.nextSeq(), fn: fn})
 }
 
 // Schedule registers fn to run at virtual time at (clamped to now). The
@@ -159,8 +154,8 @@ func (s *Sim) dispatch() {
 			close(w.ch)
 			return
 		}
-		if len(s.events) > 0 {
-			ev := heap.Pop(&s.events).(*event)
+		if s.events.Len() > 0 {
+			ev := s.events.Pop()
 			if ev.at > s.now {
 				s.now = ev.at
 			}
@@ -313,7 +308,7 @@ func (s *Sim) stopLocked() {
 		}
 	}
 	s.readyQ = nil
-	s.events = nil
+	s.events.reset()
 }
 
 // Stopped reports whether Stop has been called.

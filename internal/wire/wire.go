@@ -88,6 +88,15 @@ const (
 	KDetRelay     // data: u64 request seq + u32 origin node + event batch
 	KDetFlushReq  // data: empty — "send me the determinants you hold for me"
 	KDetFlushResp // data: event batch (the requester's own determinants)
+
+	// Event-logger fleet rebalancing (appended after KDetFlushResp, same
+	// numbering-stability reason). The dispatcher tracks per-shard live
+	// membership and tells every compute rank when an EL shard drops
+	// below / regains its write quorum; daemons reroute the shard's key
+	// range to its ring successor and backfill retained determinants
+	// (DESIGN.md §15).
+	KELShardDown // data: u32 shard index — shard lost its write quorum
+	KELShardUp   // data: u32 shard index — shard regained its quorum
 )
 
 // KindName returns a short human-readable name for diagnostics.
@@ -107,6 +116,7 @@ func KindName(k uint8) string {
 		KCkptManifestReq: "ckpt-manifest-req", KCkptManifest: "ckpt-manifest",
 		KCkptChunkFetch: "ckpt-chunk-fetch", KCkptChunkData: "ckpt-chunk-data",
 		KDetRelay: "det-relay", KDetFlushReq: "det-flush-req", KDetFlushResp: "det-flush-resp",
+		KELShardDown: "el-shard-down", KELShardUp: "el-shard-up",
 	}
 	if n, ok := names[k]; ok {
 		return n
